@@ -1,0 +1,305 @@
+// Benchmarks regenerating the DyTIS paper's tables and figures as testing.B
+// benchmarks, one family per experiment (see DESIGN.md §4 for the index and
+// EXPERIMENTS.md for paper-vs-measured). They run at a small dataset scale so
+// `go test -bench=.` completes in minutes; cmd/dytis-bench runs the same
+// experiments at configurable scale with full output tables.
+//
+// Each sub-benchmark measures steady-state per-operation cost: the index is
+// preloaded outside the timer and b.N operations replay a pregenerated
+// stream (cycling if b.N exceeds it, which turns extra Load inserts into
+// updates — throughput of the first pass dominates at the default benchtime).
+package dytis_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"dytis/internal/bench"
+	"dytis/internal/core"
+	"dytis/internal/datasets"
+	"dytis/internal/kv"
+	"dytis/internal/metrics"
+	"dytis/internal/workload"
+)
+
+// benchScale keeps -bench=. fast; the ratios between datasets are preserved.
+const benchScale = 0.0002
+
+var (
+	keyCacheMu sync.Mutex
+	keyCache   = map[string][]uint64{}
+)
+
+func benchKeys(s datasets.Spec) []uint64 {
+	keyCacheMu.Lock()
+	defer keyCacheMu.Unlock()
+	if k, ok := keyCache[s.Name]; ok {
+		return k
+	}
+	k := s.Gen(s.Count(benchScale), 1)
+	keyCache[s.Name] = k
+	return k
+}
+
+// fig8Sets is the dataset subset exercised per-index in the benchmark suite
+// (the full five-dataset sweep runs via cmd/dytis-bench).
+var fig8Sets = []datasets.Spec{datasets.ReviewM, datasets.Taxi}
+
+type contender struct {
+	f    bench.Factory
+	bulk float64
+}
+
+func fig8Contenders() []contender {
+	return []contender{
+		{bench.DyTIS(core.Options{}), 0},
+		{bench.ALEX("ALEX-10"), 0.1},
+		{bench.ALEX("ALEX-70"), 0.7},
+		{bench.XIndex(false), 0.7},
+		{bench.BTree(), 0},
+	}
+}
+
+// runCell preloads an index per cfg and then measures b.N ops from the
+// workload's stream.
+func runCell(b *testing.B, c contender, spec datasets.Spec, kind workload.Kind, threads int) {
+	b.Helper()
+	keys := benchKeys(spec)
+	if kind == workload.E && !c.f.Ordered {
+		b.Skip("index does not support scans")
+	}
+	plan := workload.Build(workload.Config{
+		Kind: kind, Keys: keys, Ops: len(keys), Seed: 1,
+	})
+	inst := c.f.New()
+	defer inst.Close()
+	// Unmeasured setup: bulk-load + preload per the paper's §4.3 protocol.
+	preOps := plan.Ops
+	if kind == workload.Load {
+		bulkN := int(c.bulk * float64(len(keys)))
+		if bulkN > 0 {
+			ks, vs := sortedKV(keys[:bulkN])
+			if !inst.BulkLoad(ks, vs) {
+				for i := range ks {
+					inst.Insert(ks[i], vs[i])
+				}
+			}
+		}
+		preOps = plan.Ops[bulkN:]
+	} else {
+		bulkN := int(c.bulk * float64(plan.PreloadCount))
+		if bulkN > 0 {
+			ks, vs := sortedKV(keys[:bulkN])
+			if !inst.BulkLoad(ks, vs) {
+				bulkN = 0
+			}
+		}
+		for _, k := range keys[bulkN:plan.PreloadCount] {
+			inst.Insert(k, k)
+		}
+	}
+	if len(preOps) == 0 {
+		b.Skip("empty op stream")
+	}
+	b.ResetTimer()
+	if threads <= 1 {
+		var buf []kv.KV
+		for i := 0; i < b.N; i++ {
+			bench.ExecOp(inst, preOps[i%len(preOps)], &buf)
+		}
+	} else {
+		var wg sync.WaitGroup
+		per := b.N / threads
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				var buf []kv.KV
+				for i := 0; i < per; i++ {
+					bench.ExecOp(inst, preOps[(t+i*threads)%len(preOps)], &buf)
+				}
+			}(t)
+		}
+		wg.Wait()
+	}
+}
+
+func sortedKV(keys []uint64) ([]uint64, []uint64) {
+	ks := append([]uint64(nil), keys...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks, append([]uint64(nil), ks...)
+}
+
+// BenchmarkTable1Datasets measures dataset generation plus the §2.1 metrics
+// (the quantities behind Table 1 and Figure 1).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for _, s := range datasets.Group1 {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keys := s.Gen(20000, int64(i))
+				_ = metrics.SkewnessVariance(keys, 5000)
+				_ = metrics.KDD(keys, 5000)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8's cells: workload x dataset x index.
+func BenchmarkFig8(b *testing.B) {
+	for _, kind := range workload.Kinds {
+		for _, s := range fig8Sets {
+			for _, c := range fig8Contenders() {
+				kind, s, c := kind, s, c
+				b.Run(fmt.Sprintf("%s/%s/%s", kind, s.Name, c.f.Name), func(b *testing.B) {
+					runCell(b, c, s, kind, 1)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: DyTIS vs CCEH vs EH insert and search.
+func BenchmarkFig9(b *testing.B) {
+	hashes := []contender{
+		{bench.DyTIS(core.Options{}), 0},
+		{bench.CCEH(), 0},
+		{bench.EH(), 0},
+	}
+	for _, kind := range []workload.Kind{workload.Load, workload.C} {
+		for _, s := range fig8Sets {
+			for _, c := range hashes {
+				kind, s, c := kind, s, c
+				b.Run(fmt.Sprintf("%s/%s/%s", kind, s.Name, c.f.Name), func(b *testing.B) {
+					runCell(b, c, s, kind, 1)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10's sweep: ALEX bulk-loading fractions.
+func BenchmarkFig10(b *testing.B) {
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		for _, kind := range []workload.Kind{workload.Load, workload.C} {
+			frac, kind := frac, kind
+			name := fmt.Sprintf("ALEX-%d/%s", int(frac*100), kind)
+			b.Run(name, func(b *testing.B) {
+				runCell(b, contender{bench.ALEX("ALEX"), frac}, datasets.Taxi, kind, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: original vs shuffled (KDD effect)
+// and shuffled vs uniform (skewness effect) on insert and search.
+func BenchmarkFig11(b *testing.B) {
+	variants := []datasets.Spec{
+		datasets.Taxi,
+		datasets.Shuffled(datasets.Taxi),
+		datasets.Uniform,
+	}
+	for _, s := range variants {
+		for _, kind := range []workload.Kind{workload.Load, workload.C} {
+			s, kind := s, kind
+			b.Run(fmt.Sprintf("%s/%s", s.Name, kind), func(b *testing.B) {
+				runCell(b, contender{bench.DyTIS(core.Options{}), 0}, s, kind, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: DyTIS vs XIndex thread scaling.
+func BenchmarkFig12(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, c := range []contender{
+			{bench.DyTIS(core.Options{Concurrent: true}), 0},
+			{bench.XIndex(true), 0.7},
+		} {
+			for _, kind := range []workload.Kind{workload.Load, workload.C, workload.E} {
+				threads, c, kind := threads, c, kind
+				b.Run(fmt.Sprintf("%s/%s/t%d", c.f.Name, kind, threads), func(b *testing.B) {
+					runCell(b, c, datasets.Taxi, kind, threads)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Latency regenerates Table 2's workloads (Load and A); tail
+// latencies come from cmd/dytis-bench -exp table2, which runs the same cells
+// with the latency histogram attached.
+func BenchmarkTable2Latency(b *testing.B) {
+	for _, kind := range []workload.Kind{workload.Load, workload.A} {
+		for _, c := range fig8Contenders() {
+			kind, c := kind, c
+			b.Run(fmt.Sprintf("%s/%s", kind, c.f.Name), func(b *testing.B) {
+				runCell(b, c, datasets.ReviewM, kind, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkParams regenerates the §4.3 parameter study on DyTIS knobs.
+func BenchmarkParams(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"default", core.Options{}},
+		{"Bsize-1KB", core.Options{BucketEntries: 64}},
+		{"Bsize-4KB", core.Options{BucketEntries: 256}},
+		{"Lstart-4", core.Options{StartDepth: 4}},
+		{"Lstart-8", core.Options{StartDepth: 8}},
+		{"R-7", core.Options{FirstLevelBits: 7}},
+		{"R-11", core.Options{FirstLevelBits: 11}},
+		{"Ut-0.5", core.Options{UtilThreshold: 0.5}},
+		{"Ut-0.7", core.Options{UtilThreshold: 0.7}},
+	}
+	for _, v := range variants {
+		for _, kind := range []workload.Kind{workload.Load, workload.C} {
+			v, kind := v, kind
+			b.Run(fmt.Sprintf("%s/%s", v.name, kind), func(b *testing.B) {
+				runCell(b, contender{bench.DyTISNamed(v.name, v.opts), 0}, datasets.Taxi, kind, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionPGM compares DyTIS with the dynamic PGM-index of the
+// related-work section (geometric run merging vs in-place remapping).
+func BenchmarkExtensionPGM(b *testing.B) {
+	for _, c := range []contender{
+		{bench.DyTIS(core.Options{}), 0},
+		{bench.PGM(), 0},
+	} {
+		for _, kind := range []workload.Kind{workload.Load, workload.C, workload.E} {
+			c, kind := c, kind
+			b.Run(fmt.Sprintf("%s/%s", c.f.Name, kind), func(b *testing.B) {
+				runCell(b, c, datasets.Taxi, kind, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkAblation quantifies each §3.3 mechanism by disabling it.
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{}},
+		{"no-remap", core.Options{DisableRemap: true}},
+		{"no-expansion", core.Options{DisableExpansion: true}},
+		{"no-adaptive", core.Options{DisableAdaptiveLimit: true}},
+		{"no-refine", core.Options{DisableRefinement: true}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			runCell(b, contender{bench.DyTISNamed(v.name, v.opts), 0}, datasets.ReviewM, workload.Load, 1)
+		})
+	}
+}

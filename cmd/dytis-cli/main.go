@@ -1,0 +1,209 @@
+// Command dytis-cli is an interactive shell around a DyTIS index: load
+// datasets (generated or CSV), run point/range operations, and inspect the
+// structure as it adapts. Useful for exploring how the index reacts to
+// different key patterns.
+//
+// Usage:
+//
+//	dytis-cli [-concurrent]
+//
+// Commands (also: `help`):
+//
+//	put <key> <value>      get <key>        del <key>
+//	scan <start> <n>       range <lo> <hi>  min | max
+//	gen <dataset> <n>      load <file.csv>  stats | len | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dytis"
+	"dytis/internal/datasets"
+)
+
+var concurrentFlag = flag.Bool("concurrent", false, "use the thread-safe variant")
+
+const helpText = `commands:
+  put <key> <value>    insert or update a pair
+  get <key>            point lookup
+  del <key>            delete a key
+  scan <start> <n>     first n pairs with key >= start
+  range <lo> <hi>      count pairs in [lo, hi]
+  min | max            smallest / largest pair
+  gen <dataset> <n>    insert n generated keys (MM|ML|RM|RL|TX|Uniform|...)
+  load <file>          insert keys from a CSV (one key per line)
+  stats                structure statistics
+  len                  number of live keys
+  help                 this text
+  quit                 exit`
+
+func main() {
+	flag.Parse()
+	idx := dytis.New(dytis.Options{Concurrent: *concurrentFlag})
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("dytis-cli — type 'help' for commands")
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := run(idx, fields); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func run(idx *dytis.Index, fields []string) error {
+	arg := func(i int) (uint64, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("missing argument %d", i)
+		}
+		return strconv.ParseUint(fields[i], 10, 64)
+	}
+	switch fields[0] {
+	case "help":
+		fmt.Println(helpText)
+	case "quit", "exit":
+		return errQuit
+	case "put":
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		v, err := arg(2)
+		if err != nil {
+			return err
+		}
+		idx.Insert(k, v)
+	case "get":
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		if v, ok := idx.Get(k); ok {
+			fmt.Println(v)
+		} else {
+			fmt.Println("(not found)")
+		}
+	case "del":
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(idx.Delete(k))
+	case "scan":
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		n, err := arg(2)
+		if err != nil {
+			return err
+		}
+		for _, p := range idx.Scan(k, int(n), nil) {
+			fmt.Printf("%d -> %d\n", p.Key, p.Value)
+		}
+	case "range":
+		lo, err := arg(1)
+		if err != nil {
+			return err
+		}
+		hi, err := arg(2)
+		if err != nil {
+			return err
+		}
+		n := 0
+		idx.Range(lo, hi, func(k, v uint64) bool { n++; return true })
+		fmt.Printf("%d pairs in [%d, %d]\n", n, lo, hi)
+	case "min":
+		if p, ok := idx.Min(); ok {
+			fmt.Printf("%d -> %d\n", p.Key, p.Value)
+		} else {
+			fmt.Println("(empty)")
+		}
+	case "max":
+		if p, ok := idx.Max(); ok {
+			fmt.Printf("%d -> %d\n", p.Key, p.Value)
+		} else {
+			fmt.Println("(empty)")
+		}
+	case "gen":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: gen <dataset> <n>")
+		}
+		spec, ok := datasets.ByName(fields[1])
+		if !ok {
+			return fmt.Errorf("unknown dataset %q", fields[1])
+		}
+		n, err := arg(2)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i, k := range spec.Gen(int(n), 1) {
+			idx.Insert(k, uint64(i))
+		}
+		fmt.Printf("inserted %d %s keys in %v\n", n, spec.Name, time.Since(t0))
+	case "load":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: load <file>")
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		n := 0
+		t0 := time.Now()
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			k, err := strconv.ParseUint(strings.Split(line, ",")[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", n+1, err)
+			}
+			idx.Insert(k, uint64(n))
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("inserted %d keys in %v\n", n, time.Since(t0))
+	case "len":
+		fmt.Println(idx.Len())
+	case "stats":
+		st := idx.Stats()
+		fmt.Printf("keys:        %d\n", idx.Len())
+		fmt.Printf("segments:    %d\n", st.Segments)
+		fmt.Printf("buckets:     %d\n", st.Buckets)
+		fmt.Printf("dir entries: %d\n", st.DirEntries)
+		fmt.Printf("splits:      %d\n", st.Splits)
+		fmt.Printf("remaps:      %d (failed: %d)\n", st.Remaps, st.RemapFailures)
+		fmt.Printf("expansions:  %d\n", st.Expansions)
+		fmt.Printf("doublings:   %d\n", st.Doublings)
+		fmt.Printf("adaptive EHs:%d\n", st.AdaptiveEHs)
+		fmt.Printf("memory est.: %.1f MB\n", float64(idx.MemoryFootprint())/1e6)
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Command dytis-gen exports a synthetic dataset as CSV (one key per line, in
+// insertion order), mirroring the artifact's review-small.csv format so the
+// benchmarks can also be fed from files.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dytis/internal/datasets"
+)
+
+var (
+	nameFlag = flag.String("dataset", "RM", "dataset name (MM|ML|RM|RL|TX|Uniform|Lognormal|Longlat|Longitudes), append (s) for shuffled")
+	nFlag    = flag.Int("n", 100000, "number of keys")
+	seedFlag = flag.Int64("seed", 1, "generator seed")
+	outFlag  = flag.String("out", "-", "output file (default stdout)")
+)
+
+func main() {
+	flag.Parse()
+	name := *nameFlag
+	shuffled := false
+	if len(name) > 3 && name[len(name)-3:] == "(s)" {
+		shuffled = true
+		name = name[:len(name)-3]
+	}
+	spec, ok := datasets.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", name)
+		os.Exit(2)
+	}
+	if shuffled {
+		spec = datasets.Shuffled(spec)
+	}
+	out := os.Stdout
+	if *outFlag != "-" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, k := range spec.Gen(*nFlag, *seedFlag) {
+		w.WriteString(strconv.FormatUint(k, 10))
+		w.WriteByte('\n')
+	}
+}

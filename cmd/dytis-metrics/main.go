@@ -1,0 +1,122 @@
+// Command dytis-metrics computes the dynamic-dataset characteristics of
+// §2.1 of the DyTIS paper and regenerates Figures 1–3: the skewness-variance
+// vs KDD scatter over Groups 1/2/3, the per-dataset PLR model counts, and
+// the consecutive sub-dataset histograms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dytis/internal/datasets"
+	"dytis/internal/metrics"
+)
+
+var (
+	expFlag   = flag.String("exp", "fig1", "experiment: fig1|fig2|fig3|all")
+	scaleFlag = flag.Float64("scale", 0.001, "dataset scale relative to the paper")
+	seedFlag  = flag.Int64("seed", 1, "generator seed")
+)
+
+func main() {
+	flag.Parse()
+	switch *expFlag {
+	case "fig1":
+		fig1()
+	case "fig2":
+		fig2()
+	case "fig3":
+		fig3()
+	case "all":
+		fig1()
+		fmt.Println()
+		fig2()
+		fmt.Println()
+		fig3()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+func chunk() int {
+	c := int(100000 * *scaleFlag * 100)
+	if c < 2000 {
+		c = 2000
+	}
+	return c
+}
+
+// fig1 prints the scatter data of Figure 1: (variance of skewness, KDD) for
+// Group 1 (dynamic), Group 2 (shuffled), and Group 3 (simple) datasets.
+func fig1() {
+	fmt.Println("Figure 1: dynamic characteristics (x = skewness variance, y = KDD)")
+	fmt.Printf("%-14s %8s %16s %12s\n", "dataset", "group", "skewVar(x)", "KDD(y)")
+	row := func(name string, group int, keys []uint64) {
+		fmt.Printf("%-14s %8d %16.2f %12.4f\n", name, group,
+			metrics.SkewnessVariance(keys, chunk()), metrics.KDD(keys, chunk()))
+	}
+	for _, s := range datasets.Group1 {
+		row(s.Name, 1, s.Gen(s.Count(*scaleFlag), *seedFlag))
+	}
+	for _, s := range datasets.Group1 {
+		sh := datasets.Shuffled(s)
+		row(sh.Name, 2, sh.Gen(s.Count(*scaleFlag), *seedFlag))
+	}
+	for _, s := range datasets.Group3 {
+		row(s.Name, 3, s.Gen(s.Count(*scaleFlag), *seedFlag))
+	}
+}
+
+// fig2 prints the PLR model counts behind Figure 2 (the paper shows MM=2,
+// TX=8, RL=24 models at its error bound; the ordering is the claim).
+func fig2() {
+	fmt.Println("Figure 2: PLR linear models needed to approximate each CDF")
+	fmt.Printf("%-10s %10s\n", "dataset", "models")
+	for _, s := range []datasets.Spec{datasets.MapM, datasets.Taxi, datasets.ReviewL, datasets.Uniform} {
+		keys := s.Gen(s.Count(*scaleFlag), *seedFlag)
+		fmt.Printf("%-10s %10d\n", s.Name, metrics.ModelCount(keys))
+	}
+}
+
+// fig3 prints ASCII histograms of three consecutive sub-datasets for RL
+// (stationary) and TX (drifting), the visual behind Figure 3.
+func fig3() {
+	fmt.Println("Figure 3: consecutive sub-dataset key distributions")
+	const bins = 40
+	for _, s := range []datasets.Spec{datasets.ReviewL, datasets.Taxi} {
+		keys := s.Gen(s.Count(*scaleFlag), *seedFlag)
+		c := chunk()
+		mid := len(keys)/2 - c
+		fmt.Printf("\n--- %s (chunks of %d keys around the middle) ---\n", s.Name, c)
+		for w := 0; w < 3; w++ {
+			sub := keys[mid+w*c : mid+(w+1)*c]
+			h := metrics.Histogram(sub, bins)
+			max := 1
+			for _, v := range h {
+				if v > max {
+					max = v
+				}
+			}
+			var b strings.Builder
+			for _, v := range h {
+				b.WriteString(spark(v, max))
+			}
+			kl := 0.0
+			if w > 0 {
+				prev := keys[mid+(w-1)*c : mid+w*c]
+				kl = metrics.KLDivergence(prev, sub)
+			}
+			fmt.Printf("chunk %d |%s|  KL vs prev: %.4f\n", w+1, b.String(), kl)
+		}
+	}
+}
+
+// spark maps a count to an eight-level block character.
+func spark(v, max int) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	i := v * (len(levels) - 1) / max
+	return string(levels[i])
+}

@@ -1,0 +1,71 @@
+package dytis_test
+
+import (
+	"fmt"
+
+	"dytis"
+)
+
+// The zero-config index supports point operations and ordered scans with no
+// training phase.
+func Example() {
+	idx := dytis.NewDefault()
+	for i := uint64(0); i < 100; i++ {
+		idx.Insert(i*7, i)
+	}
+	v, ok := idx.Get(21)
+	fmt.Println(v, ok)
+	for _, p := range idx.Scan(10, 3, nil) {
+		fmt.Println(p.Key)
+	}
+	// Output:
+	// 3 true
+	// 14
+	// 21
+	// 28
+}
+
+func ExampleIndex_Range() {
+	idx := dytis.NewDefault()
+	for i := uint64(0); i < 10; i++ {
+		idx.Insert(i, i*i)
+	}
+	sum := uint64(0)
+	idx.Range(3, 5, func(k, v uint64) bool {
+		sum += v
+		return true
+	})
+	fmt.Println(sum) // 9 + 16 + 25
+	// Output: 50
+}
+
+func ExampleIndex_NewCursor() {
+	idx := dytis.NewDefault()
+	idx.Insert(30, 3)
+	idx.Insert(10, 1)
+	idx.Insert(20, 2)
+	c := idx.NewCursor(15)
+	for {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(p.Key, p.Value)
+	}
+	// Output:
+	// 20 2
+	// 30 3
+}
+
+func ExampleIndex_LoadSorted() {
+	idx := dytis.NewDefault()
+	keys := []uint64{2, 3, 5, 7, 11}
+	vals := []uint64{1, 2, 3, 4, 5}
+	idx.LoadSorted(keys, vals)
+	fmt.Println(idx.Len())
+	v, _ := idx.Get(7)
+	fmt.Println(v)
+	// Output:
+	// 5
+	// 4
+}

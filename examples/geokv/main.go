@@ -1,0 +1,104 @@
+// GeoKV: a concurrent geospatial key-value store, the map-dataset scenario
+// (MM/ML) of the paper. Keys encode (latitude, longitude) on an interleaved
+// grid so nearby places share key prefixes; writers load map regions in
+// spatial bulks from multiple goroutines — exactly the "bulk insertion of
+// similar keys" pattern §2.1 describes — while readers run concurrent
+// bounding-box scans, using the Concurrent option's two-level locking
+// (§3.4).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dytis"
+)
+
+// cellKey packs a lat/lon grid cell into a key: 22 bits of latitude band,
+// 22 bits of longitude band, 20 bits of place ID. Scans over a latitude band
+// sweep contiguous key ranges.
+func cellKey(latBand, lonBand, placeID uint64) uint64 {
+	return latBand<<42 | lonBand<<20 | placeID
+}
+
+func main() {
+	idx := dytis.New(dytis.Options{Concurrent: true})
+
+	// Four loader goroutines, each streaming one continent's places
+	// region-by-region (spatially clustered insertion order).
+	regions := []struct {
+		name         string
+		latLo, latHi uint64
+		lonLo, lonHi uint64
+		places       int
+	}{
+		{"south-america", 100_000, 900_000, 500_000, 1_200_000, 300_000},
+		{"africa", 1_200_000, 2_000_000, 1_800_000, 2_600_000, 400_000},
+		{"europe", 2_600_000, 3_200_000, 1_700_000, 2_400_000, 250_000},
+		{"oceania", 300_000, 800_000, 3_200_000, 4_000_000, 150_000},
+	}
+	var wg sync.WaitGroup
+	var loaded atomic.Int64
+	for w, r := range regions {
+		wg.Add(1)
+		go func(w int, r struct {
+			name         string
+			latLo, latHi uint64
+			lonLo, lonHi uint64
+			places       int
+		}) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < r.places; i++ {
+				lat := r.latLo + uint64(rng.Int63n(int64(r.latHi-r.latLo)))
+				lon := r.lonLo + uint64(rng.Int63n(int64(r.lonHi-r.lonLo)))
+				idx.Insert(cellKey(lat, lon, uint64(i)), uint64(w)<<32|uint64(i))
+				loaded.Add(1)
+			}
+		}(w, r)
+	}
+
+	// A concurrent reader samples bounding-box queries while loads run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(99))
+		for q := 0; q < 50; q++ {
+			latBand := uint64(rng.Intn(3_000_000))
+			lo := cellKey(latBand, 0, 0)
+			hi := cellKey(latBand+10_000, 0, 0)
+			n := 0
+			idx.Range(lo, hi, func(k, v uint64) bool {
+				n++
+				return n < 10_000
+			})
+		}
+	}()
+	wg.Wait()
+	<-done
+	fmt.Printf("loaded %d places across %d regions\n", loaded.Load(), len(regions))
+	fmt.Printf("index holds %d keys\n", idx.Len())
+
+	// Bounding-box query: everything in a latitude band slice of Africa.
+	lo := cellKey(1_500_000, 0, 0)
+	hi := cellKey(1_501_000, 0, 0)
+	n := 0
+	idx.Range(lo, hi, func(k, v uint64) bool {
+		n++
+		return true
+	})
+	fmt.Printf("places in latitude band [1.5M, 1.5M+1000): %d\n", n)
+
+	// Nearest-following place for a probe point (successor query).
+	probe := cellKey(2_700_000, 2_000_000, 0)
+	if hit := idx.Scan(probe, 1, nil); len(hit) == 1 {
+		fmt.Printf("successor of probe: lat=%d lon=%d place=%d\n",
+			hit[0].Key>>42, hit[0].Key>>20&(1<<22-1), hit[0].Key&(1<<20-1))
+	}
+
+	st := idx.Stats()
+	fmt.Printf("structure: %d segments / %d buckets; %d splits, %d remaps, %d expansions\n",
+		st.Segments, st.Buckets, st.Splits, st.Remaps, st.Expansions)
+}

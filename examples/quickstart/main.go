@@ -1,0 +1,62 @@
+// Quickstart: the basic DyTIS API — insert, search, update, scan, delete —
+// and the structure statistics that show the index learning the key
+// distribution as data arrives (no bulk-load training phase).
+package main
+
+import (
+	"fmt"
+
+	"dytis"
+)
+
+func main() {
+	idx := dytis.NewDefault()
+
+	// Insert a skewed little dataset: three dense ID clusters, the shape
+	// that breaks plain hash directories and untrained learned indexes.
+	clusters := []uint64{1 << 20, 1 << 40, 1 << 60}
+	for _, base := range clusters {
+		for i := uint64(0); i < 50_000; i++ {
+			idx.Insert(base+i, i)
+		}
+	}
+	fmt.Printf("inserted %d keys\n", idx.Len())
+
+	// Point lookups.
+	if v, ok := idx.Get(1<<40 + 7); ok {
+		fmt.Printf("Get(2^40+7) = %d\n", v)
+	}
+	if _, ok := idx.Get(42); !ok {
+		fmt.Println("Get(42) -> not found (as expected)")
+	}
+
+	// In-place update (inserts are upserts).
+	idx.Insert(1<<20+1, 999)
+	v, _ := idx.Get(1<<20 + 1)
+	fmt.Printf("after update: %d\n", v)
+
+	// Range scan: first five pairs at or after 2^60.
+	for _, p := range idx.Scan(1<<60, 5, nil) {
+		fmt.Printf("scan -> key=%d value=%d\n", p.Key, p.Value)
+	}
+
+	// Ordered iteration over a bounded range.
+	count := 0
+	idx.Range(1<<20, 1<<20+10, func(k, v uint64) bool {
+		count++
+		return true
+	})
+	fmt.Printf("keys in [2^20, 2^20+10]: %d\n", count)
+
+	// Delete.
+	idx.Delete(1<<20 + 1)
+	if _, ok := idx.Get(1<<20 + 1); !ok {
+		fmt.Println("deleted 2^20+1")
+	}
+
+	// The structure adapted to the skew with remapping/expansion rather
+	// than unbounded directory growth.
+	st := idx.Stats()
+	fmt.Printf("structure: %d segments, %d buckets, %d splits, %d remaps, %d expansions, %d doublings\n",
+		st.Segments, st.Buckets, st.Splits, st.Remaps, st.Expansions, st.Doublings)
+}

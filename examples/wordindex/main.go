@@ -1,0 +1,59 @@
+// Wordindex: string keys on DyTIS via the strkey adapter — an inverted
+// word-frequency index with prefix range queries, demonstrating the
+// string-key extension (§5 of the paper discusses string support as the
+// domain of SIndex/Wormhole; strkey bridges the gap for moderate key sets).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dytis"
+	"dytis/strkey"
+)
+
+const text = `the quick brown fox jumps over the lazy dog
+the dog barks and the fox runs through the quiet forest
+quick thinking foxes outfox the quickest dogs every day
+a quiet quorum of quokkas questioned the quality of quince`
+
+func main() {
+	m := strkey.NewMap(dytis.Options{})
+
+	// Count word frequencies.
+	for _, w := range strings.Fields(text) {
+		w = strings.ToLower(strings.Trim(w, ".,!?"))
+		if w == "" {
+			continue
+		}
+		n, _ := m.Get(w)
+		m.Set(w, n+1)
+	}
+	fmt.Printf("distinct words: %d\n", m.Len())
+
+	// Point lookups.
+	for _, w := range []string{"the", "fox", "zebra"} {
+		if n, ok := m.Get(w); ok {
+			fmt.Printf("%-8s %d\n", w, n)
+		} else {
+			fmt.Printf("%-8s (absent)\n", w)
+		}
+	}
+
+	// Prefix range query: every word starting with "qu" — an ordered scan
+	// from "qu" that stops at the first non-matching word.
+	fmt.Println("\nwords with prefix 'qu':")
+	m.Range("qu", func(k string, v uint64) bool {
+		if !strings.HasPrefix(k, "qu") {
+			return false
+		}
+		fmt.Printf("  %-12s %d\n", k, v)
+		return true
+	})
+
+	// Lexicographically first and last words via bounded ranges.
+	m.Range("", func(k string, v uint64) bool {
+		fmt.Printf("\nfirst word in order: %q\n", k)
+		return false
+	})
+}

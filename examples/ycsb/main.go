@@ -1,0 +1,94 @@
+// YCSB: replays the paper's seven YCSB-style workload mixes (§4.3) against
+// a DyTIS index through the public API, printing per-workload throughput —
+// a miniature of the Figure-8 experiment runnable in seconds. For the full
+// multi-index comparison use cmd/dytis-bench.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dytis"
+)
+
+const (
+	datasetSize = 400_000
+	measuredOps = 200_000
+	scanLen     = 100
+)
+
+// taxiLikeKeys generates drifting time-ordered keys (the TX shape: the
+// distribution of arriving keys changes continuously).
+func taxiLikeKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, n)
+	t := uint64(0)
+	for i := range keys {
+		t += 1 + uint64(rng.Intn(64))
+		keys[i] = t<<18 | uint64(i)&(1<<18-1)
+	}
+	return keys
+}
+
+type mix struct {
+	name                            string
+	read, update, insert, scan, rmw int // percentages
+	preload                         int // percent of dataset loaded first
+}
+
+var mixes = []mix{
+	{name: "Load", insert: 100, preload: 0},
+	{name: "A", read: 50, update: 50, preload: 100},
+	{name: "B", read: 95, update: 5, preload: 100},
+	{name: "C", read: 100, preload: 100},
+	{name: "D'", read: 95, insert: 5, preload: 80},
+	{name: "E", scan: 95, insert: 5, preload: 80},
+	{name: "F", read: 50, rmw: 50, preload: 100},
+}
+
+func main() {
+	keys := taxiLikeKeys(datasetSize)
+	fmt.Printf("%-6s %12s %10s\n", "mix", "ops", "Mops/s")
+	for _, m := range mixes {
+		idx := dytis.NewDefault()
+		preN := len(keys) * m.preload / 100
+		for _, k := range keys[:preN] {
+			idx.Insert(k, k)
+		}
+		rng := rand.New(rand.NewSource(42))
+		next := preN
+		ops := measuredOps
+		if m.name == "Load" {
+			ops = len(keys)
+		}
+		var buf []dytis.KV
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if m.name == "Load" {
+				idx.Insert(keys[i], uint64(i))
+				continue
+			}
+			r := rng.Intn(100)
+			k := keys[rng.Intn(preN)]
+			switch {
+			case r < m.read:
+				idx.Get(k)
+			case r < m.read+m.update:
+				idx.Insert(k, uint64(i))
+			case r < m.read+m.update+m.scan:
+				buf = idx.Scan(k, scanLen, buf[:0])
+			case r < m.read+m.update+m.scan+m.rmw:
+				v, _ := idx.Get(k)
+				idx.Insert(k, v+1)
+			default: // insert new
+				if next < len(keys) {
+					idx.Insert(keys[next], 1)
+					next++
+				}
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%-6s %12d %10.2f\n", m.name, ops, float64(ops)/el.Seconds()/1e6)
+	}
+}

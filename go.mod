@@ -1,0 +1,3 @@
+module dytis
+
+go 1.22

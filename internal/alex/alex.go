@@ -1,0 +1,421 @@
+package alex
+
+import (
+	"dytis/internal/kv"
+)
+
+const (
+	// maxDataCap bounds a data node's slot count; past it the node splits.
+	maxDataCap = 1 << 14
+	// initialDensity is the fill factor after (re)training.
+	initialDensity = 0.7
+	// maxDensity triggers expansion/split before an insert would exceed it.
+	maxDensity = 0.8
+	// minDensity triggers contraction after deletes.
+	minDensity = 0.1
+	// maxFanout bounds an inner node's child-pointer array.
+	maxFanout = 1 << 12
+	// leafTargetKeys sizes bulk-loaded data nodes.
+	leafTargetKeys = 4096
+)
+
+type node interface{ isNode() }
+
+// inner is an internal RMI node: one linear model routing keys into a
+// power-of-two child-pointer array. Pointers may repeat (a child can own a
+// run of slots), which is what makes sideways data-node splits cheap.
+type inner struct {
+	model    linearModel // key -> child slot
+	children []node
+}
+
+func (in *inner) isNode() {}
+
+// Stats counts the structure-maintenance operations; the paper's §4.3
+// compares the share of "expensive operations" (retraining model-based
+// expansions, splits, parent expansions) across datasets.
+type Stats struct {
+	Expands       int64 // data-node expansions (retrain + re-spread)
+	SplitsSide    int64 // sideways data-node splits
+	SplitsDown    int64 // downward splits (new inner node)
+	ParentExpands int64 // inner-node fanout doublings
+	Contracts     int64
+	DataNodes     int64
+	InnerNodes    int64
+	MaxDepth      int
+}
+
+// Index is an ALEX-like adaptive learned index. It is not safe for
+// concurrent use (the paper runs ALEX single-threaded).
+type Index struct {
+	root  node
+	head  *dataNode // leftmost data node (scan entry)
+	n     int
+	stats Stats
+}
+
+// New returns an empty index (a single data node that adapts as it grows).
+func New() *Index {
+	d := newDataNode(nil, nil, 64)
+	return &Index{root: d, head: d}
+}
+
+// BulkLoad replaces the index contents with the ascending keys — the
+// "training" phase the paper's ALEX-10/ALEX-70 configurations perform.
+func (x *Index) BulkLoad(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("alex: mismatched bulk-load slices")
+	}
+	x.n = len(keys)
+	x.stats = Stats{}
+	var leaves []*dataNode
+	x.root = x.build(keys, values, &leaves)
+	for i := 1; i < len(leaves); i++ {
+		leaves[i-1].next = leaves[i]
+		leaves[i].prev = leaves[i-1]
+	}
+	if len(leaves) > 0 {
+		x.head = leaves[0]
+	}
+}
+
+func (x *Index) build(keys, values []uint64, leaves *[]*dataNode) node {
+	if len(keys) <= leafTargetKeys {
+		capacity := int(float64(len(keys))/initialDensity) + 16
+		if capacity > maxDataCap {
+			capacity = maxDataCap
+		}
+		d := newDataNode(keys, values, capacity)
+		*leaves = append(*leaves, d)
+		x.stats.DataNodes++
+		return d
+	}
+	fanout := 2
+	for fanout < maxFanout && len(keys)/fanout > leafTargetKeys {
+		fanout *= 2
+	}
+	in := &inner{model: fitLinear(keys, fanout), children: make([]node, fanout)}
+	x.stats.InnerNodes++
+	// Partition keys by predicted child slot; predictions are monotone in
+	// the key, so each child receives a contiguous ascending run.
+	startIdx := 0
+	slot := 0
+	for i := 0; i <= len(keys); i++ {
+		var s int
+		if i < len(keys) {
+			s = in.model.PredictClamped(keys[i], fanout)
+			if s < slot {
+				s = slot // guard against float non-monotonicity at ties
+			}
+		} else {
+			s = fanout
+		}
+		if s == slot {
+			continue
+		}
+		child := x.build(keys[startIdx:i], values[startIdx:i], leaves)
+		for j := slot; j < s; j++ {
+			if j == slot || startIdx == i {
+				in.children[j] = child
+			} else {
+				// Slots past the first for a non-empty run would route
+				// later keys wrongly; they belong to the same child run.
+				in.children[j] = child
+			}
+		}
+		slot = s
+		startIdx = i
+	}
+	return in
+}
+
+// Get returns the value for key.
+func (x *Index) Get(key uint64) (uint64, bool) {
+	d := x.leafFor(key)
+	if i, ok := d.find(key); ok {
+		return d.vals[i], true
+	}
+	return 0, false
+}
+
+func (x *Index) leafFor(key uint64) *dataNode {
+	n := x.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*dataNode)
+		}
+		n = in.children[in.model.PredictClamped(key, len(in.children))]
+	}
+}
+
+// path records the traversal for structure maintenance.
+type pathEntry struct {
+	in   *inner
+	slot int
+}
+
+func (x *Index) leafForWithPath(key uint64, path []pathEntry) (*dataNode, []pathEntry) {
+	n := x.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*dataNode), path
+		}
+		s := in.model.PredictClamped(key, len(in.children))
+		path = append(path, pathEntry{in, s})
+		n = in.children[s]
+	}
+}
+
+// Insert stores or updates key.
+func (x *Index) Insert(key, value uint64) {
+	var pathBuf [24]pathEntry
+	for {
+		d, path := x.leafForWithPath(key, pathBuf[:0])
+		if float64(d.num+1) <= maxDensity*float64(d.cap()) {
+			if d.insert(key, value) {
+				x.n++
+			}
+			return
+		}
+		x.grow(d, path)
+	}
+}
+
+// grow makes room in an over-dense data node: expansion while below the size
+// cap, otherwise a split (sideways through the parent's pointer run, doubling
+// the parent, or downward as a last resort).
+func (x *Index) grow(d *dataNode, path []pathEntry) {
+	if d.cap() < maxDataCap {
+		ks := make([]uint64, 0, d.num)
+		vs := make([]uint64, 0, d.num)
+		ks, vs = d.appendAll(ks, vs)
+		bigger := d.cap() * 2
+		if bigger > maxDataCap {
+			bigger = maxDataCap
+		}
+		nd := &dataNode{
+			keys:   make([]uint64, bigger),
+			vals:   make([]uint64, bigger),
+			bitmap: make([]uint64, (bigger+63)/64),
+		}
+		nd.load(ks, vs)
+		*d = dataNode{model: nd.model, keys: nd.keys, vals: nd.vals,
+			bitmap: nd.bitmap, num: nd.num, next: d.next, prev: d.prev}
+		x.stats.Expands++
+		return
+	}
+	if len(path) == 0 {
+		x.splitDown(d, nil, 0)
+		return
+	}
+	pe := path[len(path)-1]
+	a, b := childRun(pe.in, pe.slot)
+	if b-a >= 2 {
+		x.splitSideways(d, pe.in, a, b)
+		return
+	}
+	if len(pe.in.children) < maxFanout {
+		x.expandParent(pe.in, path)
+		// Retry: the run now spans two slots.
+		a, b = childRun(pe.in, pe.slot*2)
+		x.splitSideways(d, pe.in, a, b)
+		return
+	}
+	x.splitDown(d, pe.in, pe.slot)
+}
+
+// childRun returns the [a,b) run of parent slots pointing at the same child
+// as slot s.
+func childRun(in *inner, s int) (int, int) {
+	c := in.children[s]
+	a, b := s, s+1
+	for a > 0 && in.children[a-1] == c {
+		a--
+	}
+	for b < len(in.children) && in.children[b] == c {
+		b++
+	}
+	return a, b
+}
+
+// splitSideways partitions d's keys at the parent-model boundary of the
+// middle of its pointer run, giving each half of the run its own node.
+func (x *Index) splitSideways(d *dataNode, in *inner, a, b int) {
+	mid := (a + b) / 2
+	ks := make([]uint64, 0, d.num)
+	vs := make([]uint64, 0, d.num)
+	ks, vs = d.appendAll(ks, vs)
+	cut := 0
+	for cut < len(ks) && in.model.PredictClamped(ks[cut], len(in.children)) < mid {
+		cut++
+	}
+	left := x.newLeaf(ks[:cut], vs[:cut])
+	right := x.newLeaf(ks[cut:], vs[cut:])
+	x.relink(d, left, right)
+	for j := a; j < mid; j++ {
+		in.children[j] = left
+	}
+	for j := mid; j < b; j++ {
+		in.children[j] = right
+	}
+	x.stats.SplitsSide++
+}
+
+// splitDown replaces d with a new 2-way inner node over d's keys.
+func (x *Index) splitDown(d *dataNode, parent *inner, slot int) {
+	ks := make([]uint64, 0, d.num)
+	vs := make([]uint64, 0, d.num)
+	ks, vs = d.appendAll(ks, vs)
+	nin := &inner{model: fitLinear(ks, 2), children: make([]node, 2)}
+	cut := 0
+	for cut < len(ks) && nin.model.PredictClamped(ks[cut], 2) < 1 {
+		cut++
+	}
+	left := x.newLeaf(ks[:cut], vs[:cut])
+	right := x.newLeaf(ks[cut:], vs[cut:])
+	x.relink(d, left, right)
+	nin.children[0], nin.children[1] = left, right
+	if parent == nil {
+		x.root = nin
+	} else {
+		parent.children[slot] = nin
+	}
+	x.stats.SplitsDown++
+	x.stats.InnerNodes++
+}
+
+func (x *Index) newLeaf(ks, vs []uint64) *dataNode {
+	capacity := int(float64(len(ks))/initialDensity) + 16
+	if capacity > maxDataCap {
+		capacity = maxDataCap
+	}
+	x.stats.DataNodes++
+	return newDataNode(ks, vs, capacity)
+}
+
+// relink substitutes (left,right) for d in the leaf chain.
+func (x *Index) relink(d *dataNode, left, right *dataNode) {
+	left.prev = d.prev
+	left.next = right
+	right.prev = left
+	right.next = d.next
+	if d.prev != nil {
+		d.prev.next = left
+	}
+	if d.next != nil {
+		d.next.prev = right
+	}
+	if x.head == d {
+		x.head = left
+	}
+	x.stats.DataNodes-- // d replaced by two new leaves (net +1 via newLeaf)
+}
+
+// expandParent doubles an inner node's fanout, duplicating child pointers
+// and scaling the model.
+func (x *Index) expandParent(in *inner, path []pathEntry) {
+	nc := make([]node, len(in.children)*2)
+	for i, c := range in.children {
+		nc[2*i] = c
+		nc[2*i+1] = c
+	}
+	in.children = nc
+	in.model.Slope *= 2
+	in.model.Intercept *= 2
+	x.stats.ParentExpands++
+}
+
+// Delete removes key, contracting severely under-filled nodes.
+func (x *Index) Delete(key uint64) bool {
+	d := x.leafFor(key)
+	if !d.remove(key) {
+		return false
+	}
+	x.n--
+	if d.cap() > 64 && float64(d.num) < minDensity*float64(d.cap()) {
+		ks := make([]uint64, 0, d.num)
+		vs := make([]uint64, 0, d.num)
+		ks, vs = d.appendAll(ks, vs)
+		smaller := d.cap() / 2
+		nd := &dataNode{
+			keys:   make([]uint64, smaller),
+			vals:   make([]uint64, smaller),
+			bitmap: make([]uint64, (smaller+63)/64),
+		}
+		nd.load(ks, vs)
+		*d = dataNode{model: nd.model, keys: nd.keys, vals: nd.vals,
+			bitmap: nd.bitmap, num: nd.num, next: d.next, prev: d.prev}
+		x.stats.Contracts++
+	}
+	return true
+}
+
+// Scan appends up to max pairs with key >= start in ascending order.
+func (x *Index) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	d := x.leafFor(start)
+	i := d.lowerBoundSlot(start)
+	taken := 0
+	for d != nil && taken < max {
+		for ; i < d.cap() && taken < max; i++ {
+			if d.occupied(i) && d.keys[i] >= start {
+				dst = append(dst, kv.KV{Key: d.keys[i], Value: d.vals[i]})
+				taken++
+			}
+		}
+		d = d.next
+		i = 0
+	}
+	return dst
+}
+
+// Len returns the number of live keys.
+func (x *Index) Len() int { return x.n }
+
+// Stats returns maintenance counters plus current tree shape.
+func (x *Index) Stats() Stats {
+	st := x.stats
+	st.MaxDepth = depth(x.root)
+	return st
+}
+
+func depth(n node) int {
+	in, ok := n.(*inner)
+	if !ok {
+		return 1
+	}
+	max := 0
+	seen := map[node]bool{}
+	for _, c := range in.children {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if d := depth(c); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// MemoryFootprint estimates heap bytes used by the index structure.
+func (x *Index) MemoryFootprint() int64 {
+	var walk func(n node) int64
+	walk = func(n node) int64 {
+		if in, ok := n.(*inner); ok {
+			b := int64(len(in.children))*8 + 32
+			var prev node
+			for _, c := range in.children {
+				if c != prev {
+					b += walk(c)
+					prev = c
+				}
+			}
+			return b
+		}
+		d := n.(*dataNode)
+		return int64(d.cap())*16 + int64(len(d.bitmap))*8 + 64
+	}
+	return walk(x.root)
+}

@@ -1,0 +1,303 @@
+package alex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dytis/internal/kv"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	x := New()
+	if _, ok := x.Get(5); ok {
+		t.Fatal("phantom key")
+	}
+	if x.Len() != 0 {
+		t.Fatal("nonzero len")
+	}
+	if r := x.Scan(0, 5, nil); len(r) != 0 {
+		t.Fatal("scan of empty returned results")
+	}
+}
+
+func TestInsertGetSequential(t *testing.T) {
+	x := New()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		x.Insert(i, i*3)
+	}
+	if x.Len() != n {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := x.Get(i)
+		if !ok || v != i*3 {
+			t.Fatalf("Get(%d)=%d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInsertGetRandomWide(t *testing.T) {
+	x := New()
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 40000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		x.Insert(keys[i], uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := x.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%#x)", k)
+		}
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	x := New()
+	x.Insert(9, 1)
+	x.Insert(9, 2)
+	if x.Len() != 1 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	if v, _ := x.Get(9); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestBulkLoadThenLookup(t *testing.T) {
+	var keys, vals []uint64
+	for i := uint64(0); i < 100000; i++ {
+		keys = append(keys, i*7)
+		vals = append(vals, i)
+	}
+	x := New()
+	x.BulkLoad(keys, vals)
+	if x.Len() != len(keys) {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := 0; i < len(keys); i += 11 {
+		v, ok := x.Get(keys[i])
+		if !ok || v != vals[i] {
+			t.Fatalf("Get(%d) after bulk load", keys[i])
+		}
+	}
+	if _, ok := x.Get(3); ok {
+		t.Fatal("phantom after bulk load")
+	}
+	st := x.Stats()
+	if st.InnerNodes == 0 || st.DataNodes < 2 {
+		t.Fatalf("bulk load built no tree: %+v", st)
+	}
+}
+
+func TestBulkLoadThenInsertRest(t *testing.T) {
+	// The ALEX-10 pattern: train on 10%, insert 90%.
+	rng := rand.New(rand.NewSource(7))
+	all := make([]uint64, 60000)
+	for i := range all {
+		all[i] = rng.Uint64()
+	}
+	loadN := len(all) / 10
+	loaded := append([]uint64(nil), all[:loadN]...)
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i] < loaded[j] })
+	vals := make([]uint64, loadN)
+	x := New()
+	x.BulkLoad(loaded, vals)
+	for _, k := range all[loadN:] {
+		x.Insert(k, 1)
+	}
+	for _, k := range all {
+		if _, ok := x.Get(k); !ok {
+			t.Fatalf("missing %#x", k)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 20000; i++ {
+		x.Insert(i*10, i)
+	}
+	got := x.Scan(95, 30, nil)
+	if len(got) != 30 || got[0].Key != 100 {
+		t.Fatalf("scan: n=%d first=%d", len(got), got[0].Key)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key != got[i-1].Key+10 {
+			t.Fatalf("not consecutive at %d", i)
+		}
+	}
+	if r := x.Scan(1<<63, 5, nil); len(r) != 0 {
+		t.Fatal("scan past end returned results")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 20000; i++ {
+		x.Insert(i, i)
+	}
+	for i := uint64(0); i < 20000; i += 2 {
+		if !x.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if x.Delete(0) {
+		t.Fatal("double delete")
+	}
+	if x.Len() != 10000 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := uint64(0); i < 20000; i++ {
+		_, ok := x.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v", i, ok)
+		}
+	}
+}
+
+func TestDeleteMaxSentinelKey(t *testing.T) {
+	// MaxUint64 collides with the gap sentinel; it must still round-trip.
+	x := New()
+	x.Insert(^uint64(0), 42)
+	x.Insert(^uint64(0)-1, 41)
+	if v, ok := x.Get(^uint64(0)); !ok || v != 42 {
+		t.Fatalf("max key: %d,%v", v, ok)
+	}
+	if !x.Delete(^uint64(0)) {
+		t.Fatal("delete max key")
+	}
+	if _, ok := x.Get(^uint64(0)); ok {
+		t.Fatal("max key survived delete")
+	}
+	if v, ok := x.Get(^uint64(0) - 1); !ok || v != 41 {
+		t.Fatal("neighbor of max key lost")
+	}
+}
+
+func TestSkewedClusters(t *testing.T) {
+	x := New()
+	centers := []uint64{1 << 20, 1 << 44, 1 << 60}
+	for _, c := range centers {
+		for i := uint64(0); i < 20000; i++ {
+			x.Insert(c+i, i)
+		}
+	}
+	for _, c := range centers {
+		for i := uint64(0); i < 20000; i += 13 {
+			if _, ok := x.Get(c + i); !ok {
+				t.Fatalf("missing %#x", c+i)
+			}
+		}
+	}
+	st := x.Stats()
+	if st.SplitsSide+st.SplitsDown == 0 {
+		t.Fatalf("no splits under skew: %+v", st)
+	}
+}
+
+func TestDataNodeGappedArrayInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := newDataNode(nil, nil, 64)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 300; op++ {
+			k := uint64(rng.Intn(500))
+			if rng.Intn(4) == 0 {
+				if d.remove(k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			} else if float64(d.num+1) <= maxDensity*float64(d.cap()) {
+				v := rng.Uint64()
+				if d.insert(k, v) != (func() bool { _, ok := ref[k]; return !ok })() {
+					return false
+				}
+				ref[k] = v
+			}
+			// Invariant: raw key array is non-decreasing.
+			for i := 1; i < d.cap(); i++ {
+				if d.keys[i] < d.keys[i-1] {
+					return false
+				}
+			}
+		}
+		if d.num != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			i, ok := d.find(k)
+			if !ok || d.vals[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New()
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(2000)) * 1000003
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				x.Insert(k, v)
+				ref[k] = v
+			case 3:
+				_, in := ref[k]
+				if x.Delete(k) != in {
+					return false
+				}
+				delete(ref, k)
+			case 4:
+				gv, gok := x.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+		}
+		if x.Len() != len(ref) {
+			return false
+		}
+		// Full ordered scan must match the sorted reference.
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := x.Scan(0, len(ref)+1, nil)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			if got[i] != (kv.KV{Key: k, Value: ref[k]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryFootprintPositive(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 10000; i++ {
+		x.Insert(i, i)
+	}
+	if x.MemoryFootprint() <= 0 {
+		t.Fatal("footprint not positive")
+	}
+}

@@ -1,0 +1,273 @@
+package alex
+
+import "math"
+
+// Gapped-array fill convention: every gap slot duplicates the key of the
+// nearest occupied slot to its RIGHT (trailing gaps hold the max sentinel),
+// keeping the key array non-decreasing so position search is a plain
+// (exponential + binary) search over the raw array; the bitmap then tells
+// gaps from real entries.
+const gapSentinel = math.MaxUint64
+
+type dataNode struct {
+	model  linearModel // key -> slot
+	keys   []uint64
+	vals   []uint64
+	bitmap []uint64
+	num    int
+	next   *dataNode
+	prev   *dataNode
+}
+
+func (d *dataNode) isNode() {}
+
+func (d *dataNode) cap() int { return len(d.keys) }
+
+func (d *dataNode) occupied(i int) bool {
+	return d.bitmap[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (d *dataNode) setOccupied(i int)   { d.bitmap[i>>6] |= 1 << (uint(i) & 63) }
+func (d *dataNode) clearOccupied(i int) { d.bitmap[i>>6] &^= 1 << (uint(i) & 63) }
+
+// newDataNode builds a gapped node of the given capacity holding the
+// ascending keys, spread by a freshly trained model.
+func newDataNode(keys, vals []uint64, capacity int) *dataNode {
+	if capacity < len(keys) {
+		capacity = len(keys)
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	d := &dataNode{
+		keys:   make([]uint64, capacity),
+		vals:   make([]uint64, capacity),
+		bitmap: make([]uint64, (capacity+63)/64),
+	}
+	d.load(keys, vals)
+	return d
+}
+
+// load replaces the node contents with the ascending pairs, retraining the
+// model and re-spreading entries across the gaps (ALEX's model-based
+// expansion/retrain).
+func (d *dataNode) load(keys, vals []uint64) {
+	capacity := d.cap()
+	for i := range d.bitmap {
+		d.bitmap[i] = 0
+	}
+	d.model = fitLinear(keys, capacity)
+	slot := -1
+	for i, k := range keys {
+		p := d.model.PredictClamped(k, capacity)
+		if p <= slot {
+			p = slot + 1
+		}
+		// Leave room for the remaining keys.
+		if maxP := capacity - (len(keys) - i); p > maxP {
+			p = maxP
+		}
+		slot = p
+		d.keys[slot] = k
+		d.vals[slot] = vals[i]
+		d.setOccupied(slot)
+	}
+	d.num = len(keys)
+	// Fill gaps right-to-left with the nearest occupied key to the right.
+	fill := uint64(gapSentinel)
+	for i := capacity - 1; i >= 0; i-- {
+		if d.occupied(i) {
+			fill = d.keys[i]
+		} else {
+			d.keys[i] = fill
+		}
+	}
+}
+
+// lowerBoundSlot returns the first slot whose (possibly gap-filled) key is
+// >= k, found by exponential search around the model's prediction.
+func (d *dataNode) lowerBoundSlot(k uint64) int {
+	n := d.cap()
+	p := d.model.PredictClamped(k, n)
+	var lo, hi int
+	if d.keys[p] >= k {
+		// Walk left exponentially until keys[lo] < k.
+		step := 1
+		lo, hi = p, p
+		for lo > 0 && d.keys[lo] >= k {
+			hi = lo
+			lo -= step
+			step <<= 1
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		if d.keys[lo] >= k && lo == 0 {
+			hi = lo
+		}
+	} else {
+		step := 1
+		lo = p
+		hi = p + 1
+		for hi < n && d.keys[hi] < k {
+			lo = hi
+			hi += step
+			step <<= 1
+			if hi > n {
+				hi = n
+			}
+		}
+	}
+	// Binary search in (lo, hi]: first slot >= k.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.keys[mid] >= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// find returns the slot of k if present.
+func (d *dataNode) find(k uint64) (int, bool) {
+	i := d.lowerBoundSlot(k)
+	for ; i < d.cap() && !d.occupied(i); i++ {
+		// skip the gap run (fills equal the next occupied key)
+	}
+	if i < d.cap() && d.keys[i] == k && d.occupied(i) {
+		return i, true
+	}
+	return i, false
+}
+
+// insert places (k,v); returns false if the key already existed (value
+// updated in place). The node must have at least one gap.
+func (d *dataNode) insert(k, v uint64) bool {
+	i := d.lowerBoundSlot(k)
+	n := d.cap()
+	// Existing key? The first occupied slot at/after i holds the answer.
+	j := i
+	for j < n && !d.occupied(j) {
+		j++
+	}
+	if j < n && d.keys[j] == k {
+		d.vals[j] = v
+		return false
+	}
+	if i < n && !d.occupied(i) {
+		// The lower-bound slot itself is a gap: place directly.
+		d.keys[i] = k
+		d.vals[i] = v
+		d.setOccupied(i)
+		d.num++
+		return true
+	}
+	// Slot i is occupied (keys[i] > k, or i==n). Shift toward nearest gap.
+	if i == n {
+		i = n - 1 // insert after the last occupied slot via left-shift path
+		if d.occupied(i) {
+			g := i
+			for g >= 0 && d.occupied(g) {
+				g--
+			}
+			d.shiftLeft(g, i+1)
+			d.keys[i] = k
+			d.vals[i] = v
+			d.setOccupied(g)
+			d.num++
+			return true
+		}
+		d.keys[i] = k
+		d.vals[i] = v
+		d.setOccupied(i)
+		d.num++
+		return true
+	}
+	gl, gr := d.nearestGaps(i)
+	if gr >= 0 && (gl < 0 || gr-i <= i-gl) {
+		// Shift [i, gr) right by one, insert at i.
+		copy(d.keys[i+1:gr+1], d.keys[i:gr])
+		copy(d.vals[i+1:gr+1], d.vals[i:gr])
+		d.setOccupied(gr)
+		d.keys[i] = k
+		d.vals[i] = v
+		// Gap run immediately left of i used to duplicate old keys[i];
+		// refresh it to the new right-neighbor k.
+		for m := i - 1; m >= 0 && !d.occupied(m); m-- {
+			d.keys[m] = k
+		}
+		d.num++
+		return true
+	}
+	// Shift (gl, i) left by one, insert at i-1.
+	d.shiftLeft(gl, i)
+	d.keys[i-1] = k
+	d.vals[i-1] = v
+	d.setOccupied(gl)
+	d.num++
+	return true
+}
+
+// shiftLeft moves occupied slots (g, end) one position left into the gap g.
+func (d *dataNode) shiftLeft(g, end int) {
+	copy(d.keys[g:end-1], d.keys[g+1:end])
+	copy(d.vals[g:end-1], d.vals[g+1:end])
+	// Gap run left of g duplicated old keys[g+1]; it now matches the shifted
+	// value at g automatically (same key), so no refresh is needed.
+	for m := g - 1; m >= 0 && !d.occupied(m); m-- {
+		d.keys[m] = d.keys[g]
+	}
+}
+
+// nearestGaps returns the closest gap strictly left of i and the closest gap
+// at or right of i (-1 when absent).
+func (d *dataNode) nearestGaps(i int) (int, int) {
+	gl, gr := -1, -1
+	for l, r := i-1, i; l >= 0 || r < d.cap(); l, r = l-1, r+1 {
+		if l >= 0 && !d.occupied(l) {
+			gl = l
+			break
+		}
+		if r < d.cap() && !d.occupied(r) {
+			gr = r
+			break
+		}
+	}
+	// The loop breaks on whichever side hits first; finish the other side
+	// only if nothing found at equal distance.
+	if gl < 0 && gr < 0 {
+		return -1, -1
+	}
+	return gl, gr
+}
+
+// remove deletes k, reporting presence.
+func (d *dataNode) remove(k uint64) bool {
+	j, ok := d.find(k)
+	if !ok {
+		return false
+	}
+	d.clearOccupied(j)
+	d.num--
+	fill := uint64(gapSentinel)
+	if j+1 < d.cap() {
+		fill = d.keys[j+1]
+	}
+	for m := j; m >= 0 && !d.occupied(m); m-- {
+		d.keys[m] = fill
+	}
+	return true
+}
+
+// appendAll appends the node's live pairs in order.
+func (d *dataNode) appendAll(ks, vs []uint64) ([]uint64, []uint64) {
+	for i := 0; i < d.cap(); i++ {
+		if d.occupied(i) {
+			ks = append(ks, d.keys[i])
+			vs = append(vs, d.vals[i])
+		}
+	}
+	return ks, vs
+}

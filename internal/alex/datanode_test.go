@@ -1,0 +1,154 @@
+package alex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDataNodeSpreadsKeys(t *testing.T) {
+	keys := make([]uint64, 100)
+	vals := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i) * 1000
+		vals[i] = uint64(i)
+	}
+	d := newDataNode(keys, vals, 200)
+	if d.num != 100 {
+		t.Fatalf("num=%d", d.num)
+	}
+	// The gapped array must be non-decreasing including fills.
+	for i := 1; i < d.cap(); i++ {
+		if d.keys[i] < d.keys[i-1] {
+			t.Fatalf("keys not sorted at slot %d", i)
+		}
+	}
+	// Roughly model-spread: the first key should not be at the very end.
+	if i, ok := d.find(0); !ok || i > 50 {
+		t.Fatalf("first key at slot %d", i)
+	}
+}
+
+func TestLowerBoundSlotEdges(t *testing.T) {
+	keys := []uint64{10, 20, 30}
+	d := newDataNode(keys, []uint64{1, 2, 3}, 16)
+	if i := d.lowerBoundSlot(0); d.keys[i] != 10 {
+		t.Fatalf("lowerBound(0) -> slot %d key %d", i, d.keys[i])
+	}
+	if i := d.lowerBoundSlot(31); i < d.cap() && d.keys[i] != gapSentinel {
+		// must point past the last real key
+		if d.occupied(i) && d.keys[i] <= 30 {
+			t.Fatalf("lowerBound(31) -> slot %d key %d", i, d.keys[i])
+		}
+	}
+	// Exact hits.
+	for _, k := range keys {
+		if i, ok := d.find(k); !ok || d.keys[i] != k {
+			t.Fatalf("find(%d) failed", k)
+		}
+	}
+}
+
+func TestInsertIntoTrailingGapRegion(t *testing.T) {
+	d := newDataNode([]uint64{1, 2, 3}, []uint64{1, 2, 3}, 32)
+	// Keys larger than everything land in the trailing sentinel region.
+	for k := uint64(100); k < 110; k++ {
+		if !d.insert(k, k) {
+			t.Fatalf("insert(%d) reported duplicate", k)
+		}
+	}
+	for k := uint64(100); k < 110; k++ {
+		if _, ok := d.find(k); !ok {
+			t.Fatalf("find(%d) after trailing insert", k)
+		}
+	}
+}
+
+func TestShiftPathsBothDirections(t *testing.T) {
+	// Force a nearly-full node so inserts must shift toward distant gaps.
+	keys := make([]uint64, 0, 24)
+	for i := 0; i < 24; i++ {
+		keys = append(keys, uint64(i)*10)
+	}
+	d := newDataNode(keys, keys, 32)
+	rng := rand.New(rand.NewSource(3))
+	for tries := 0; tries < 6 && d.num < 30; tries++ {
+		k := uint64(rng.Intn(240))
+		if _, ok := d.find(k); ok {
+			continue
+		}
+		d.insert(k, k)
+		for i := 1; i < d.cap(); i++ {
+			if d.keys[i] < d.keys[i-1] {
+				t.Fatalf("order violated after insert(%d)", k)
+			}
+		}
+	}
+}
+
+func TestRemoveUpdatesFills(t *testing.T) {
+	d := newDataNode([]uint64{5, 10, 15}, []uint64{1, 2, 3}, 16)
+	if !d.remove(10) {
+		t.Fatal("remove(10)")
+	}
+	if _, ok := d.find(10); ok {
+		t.Fatal("10 still findable")
+	}
+	for i := 1; i < d.cap(); i++ {
+		if d.keys[i] < d.keys[i-1] {
+			t.Fatalf("fill invariant broken at %d", i)
+		}
+	}
+	// Neighbors unaffected.
+	if _, ok := d.find(5); !ok {
+		t.Fatal("5 lost")
+	}
+	if _, ok := d.find(15); !ok {
+		t.Fatal("15 lost")
+	}
+}
+
+func TestNodeLoadRetrainsModel(t *testing.T) {
+	d := newDataNode(nil, nil, 16)
+	keys := make([]uint64, 10)
+	vals := make([]uint64, 10)
+	for i := range keys {
+		keys[i] = uint64(i) << 40
+		vals[i] = uint64(i)
+	}
+	d.load(keys, vals)
+	// A retrained model should predict within a couple of slots.
+	for i, k := range keys {
+		p := d.model.PredictClamped(k, d.cap())
+		j, ok := d.find(k)
+		if !ok || d.vals[j] != vals[i] {
+			t.Fatalf("find(%#x) after load", k)
+		}
+		if abs(p-j) > d.cap()/2 {
+			t.Fatalf("model way off for %#x: predict %d actual %d", k, p, j)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestStatsShapeCounters(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 100000; i++ {
+		x.Insert(i, i)
+	}
+	st := x.Stats()
+	if st.Expands == 0 {
+		t.Fatalf("no expansions recorded: %+v", st)
+	}
+	if st.MaxDepth < 1 {
+		t.Fatalf("depth %d", st.MaxDepth)
+	}
+	if st.DataNodes < 1 {
+		t.Fatalf("data nodes %d", st.DataNodes)
+	}
+}

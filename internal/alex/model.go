@@ -1,0 +1,25 @@
+// Package alex implements an ALEX-style updatable adaptive learned index
+// (Ding et al., SIGMOD 2020), the main comparison baseline of the DyTIS
+// paper. The structure is an adaptive RMI: inner nodes hold one linear model
+// and a power-of-two child-pointer array (pointers may repeat), data nodes
+// hold one linear model over a gapped array with a presence bitmap. Lookups
+// follow models root-to-leaf and finish with an exponential "last-mile"
+// search; inserts shift toward the nearest gap; node overflow triggers
+// expansion with retraining, sideways splits (repartitioning the parent's
+// pointer run), parent expansion, or downward splits — the maintenance
+// operations whose cost the paper's §4.3 analysis measures.
+//
+// The index requires bulk loading for good structure, mirroring the paper's
+// ALEX-10/ALEX-70 configurations; it also works from empty (degrading to a
+// single data node that splits as it grows).
+package alex
+
+import "dytis/internal/linmod"
+
+// linearModel is the per-node linear model shared with the other learned
+// baselines.
+type linearModel = linmod.Model
+
+func fitLinear(keys []uint64, outRange int) linearModel {
+	return linmod.Fit(keys, outRange)
+}

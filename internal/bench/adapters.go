@@ -1,0 +1,221 @@
+// Package bench is the experiment harness that regenerates the DyTIS
+// paper's tables and figures: it instantiates each index behind a common
+// adapter, drives the YCSB-style workloads of internal/workload over the
+// synthetic datasets of internal/datasets, and reports throughput, tail
+// latency, and memory — the metrics of §4.
+package bench
+
+import (
+	"sort"
+
+	"dytis/internal/alex"
+	"dytis/internal/btree"
+	"dytis/internal/cceh"
+	"dytis/internal/core"
+	"dytis/internal/ehash"
+	"dytis/internal/kv"
+	"dytis/internal/pgm"
+	"dytis/internal/xindex"
+)
+
+// Instance is a live index under test. Scan returns false when the index
+// does not support ordered scans (the pure hash baselines).
+type Instance interface {
+	kv.Index
+	Scan(start uint64, max int, dst []kv.KV) ([]kv.KV, bool)
+	// BulkLoad trains/loads ascending pairs; returns false if unsupported.
+	BulkLoad(keys, vals []uint64) bool
+	// Footprint estimates the structure's heap bytes (0 if unknown).
+	Footprint() int64
+	Close()
+}
+
+// Factory names and creates instances of one index implementation.
+type Factory struct {
+	Name    string
+	Ordered bool // supports scans (workload E)
+	New     func() Instance
+}
+
+// ---- DyTIS ----
+
+type dytisInst struct{ d *core.DyTIS }
+
+func (a dytisInst) Insert(k, v uint64) { a.d.Insert(k, v) }
+func (a dytisInst) Get(k uint64) (uint64, bool) {
+	return a.d.Get(k)
+}
+func (a dytisInst) Delete(k uint64) bool { return a.d.Delete(k) }
+func (a dytisInst) Len() int             { return a.d.Len() }
+func (a dytisInst) Scan(s uint64, m int, dst []kv.KV) ([]kv.KV, bool) {
+	return a.d.Scan(s, m, dst), true
+}
+func (a dytisInst) BulkLoad(keys, vals []uint64) bool {
+	// DyTIS is free of bulk loading by design; sorted pre-insertion is its
+	// natural "load".
+	for i, k := range keys {
+		a.d.Insert(k, vals[i])
+	}
+	return true
+}
+func (a dytisInst) Footprint() int64 { return a.d.MemoryFootprint() }
+func (a dytisInst) Close()           {}
+
+// DyTIS returns the DyTIS factory with the given options.
+func DyTIS(opts core.Options) Factory {
+	return Factory{Name: "DyTIS", Ordered: true, New: func() Instance {
+		return dytisInst{core.New(opts)}
+	}}
+}
+
+// DyTISNamed is DyTIS with a custom display name (for ablations/sweeps).
+func DyTISNamed(name string, opts core.Options) Factory {
+	f := DyTIS(opts)
+	f.Name = name
+	return f
+}
+
+// ---- ALEX-like ----
+
+type alexInst struct{ x *alex.Index }
+
+func (a alexInst) Insert(k, v uint64)          { a.x.Insert(k, v) }
+func (a alexInst) Get(k uint64) (uint64, bool) { return a.x.Get(k) }
+func (a alexInst) Delete(k uint64) bool        { return a.x.Delete(k) }
+func (a alexInst) Len() int                    { return a.x.Len() }
+func (a alexInst) Scan(s uint64, m int, dst []kv.KV) ([]kv.KV, bool) {
+	return a.x.Scan(s, m, dst), true
+}
+func (a alexInst) BulkLoad(keys, vals []uint64) bool { a.x.BulkLoad(keys, vals); return true }
+func (a alexInst) Footprint() int64                  { return a.x.MemoryFootprint() }
+func (a alexInst) Close()                            {}
+
+// ALEX returns the ALEX-like factory; name it ALEX-10/ALEX-70 per the bulk
+// fraction the run uses.
+func ALEX(name string) Factory {
+	return Factory{Name: name, Ordered: true, New: func() Instance {
+		return alexInst{alex.New()}
+	}}
+}
+
+// ---- XIndex-like ----
+
+type xindexInst struct{ x *xindex.Index }
+
+func (a xindexInst) Insert(k, v uint64)          { a.x.Insert(k, v) }
+func (a xindexInst) Get(k uint64) (uint64, bool) { return a.x.Get(k) }
+func (a xindexInst) Delete(k uint64) bool        { return a.x.Delete(k) }
+func (a xindexInst) Len() int                    { return a.x.Len() }
+func (a xindexInst) Scan(s uint64, m int, dst []kv.KV) ([]kv.KV, bool) {
+	return a.x.Scan(s, m, dst), true
+}
+func (a xindexInst) BulkLoad(keys, vals []uint64) bool { a.x.BulkLoad(keys, vals); return true }
+func (a xindexInst) Footprint() int64                  { return a.x.MemoryFootprint() }
+func (a xindexInst) Close()                            { a.x.Close() }
+
+// XIndex returns the XIndex-like factory.
+func XIndex(concurrent bool) Factory {
+	return Factory{Name: "XIndex", Ordered: true, New: func() Instance {
+		return xindexInst{xindex.New(concurrent)}
+	}}
+}
+
+// ---- B+-tree ----
+
+type btreeInst struct{ t *btree.Tree }
+
+func (a btreeInst) Insert(k, v uint64)          { a.t.Insert(k, v) }
+func (a btreeInst) Get(k uint64) (uint64, bool) { return a.t.Get(k) }
+func (a btreeInst) Delete(k uint64) bool        { return a.t.Delete(k) }
+func (a btreeInst) Len() int                    { return a.t.Len() }
+func (a btreeInst) Scan(s uint64, m int, dst []kv.KV) ([]kv.KV, bool) {
+	return a.t.Scan(s, m, dst), true
+}
+func (a btreeInst) BulkLoad(keys, vals []uint64) bool { a.t.BulkLoad(keys, vals); return true }
+func (a btreeInst) Footprint() int64                  { return 0 }
+func (a btreeInst) Close()                            {}
+
+// BTree returns the STX-style B+-tree factory (fanout 128 per §4.1).
+func BTree() Factory {
+	return Factory{Name: "B+-tree", Ordered: true, New: func() Instance {
+		return btreeInst{btree.New(btree.DefaultOrder)}
+	}}
+}
+
+// ---- Extendible hashing ----
+
+type ehashInst struct{ t *ehash.Table }
+
+func (a ehashInst) Insert(k, v uint64)          { a.t.Insert(k, v) }
+func (a ehashInst) Get(k uint64) (uint64, bool) { return a.t.Get(k) }
+func (a ehashInst) Delete(k uint64) bool        { return a.t.Delete(k) }
+func (a ehashInst) Len() int                    { return a.t.Len() }
+func (a ehashInst) Scan(uint64, int, []kv.KV) ([]kv.KV, bool) {
+	return nil, false
+}
+func (a ehashInst) BulkLoad(keys, vals []uint64) bool { return false }
+func (a ehashInst) Footprint() int64                  { return 0 }
+func (a ehashInst) Close()                            {}
+
+// EH returns the classic extendible-hashing factory (Figure 9).
+func EH() Factory {
+	return Factory{Name: "EH", Ordered: false, New: func() Instance {
+		return ehashInst{ehash.New(0)}
+	}}
+}
+
+// ---- CCEH ----
+
+type ccehInst struct{ t *cceh.Table }
+
+func (a ccehInst) Insert(k, v uint64)          { a.t.Insert(k, v) }
+func (a ccehInst) Get(k uint64) (uint64, bool) { return a.t.Get(k) }
+func (a ccehInst) Delete(k uint64) bool        { return a.t.Delete(k) }
+func (a ccehInst) Len() int                    { return a.t.Len() }
+func (a ccehInst) Scan(uint64, int, []kv.KV) ([]kv.KV, bool) {
+	return nil, false
+}
+func (a ccehInst) BulkLoad(keys, vals []uint64) bool { return false }
+func (a ccehInst) Footprint() int64                  { return 0 }
+func (a ccehInst) Close()                            {}
+
+// CCEH returns the CCEH factory (Figure 9).
+func CCEH() Factory {
+	return Factory{Name: "CCEH", Ordered: false, New: func() Instance {
+		return ccehInst{cceh.New()}
+	}}
+}
+
+// sortedCopy returns ascending copies of the pairs keyed by keys (bulk
+// loaders require sorted input; datasets arrive in insertion order).
+func sortedCopy(keys []uint64) ([]uint64, []uint64) {
+	ks := append([]uint64(nil), keys...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	vs := make([]uint64, len(ks))
+	for i, k := range ks {
+		vs[i] = k
+	}
+	return ks, vs
+}
+
+// ---- PGM-like (extension baseline, §5 related work) ----
+
+type pgmInst struct{ x *pgm.Index }
+
+func (a pgmInst) Insert(k, v uint64)          { a.x.Insert(k, v) }
+func (a pgmInst) Get(k uint64) (uint64, bool) { return a.x.Get(k) }
+func (a pgmInst) Delete(k uint64) bool        { return a.x.Delete(k) }
+func (a pgmInst) Len() int                    { return a.x.Len() }
+func (a pgmInst) Scan(s uint64, m int, dst []kv.KV) ([]kv.KV, bool) {
+	return a.x.Scan(s, m, dst), true
+}
+func (a pgmInst) BulkLoad(keys, vals []uint64) bool { a.x.BulkLoad(keys, vals); return true }
+func (a pgmInst) Footprint() int64                  { return a.x.MemoryFootprint() }
+func (a pgmInst) Close()                            {}
+
+// PGM returns the dynamic PGM-index factory (extension comparison).
+func PGM() Factory {
+	return Factory{Name: "PGM", Ordered: true, New: func() Instance {
+		return pgmInst{pgm.New()}
+	}}
+}

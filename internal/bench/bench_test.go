@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dytis/internal/core"
+	"dytis/internal/datasets"
+	"dytis/internal/workload"
+)
+
+func smallKeys(t *testing.T) []uint64 {
+	t.Helper()
+	return datasets.Taxi.Gen(20000, 1)
+}
+
+// allFactories returns every index under test, single-threaded variants.
+func allFactories() []Factory {
+	return []Factory{
+		DyTIS(core.Options{}),
+		ALEX("ALEX-10"),
+		XIndex(false),
+		BTree(),
+		EH(),
+		CCEH(),
+	}
+}
+
+func TestRunLoadAllIndexes(t *testing.T) {
+	keys := smallKeys(t)
+	for _, f := range allFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			r := Run(Config{Factory: f, Dataset: "TX", Keys: keys, Kind: workload.Load, Seed: 1})
+			if r.Unsupported {
+				t.Fatal("load marked unsupported")
+			}
+			if r.Ops != len(keys) {
+				t.Fatalf("ops=%d want %d", r.Ops, len(keys))
+			}
+			if r.MopsPerSec() <= 0 {
+				t.Fatal("zero throughput")
+			}
+			if r.Hist.Count() != uint64(len(keys)) {
+				t.Fatalf("hist count %d", r.Hist.Count())
+			}
+		})
+	}
+}
+
+func TestRunEveryWorkloadOnDyTIS(t *testing.T) {
+	keys := smallKeys(t)
+	for _, k := range workload.Kinds {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			r := Run(Config{
+				Factory: DyTIS(core.Options{}), Dataset: "TX", Keys: keys,
+				Kind: k, Ops: 5000, Seed: 2,
+			})
+			if r.Unsupported || r.Ops == 0 || r.Elapsed <= 0 {
+				t.Fatalf("bad result: %+v", r)
+			}
+		})
+	}
+}
+
+func TestScanWorkloadUnsupportedOnHashes(t *testing.T) {
+	keys := smallKeys(t)
+	for _, f := range []Factory{EH(), CCEH()} {
+		r := Run(Config{Factory: f, Dataset: "TX", Keys: keys, Kind: workload.E, Ops: 100})
+		if !r.Unsupported {
+			t.Fatalf("%s should not support workload E", f.Name)
+		}
+	}
+}
+
+func TestBulkFracLoadSkipsLoadedKeys(t *testing.T) {
+	keys := smallKeys(t)
+	r := Run(Config{
+		Factory: ALEX("ALEX-70"), Dataset: "TX", Keys: keys,
+		Kind: workload.Load, BulkFrac: 0.7, Seed: 3,
+	})
+	want := len(keys) - int(0.7*float64(len(keys)))
+	if r.Ops != want {
+		t.Fatalf("measured ops %d want %d (bulk-loaded keys excluded)", r.Ops, want)
+	}
+}
+
+func TestBulkFracFallsBackToInsertsForHashes(t *testing.T) {
+	keys := smallKeys(t)
+	r := Run(Config{
+		Factory: EH(), Dataset: "TX", Keys: keys,
+		Kind: workload.C, Ops: 2000, BulkFrac: 0.7, Seed: 4,
+	})
+	if r.Unsupported || r.Ops != 2000 {
+		t.Fatalf("hash fallback failed: %+v", r)
+	}
+}
+
+func TestThreadedRun(t *testing.T) {
+	keys := smallKeys(t)
+	r := Run(Config{
+		Factory: DyTIS(core.Options{Concurrent: true}), Dataset: "TX",
+		Keys: keys, Kind: workload.A, Ops: 8000, Threads: 4, Seed: 5,
+	})
+	if r.Ops != 8000 {
+		t.Fatalf("ops=%d", r.Ops)
+	}
+	if r.Hist.Count() != 8000 {
+		t.Fatalf("hist count %d", r.Hist.Count())
+	}
+}
+
+func TestResultsAreConsistentAcrossIndexes(t *testing.T) {
+	// All ordered indexes must contain exactly the dataset after Load.
+	keys := smallKeys(t)
+	for _, f := range allFactories() {
+		inst := f.New()
+		for _, k := range keys {
+			inst.Insert(k, k)
+		}
+		if inst.Len() != len(keys) {
+			t.Fatalf("%s: Len=%d want %d", f.Name, inst.Len(), len(keys))
+		}
+		for i := 0; i < len(keys); i += 97 {
+			if v, ok := inst.Get(keys[i]); !ok || v != keys[i] {
+				t.Fatalf("%s: Get(%#x)=%d,%v", f.Name, keys[i], v, ok)
+			}
+		}
+		if f.Ordered {
+			got, ok := inst.Scan(0, len(keys), nil)
+			if !ok || len(got) != len(keys) {
+				t.Fatalf("%s: full scan %d want %d", f.Name, len(got), len(keys))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].Key <= got[i-1].Key {
+					t.Fatalf("%s: scan out of order", f.Name)
+				}
+			}
+		}
+		inst.Close()
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	keys := smallKeys(t)
+	r := Run(Config{Factory: BTree(), Dataset: "TX", Keys: keys, Kind: workload.C, Ops: 1000})
+	var buf bytes.Buffer
+	WriteTable(&buf, []Result{r, {Index: "EH", Dataset: "TX", Kind: workload.E, Unsupported: true}})
+	out := buf.String()
+	if !strings.Contains(out, "B+-tree") || !strings.Contains(out, "n/a") {
+		t.Fatalf("table output missing rows:\n%s", out)
+	}
+}

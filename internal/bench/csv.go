@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits results as CSV for downstream plotting, one row per cell:
+// index,dataset,workload,ops,elapsed_ns,mops,avg_ns,p99_ns,p9999_ns,
+// footprint_bytes,heap_bytes,unsupported.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"index", "dataset", "workload", "ops", "elapsed_ns",
+		"mops", "avg_ns", "p99_ns", "p9999_ns", "footprint_bytes",
+		"heap_bytes", "unsupported"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Index, r.Dataset, string(r.Kind),
+			strconv.Itoa(r.Ops),
+			strconv.FormatInt(r.Elapsed.Nanoseconds(), 10),
+			fmt.Sprintf("%.4f", r.MopsPerSec()),
+			strconv.FormatInt(r.Hist.Mean().Nanoseconds(), 10),
+			strconv.FormatInt(r.Hist.Quantile(0.99).Nanoseconds(), 10),
+			strconv.FormatInt(r.Hist.Quantile(0.9999).Nanoseconds(), 10),
+			strconv.FormatInt(r.FootprintBytes, 10),
+			strconv.FormatInt(r.HeapBytes, 10),
+			strconv.FormatBool(r.Unsupported),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

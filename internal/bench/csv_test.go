@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"dytis/internal/core"
+	"dytis/internal/datasets"
+	"dytis/internal/workload"
+)
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	keys := datasets.ReviewM.Gen(5000, 1)
+	results := []Result{
+		Run(Config{Factory: DyTIS(core.Options{}), Dataset: "RM", Keys: keys, Kind: workload.C, Ops: 1000}),
+		{Index: "EH", Dataset: "RM", Kind: workload.E, Unsupported: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0][0] != "index" || len(rows[0]) != 12 {
+		t.Fatalf("header: %v", rows[0])
+	}
+	if rows[1][0] != "DyTIS" || rows[1][1] != "RM" || rows[1][2] != "C" {
+		t.Fatalf("data row: %v", rows[1])
+	}
+	if !strings.Contains(rows[2][11], "true") {
+		t.Fatalf("unsupported flag missing: %v", rows[2])
+	}
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"dytis/internal/kv"
+	"dytis/internal/lathist"
+	"dytis/internal/workload"
+)
+
+// Config describes one benchmark cell: an index running one workload over
+// one dataset.
+type Config struct {
+	Factory Factory
+	// Dataset is the display name; Keys are its keys in insertion order.
+	Dataset string
+	Keys    []uint64
+	Kind    workload.Kind
+	// Ops is the measured operation count for non-Load workloads
+	// (default: half the dataset, the paper's ">= 50% of the dataset").
+	Ops int
+	// BulkFrac bulk-loads this fraction of the preload population (the
+	// ALEX-10/70 and XIndex-70 configurations). Indexes without bulk
+	// loading insert those keys instead (unmeasured).
+	BulkFrac float64
+	// Threads fans measured ops out round-robin (Figure 12); 1 by default.
+	Threads int
+	Seed    int64
+	// UniformChoice switches key choice from Zipfian to uniform.
+	UniformChoice bool
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Index   string
+	Dataset string
+	Kind    workload.Kind
+	Ops     int
+	Elapsed time.Duration
+	Hist    lathist.Hist
+	// FootprintBytes is the index's own structure estimate (0 if unknown).
+	FootprintBytes int64
+	// HeapBytes is the process heap growth across the run (includes the
+	// dataset and harness, so it upper-bounds the index).
+	HeapBytes int64
+	// Unsupported marks workload/index combinations that cannot run (e.g.
+	// scans on a pure hash index).
+	Unsupported bool
+}
+
+// MopsPerSec returns throughput in million operations per second.
+func (r Result) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// Run executes one benchmark cell.
+func Run(cfg Config) Result {
+	res := Result{Index: cfg.Factory.Name, Dataset: cfg.Dataset, Kind: cfg.Kind}
+	if cfg.Kind == workload.E && !cfg.Factory.Ordered {
+		res.Unsupported = true
+		return res
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = len(cfg.Keys) / 2
+	}
+	plan := workload.Build(workload.Config{
+		Kind: cfg.Kind, Keys: cfg.Keys, Ops: cfg.Ops,
+		Seed: cfg.Seed, UniformChoice: cfg.UniformChoice,
+	})
+
+	var msBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+
+	inst := cfg.Factory.New()
+	defer inst.Close()
+
+	// Setup phase (unmeasured): bulk load + preload.
+	if cfg.Kind == workload.Load {
+		// For Load, the bulk fraction comes out of the whole dataset and the
+		// measured phase inserts the remainder ("the results do not include
+		// bulk loaded keys").
+		bulkN := int(cfg.BulkFrac * float64(len(cfg.Keys)))
+		if bulkN > 0 {
+			ks, vs := sortedCopy(cfg.Keys[:bulkN])
+			if !inst.BulkLoad(ks, vs) {
+				for i := range ks {
+					inst.Insert(ks[i], vs[i])
+				}
+			}
+		}
+		plan.Ops = plan.Ops[bulkN:]
+	} else {
+		bulkN := int(cfg.BulkFrac * float64(plan.PreloadCount))
+		if bulkN > 0 && cfg.BulkFrac > 0 {
+			ks, vs := sortedCopy(cfg.Keys[:bulkN])
+			if !inst.BulkLoad(ks, vs) {
+				bulkN = 0
+			}
+		}
+		for _, k := range cfg.Keys[bulkN:plan.PreloadCount] {
+			inst.Insert(k, k)
+		}
+	}
+
+	res.Ops = len(plan.Ops)
+	hists := make([]lathist.Hist, cfg.Threads)
+	start := time.Now()
+	if cfg.Threads == 1 {
+		execOps(inst, plan.Ops, &hists[0])
+	} else {
+		var wg sync.WaitGroup
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				execStrided(inst, plan.Ops, t, cfg.Threads, &hists[t])
+			}(t)
+		}
+		wg.Wait()
+	}
+	res.Elapsed = time.Since(start)
+	for i := range hists {
+		res.Hist.Merge(&hists[i])
+	}
+	res.FootprintBytes = inst.Footprint()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	if msAfter.HeapAlloc > msBefore.HeapAlloc {
+		res.HeapBytes = int64(msAfter.HeapAlloc - msBefore.HeapAlloc)
+	}
+	return res
+}
+
+func execOps(inst Instance, ops []workload.Op, h *lathist.Hist) {
+	var scanBuf []kv.KV
+	for _, op := range ops {
+		t0 := time.Now()
+		ExecOp(inst, op, &scanBuf)
+		h.Record(time.Since(t0))
+	}
+}
+
+// execStrided executes ops[t::stride], the round-robin assignment the paper
+// uses for its concurrency experiment.
+func execStrided(inst Instance, ops []workload.Op, t, stride int, h *lathist.Hist) {
+	var scanBuf []kv.KV
+	for i := t; i < len(ops); i += stride {
+		t0 := time.Now()
+		ExecOp(inst, ops[i], &scanBuf)
+		h.Record(time.Since(t0))
+	}
+}
+
+// ExecOp applies one workload operation to an index instance; scanBuf is the
+// reusable scan result buffer. Exposed for the testing.B benchmarks.
+func ExecOp(inst Instance, op workload.Op, scanBuf *[]kv.KV) {
+	switch op.Type {
+	case workload.OpInsert, workload.OpUpdate:
+		inst.Insert(op.Key, op.Val)
+	case workload.OpRead:
+		inst.Get(op.Key)
+	case workload.OpScan:
+		*scanBuf, _ = inst.Scan(op.Key, workload.ScanLen, (*scanBuf)[:0])
+	case workload.OpRMW:
+		v, _ := inst.Get(op.Key)
+		inst.Insert(op.Key, v+op.Val)
+	}
+}
+
+// WriteTable renders results as an aligned table: one row per (index,
+// dataset), one column block per workload, in Mops/s.
+func WriteTable(w io.Writer, results []Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "index\tdataset\tworkload\tMops/s\tavg\tp99\tp99.99\n")
+	for _, r := range results {
+		if r.Unsupported {
+			fmt.Fprintf(tw, "%s\t%s\t%s\tn/a\t\t\t\n", r.Index, r.Dataset, r.Kind)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%v\t%v\t%v\n",
+			r.Index, r.Dataset, r.Kind, r.MopsPerSec(),
+			r.Hist.Mean(), r.Hist.Quantile(0.99), r.Hist.Quantile(0.9999))
+	}
+	tw.Flush()
+}

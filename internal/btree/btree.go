@@ -1,0 +1,358 @@
+// Package btree implements an in-memory B+-tree in the style of the STX
+// B+-tree, the traditional ordered-index baseline of the DyTIS paper
+// (§4.1: fanout 128, in-place updates enabled).
+//
+// Keys live only in the leaves, which are linked left-to-right so scans walk
+// leaves sequentially; inner nodes carry separator keys. The tree is not safe
+// for concurrent use.
+package btree
+
+import (
+	"sort"
+
+	"dytis/internal/kv"
+)
+
+// DefaultOrder is the fanout the paper found best for its setup.
+const DefaultOrder = 128
+
+type node struct {
+	keys []uint64
+	// leaf fields
+	vals []uint64
+	next *node
+	// inner fields
+	kids []*node
+	leaf bool
+}
+
+// Tree is a B+-tree with configurable fanout.
+type Tree struct {
+	root  *node
+	order int // max children of an inner node; max entries of a leaf
+	n     int
+}
+
+// New returns an empty tree. order <= 3 selects DefaultOrder.
+func New(order int) *Tree {
+	if order <= 3 {
+		order = DefaultOrder
+	}
+	return &Tree{
+		root:  &node{leaf: true, keys: make([]uint64, 0, order), vals: make([]uint64, 0, order)},
+		order: order,
+	}
+}
+
+func (t *Tree) maxLeaf() int      { return t.order }
+func (t *Tree) maxInnerKeys() int { return t.order - 1 }
+
+// childIndex routes key k: returns the child index whose subtree contains k.
+func childIndex(keys []uint64, k uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return k < keys[i] })
+}
+
+// leafPos returns the position of k in a leaf and whether it is present.
+func leafPos(keys []uint64, k uint64) (int, bool) {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	return i, i < len(keys) && keys[i] == k
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[childIndex(n.keys, key)]
+	}
+	if i, ok := leafPos(n.keys, key); ok {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores or updates key.
+func (t *Tree) Insert(key, value uint64) {
+	sep, right, added := t.insert(t.root, key, value)
+	if added {
+		t.n++
+	}
+	if right != nil {
+		nr := &node{
+			keys: make([]uint64, 1, t.order),
+			kids: make([]*node, 2, t.order+1),
+		}
+		nr.keys[0] = sep
+		nr.kids[0], nr.kids[1] = t.root, right
+		t.root = nr
+	}
+}
+
+func (t *Tree) insert(n *node, key, value uint64) (sep uint64, right *node, added bool) {
+	if n.leaf {
+		i, ok := leafPos(n.keys, key)
+		if ok {
+			n.vals[i] = value
+			return 0, nil, false
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i], n.vals[i] = key, value
+		if len(n.keys) > t.maxLeaf() {
+			sep, right = t.splitLeaf(n)
+		}
+		return sep, right, true
+	}
+	ci := childIndex(n.keys, key)
+	csep, cright, added := t.insert(n.kids[ci], key, value)
+	if cright != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = csep
+		n.kids = append(n.kids, nil)
+		copy(n.kids[ci+2:], n.kids[ci+1:])
+		n.kids[ci+1] = cright
+		if len(n.keys) > t.maxInnerKeys() {
+			sep, right = t.splitInner(n)
+		}
+	}
+	return sep, right, added
+}
+
+func (t *Tree) splitLeaf(n *node) (uint64, *node) {
+	mid := len(n.keys) / 2
+	r := &node{
+		leaf: true,
+		keys: make([]uint64, len(n.keys)-mid, t.order),
+		vals: make([]uint64, len(n.keys)-mid, t.order),
+		next: n.next,
+	}
+	copy(r.keys, n.keys[mid:])
+	copy(r.vals, n.vals[mid:])
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = r
+	return r.keys[0], r
+}
+
+func (t *Tree) splitInner(n *node) (uint64, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	r := &node{
+		keys: make([]uint64, len(n.keys)-mid-1, t.order),
+		kids: make([]*node, len(n.kids)-mid-1, t.order+1),
+	}
+	copy(r.keys, n.keys[mid+1:])
+	copy(r.kids, n.kids[mid+1:])
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	return sep, r
+}
+
+// Delete removes key, rebalancing on underflow.
+func (t *Tree) Delete(key uint64) bool {
+	ok := t.delete(t.root, key)
+	if ok {
+		t.n--
+	}
+	// Collapse a root inner node with a single child.
+	if !t.root.leaf && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+	}
+	return ok
+}
+
+func (t *Tree) minLeaf() int      { return t.order / 2 }
+func (t *Tree) minInnerKids() int { return (t.order + 1) / 2 }
+
+func (t *Tree) delete(n *node, key uint64) bool {
+	if n.leaf {
+		i, ok := leafPos(n.keys, key)
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	ci := childIndex(n.keys, key)
+	c := n.kids[ci]
+	if !t.delete(c, key) {
+		return false
+	}
+	if c.leaf && len(c.keys) < t.minLeaf() || !c.leaf && len(c.kids) < t.minInnerKids() {
+		t.rebalance(n, ci)
+	}
+	return true
+}
+
+// rebalance fixes child ci of n after an underflow by borrowing from a
+// sibling or merging with one.
+func (t *Tree) rebalance(n *node, ci int) {
+	c := n.kids[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		l := n.kids[ci-1]
+		if l.leaf && len(l.keys) > t.minLeaf() {
+			last := len(l.keys) - 1
+			c.keys = append([]uint64{l.keys[last]}, c.keys...)
+			c.vals = append([]uint64{l.vals[last]}, c.vals...)
+			l.keys = l.keys[:last]
+			l.vals = l.vals[:last]
+			n.keys[ci-1] = c.keys[0]
+			return
+		}
+		if !l.leaf && len(l.kids) > t.minInnerKids() {
+			lastK := len(l.keys) - 1
+			c.keys = append([]uint64{n.keys[ci-1]}, c.keys...)
+			c.kids = append([]*node{l.kids[len(l.kids)-1]}, c.kids...)
+			n.keys[ci-1] = l.keys[lastK]
+			l.keys = l.keys[:lastK]
+			l.kids = l.kids[:len(l.kids)-1]
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.kids)-1 {
+		r := n.kids[ci+1]
+		if r.leaf && len(r.keys) > t.minLeaf() {
+			c.keys = append(c.keys, r.keys[0])
+			c.vals = append(c.vals, r.vals[0])
+			r.keys = r.keys[1:]
+			r.vals = r.vals[1:]
+			n.keys[ci] = r.keys[0]
+			return
+		}
+		if !r.leaf && len(r.kids) > t.minInnerKids() {
+			c.keys = append(c.keys, n.keys[ci])
+			c.kids = append(c.kids, r.kids[0])
+			n.keys[ci] = r.keys[0]
+			r.keys = r.keys[1:]
+			r.kids = r.kids[1:]
+			return
+		}
+	}
+	// Merge with a sibling. Prefer merging c into its left sibling.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// merge combines kids[i] and kids[i+1] of n into kids[i].
+func (t *Tree) merge(n *node, i int) {
+	l, r := n.kids[i], n.kids[i+1]
+	if l.leaf {
+		l.keys = append(l.keys, r.keys...)
+		l.vals = append(l.vals, r.vals...)
+		l.next = r.next
+	} else {
+		l.keys = append(l.keys, n.keys[i])
+		l.keys = append(l.keys, r.keys...)
+		l.kids = append(l.kids, r.kids...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.kids = append(n.kids[:i+1], n.kids[i+2:]...)
+}
+
+// Scan appends up to max pairs with key >= start to dst in ascending order.
+func (t *Tree) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[childIndex(n.keys, start)]
+	}
+	i, _ := leafPos(n.keys, start)
+	for n != nil && max > 0 {
+		for ; i < len(n.keys) && max > 0; i++ {
+			dst = append(dst, kv.KV{Key: n.keys[i], Value: n.vals[i]})
+			max--
+		}
+		n = n.next
+		i = 0
+	}
+	return dst
+}
+
+// Len returns the number of live keys.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the tree height (1 for a lone leaf); used by tests and the
+// structural-overhead analysis in §4.3.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.kids[0] {
+		h++
+	}
+	return h
+}
+
+// BulkLoad replaces the tree contents with the given ascending keys, packing
+// leaves to ~90% fill — the standard bulk-load fast path.
+func (t *Tree) BulkLoad(keys []uint64, values []uint64) {
+	if len(keys) != len(values) {
+		panic("btree: mismatched bulk-load slices")
+	}
+	fill := t.order * 9 / 10
+	if fill < 1 {
+		fill = 1
+	}
+	var leaves []*node
+	for i := 0; i < len(keys); i += fill {
+		end := i + fill
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := &node{leaf: true,
+			keys: append(make([]uint64, 0, t.order), keys[i:end]...),
+			vals: append(make([]uint64, 0, t.order), values[i:end]...),
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+		}
+		leaves = append(leaves, l)
+	}
+	t.n = len(keys)
+	if len(leaves) == 0 {
+		t.root = &node{leaf: true, keys: make([]uint64, 0, t.order), vals: make([]uint64, 0, t.order)}
+		return
+	}
+	// Build inner levels bottom-up.
+	level := leaves
+	for len(level) > 1 {
+		var up []*node
+		for i := 0; i < len(level); i += t.order {
+			end := i + t.order
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &node{
+				kids: append(make([]*node, 0, t.order+1), level[i:end]...),
+			}
+			for j := i + 1; j < end; j++ {
+				in.keys = append(in.keys, minKey(level[j]))
+			}
+			up = append(up, in)
+		}
+		// Avoid a trailing inner node with a single child and no keys.
+		if len(up) > 1 {
+			last := up[len(up)-1]
+			if len(last.kids) == 1 {
+				prev := up[len(up)-2]
+				prev.keys = append(prev.keys, minKey(last.kids[0]))
+				prev.kids = append(prev.kids, last.kids[0])
+				up = up[:len(up)-1]
+			}
+		}
+		level = up
+	}
+	t.root = level[0]
+}
+
+func minKey(n *node) uint64 {
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return n.keys[0]
+}

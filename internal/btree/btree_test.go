@@ -1,0 +1,288 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dytis/internal/kv"
+)
+
+func TestInsertGetSequential(t *testing.T) {
+	b := New(8) // small order to exercise splits
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		b.Insert(i, i*2)
+	}
+	if b.Len() != n {
+		t.Fatalf("Len=%d want %d", b.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := b.Get(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Get(%d)=%d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInsertGetReverseAndRandom(t *testing.T) {
+	b := New(6)
+	for i := 5000; i > 0; i-- {
+		b.Insert(uint64(i), uint64(i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64()
+		b.Insert(k, k+1)
+		if v, ok := b.Get(k); !ok || v != k+1 {
+			t.Fatalf("immediate Get(%d) failed", k)
+		}
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	b := New(0)
+	b.Insert(10, 1)
+	b.Insert(10, 2)
+	if b.Len() != 1 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	if v, _ := b.Get(10); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestScan(t *testing.T) {
+	b := New(7)
+	for i := uint64(0); i < 1000; i++ {
+		b.Insert(i*10, i)
+	}
+	got := b.Scan(95, 20, nil)
+	if len(got) != 20 {
+		t.Fatalf("scan returned %d", len(got))
+	}
+	if got[0].Key != 100 {
+		t.Fatalf("first key %d want 100", got[0].Key)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key <= got[i-1].Key {
+			t.Fatal("scan not ascending")
+		}
+	}
+	// Scan past the end.
+	tail := b.Scan(9990, 100, nil)
+	if len(tail) != 1 || tail[0].Key != 9990 {
+		t.Fatalf("tail scan: %v", tail)
+	}
+	if r := b.Scan(1_000_000, 10, nil); len(r) != 0 {
+		t.Fatalf("scan beyond max returned %d", len(r))
+	}
+}
+
+func TestScanEmptyTree(t *testing.T) {
+	b := New(0)
+	if r := b.Scan(0, 10, nil); len(r) != 0 {
+		t.Fatal("scan of empty tree returned results")
+	}
+}
+
+func TestDeleteWithRebalance(t *testing.T) {
+	b := New(6)
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		b.Insert(i, i)
+	}
+	// Delete everything in an order that forces borrows and merges.
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	for _, p := range perm {
+		if !b.Delete(uint64(p)) {
+			t.Fatalf("Delete(%d) missed", p)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len=%d want 0", b.Len())
+	}
+	if b.Height() != 1 {
+		t.Fatalf("height=%d want 1 after draining", b.Height())
+	}
+	// Tree still usable.
+	b.Insert(1, 1)
+	if v, ok := b.Get(1); !ok || v != 1 {
+		t.Fatal("tree unusable after drain")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	b := New(0)
+	b.Insert(5, 5)
+	if b.Delete(6) {
+		t.Fatal("deleted missing key")
+	}
+	if b.Len() != 1 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	b := New(8)
+	var keys, vals []uint64
+	for i := uint64(0); i < 10000; i++ {
+		keys = append(keys, i*3)
+		vals = append(vals, i)
+	}
+	b.BulkLoad(keys, vals)
+	if b.Len() != 10000 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	for i, k := range keys {
+		if v, ok := b.Get(k); !ok || v != vals[i] {
+			t.Fatalf("Get(%d) after bulk load", k)
+		}
+	}
+	got := b.Scan(0, len(keys), nil)
+	if len(got) != len(keys) {
+		t.Fatalf("full scan %d want %d", len(got), len(keys))
+	}
+	// Inserts after bulk load keep working.
+	b.Insert(1, 77)
+	if v, ok := b.Get(1); !ok || v != 77 {
+		t.Fatal("insert after bulk load failed")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	b := New(0)
+	b.BulkLoad(nil, nil)
+	if b.Len() != 0 {
+		t.Fatal("non-zero len")
+	}
+	b.Insert(1, 1)
+	if _, ok := b.Get(1); !ok {
+		t.Fatal("unusable after empty bulk load")
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	b := New(128)
+	for i := uint64(0); i < 200000; i++ {
+		b.Insert(i, i)
+	}
+	if h := b.Height(); h > 4 {
+		t.Fatalf("height %d too large for 200k keys at order 128", h)
+	}
+}
+
+// checkStructure validates B+-tree invariants: sorted keys, separator
+// correctness, and leaf chain completeness.
+func checkStructure(t *testing.T, b *Tree) {
+	t.Helper()
+	var walk func(n *node, lo, hi uint64)
+	walk = func(n *node, lo, hi uint64) {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				t.Fatalf("unsorted keys in node")
+			}
+		}
+		for _, k := range n.keys {
+			if k < lo || k >= hi {
+				t.Fatalf("key %d outside [%d,%d)", k, lo, hi)
+			}
+		}
+		if n.leaf {
+			return
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			t.Fatalf("inner node with %d keys has %d kids", len(n.keys), len(n.kids))
+		}
+		for i, c := range n.kids {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			walk(c, clo, chi)
+		}
+	}
+	walk(b.root, 0, ^uint64(0))
+	// Leaf chain covers exactly Len() keys in order.
+	got := b.Scan(0, b.Len()+10, nil)
+	if len(got) != b.Len() {
+		t.Fatalf("leaf chain has %d keys, Len=%d", len(got), b.Len())
+	}
+}
+
+func TestQuickMatchesReferenceWithScan(t *testing.T) {
+	prop := func(seed int64, orderRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 4 + int(orderRaw%29)
+		b := New(order)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 2500; op++ {
+			k := uint64(rng.Intn(400))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				b.Insert(k, v)
+				ref[k] = v
+			case 3:
+				_, in := ref[k]
+				if b.Delete(k) != in {
+					return false
+				}
+				delete(ref, k)
+			case 4:
+				gv, gok := b.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+		}
+		if b.Len() != len(ref) {
+			return false
+		}
+		// Full scan must equal sorted reference.
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := b.Scan(0, len(ref)+1, nil)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != (kv.KV{Key: keys[i], Value: ref[keys[i]]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructureInvariantsUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := New(5)
+	live := map[uint64]bool{}
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(2000))
+		if rng.Intn(3) == 0 {
+			b.Delete(k)
+			delete(live, k)
+		} else {
+			b.Insert(k, k)
+			live[k] = true
+		}
+	}
+	if b.Len() != len(live) {
+		t.Fatalf("Len=%d want %d", b.Len(), len(live))
+	}
+	checkStructure(t, b)
+}

@@ -1,0 +1,237 @@
+// Package cceh implements a CCEH-style extendible hash table (Nam et al.,
+// FAST 2019), the "CCEH" baseline in Figure 9 of the DyTIS paper.
+//
+// CCEH interposes fixed-size segments between the directory and the buckets:
+// the directory is indexed by the MSBs of the pseudo-key (global depth GD),
+// each segment holds 2^SegmentBits cacheline-sized buckets, and the bucket
+// within a segment is selected by the LSBs of the pseudo-key. Bounded linear
+// probing over adjacent buckets absorbs collisions; when the probe window of
+// a bucket is exhausted, the segment splits (and the directory doubles when
+// the segment's local depth equals GD). DyTIS adopts this three-level layout
+// but replaces the hashed bucket choice with its order-preserving remapping
+// function.
+package cceh
+
+import "dytis/internal/ehash"
+
+const (
+	// SegmentBits selects 2^SegmentBits buckets per segment.
+	SegmentBits = 8
+	segMask     = 1<<SegmentBits - 1
+	// BucketSlots is the number of key/value slots per bucket (a 64-byte
+	// cacheline holds 4 16-byte pairs).
+	BucketSlots = 4
+	// ProbeLen bounds linear probing to this many consecutive buckets.
+	ProbeLen = 4
+)
+
+// slot holds one pair; occupied slots have pk != 0 is NOT a valid emptiness
+// test (pk can legitimately be 0 for the key hashing to 0), so a per-bucket
+// occupancy count is kept and slots are packed densely.
+type bucketArr struct {
+	pks  [BucketSlots]uint64
+	keys [BucketSlots]uint64
+	vals [BucketSlots]uint64
+	n    uint8
+}
+
+type segment struct {
+	ld      uint8
+	buckets [1 << SegmentBits]bucketArr
+	n       int
+}
+
+// Table is a CCEH hash table. It is not safe for concurrent use.
+type Table struct {
+	dir []*segment
+	gd  uint8
+	n   int
+}
+
+// New returns an empty CCEH table.
+func New() *Table {
+	t := &Table{gd: 1}
+	t.dir = []*segment{{ld: 1}, {ld: 1}}
+	return t
+}
+
+func (t *Table) segOf(pk uint64) *segment { return t.dir[pk>>(64-uint(t.gd))] }
+
+// bucketIndex derives the in-segment bucket from the pseudo-key's LSBs.
+func bucketIndex(pk uint64) int { return int(pk & segMask) }
+
+// Get returns the value for key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	pk := ehash.Mix64(key)
+	s := t.segOf(pk)
+	bi := bucketIndex(pk)
+	for p := 0; p < ProbeLen; p++ {
+		b := &s.buckets[(bi+p)&segMask]
+		for i := 0; i < int(b.n); i++ {
+			if b.pks[i] == pk {
+				return b.vals[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert stores or updates key.
+func (t *Table) Insert(key, value uint64) {
+	pk := ehash.Mix64(key)
+	for {
+		s := t.segOf(pk)
+		bi := bucketIndex(pk)
+		// Update in place if present anywhere in the probe window.
+		for p := 0; p < ProbeLen; p++ {
+			b := &s.buckets[(bi+p)&segMask]
+			for i := 0; i < int(b.n); i++ {
+				if b.pks[i] == pk {
+					b.vals[i] = value
+					return
+				}
+			}
+		}
+		// Place in the first bucket of the window with a free slot.
+		for p := 0; p < ProbeLen; p++ {
+			b := &s.buckets[(bi+p)&segMask]
+			if int(b.n) < BucketSlots {
+				i := b.n
+				b.pks[i], b.keys[i], b.vals[i] = pk, key, value
+				b.n++
+				s.n++
+				t.n++
+				return
+			}
+		}
+		t.splitSegment(s)
+	}
+}
+
+// splitSegment divides s into two segments by the (ld+1)-th MSB of the
+// pseudo-keys, doubling the directory first if necessary.
+func (t *Table) splitSegment(s *segment) {
+	if s.ld == t.gd {
+		t.doubleDirectory()
+	}
+	nld := s.ld + 1
+	left := &segment{ld: nld}
+	right := &segment{ld: nld}
+	bit := uint64(1) << (64 - uint(nld))
+	// Entries whose probe window is full even in the fresh child are set
+	// aside and re-inserted after the directory is updated; insertPK splits
+	// the child further if needed, so redistribution always terminates
+	// (pseudo-keys are unique).
+	var overflow []entry
+	for bi := range s.buckets {
+		b := &s.buckets[bi]
+		for i := 0; i < int(b.n); i++ {
+			dst := left
+			if b.pks[i]&bit != 0 {
+				dst = right
+			}
+			if !dst.place(b.pks[i], b.keys[i], b.vals[i]) {
+				overflow = append(overflow, entry{b.pks[i], b.keys[i], b.vals[i]})
+			}
+		}
+	}
+	// Redirect directory entries.
+	span := 1 << (t.gd - s.ld)
+	first := t.firstDirIndex(s, span)
+	half := span / 2
+	for i := 0; i < half; i++ {
+		t.dir[first+i] = left
+	}
+	for i := half; i < span; i++ {
+		t.dir[first+i] = right
+	}
+	for _, e := range overflow {
+		t.insertPK(e.pk, e.key, e.val)
+	}
+}
+
+type entry struct{ pk, key, val uint64 }
+
+// place inserts during a split, reporting whether the probe window had room.
+func (s *segment) place(pk, key, val uint64) bool {
+	bi := bucketIndex(pk)
+	for p := 0; p < ProbeLen; p++ {
+		b := &s.buckets[(bi+p)&segMask]
+		if int(b.n) < BucketSlots {
+			i := b.n
+			b.pks[i], b.keys[i], b.vals[i] = pk, key, val
+			b.n++
+			s.n++
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) firstDirIndex(s *segment, span int) int {
+	// Locate the first directory entry pointing at s. Entries pointing to
+	// the same segment are contiguous.
+	for i, d := range t.dir {
+		if d == s {
+			return i &^ (span - 1)
+		}
+	}
+	panic("cceh: segment not in directory")
+}
+
+func (t *Table) doubleDirectory() {
+	nd := make([]*segment, len(t.dir)*2)
+	for i, s := range t.dir {
+		nd[2*i] = s
+		nd[2*i+1] = s
+	}
+	t.dir = nd
+	t.gd++
+}
+
+// Delete removes key if present.
+func (t *Table) Delete(key uint64) bool {
+	pk := ehash.Mix64(key)
+	s := t.segOf(pk)
+	bi := bucketIndex(pk)
+	for p := 0; p < ProbeLen; p++ {
+		b := &s.buckets[(bi+p)&segMask]
+		for i := 0; i < int(b.n); i++ {
+			if b.pks[i] == pk {
+				last := int(b.n) - 1
+				b.pks[i], b.keys[i], b.vals[i] = b.pks[last], b.keys[last], b.vals[last]
+				b.n--
+				s.n--
+				t.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of live keys.
+func (t *Table) Len() int { return t.n }
+
+// GlobalDepth returns the directory depth.
+func (t *Table) GlobalDepth() int { return int(t.gd) }
+
+// insertPK is used by the recursive-split recovery path: it re-runs the
+// normal insert for a pre-hashed entry.
+func (t *Table) insertPK(pk, key, value uint64) {
+	for {
+		s := t.segOf(pk)
+		bi := bucketIndex(pk)
+		for p := 0; p < ProbeLen; p++ {
+			b := &s.buckets[(bi+p)&segMask]
+			if int(b.n) < BucketSlots {
+				i := b.n
+				b.pks[i], b.keys[i], b.vals[i] = pk, key, value
+				b.n++
+				s.n++
+				return
+			}
+		}
+		t.splitSegment(s)
+	}
+}

@@ -1,0 +1,118 @@
+package cceh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	h := New()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i, i^0xdead)
+	}
+	if h.Len() != n {
+		t.Fatalf("Len=%d want %d", h.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := h.Get(i)
+		if !ok || v != i^0xdead {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := h.Get(n + 99); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := New()
+	h.Insert(7, 1)
+	h.Insert(7, 9)
+	if h.Len() != 1 {
+		t.Fatalf("Len=%d", h.Len())
+	}
+	if v, _ := h.Get(7); v != 9 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := New()
+	for i := uint64(0); i < 20000; i++ {
+		h.Insert(i, i)
+	}
+	for i := uint64(0); i < 20000; i += 3 {
+		if !h.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+		if h.Delete(i) {
+			t.Fatalf("double delete of %d", i)
+		}
+	}
+	for i := uint64(0); i < 20000; i++ {
+		_, ok := h.Get(i)
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestSegmentSplitsAndDirectoryDoubles(t *testing.T) {
+	h := New()
+	gd0 := h.GlobalDepth()
+	// A segment holds at most 2^SegmentBits * BucketSlots entries; well
+	// before that, probe windows overflow and segments split.
+	for i := uint64(0); i < 1<<SegmentBits*BucketSlots*8; i++ {
+		h.Insert(i*2654435761, i)
+	}
+	if h.GlobalDepth() <= gd0 {
+		t.Fatalf("directory never doubled: gd=%d", h.GlobalDepth())
+	}
+}
+
+func TestKeyHashingToZeroPseudoKey(t *testing.T) {
+	// pk==0 must be storable; occupancy is tracked by count, not sentinel.
+	h := New()
+	h.Insert(0, 123)
+	if v, ok := h.Get(0); !ok || v != 123 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New()
+		ref := map[uint64]uint64{}
+		for op := 0; op < 4000; op++ {
+			k := rng.Uint64() % 800
+			switch rng.Intn(4) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				h.Insert(k, v)
+				ref[k] = v
+			case 3:
+				_, inRef := ref[k]
+				if h.Delete(k) != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := h.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

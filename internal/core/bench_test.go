@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the core operations under the three key-distribution
+// regimes the paper distinguishes (uniform, clustered/skewed, ascending
+// time-like). The paper-level experiment benchmarks live in the repository
+// root's bench_test.go.
+
+func benchKeysUniform(n int) []uint64 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+func benchKeysClustered(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i%40)<<40 | uint64(i)
+	}
+	return out
+}
+
+func benchKeysAscending(n int) []uint64 {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]uint64, n)
+	t := uint64(0)
+	for i := range out {
+		t += 1 + uint64(rng.Intn(64))
+		out[i] = t<<18 | uint64(i)&(1<<18-1)
+	}
+	return out
+}
+
+func benchInsert(b *testing.B, keys []uint64) {
+	d := New(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		d.Insert(k, k)
+	}
+}
+
+func BenchmarkInsertUniform(b *testing.B)   { benchInsert(b, benchKeysUniform(400000)) }
+func BenchmarkInsertClustered(b *testing.B) { benchInsert(b, benchKeysClustered(400000)) }
+func BenchmarkInsertAscending(b *testing.B) { benchInsert(b, benchKeysAscending(400000)) }
+
+func benchGet(b *testing.B, keys []uint64) {
+	d := New(Options{})
+	for _, k := range keys {
+		d.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkGetUniform(b *testing.B)   { benchGet(b, benchKeysUniform(400000)) }
+func BenchmarkGetClustered(b *testing.B) { benchGet(b, benchKeysClustered(400000)) }
+
+func BenchmarkScan100(b *testing.B) {
+	keys := benchKeysUniform(400000)
+	d := New(Options{})
+	for _, k := range keys {
+		d.Insert(k, k)
+	}
+	res := d.Scan(0, 100, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = d.Scan(keys[i%len(keys)], 100, res[:0])
+	}
+	_ = res
+}
+
+func BenchmarkDelete(b *testing.B) {
+	keys := benchKeysUniform(400000)
+	d := New(Options{})
+	for _, k := range keys {
+		d.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if i%2 == 0 {
+			d.Delete(k)
+		} else {
+			d.Insert(k, k)
+		}
+	}
+}

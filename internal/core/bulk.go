@@ -1,0 +1,77 @@
+package core
+
+import "sort"
+
+// LoadSorted replaces the index contents with the given strictly-ascending
+// pairs. DyTIS needs no training phase — incremental Insert is its normal
+// loading path — but when data is already sorted, building segments directly
+// skips all maintenance operations (a DESIGN.md §8 extension; the B+-tree
+// offers the same fast path).
+//
+// Each populated EH gets a flat directory (all segments at LD = GD) sized so
+// segments start near the base Limit_seg, with bucket allocations following
+// the observed per-sub-range key counts. Must not be called concurrently
+// with other operations.
+func (d *DyTIS) LoadSorted(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("core: mismatched LoadSorted slices")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			panic("core: LoadSorted keys must be strictly ascending")
+		}
+	}
+	lo := 0
+	for i, e := range d.ehs {
+		hi := lo
+		if i == len(d.ehs)-1 {
+			hi = len(keys)
+		} else {
+			limit := uint64(i+1) << d.suffixBits
+			hi = lo + sort.Search(len(keys)-lo, func(j int) bool { return keys[lo+j] >= limit })
+		}
+		e.loadSorted(keys[lo:hi], values[lo:hi])
+		lo = hi
+	}
+	// Rebuild cross-EH sibling continuity is not needed: scans step across
+	// EH tables by index, and sibling pointers only chain within an EH.
+}
+
+// loadSorted rebuilds one EH from its ascending key slice.
+func (e *eh) loadSorted(keys, values []uint64) {
+	bcap := e.opts.BucketEntries
+	// Target: segments that start around half the base segment limit so
+	// they have room to grow before any maintenance triggers.
+	targetKeys := e.opts.BaseSegBuckets * e.opts.SegLimitMult * bcap / 2
+	gd := 0
+	for len(keys) > targetKeys<<gd && gd < maxDirDepth {
+		gd++
+	}
+	e.gd = uint8(gd)
+	e.total.Store(int64(len(keys)))
+	e.dir = make([]*segment, 1<<gd)
+	rangeBits := e.suffixBits - uint8(gd)
+	var prev *segment
+	lo := 0
+	for di := 0; di < 1<<gd; di++ {
+		base := e.base + uint64(di)<<rangeBits
+		hi := lo
+		if di == 1<<gd-1 {
+			hi = len(keys)
+		} else {
+			limit := base + 1<<rangeBits
+			hi = lo + sort.Search(len(keys)-lo, func(j int) bool { return keys[lo+j] >= limit })
+		}
+		pb := uint8(e.opts.MaxSubRangeBits)
+		if pb > rangeBits {
+			pb = rangeBits
+		}
+		s := e.buildChild(uint8(gd), rangeBits, base, pb, keys[lo:hi], values[lo:hi])
+		if prev != nil {
+			prev.next.Store(s)
+		}
+		prev = s
+		e.dir[di] = s
+		lo = hi
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func concOpts() Options {
+	return Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2, Concurrent: true}
+}
+
+func TestConcurrentInsertGet(t *testing.T) {
+	d := New(concOpts())
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				d.Insert(k, k+1)
+				if rng.Intn(4) == 0 {
+					if v, ok := d.Get(k); !ok || v != k+1 {
+						t.Errorf("worker %d: Get(%#x) = %d,%v", w, k, v, ok)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if d.Len() != workers*perWorker {
+		t.Fatalf("Len=%d want %d", d.Len(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i += 17 {
+			k := uint64(w)<<32 | uint64(i)
+			if v, ok := d.Get(k); !ok || v != k+1 {
+				t.Fatalf("post: Get(%#x) = %d,%v", k, v, ok)
+			}
+		}
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	d := New(concOpts())
+	// Pre-load a base population.
+	for i := uint64(0); i < 20000; i++ {
+		d.Insert(i*3, i)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < 4000; i++ {
+				k := uint64(rng.Intn(30000)) * 3
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					d.Insert(k, uint64(w))
+				case 4, 5, 6:
+					d.Get(k)
+				case 7:
+					d.Delete(k)
+				case 8, 9:
+					got := d.Scan(k, 50, nil)
+					for j := 1; j < len(got); j++ {
+						if got[j].Key <= got[j-1].Key {
+							t.Errorf("scan not ascending under concurrency")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointRangesLinearizable: workers own disjoint key ranges,
+// so each worker's final writes must all be visible exactly.
+func TestConcurrentDisjointRangesLinearizable(t *testing.T) {
+	d := New(concOpts())
+	const workers = 6
+	var wg sync.WaitGroup
+	final := make([]map[uint64]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7))
+			mine := map[uint64]uint64{}
+			base := uint64(w) << 40
+			for i := 0; i < 8000; i++ {
+				k := base + uint64(rng.Intn(4000))
+				if rng.Intn(5) == 0 {
+					d.Delete(k)
+					delete(mine, k)
+				} else {
+					v := rng.Uint64()
+					d.Insert(k, v)
+					mine[k] = v
+				}
+			}
+			final[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += len(final[w])
+		for k, v := range final[w] {
+			got, ok := d.Get(k)
+			if !ok || got != v {
+				t.Fatalf("worker %d key %#x: got %d,%v want %d", w, k, got, ok, v)
+			}
+		}
+	}
+	if d.Len() != total {
+		t.Fatalf("Len=%d want %d", d.Len(), total)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"dytis/internal/kv"
+)
+
+// DyTIS is the Dynamic dataset Targeted Index Structure: an ordered index
+// over uint64 keys that supports search, insert (upsert), delete, and range
+// scans, with no bulk-load/training phase. See the package comment for the
+// design; options follow §4.1 of the paper.
+//
+// With Options.Concurrent, all operations are safe for concurrent use via
+// the two-level locking scheme of §3.4; otherwise the index is the paper's
+// single-threaded no-lock variant.
+type DyTIS struct {
+	opts       Options
+	suffixBits uint8
+	ehs        []*eh
+}
+
+// New creates an empty DyTIS index.
+func New(opts Options) *DyTIS {
+	opts = opts.withDefaults()
+	r := uint(opts.FirstLevelBits)
+	d := &DyTIS{
+		opts:       opts,
+		suffixBits: uint8(64 - r),
+		ehs:        make([]*eh, 1<<r),
+	}
+	for i := range d.ehs {
+		d.ehs[i] = newEH(uint64(i)<<d.suffixBits, d.suffixBits, &d.opts)
+	}
+	return d
+}
+
+// NewDefault creates a DyTIS index with the paper's default parameters
+// (single-threaded).
+func NewDefault() *DyTIS { return New(Options{}) }
+
+func (d *DyTIS) ehOf(k uint64) *eh { return d.ehs[k>>d.suffixBits] }
+
+// Insert stores or updates the value for key.
+func (d *DyTIS) Insert(key, value uint64) { d.ehOf(key).insert(key, value) }
+
+// Get returns the value for key and whether it exists.
+func (d *DyTIS) Get(key uint64) (uint64, bool) { return d.ehOf(key).get(key) }
+
+// Delete removes key, reporting whether it was present.
+func (d *DyTIS) Delete(key uint64) bool { return d.ehOf(key).delete(key) }
+
+// Len returns the number of live keys.
+func (d *DyTIS) Len() int {
+	var n int64
+	for _, e := range d.ehs {
+		n += e.total.Load()
+	}
+	return int(n)
+}
+
+// Scan appends up to max pairs with key >= start, in ascending key order, to
+// dst and returns the extended slice. It walks segment sibling chains within
+// an EH and advances across first-level EH tables as ranges are exhausted.
+// Under concurrency, the scan is not a point-in-time snapshot: each segment
+// is read atomically (under its lock), but concurrent structural changes may
+// hide keys inserted during the scan.
+func (d *DyTIS) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	if max <= 0 {
+		return dst
+	}
+	for i := int(start >> d.suffixBits); i < len(d.ehs); i++ {
+		before := len(dst)
+		dst = d.ehs[i].scan(start, max, dst)
+		max -= len(dst) - before
+		if max <= 0 {
+			break
+		}
+	}
+	return dst
+}
+
+// Range calls fn for every pair with key in [start, end], in ascending
+// order, until fn returns false. It is a convenience wrapper over Scan used
+// by the examples.
+func (d *DyTIS) Range(start, end uint64, fn func(key, value uint64) bool) {
+	const chunk = 256
+	buf := make([]kv.KV, 0, chunk)
+	for {
+		buf = d.Scan(start, chunk, buf[:0])
+		if len(buf) == 0 {
+			return
+		}
+		for _, p := range buf {
+			if p.Key > end {
+				return
+			}
+			if !fn(p.Key, p.Value) {
+				return
+			}
+		}
+		last := buf[len(buf)-1].Key
+		if last == ^uint64(0) {
+			return
+		}
+		start = last + 1
+	}
+}
+
+// Stats aggregates the maintenance-operation counters of every EH table;
+// Durations cover the same operations and feed the §4.3 insertion-breakdown
+// experiment.
+type Stats struct {
+	Splits, Remaps, Expansions, Doublings, RemapFailures int64
+	SplitNS, RemapNS, ExpandNS, DoubleNS                 int64
+	Segments, Buckets                                    int
+	DirEntries                                           int
+	AdaptiveEHs                                          int // EHs running with the raised Limit_seg
+}
+
+// Stats snapshots the maintenance counters. It is safe to call concurrently
+// with operations, but the snapshot is not atomic across EHs.
+func (d *DyTIS) Stats() Stats {
+	var st Stats
+	for _, e := range d.ehs {
+		st.Splits += e.stats.splits.Load()
+		st.Remaps += e.stats.remaps.Load()
+		st.Expansions += e.stats.expansions.Load()
+		st.Doublings += e.stats.doublings.Load()
+		st.RemapFailures += e.stats.remapFails.Load()
+		st.SplitNS += e.stats.splitNS.Load()
+		st.RemapNS += e.stats.remapNS.Load()
+		st.ExpandNS += e.stats.expandNS.Load()
+		st.DoubleNS += e.stats.doubleNS.Load()
+		if int(e.limitMult.Load()) != d.opts.SegLimitMult {
+			st.AdaptiveEHs++
+		}
+		if e.conc {
+			e.mu.RLock()
+		}
+		st.DirEntries += len(e.dir)
+		var prev *segment
+		for _, s := range e.dir {
+			if s != prev {
+				st.Segments++
+				st.Buckets += s.nb
+				prev = s
+			}
+		}
+		if e.conc {
+			e.mu.RUnlock()
+		}
+	}
+	return st
+}
+
+// MemoryFootprint estimates the index's heap usage in bytes: directory
+// pointers plus per-segment key/value/occupancy arrays and metadata. It is
+// used by the §4.3 memory-usage comparison.
+func (d *DyTIS) MemoryFootprint() int64 {
+	var b int64
+	for _, e := range d.ehs {
+		if e.conc {
+			e.mu.RLock()
+		}
+		b += int64(len(e.dir)) * 8
+		var prev *segment
+		for _, s := range e.dir {
+			if s != prev {
+				b += int64(s.nb*s.bcap)*16 + int64(s.nb)*2 + int64(len(s.cnt))*8 + 96
+				prev = s
+			}
+		}
+		if e.conc {
+			e.mu.RUnlock()
+		}
+	}
+	return b
+}
+
+// checkInvariants validates every segment; used by tests.
+func (d *DyTIS) checkInvariants() error {
+	for _, e := range d.ehs {
+		var prev *segment
+		for _, s := range e.dir {
+			if s == prev {
+				continue
+			}
+			prev = s
+			if err := s.checkInvariants(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dytis/internal/kv"
+)
+
+// eh is one second-level Extendible-Hashing table. It owns the keys whose R
+// most significant bits equal its index, and organizes them as a directory of
+// 2^GD entries pointing at segments (local depth LD <= GD), each holding a
+// contiguous sub-range of the EH's key range.
+//
+// Locking (§3.4): every operation first takes mu.RLock to resolve the
+// directory, then the segment's own lock; structure changes (split, directory
+// doubling, sibling-pointer updates) take mu.Lock, which excludes all other
+// operations on this EH. Remapping and expansion only mutate segment
+// internals, so they run under the segment write lock alone.
+type eh struct {
+	mu   sync.RWMutex
+	opts *Options
+	conc bool
+
+	suffixBits uint8  // 64 - R
+	base       uint64 // first key of this EH's range
+
+	dir []*segment
+	gd  uint8
+
+	total     atomic.Int64
+	limitMult atomic.Int32
+	adaptDone bool // guarded by mu (write paths)
+
+	stats ehStats
+}
+
+// ehStats counts and times the Algorithm-1 maintenance operations, feeding
+// the §4.3 insertion-breakdown experiment.
+type ehStats struct {
+	splits, remaps, expansions, doublings, remapFails atomic.Int64
+	splitNS, remapNS, expandNS, doubleNS              atomic.Int64
+}
+
+func newEH(base uint64, suffixBits uint8, opts *Options) *eh {
+	e := &eh{
+		opts:       opts,
+		conc:       opts.Concurrent,
+		suffixBits: suffixBits,
+		base:       base,
+		gd:         0,
+	}
+	e.limitMult.Store(int32(opts.SegLimitMult))
+	root := newSegment(0, suffixBits, base, 1, opts.BucketEntries, 0)
+	e.dir = []*segment{root}
+	return e
+}
+
+func (e *eh) dirIndex(k uint64) int {
+	if e.gd == 0 {
+		return 0
+	}
+	return int((k - e.base) >> (e.suffixBits - e.gd))
+}
+
+// maxBuckets is the per-depth segment-size limit Limit_seg: it doubles with
+// each local-depth increase past L_start, scaled by the (possibly adaptive)
+// multiplier.
+func (e *eh) maxBuckets(ld uint8) int {
+	mult := int(e.limitMult.Load())
+	extra := int(ld) - e.opts.StartDepth
+	if extra < 0 {
+		extra = 0
+	}
+	if extra > 14 {
+		extra = 14
+	}
+	lim := e.opts.BaseSegBuckets * mult << extra
+	if lim > 1<<20 {
+		lim = 1 << 20
+	}
+	return lim
+}
+
+func (e *eh) get(k uint64) (uint64, bool) {
+	if e.conc {
+		e.mu.RLock()
+	}
+	s := e.dir[e.dirIndex(k)]
+	if e.conc {
+		s.mu.RLock()
+		e.mu.RUnlock()
+	}
+	v, ok := s.get(k)
+	if e.conc {
+		s.mu.RUnlock()
+	}
+	return v, ok
+}
+
+// insert stores or updates k, returning whether a new key was added.
+// It implements Algorithm 1 of the paper.
+func (e *eh) insert(k, v uint64) bool {
+	for attempt := 0; ; attempt++ {
+		if e.conc {
+			e.mu.RLock()
+		}
+		gdSnap := e.gd
+		s := e.dir[e.dirIndex(k)]
+		if e.conc {
+			s.mu.Lock()
+			e.mu.RUnlock()
+		}
+		bi, pos, exists, full := s.findSlot(k)
+		if exists {
+			s.vals[bi*s.bcap+pos] = v
+			if e.conc {
+				s.mu.Unlock()
+			}
+			return false
+		}
+		if !full {
+			s.insertAt(bi, pos, k, v)
+			if e.conc {
+				s.mu.Unlock()
+			}
+			e.total.Add(1)
+			return true
+		}
+
+		// In the degenerate regime where the directory hit its depth guard
+		// (key clusters far narrower than any sub-range), boundary inserts
+		// would trigger a whole-segment rebuild every few keys; borrow a
+		// slot from a nearby bucket instead.
+		if int(gdSnap) >= maxDirDepth && s.makeRoom(bi, 64) {
+			if bi2, pos2, _, full2 := s.findSlot(k); !full2 {
+				s.insertAt(bi2, pos2, k, v)
+				if e.conc {
+					s.mu.Unlock()
+				}
+				e.total.Add(1)
+				return true
+			}
+		}
+
+		// Bucket overflow: pick a maintenance operation. Below L_start only
+		// the basic Extendible-Hashing schemes run; past it, low segment
+		// utilization routes to remapping and high utilization to
+		// split/expansion. A retry budget forces the structural path if
+		// local adjustments fail to make room (e.g. adversarial key
+		// clusters denser than a sub-range can express).
+		handled := false
+		if int(s.ld) >= e.opts.StartDepth && attempt < 8 {
+			lowUtil := s.util() <= e.opts.UtilThreshold
+			switch {
+			case lowUtil && !e.opts.DisableRemap:
+				handled = e.remap(s, k)
+			case s.ld == gdSnap && !e.opts.DisableExpansion:
+				handled = e.expand(s)
+			}
+		}
+		if e.conc {
+			s.mu.Unlock()
+		}
+		if handled {
+			continue
+		}
+		e.restructure(k)
+	}
+}
+
+// restructure performs one structural change (directory doubling or segment
+// split) for the segment currently owning k, under the EH write lock, after
+// revalidating that the overflow still exists.
+func (e *eh) restructure(k uint64) {
+	if e.conc {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	s := e.dir[e.dirIndex(k)]
+	if e.conc {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	_, _, exists, full := s.findSlot(k)
+	if exists || !full {
+		return // another thread already made room
+	}
+	if s.ld == e.gd {
+		t0 := time.Now()
+		if int(e.gd) >= maxDirDepth {
+			// The directory cannot usefully resolve this key cluster;
+			// rebalance (and if genuinely full, grow past Limit_seg)
+			// instead of doubling forever.
+			e.forceRebalance(s)
+			return
+		}
+		e.doubleDirectory()
+		e.stats.doublings.Add(1)
+		e.stats.doubleNS.Add(int64(time.Since(t0)))
+		return
+	}
+	e.splitSegment(s)
+}
+
+// forceRebalance is the escape hatch used when the directory-depth guard
+// refuses further doubling: it redistributes the segment's keys with a
+// bucket allocation refreshed from the observed per-sub-range counts,
+// growing the segment (ignoring Limit_seg) only when it is genuinely full.
+// Growing on every trip would balloon capacity unboundedly under
+// insert-at-a-boundary patterns whose overflow is local, not global.
+func (e *eh) forceRebalance(s *segment) {
+	t0 := time.Now()
+	nb := s.nb
+	if s.util() >= e.opts.UtilThreshold {
+		nb *= 2
+		s.expanded = true
+		e.stats.expansions.Add(1)
+	} else {
+		e.stats.remaps.Add(1)
+	}
+	counts := s.subRangeKeyCounts(s.pbits)
+	cnt := allocSmoothed(counts, nb)
+	ks := make([]uint64, 0, s.total)
+	vs := make([]uint64, 0, s.total)
+	ks, vs = s.appendAll(ks, vs)
+	s.adoptLayout(s.pbits, cnt, nb, ks, vs)
+	e.stats.expandNS.Add(int64(time.Since(t0)))
+}
+
+// allocSmoothed is allocProportional with additive smoothing: key-free
+// sub-ranges keep ~20% of the buckets collectively, so predictions for keys
+// that arrive there later (ascending appends at a frontier are the common
+// case) land on real buckets instead of collapsing onto the segment's edge.
+func allocSmoothed(weights []int, total int) []uint32 {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	eps := (sum + 4*len(weights) - 1) / (4 * len(weights))
+	if eps < 1 {
+		eps = 1
+	}
+	smoothed := make([]int, len(weights))
+	for j, w := range weights {
+		smoothed[j] = w + eps
+	}
+	return allocProportional(smoothed, total)
+}
+
+// forceExpand doubles a segment in place, scaling the remapping function.
+func (e *eh) forceExpand(s *segment) {
+	t0 := time.Now()
+	cnt := make([]uint32, len(s.cnt))
+	for j, c := range s.cnt {
+		cnt[j] = c * 2
+	}
+	ks := make([]uint64, 0, s.total)
+	vs := make([]uint64, 0, s.total)
+	ks, vs = s.appendAll(ks, vs)
+	s.adoptLayout(s.pbits, cnt, s.nb*2, ks, vs)
+	s.expanded = true
+	e.stats.expansions.Add(1)
+	e.stats.expandNS.Add(int64(time.Since(t0)))
+}
+
+func (e *eh) doubleDirectory() {
+	nd := make([]*segment, len(e.dir)*2)
+	for i, s := range e.dir {
+		nd[2*i] = s
+		nd[2*i+1] = s
+	}
+	e.dir = nd
+	e.gd++
+}
+
+// splitSegment divides s into two children at the midpoint of its key range.
+// Each child is sized to fit its keys and then doubled (capped by Limit_seg),
+// and its bucket allocation follows the observed per-sub-range key counts so
+// the remapping-function slopes carry over. Caller holds the EH write lock
+// and the segment lock (in concurrent mode).
+func (e *eh) splitSegment(s *segment) {
+	t0 := time.Now()
+	nld := s.ld + 1
+	halfBits := s.rangeBits - 1
+	mid := s.base + 1<<halfBits
+
+	ks := make([]uint64, 0, s.total)
+	vs := make([]uint64, 0, s.total)
+	ks, vs = s.appendAll(ks, vs)
+	cut := sort.Search(len(ks), func(i int) bool { return ks[i] >= mid })
+
+	childPb := s.pbits
+	if childPb > 0 {
+		childPb--
+	}
+	left := e.buildChild(nld, halfBits, s.base, childPb, ks[:cut], vs[:cut])
+	right := e.buildChild(nld, halfBits, mid, childPb, ks[cut:], vs[cut:])
+	left.expanded, right.expanded = s.expanded, s.expanded
+
+	right.next.Store(s.next.Load())
+	left.next.Store(right)
+
+	span := 1 << (e.gd - s.ld)
+	first := int((s.base - e.base) >> (e.suffixBits - e.gd))
+	if first > 0 {
+		e.dir[first-1].next.Store(left)
+	}
+	half := span / 2
+	for i := 0; i < half; i++ {
+		e.dir[first+i] = left
+	}
+	for i := half; i < span; i++ {
+		e.dir[first+i] = right
+	}
+	e.stats.splits.Add(1)
+	e.stats.splitNS.Add(int64(time.Since(t0)))
+
+	// Adaptive Limit_seg (§3.3 "Selecting a segment size"): the first time a
+	// segment reaches L' = L_start + 2, inspect the portion of segments
+	// that have undergone expansion; a large portion means a uniform-ish
+	// distribution, so allow much larger segments.
+	if !e.adaptDone && int(nld) >= e.opts.StartDepth+2 && !e.opts.DisableAdaptiveLimit {
+		e.adaptDone = true
+		var total, exp int
+		var prev *segment
+		for _, sg := range e.dir {
+			if sg == prev {
+				continue
+			}
+			prev = sg
+			total++
+			if sg.expanded {
+				exp++
+			}
+		}
+		if total > 0 && float64(exp)/float64(total) >= DefaultAdaptiveFrac {
+			e.limitMult.Store(int32(e.opts.AdaptiveMult))
+		}
+	}
+}
+
+// buildChild creates a split child covering [base, base+2^rangeBits) holding
+// the given ascending pairs.
+func (e *eh) buildChild(ld, rangeBits uint8, base uint64, pbits uint8, ks, vs []uint64) *segment {
+	bcap := e.opts.BucketEntries
+	fit := (len(ks) + bcap - 1) / bcap
+	if fit == 0 {
+		fit = 1
+	}
+	nb := 2 * fit
+	if lim := e.maxBuckets(ld); nb > lim {
+		nb = lim
+	}
+	if nb < fit {
+		nb = fit
+	}
+	if pbits > rangeBits {
+		pbits = rangeBits
+	}
+	c := newSegment(ld, rangeBits, base, nb, bcap, pbits)
+	if c.pbits > 0 && len(ks) > 0 {
+		counts := histogram(ks, base, rangeBits, c.pbits)
+		c.cnt = allocProportional(counts, nb)
+		c.start = prefixSums(c.cnt)
+	}
+	c.adoptLayout(c.pbits, c.cnt, nb, ks, vs)
+	return c
+}
+
+// histogram counts ascending keys per 2^pbits equal sub-range of
+// [base, base+2^rangeBits).
+func histogram(ks []uint64, base uint64, rangeBits, pbits uint8) []int {
+	out := make([]int, 1<<pbits)
+	shift := rangeBits - pbits
+	for _, k := range ks {
+		out[(k-base)>>shift]++
+	}
+	return out
+}
+
+// allocProportional distributes total buckets across sub-ranges in proportion
+// to their key counts (even split when no keys), using cumulative rounding so
+// the counts sum exactly to total.
+func allocProportional(weights []int, total int) []uint32 {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]uint32, len(weights))
+	if sum == 0 {
+		evenSplit(out, total)
+		return out
+	}
+	cum, prevAlloc := 0, 0
+	for j, w := range weights {
+		cum += w
+		alloc := int(int64(total) * int64(cum) / int64(sum))
+		out[j] = uint32(alloc - prevAlloc)
+		prevAlloc = alloc
+	}
+	return out
+}
+
+// expand doubles the segment in place, scaling the remapping function
+// (doubling every sub-range's bucket count). Caller holds the segment lock.
+func (e *eh) expand(s *segment) bool {
+	if s.nb*2 > e.maxBuckets(s.ld) {
+		return false
+	}
+	e.forceExpand(s)
+	return true
+}
+
+// remap adjusts the segment's remapping function to relieve the skew around
+// key k (§3.3 "Remapping"): it refines sub-ranges until the target sub-range
+// is dense, then doubles the target's bucket share by stealing buckets from
+// under-utilized sub-ranges, growing the segment only if stealing cannot
+// cover the need. Caller holds the segment lock.
+func (e *eh) remap(s *segment, k uint64) bool {
+	t0 := time.Now()
+	ut := e.opts.UtilThreshold
+	bcap := float64(s.bcap)
+
+	pb := s.pbits
+	cnt := append([]uint32(nil), s.cnt...)
+	counts := s.subRangeKeyCounts(pb)
+
+	maxPb := uint8(e.opts.MaxSubRangeBits)
+	if maxPb > s.rangeBits {
+		maxPb = s.rangeBits
+	}
+	if !e.opts.DisableRefinement {
+		for pb < maxPb {
+			t := int((k - s.base) >> (s.rangeBits - pb))
+			if cnt[t] == 0 || float64(counts[t])/(float64(cnt[t])*bcap) > ut {
+				break // target sub-range is dense enough to isolate the skew
+			}
+			// Refine: split every sub-range in two, dividing its buckets in
+			// proportion to the key counts of its halves.
+			fine := s.subRangeKeyCounts(pb + 1)
+			ncnt := make([]uint32, 2<<pb)
+			for j, c := range cnt {
+				n0, n1 := fine[2*j], fine[2*j+1]
+				var c0 uint32
+				if n0+n1 == 0 {
+					c0 = c / 2
+				} else {
+					c0 = uint32(int64(c) * int64(n0) / int64(n0+n1))
+				}
+				ncnt[2*j], ncnt[2*j+1] = c0, c-c0
+			}
+			pb++
+			cnt, counts = ncnt, fine
+		}
+	}
+
+	t := int((k - s.base) >> (s.rangeBits - pb))
+	need := int(cnt[t])
+	// Doubling a heavily-refined target can mean adding a bucket or two,
+	// which a hot insertion point (e.g. an append frontier) exhausts within
+	// a few dozen keys — and every remap costs a full segment rebuild. A
+	// floor of nb/16 keeps the absorbed-inserts-per-rebuild proportional to
+	// the rebuild cost, amortizing remapping to O(1) copies per insert.
+	if m := s.nb / 16; need < m {
+		need = m
+	}
+	if need == 0 {
+		need = 1
+	}
+
+	// Compute how many buckets each low-utilization sub-range can donate
+	// while still fitting its keys.
+	avail := 0
+	donate := make([]int, len(cnt))
+	for j := range cnt {
+		if j == t || cnt[j] == 0 {
+			continue
+		}
+		if float64(counts[j])/(float64(cnt[j])*bcap) < ut {
+			minNeed := (counts[j] + s.bcap - 1) / s.bcap
+			if g := int(cnt[j]) - minNeed; g > 0 {
+				donate[j] = g
+				avail += g
+			}
+		}
+	}
+
+	nb := s.nb
+	if avail >= need {
+		rem := need
+		for j, g := range donate {
+			if rem == 0 {
+				break
+			}
+			if g > rem {
+				g = rem
+			}
+			cnt[j] -= uint32(g)
+			rem -= g
+		}
+		cnt[t] += uint32(need)
+	} else {
+		// Stealing cannot cover the need: grow the segment so the target
+		// sub-range's share doubles, if Limit_seg allows.
+		nb += need
+		if nb > e.maxBuckets(s.ld) {
+			e.stats.remapFails.Add(1)
+			return false
+		}
+		cnt[t] += uint32(need)
+	}
+
+	ks := make([]uint64, 0, s.total)
+	vs := make([]uint64, 0, s.total)
+	ks, vs = s.appendAll(ks, vs)
+	s.adoptLayout(pb, cnt, nb, ks, vs)
+	e.stats.remaps.Add(1)
+	e.stats.remapNS.Add(int64(time.Since(t0)))
+	return true
+}
+
+// delete removes k if present. Deep under-utilization triggers a shrink, the
+// inverse of remapping (§3.3 "Deletion").
+func (e *eh) delete(k uint64) bool {
+	if e.conc {
+		e.mu.RLock()
+	}
+	s := e.dir[e.dirIndex(k)]
+	if e.conc {
+		s.mu.Lock()
+		e.mu.RUnlock()
+		defer s.mu.Unlock()
+	}
+	bi, pos, exists, _ := s.findSlot(k)
+	if !exists {
+		return false
+	}
+	s.removeAt(bi, pos)
+	e.total.Add(-1)
+
+	if s.nb > 1 && s.util() < 0.2 {
+		target := int(float64(s.total)/(float64(s.bcap)*e.opts.UtilThreshold)) + 1
+		if target <= s.nb/2 {
+			counts := s.subRangeKeyCounts(s.pbits)
+			cnt := allocProportional(counts, target)
+			ks := make([]uint64, 0, s.total)
+			vs := make([]uint64, 0, s.total)
+			ks, vs = s.appendAll(ks, vs)
+			s.adoptLayout(s.pbits, cnt, target, ks, vs)
+		}
+	}
+	return true
+}
+
+// scan appends up to max pairs with key >= start from this EH, walking the
+// segment sibling chain. It returns the extended slice.
+func (e *eh) scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	if start < e.base {
+		start = e.base
+	}
+	if e.conc {
+		e.mu.RLock()
+	}
+	s := e.dir[e.dirIndex(start)]
+	if e.conc {
+		s.mu.RLock()
+		e.mu.RUnlock()
+	}
+	bi, pos := s.lowerBound(start)
+	taken := 0
+	for {
+		if bi >= 0 {
+			for ; bi < s.nb && taken < max; bi, pos = bi+1, 0 {
+				off := bi * s.bcap
+				n := int(s.sz[bi])
+				for ; pos < n && taken < max; pos++ {
+					dst = append(dst, kv.KV{Key: s.keys[off+pos], Value: s.vals[off+pos]})
+					taken++
+				}
+			}
+		}
+		if taken >= max {
+			break
+		}
+		nxt := s.next.Load()
+		if nxt == nil {
+			break
+		}
+		if e.conc {
+			nxt.mu.RLock()
+			s.mu.RUnlock()
+		}
+		s = nxt
+		bi, pos = 0, 0
+	}
+	if e.conc {
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// lowerBound returns the bucket/position of the first key >= k, or bi=-1 if
+// none exists in the segment.
+func (s *segment) lowerBound(k uint64) (int, int) {
+	if s.total == 0 {
+		return -1, 0
+	}
+	c := s.candidate(k, s.predict(k))
+	if c < 0 {
+		return s.firstNonEmpty(), 0
+	}
+	ks := s.bucketKeys(c)
+	i := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+	if i < len(ks) {
+		return c, i
+	}
+	return s.nextNonEmpty(c), 0
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"dytis/internal/kv"
+)
+
+// FuzzOps drives DyTIS from a raw byte script — each 10-byte record is one
+// operation (1 op byte, 8 key bytes, 1 value byte) — and checks exact
+// agreement with a map + sorted-slice reference, plus structural invariants.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzOps ./internal/core`
+// explores further.
+func FuzzOps(f *testing.F) {
+	// Seeds: ascending, descending, clustered, wide, mixed op types.
+	asc := make([]byte, 0, 600)
+	desc := make([]byte, 0, 600)
+	clustered := make([]byte, 0, 600)
+	var rec [10]byte
+	for i := 0; i < 60; i++ {
+		rec[0] = byte(i % 3)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(i))
+		asc = append(asc, rec[:]...)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(1000-i))
+		desc = append(desc, rec[:]...)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(i%4)<<60|uint64(i%8))
+		clustered = append(clustered, rec[:]...)
+	}
+	f.Add(asc)
+	f.Add(desc)
+	f.Add(clustered)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 40000 {
+			data = data[:40000] // bound runtime
+		}
+		d := New(Options{FirstLevelBits: 2, BucketEntries: 8, StartDepth: 2})
+		ref := map[uint64]uint64{}
+		for off := 0; off+10 <= len(data); off += 10 {
+			op := data[off]
+			key := binary.LittleEndian.Uint64(data[off+1 : off+9])
+			val := uint64(data[off+9])
+			switch op % 4 {
+			case 0, 1:
+				d.Insert(key, val)
+				ref[key] = val
+			case 2:
+				_, in := ref[key]
+				if d.Delete(key) != in {
+					t.Fatalf("delete disagreement on %#x", key)
+				}
+				delete(ref, key)
+			case 3:
+				gv, gok := d.Get(key)
+				rv, rok := ref[key]
+				if gok != rok || (gok && gv != rv) {
+					t.Fatalf("get disagreement on %#x: %d,%v want %d,%v",
+						key, gv, gok, rv, rok)
+				}
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("Len=%d want %d", d.Len(), len(ref))
+		}
+		if err := d.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Full ordered traversal matches the sorted reference.
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := d.Scan(0, len(ref)+1, make([]kv.KV, 0, len(ref)))
+		if len(got) != len(keys) {
+			t.Fatalf("scan %d want %d", len(got), len(keys))
+		}
+		for i, k := range keys {
+			if got[i].Key != k || got[i].Value != ref[k] {
+				t.Fatalf("scan[%d] = %+v want {%d %d}", i, got[i], k, ref[k])
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package core
+
+import "dytis/internal/kv"
+
+// Min returns the smallest key/value pair, or ok=false when empty.
+func (d *DyTIS) Min() (kv.KV, bool) {
+	var buf [1]kv.KV
+	out := d.Scan(0, 1, buf[:0])
+	if len(out) == 0 {
+		return kv.KV{}, false
+	}
+	return out[0], true
+}
+
+// Max returns the largest key/value pair, or ok=false when empty.
+func (d *DyTIS) Max() (kv.KV, bool) {
+	for i := len(d.ehs) - 1; i >= 0; i-- {
+		if p, ok := d.ehs[i].maxPair(); ok {
+			return p, true
+		}
+	}
+	return kv.KV{}, false
+}
+
+// maxPair returns the EH's largest pair by walking the directory from the
+// top; directory entries for the same segment are contiguous, so stepping by
+// the segment's span visits each segment once.
+func (e *eh) maxPair() (kv.KV, bool) {
+	if e.conc {
+		e.mu.RLock()
+	}
+	for i := len(e.dir) - 1; i >= 0; {
+		s := e.dir[i]
+		if e.conc {
+			s.mu.RLock()
+		}
+		p, ok := s.maxPair()
+		if e.conc {
+			s.mu.RUnlock()
+		}
+		if ok {
+			if e.conc {
+				e.mu.RUnlock()
+			}
+			return p, true
+		}
+		i -= 1 << (e.gd - s.ld) // skip the rest of this segment's run
+	}
+	if e.conc {
+		e.mu.RUnlock()
+	}
+	return kv.KV{}, false
+}
+
+func (s *segment) maxPair() (kv.KV, bool) {
+	for bi := s.nb - 1; bi >= 0; bi-- {
+		if n := int(s.sz[bi]); n > 0 {
+			off := bi*s.bcap + n - 1
+			return kv.KV{Key: s.keys[off], Value: s.vals[off]}, true
+		}
+	}
+	return kv.KV{}, false
+}
+
+// Successor returns the smallest pair with key >= k.
+func (d *DyTIS) Successor(k uint64) (kv.KV, bool) {
+	var buf [1]kv.KV
+	out := d.Scan(k, 1, buf[:0])
+	if len(out) == 0 {
+		return kv.KV{}, false
+	}
+	return out[0], true
+}
+
+// Cursor iterates pairs in ascending key order. It reads the index in small
+// chunks, so under concurrency it observes each segment atomically but is
+// not a point-in-time snapshot (same semantics as Scan).
+type Cursor struct {
+	d    *DyTIS
+	buf  []kv.KV
+	pos  int
+	next uint64 // next start key
+	done bool
+}
+
+// cursorChunk is the number of pairs fetched per refill.
+const cursorChunk = 128
+
+// NewCursor returns a cursor positioned at the first key >= start.
+func (d *DyTIS) NewCursor(start uint64) *Cursor {
+	return &Cursor{d: d, next: start}
+}
+
+// Next returns the next pair in order, or ok=false at the end.
+func (c *Cursor) Next() (kv.KV, bool) {
+	if c.pos >= len(c.buf) {
+		if c.done {
+			return kv.KV{}, false
+		}
+		c.buf = c.d.Scan(c.next, cursorChunk, c.buf[:0])
+		c.pos = 0
+		if len(c.buf) == 0 {
+			c.done = true
+			return kv.KV{}, false
+		}
+		last := c.buf[len(c.buf)-1].Key
+		if last == ^uint64(0) || len(c.buf) < cursorChunk {
+			c.done = true
+		} else {
+			c.next = last + 1
+		}
+	}
+	p := c.buf[c.pos]
+	c.pos++
+	return p, true
+}
+
+// Seek repositions the cursor at the first key >= k.
+func (c *Cursor) Seek(k uint64) {
+	c.buf = c.buf[:0]
+	c.pos = 0
+	c.next = k
+	c.done = false
+}

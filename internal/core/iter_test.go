@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxSuccessor(t *testing.T) {
+	d := New(smallOpts())
+	if _, ok := d.Min(); ok {
+		t.Fatal("Min of empty index")
+	}
+	if _, ok := d.Max(); ok {
+		t.Fatal("Max of empty index")
+	}
+	keys := []uint64{5, 1 << 30, 7, 1 << 62, 42, 3}
+	for _, k := range keys {
+		d.Insert(k, k*2)
+	}
+	if p, ok := d.Min(); !ok || p.Key != 3 || p.Value != 6 {
+		t.Fatalf("Min = %+v, %v", p, ok)
+	}
+	if p, ok := d.Max(); !ok || p.Key != 1<<62 {
+		t.Fatalf("Max = %+v, %v", p, ok)
+	}
+	if p, ok := d.Successor(8); !ok || p.Key != 42 {
+		t.Fatalf("Successor(8) = %+v", p)
+	}
+	if p, ok := d.Successor(42); !ok || p.Key != 42 {
+		t.Fatalf("Successor(42) = %+v (must be inclusive)", p)
+	}
+	if _, ok := d.Successor(1<<62 + 1); ok {
+		t.Fatal("Successor past max")
+	}
+}
+
+func TestMaxAfterDeletingMax(t *testing.T) {
+	d := New(smallOpts())
+	for i := uint64(1); i <= 1000; i++ {
+		d.Insert(i, i)
+	}
+	for i := uint64(1000); i > 990; i-- {
+		d.Delete(i)
+		want := i - 1
+		if p, ok := d.Max(); !ok || p.Key != want {
+			t.Fatalf("Max after deleting %d = %+v want %d", i, p, want)
+		}
+	}
+}
+
+func TestCursorFullTraversal(t *testing.T) {
+	d := New(smallOpts())
+	const n = 20000
+	rng := rand.New(rand.NewSource(9))
+	want := make([]uint64, 0, n)
+	seen := map[uint64]bool{}
+	for len(want) < n {
+		k := rng.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+			d.Insert(k, k^1)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	c := d.NewCursor(0)
+	for i, w := range want {
+		p, ok := c.Next()
+		if !ok || p.Key != w || p.Value != w^1 {
+			t.Fatalf("cursor[%d] = %+v, %v; want key %d", i, p, ok, w)
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor did not terminate")
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor resurrected after end")
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	d := New(smallOpts())
+	for i := uint64(0); i < 1000; i++ {
+		d.Insert(i*10, i)
+	}
+	c := d.NewCursor(0)
+	c.Next()
+	c.Seek(995)
+	p, ok := c.Next()
+	if !ok || p.Key != 1000 {
+		t.Fatalf("after Seek(995): %+v", p)
+	}
+	c.Seek(0)
+	if p, _ := c.Next(); p.Key != 0 {
+		t.Fatalf("after Seek(0): %+v", p)
+	}
+}
+
+func TestCursorAtMaxKey(t *testing.T) {
+	d := New(smallOpts())
+	d.Insert(^uint64(0), 1)
+	d.Insert(^uint64(0)-1, 2)
+	c := d.NewCursor(^uint64(0) - 1)
+	if p, ok := c.Next(); !ok || p.Key != ^uint64(0)-1 {
+		t.Fatalf("first: %+v", p)
+	}
+	if p, ok := c.Next(); !ok || p.Key != ^uint64(0) {
+		t.Fatalf("second: %+v", p)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor overflowed past MaxUint64")
+	}
+}
+
+func TestLoadSortedMatchesInserted(t *testing.T) {
+	const n = 50000
+	rng := rand.New(rand.NewSource(4))
+	keys := make([]uint64, 0, n)
+	seen := map[uint64]bool{}
+	for len(keys) < n {
+		k := rng.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = keys[i] + 1
+	}
+	d := New(smallOpts())
+	d.LoadSorted(keys, vals)
+	if d.Len() != n {
+		t.Fatalf("Len=%d want %d", d.Len(), n)
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 37 {
+		v, ok := d.Get(keys[i])
+		if !ok || v != vals[i] {
+			t.Fatalf("Get(%#x) = %d,%v", keys[i], v, ok)
+		}
+	}
+	got := d.Scan(0, n+1, nil)
+	if len(got) != n {
+		t.Fatalf("scan %d want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i].Key != keys[i] {
+			t.Fatalf("scan[%d] = %d want %d", i, got[i].Key, keys[i])
+		}
+	}
+	// The structure stays fully operational after a bulk load.
+	d.Insert(keys[0]+1, 777) // likely new key between existing ones
+	for i := uint64(0); i < 5000; i++ {
+		d.Insert(i<<40|7, i)
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSortedRejectsUnsorted(t *testing.T) {
+	d := New(smallOpts())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.LoadSorted([]uint64{2, 1}, []uint64{0, 0})
+}
+
+func TestLoadSortedEmpty(t *testing.T) {
+	d := New(smallOpts())
+	d.LoadSorted(nil, nil)
+	if d.Len() != 0 {
+		t.Fatal("nonzero len")
+	}
+	d.Insert(1, 1)
+	if _, ok := d.Get(1); !ok {
+		t.Fatal("unusable after empty load")
+	}
+}
+
+// Property: cursor traversal equals sorted reference for random key sets.
+func TestQuickCursorMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(smallOpts())
+		ref := map[uint64]uint64{}
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(5000)) << uint(rng.Intn(40))
+			ref[k] = k
+			d.Insert(k, k)
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		c := d.NewCursor(0)
+		for _, w := range keys {
+			p, ok := c.Next()
+			if !ok || p.Key != w {
+				return false
+			}
+		}
+		_, ok := c.Next()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

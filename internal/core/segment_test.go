@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildSegment creates a segment holding the given ascending keys with a
+// count-proportional allocation — the states rebuilds produce.
+func buildSegment(t testing.TB, rangeBits uint8, nb, bcap int, pbits uint8, keys []uint64) *segment {
+	s := newSegment(0, rangeBits, 0, nb, bcap, pbits)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = keys[i] + 1
+	}
+	s.adoptLayout(s.pbits, s.cnt, nb, keys, vals)
+	if err := s.checkInvariants(); err != nil {
+		t.Fatalf("buildSegment: %v", err)
+	}
+	return s
+}
+
+func ascKeys(n int, gap uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i+1) * gap
+	}
+	return out
+}
+
+func TestEvenSplit(t *testing.T) {
+	cnt := make([]uint32, 4)
+	evenSplit(cnt, 10)
+	want := []uint32{3, 3, 2, 2}
+	for i := range want {
+		if cnt[i] != want[i] {
+			t.Fatalf("evenSplit = %v", cnt)
+		}
+	}
+}
+
+func TestAllocProportionalSumsExactly(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = rng.Intn(100)
+		}
+		total := 1 + rng.Intn(1000)
+		out := allocProportional(w, total)
+		sum := uint32(0)
+		for _, c := range out {
+			sum += c
+		}
+		if int(sum) != total {
+			return false
+		}
+		// Smoothed variant must also sum exactly and give every sub-range
+		// weight when others dominate.
+		out2 := allocSmoothed(w, total)
+		sum = 0
+		for _, c := range out2 {
+			sum += c
+		}
+		return int(sum) == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocSmoothedReservesForEmptyRanges(t *testing.T) {
+	// One sub-range has all the keys; smoothing must still leave buckets
+	// for the others.
+	w := []int{1000, 0, 0, 0}
+	out := allocSmoothed(w, 40)
+	if out[1] == 0 || out[3] == 0 {
+		t.Fatalf("smoothing left empty ranges bucketless: %v", out)
+	}
+	if out[0] < out[1] {
+		t.Fatalf("smoothing inverted proportionality: %v", out)
+	}
+}
+
+func TestPredictWithExactBoundaries(t *testing.T) {
+	// 4 sub-ranges, rangeBits 8 (width 256), cnt = [2,4,1,1], nb=8.
+	cnt := []uint32{2, 4, 1, 1}
+	start := prefixSums(cnt)
+	probe := func(r uint64) int { return predictWith(r, 8, 2, cnt, start, 8) }
+	if got := probe(0); got != 0 {
+		t.Fatalf("predict(0)=%d", got)
+	}
+	if got := probe(63); got != 1 { // end of sub-range 0: 63/64*2 = 1
+		t.Fatalf("predict(63)=%d", got)
+	}
+	if got := probe(64); got != 2 { // start of sub-range 1
+		t.Fatalf("predict(64)=%d", got)
+	}
+	if got := probe(128); got != 6 { // start of sub-range 2
+		t.Fatalf("predict(128)=%d", got)
+	}
+	if got := probe(255); got != 7 { // last key -> last bucket
+		t.Fatalf("predict(255)=%d", got)
+	}
+}
+
+func TestCandidateAgainstLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 2 + rng.Intn(30)
+		bcap := 4
+		// Sparse random keys leave plenty of empty buckets.
+		n := rng.Intn(nb * bcap / 2)
+		keySet := map[uint64]bool{}
+		for len(keySet) < n {
+			keySet[uint64(rng.Intn(1<<16))] = true
+		}
+		keys := make([]uint64, 0, n)
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		s := buildSegment(t, 16, nb, bcap, uint8(rng.Intn(3)), keys)
+		for probe := 0; probe < 200; probe++ {
+			k := uint64(rng.Intn(1 << 16))
+			got := s.candidate(k, s.predict(k))
+			// Reference: last non-empty bucket with first key <= k.
+			want := -1
+			for j := 0; j < s.nb; j++ {
+				if s.sz[j] > 0 && s.firstKey(j) <= k {
+					want = j
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeRoomPreservesOrderAndContent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 4 + rng.Intn(12)
+		bcap := 4
+		n := nb * bcap * 3 / 4
+		keys := ascKeys(n, 3)
+		s := buildSegment(t, 16, nb, bcap, 2, keys)
+		// Fill one bucket to capacity by targeted inserts, then makeRoom.
+		for tries := 0; tries < 50; tries++ {
+			full := -1
+			for j := 0; j < s.nb; j++ {
+				if int(s.sz[j]) == bcap {
+					full = j
+					break
+				}
+			}
+			if full < 0 {
+				// Force one: insert next to an existing key.
+				k := keys[rng.Intn(len(keys))] + 1
+				bi, pos, exists, fullFlag := s.findSlot(k)
+				if !exists && !fullFlag {
+					s.insertAt(bi, pos, k, k)
+				}
+				continue
+			}
+			before := s.total
+			if !s.makeRoom(full, s.nb) {
+				return true // nothing to borrow: segment truly full
+			}
+			if s.total != before {
+				return false
+			}
+			if int(s.sz[full]) >= bcap {
+				return false // makeRoom must free a slot in the target
+			}
+			if s.checkInvariants() != nil {
+				return false
+			}
+		}
+		return s.checkInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeRoomFailsWhenSegmentFull(t *testing.T) {
+	keys := ascKeys(16, 2)
+	s := buildSegment(t, 12, 4, 4, 0, keys) // 4x4 completely full
+	if s.makeRoom(1, 4) {
+		t.Fatal("makeRoom succeeded on a full segment")
+	}
+}
+
+func TestFKCacheMaintainedUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := buildSegment(t, 20, 16, 4, 2, ascKeys(30, 11))
+	live := map[uint64]uint64{}
+	for _, k := range ascKeys(30, 11) {
+		live[k] = k + 1
+	}
+	for op := 0; op < 5000; op++ {
+		k := uint64(rng.Intn(1 << 9))
+		bi, pos, exists, full := s.findSlot(k)
+		switch {
+		case exists && rng.Intn(2) == 0:
+			s.removeAt(bi, pos)
+			delete(live, k)
+		case !exists && !full && s.total < s.nb*s.bcap:
+			s.insertAt(bi, pos, k, k+1)
+			live[k] = k + 1
+		}
+		if op%500 == 0 {
+			if err := s.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.total != len(live) {
+		t.Fatalf("total=%d want %d", s.total, len(live))
+	}
+	for k, v := range live {
+		got, ok := s.get(k)
+		if !ok || got != v {
+			t.Fatalf("get(%d) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestAdoptLayoutRespectsThreshHeadroom(t *testing.T) {
+	// With 2x slack, no bucket should exceed the 75% spill threshold.
+	keys := ascKeys(64, 5)
+	s := buildSegment(t, 16, 32, 4, 2, keys) // capacity 128 for 64 keys
+	for j := 0; j < s.nb; j++ {
+		if int(s.sz[j]) == s.bcap {
+			t.Fatalf("bucket %d packed to capacity despite slack", j)
+		}
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	s := buildSegment(t, 16, 8, 4, 1, ascKeys(20, 7)) // keys 7,14,...,140
+	if got := s.countBelow(0); got != 0 {
+		t.Fatalf("countBelow(0)=%d", got)
+	}
+	if got := s.countBelow(50); got != 7 { // 7..49: 7 keys
+		t.Fatalf("countBelow(50)=%d", got)
+	}
+	if got := s.countBelow(1 << 15); got != 20 {
+		t.Fatalf("countBelow(max)=%d", got)
+	}
+}
+
+func TestSubRangeOfAndHistogram(t *testing.T) {
+	s := buildSegment(t, 8, 4, 4, 2, []uint64{1, 2, 100, 200, 250})
+	counts := s.subRangeKeyCounts(2)
+	want := []int{2, 1, 0, 2} // width 64: {1,2}, {100}, {}, {200,250}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts=%v want %v", counts, want)
+		}
+	}
+	if s.subRangeOf(100) != 1 || s.subRangeOf(255) != 3 {
+		t.Fatal("subRangeOf wrong")
+	}
+}

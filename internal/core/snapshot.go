@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: a little-endian header (magic, version, count) followed
+// by count (key, value) pairs in ascending key order. Reading rebuilds the
+// index through the LoadSorted fast path.
+const (
+	snapshotMagic   = 0x5359_5444 // "DTYS"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot streams the index contents to w in ascending key order.
+// Must not run concurrently with writers (readers are fine in concurrent
+// mode, but the snapshot is only point-in-time when the index is quiescent).
+func (d *DyTIS) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(d.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	written := 0
+	c := d.NewCursor(0)
+	for {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], p.Key)
+		binary.LittleEndian.PutUint64(rec[8:16], p.Value)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		written++
+	}
+	if written != int(binary.LittleEndian.Uint64(hdr[8:16])) {
+		return fmt.Errorf("core: snapshot raced with writers: wrote %d of %d pairs",
+			written, binary.LittleEndian.Uint64(hdr[8:16]))
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot replaces the index contents with a snapshot written by
+// WriteSnapshot. Must not run concurrently with any other operation.
+func (d *DyTIS) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != snapshotMagic {
+		return fmt.Errorf("core: not a DyTIS snapshot")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > 1<<40 {
+		return fmt.Errorf("core: implausible snapshot size %d", n)
+	}
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	var rec [16]byte
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("core: snapshot pair %d: %w", i, err)
+		}
+		k := binary.LittleEndian.Uint64(rec[0:8])
+		if i > 0 && k <= prev {
+			return fmt.Errorf("core: snapshot keys not ascending at %d", i)
+		}
+		prev = k
+		keys[i] = k
+		vals[i] = binary.LittleEndian.Uint64(rec[8:16])
+	}
+	d.LoadSorted(keys, vals)
+	return nil
+}

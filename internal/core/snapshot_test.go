@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := New(smallOpts())
+	rng := rand.New(rand.NewSource(2))
+	ref := map[uint64]uint64{}
+	for i := 0; i < 30000; i++ {
+		k := rng.Uint64()
+		v := rng.Uint64()
+		d.Insert(k, v)
+		ref[k] = v
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 16+16*len(ref) {
+		t.Fatalf("snapshot size %d want %d", buf.Len(), 16+16*len(ref))
+	}
+	d2 := New(smallOpts())
+	if err := d2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", d2.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := d2.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%#x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if err := d2.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restored index remains writable.
+	d2.Insert(12345, 1)
+	if _, ok := d2.Get(12345); !ok {
+		t.Fatal("restored index not writable")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	d := New(smallOpts())
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(smallOpts())
+	d2.Insert(1, 1) // will be replaced
+	if err := d2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 0 {
+		t.Fatalf("Len=%d want 0", d2.Len())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	d := New(smallOpts())
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": strings.Repeat("x", 64),
+	}
+	for name, in := range cases {
+		if err := d.ReadSnapshot(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: ReadSnapshot accepted garbage", name)
+		}
+	}
+}
+
+func TestSnapshotRejectsTruncated(t *testing.T) {
+	d := New(smallOpts())
+	for i := uint64(0); i < 100; i++ {
+		d.Insert(i, i)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	d2 := New(smallOpts())
+	if err := d2.ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+}

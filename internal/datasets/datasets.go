@@ -1,0 +1,300 @@
+// Package datasets generates the synthetic stand-ins for the five real-world
+// datasets of the DyTIS paper (Table 1) plus the Group-2 shuffled variants
+// and the Group-3 simple datasets of Figure 1.
+//
+// The real datasets (OpenStreetMap extracts, Amazon reviews, NYC TLC taxi
+// trips) are not redistributable here, so each generator reproduces the
+// dynamic characteristics the paper measures instead: the *variance of
+// skewness* (how unevenly keys cover the key space) and the *key
+// distribution divergence* (how the distribution of arriving keys drifts
+// over insertion time). See DESIGN.md §3 for the substitution rationale.
+//
+// Every generator returns keys in INSERTION ORDER (order carries the KDD
+// signal) and guarantees uniqueness by reserving the low bits of each key
+// for a sequence counter — a sub-1e-5 relative perturbation at the scales
+// used.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Spec describes one dataset: its paper-scale size and its generator.
+type Spec struct {
+	Name string
+	// Desc matches the paper's Table 1 description.
+	Desc string
+	// PaperMKeys is the paper's dataset size in millions of keys; generators
+	// are invoked with n = PaperMKeys * 1e6 * scale.
+	PaperMKeys float64
+	// Skew and KDD are the paper's low/medium/high classifications.
+	Skew, KDD byte
+	// Gen produces n unique keys in insertion order.
+	Gen func(n int, seed int64) []uint64
+}
+
+// Count returns the number of keys at the given scale (fraction of the
+// paper-scale dataset), at least 1000.
+func (s Spec) Count(scale float64) int {
+	n := int(s.PaperMKeys * 1e6 * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// The five dynamic datasets of Table 1 (Group 1).
+var (
+	MapM = Spec{Name: "MM", Desc: "map keys, South America-like", PaperMKeys: 356,
+		Skew: 'L', KDD: 'M', Gen: genMap(40, 1)}
+	MapL = Spec{Name: "ML", Desc: "map keys, Africa-like", PaperMKeys: 903,
+		Skew: 'L', KDD: 'M', Gen: genMap(64, 2)}
+	ReviewM = Spec{Name: "RM", Desc: "review keys, deduplicated-like", PaperMKeys: 82,
+		Skew: 'H', KDD: 'L', Gen: genReview(3000, 3)}
+	ReviewL = Spec{Name: "RL", Desc: "review keys, ratings-like", PaperMKeys: 228,
+		Skew: 'H', KDD: 'L', Gen: genReview(8000, 4)}
+	Taxi = Spec{Name: "TX", Desc: "taxi-trip time keys, NYC-like", PaperMKeys: 325,
+		Skew: 'M', KDD: 'H', Gen: genTaxi}
+)
+
+// Group1 is the paper's dynamic dataset suite in its usual order.
+var Group1 = []Spec{MapM, MapL, ReviewM, ReviewL, Taxi}
+
+// Group-3 simple datasets.
+var (
+	Uniform = Spec{Name: "Uniform", Desc: "uniform random keys", PaperMKeys: 356,
+		Skew: 'L', KDD: 'L', Gen: genUniform}
+	Lognormal = Spec{Name: "Lognormal", Desc: "lognormal keys", PaperMKeys: 356,
+		Skew: 'M', KDD: 'L', Gen: genLognormal}
+	Longlat = Spec{Name: "Longlat", Desc: "composed lat/lon keys", PaperMKeys: 356,
+		Skew: 'H', KDD: 'L', Gen: genLonglat}
+	Longitudes = Spec{Name: "Longitudes", Desc: "longitude keys", PaperMKeys: 356,
+		Skew: 'L', KDD: 'L', Gen: genLongitudes}
+)
+
+// Group3 is the paper's simple-dataset suite.
+var Group3 = []Spec{Uniform, Lognormal, Longlat, Longitudes}
+
+// ByName returns the spec for a Group-1/Group-3 dataset name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range append(append([]Spec{}, Group1...), Group3...) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Shuffled returns a Group-2 variant: the same key set inserted in uniformly
+// random order, which removes distribution drift (lowers KDD).
+func Shuffled(s Spec) Spec {
+	inner := s.Gen
+	return Spec{
+		Name: s.Name + "(s)", Desc: s.Desc + ", shuffled order",
+		PaperMKeys: s.PaperMKeys, Skew: s.Skew, KDD: 'L',
+		Gen: func(n int, seed int64) []uint64 {
+			keys := inner(n, seed)
+			rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+			rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+			return keys
+		},
+	}
+}
+
+// seqBits returns how many low bits the sequence counter needs for n keys.
+func seqBits(n int) uint {
+	b := uint(1)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// uniquify composes a sampled "shape" key with the sequence counter in the
+// low bits, guaranteeing uniqueness while preserving the macro distribution.
+func uniquify(shape uint64, i int, bits uint) uint64 {
+	return shape&^(1<<bits-1) | uint64(i)&(1<<bits-1)
+}
+
+func genUniform(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := seqBits(n)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uniquify(rng.Uint64(), i, b)
+	}
+	return out
+}
+
+func genLognormal(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := seqBits(n)
+	out := make([]uint64, n)
+	for i := range out {
+		// mu/sigma chosen so the bulk spans ~2^56 with a long right tail.
+		v := math.Exp(rng.NormFloat64()*2.0 + 36.0)
+		out[i] = uniquify(clampF(v), i, b)
+	}
+	return out
+}
+
+// genMap emulates OSM-derived keys: a mixture of `regions` wide Gaussian
+// blobs over the key space (smooth densities: LOW skew), inserted region by
+// region the way map extracts are loaded as spatial bulks (MEDIUM KDD).
+func genMap(regions int, seedSalt int64) func(int, int64) []uint64 {
+	return func(n int, seed int64) []uint64 {
+		rng := rand.New(rand.NewSource(seed*1315423911 + seedSalt))
+		b := seqBits(n)
+		type region struct {
+			center, width float64
+			weight        float64
+		}
+		regs := make([]region, regions)
+		totalW := 0.0
+		for r := range regs {
+			regs[r] = region{
+				center: rng.Float64() * math.Exp2(63),
+				width:  (0.05 + rng.Float64()*0.15) * math.Exp2(63),
+				weight: 0.3 + rng.Float64(),
+			}
+			totalW += regs[r].weight
+		}
+		out := make([]uint64, 0, n)
+		for r := 0; r < regions && len(out) < n; r++ {
+			cnt := int(float64(n) * regs[r].weight / totalW)
+			if r == regions-1 || len(out)+cnt > n {
+				cnt = n - len(out)
+			}
+			for i := 0; i < cnt; i++ {
+				// Mostly this region, with a sprinkle of earlier regions
+				// (map tiles overlap at boundaries).
+				reg := regs[r]
+				if r > 0 && rng.Intn(10) == 0 {
+					reg = regs[rng.Intn(r+1)]
+				}
+				v := reg.center + rng.NormFloat64()*reg.width
+				out = append(out, uniquify(clampF(v), len(out), b))
+			}
+		}
+		return out
+	}
+}
+
+// genReview emulates concatenated itemID|userID|time keys: `clusters`
+// narrow, Zipf-weighted clusters (HIGH skew) sampled i.i.d. so the arriving
+// distribution is stationary (LOW KDD).
+func genReview(clusters int, seedSalt int64) func(int, int64) []uint64 {
+	return func(n int, seed int64) []uint64 {
+		rng := rand.New(rand.NewSource(seed*2654435761 + seedSalt))
+		b := seqBits(n)
+		centers := make([]float64, clusters)
+		for i := range centers {
+			centers[i] = rng.Float64() * math.Exp2(62)
+		}
+		z := rand.NewZipf(rng, 1.3, 4, uint64(clusters-1))
+		out := make([]uint64, n)
+		for i := range out {
+			c := centers[z.Uint64()]
+			v := c + rng.Float64()*math.Exp2(44) // narrow cluster (user|time suffix)
+			out[i] = uniquify(clampF(v), i, b)
+		}
+		return out
+	}
+}
+
+// genTaxi emulates pickup|dropoff time keys: the key's high bits advance
+// with (simulated) wall-clock time, modulated by diurnal/weekly demand, so
+// consecutive sub-datasets have visibly different distributions (HIGH KDD)
+// with moderate within-window clustering (MEDIUM skew).
+func genTaxi(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed*40503 + 5))
+	b := seqBits(n)
+	out := make([]uint64, n)
+	// Simulated time advances across the whole generation; demand waves
+	// make arrival density non-uniform in time.
+	span := math.Exp2(60)
+	t := 0.0
+	for i := range out {
+		frac := float64(i) / float64(n)
+		// Seasonal demand waves (few, deep) give the key space its lumpy
+		// medium-skew texture; fast diurnal cycles add the within-window
+		// variation. Off-peak troughs leave near-empty time stretches.
+		seasonal := (1 + math.Sin(frac*12*math.Pi)) / 2
+		diurnal := 1 + 0.4*math.Sin(frac*2500*math.Pi)
+		demand := seasonal*seasonal*diurnal + 0.1
+		t += 1.0 / demand
+		pickup := t
+		tripDur := rng.ExpFloat64() * 1000 // drop-off offset (low bits)
+		v := pickup + tripDur
+		out[i] = uniquify(clampF(v*span/(float64(n)*1.6)), i, b)
+	}
+	return out
+}
+
+// genLonglat emulates the ALEX-style compound longitude*180+latitude keys:
+// heavy clustering around populated spots, stationary order (HIGH skew).
+func genLonglat(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed*97 + 11))
+	b := seqBits(n)
+	const spots = 300
+	centers := make([]float64, spots)
+	for i := range centers {
+		centers[i] = rng.Float64() * math.Exp2(62)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		c := centers[rng.Intn(spots)]
+		v := c + rng.NormFloat64()*math.Exp2(38)
+		out[i] = uniquify(clampF(v), i, b)
+	}
+	return out
+}
+
+// genLongitudes emulates 1-D longitude keys: smooth, mildly non-uniform,
+// stationary order (LOW skew).
+func genLongitudes(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed*131 + 13))
+	b := seqBits(n)
+	out := make([]uint64, n)
+	for i := range out {
+		// Sum of two uniforms: triangular density, smooth and wide.
+		v := (rng.Float64() + rng.Float64()) / 2 * math.Exp2(63)
+		out[i] = uniquify(uint64(v), i, b)
+	}
+	return out
+}
+
+// clampF folds a sample into [0, 2^63) by reflecting at the boundaries, so
+// out-of-range tails spread back into the space instead of piling up as a
+// point mass at the edge (which would be an artificial pathological cluster
+// no real dataset has).
+func clampF(v float64) uint64 {
+	lim := math.Exp2(63)
+	for v < 0 || v >= lim {
+		if v < 0 {
+			v = -v
+		}
+		if v >= lim {
+			v = 2*lim - v - 1
+		}
+	}
+	return uint64(v)
+}
+
+// KeyRangeSize returns max-min, Table 1's "key range size" column.
+func KeyRangeSize(keys []uint64) uint64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	min, max := keys[0], keys[0]
+	for _, k := range keys {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	return max - min
+}

@@ -1,0 +1,119 @@
+package datasets
+
+import (
+	"testing"
+
+	"dytis/internal/metrics"
+)
+
+func TestAllGeneratorsProduceUniqueKeys(t *testing.T) {
+	specs := append(append([]Spec{}, Group1...), Group3...)
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			keys := s.Gen(20000, 1)
+			if len(keys) != 20000 {
+				t.Fatalf("generated %d keys", len(keys))
+			}
+			seen := make(map[uint64]bool, len(keys))
+			for _, k := range keys {
+				if seen[k] {
+					t.Fatalf("duplicate key %#x", k)
+				}
+				seen[k] = true
+			}
+		})
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Taxi.Gen(5000, 42)
+	b := Taxi.Gen(5000, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+	c := Taxi.Gen(5000, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestShuffledPreservesKeySet(t *testing.T) {
+	s := Shuffled(ReviewM)
+	orig := ReviewM.Gen(10000, 7)
+	shuf := s.Gen(10000, 7)
+	om := map[uint64]bool{}
+	for _, k := range orig {
+		om[k] = true
+	}
+	moved := 0
+	for i, k := range shuf {
+		if !om[k] {
+			t.Fatalf("shuffled introduced new key %#x", k)
+		}
+		if k != orig[i] {
+			moved++
+		}
+	}
+	if moved < len(orig)/2 {
+		t.Fatalf("shuffle barely moved keys: %d/%d", moved, len(orig))
+	}
+}
+
+func TestCountScaling(t *testing.T) {
+	if got := MapM.Count(0.001); got != 356000 {
+		t.Fatalf("Count(0.001)=%d", got)
+	}
+	if got := MapM.Count(0); got != 1000 {
+		t.Fatalf("floor: %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("TX"); !ok || s.Name != "TX" {
+		t.Fatal("ByName(TX) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("phantom dataset")
+	}
+}
+
+// TestDynamicCharacteristicsMatchPaperClasses checks that the generators
+// land in the paper's Figure-1 groups relative to each other: Review skews
+// hardest, Taxi diverges hardest, shuffling lowers KDD, Uniform is lowest
+// in both.
+func TestDynamicCharacteristicsMatchPaperClasses(t *testing.T) {
+	const n, chunk = 60000, 5000
+	sk := map[string]float64{}
+	kd := map[string]float64{}
+	for _, s := range []Spec{MapM, ReviewM, Taxi, Uniform} {
+		keys := s.Gen(n, 3)
+		sk[s.Name] = metrics.SkewnessVariance(keys, chunk)
+		kd[s.Name] = metrics.KDD(keys, chunk)
+	}
+	if !(sk["RM"] > sk["TX"] && sk["TX"] > sk["Uniform"]) {
+		t.Fatalf("skew ordering wrong: RM=%.2f TX=%.2f MM=%.2f U=%.2f",
+			sk["RM"], sk["TX"], sk["MM"], sk["Uniform"])
+	}
+	if !(sk["RM"] > sk["MM"]) {
+		t.Fatalf("RM should out-skew MM: RM=%.2f MM=%.2f", sk["RM"], sk["MM"])
+	}
+	if !(kd["TX"] > kd["RM"] && kd["TX"] > kd["Uniform"]) {
+		t.Fatalf("KDD ordering wrong: TX=%.3f MM=%.3f RM=%.3f U=%.3f",
+			kd["TX"], kd["MM"], kd["RM"], kd["Uniform"])
+	}
+	// Shuffling drops the KDD of a drifting dataset.
+	shufTX := Shuffled(Taxi).Gen(n, 3)
+	if got := metrics.KDD(shufTX, chunk); got >= kd["TX"]/2 {
+		t.Fatalf("shuffling did not stabilize TX: %.3f vs %.3f", got, kd["TX"])
+	}
+}

@@ -1,0 +1,190 @@
+// Package ehash implements classic Extendible Hashing (Fagin et al., TODS
+// 1979), the baseline labeled "EH" in Figure 9 of the DyTIS paper.
+//
+// Keys are hashed to pseudo-keys with a 64-bit bijective mixer; the directory
+// is indexed by the GD most significant bits of the pseudo-key, and each
+// bucket holds a fixed number of entries kept sorted by pseudo-key so lookups
+// within a bucket are a binary search. Because the hash destroys key order,
+// the structure supports only point operations (no scans) — exactly the
+// limitation the paper's motivation section calls out.
+package ehash
+
+import "sort"
+
+// Mix64 is the 64-bit finalizer of MurmurHash3: a bijective mixing function,
+// so pseudo-keys are unique per key. It is shared with the CCEH baseline.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// DefaultBucketEntries matches the paper's 2 KB bucket: 128 key/value pairs.
+const DefaultBucketEntries = 128
+
+type bucket struct {
+	ld   uint8    // local depth
+	pks  []uint64 // sorted pseudo-keys
+	keys []uint64
+	vals []uint64
+}
+
+func newBucket(ld uint8, cap_ int) *bucket {
+	return &bucket{
+		ld:   ld,
+		pks:  make([]uint64, 0, cap_),
+		keys: make([]uint64, 0, cap_),
+		vals: make([]uint64, 0, cap_),
+	}
+}
+
+// find returns the index of pk and whether it is present.
+func (b *bucket) find(pk uint64) (int, bool) {
+	i := sort.Search(len(b.pks), func(i int) bool { return b.pks[i] >= pk })
+	return i, i < len(b.pks) && b.pks[i] == pk
+}
+
+func (b *bucket) insertAt(i int, pk, k, v uint64) {
+	b.pks = append(b.pks, 0)
+	b.keys = append(b.keys, 0)
+	b.vals = append(b.vals, 0)
+	copy(b.pks[i+1:], b.pks[i:])
+	copy(b.keys[i+1:], b.keys[i:])
+	copy(b.vals[i+1:], b.vals[i:])
+	b.pks[i], b.keys[i], b.vals[i] = pk, k, v
+}
+
+func (b *bucket) removeAt(i int) {
+	b.pks = append(b.pks[:i], b.pks[i+1:]...)
+	b.keys = append(b.keys[:i], b.keys[i+1:]...)
+	b.vals = append(b.vals[:i], b.vals[i+1:]...)
+}
+
+// Table is an extendible hash table. It is not safe for concurrent use.
+type Table struct {
+	dir     []*bucket
+	gd      uint8
+	entries int // per-bucket capacity
+	n       int
+}
+
+// New returns a table whose buckets hold bucketEntries pairs each.
+// bucketEntries <= 0 selects DefaultBucketEntries.
+func New(bucketEntries int) *Table {
+	if bucketEntries <= 0 {
+		bucketEntries = DefaultBucketEntries
+	}
+	t := &Table{gd: 1, entries: bucketEntries}
+	t.dir = []*bucket{newBucket(1, bucketEntries), newBucket(1, bucketEntries)}
+	return t
+}
+
+func (t *Table) dirIndex(pk uint64) uint64 { return pk >> (64 - uint(t.gd)) }
+
+// Get returns the value stored for key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	pk := Mix64(key)
+	b := t.dir[t.dirIndex(pk)]
+	if i, ok := b.find(pk); ok {
+		return b.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores or updates key.
+func (t *Table) Insert(key, value uint64) {
+	pk := Mix64(key)
+	for {
+		b := t.dir[t.dirIndex(pk)]
+		i, ok := b.find(pk)
+		if ok {
+			b.vals[i] = value
+			return
+		}
+		if len(b.pks) < t.entries {
+			b.insertAt(i, pk, key, value)
+			t.n++
+			return
+		}
+		t.split(b)
+	}
+}
+
+// split divides bucket b in two, doubling the directory first if needed.
+func (t *Table) split(b *bucket) {
+	if b.ld == t.gd {
+		t.doubleDirectory()
+	}
+	nld := b.ld + 1
+	left := newBucket(nld, t.entries)
+	right := newBucket(nld, t.entries)
+	// Entries are sorted by pseudo-key; the split bit is the nld-th MSB, so
+	// a single partition point separates the halves.
+	bit := uint64(1) << (64 - uint(nld))
+	cut := sort.Search(len(b.pks), func(i int) bool { return b.pks[i]&bit != 0 })
+	left.pks = append(left.pks, b.pks[:cut]...)
+	left.keys = append(left.keys, b.keys[:cut]...)
+	left.vals = append(left.vals, b.vals[:cut]...)
+	right.pks = append(right.pks, b.pks[cut:]...)
+	right.keys = append(right.keys, b.keys[cut:]...)
+	right.vals = append(right.vals, b.vals[cut:]...)
+
+	// Redirect the directory entries that pointed at b: the first half of
+	// the contiguous run goes to left, the second half to right.
+	span := 1 << (t.gd - b.ld) // number of dir entries pointing to b
+	// First index of the run: prefix of b's pseudo-keys extended with zeros.
+	var first uint64
+	if len(b.pks) > 0 {
+		first = b.pks[0] >> (64 - uint(t.gd)) &^ uint64(span-1)
+	} else {
+		// Empty bucket: locate it by scanning (rare; only via deletes).
+		for i, d := range t.dir {
+			if d == b {
+				first = uint64(i) &^ uint64(span-1)
+				break
+			}
+		}
+	}
+	half := span / 2
+	for i := 0; i < half; i++ {
+		t.dir[first+uint64(i)] = left
+	}
+	for i := half; i < span; i++ {
+		t.dir[first+uint64(i)] = right
+	}
+}
+
+func (t *Table) doubleDirectory() {
+	nd := make([]*bucket, len(t.dir)*2)
+	for i, b := range t.dir {
+		nd[2*i] = b
+		nd[2*i+1] = b
+	}
+	t.dir = nd
+	t.gd++
+}
+
+// Delete removes key, reporting whether it was present. Buckets are not
+// merged on underflow (classic implementations typically do not).
+func (t *Table) Delete(key uint64) bool {
+	pk := Mix64(key)
+	b := t.dir[t.dirIndex(pk)]
+	if i, ok := b.find(pk); ok {
+		b.removeAt(i)
+		t.n--
+		return true
+	}
+	return false
+}
+
+// Len returns the number of live keys.
+func (t *Table) Len() int { return t.n }
+
+// GlobalDepth returns the directory's global depth (for tests/metrics).
+func (t *Table) GlobalDepth() int { return int(t.gd) }
+
+// DirSize returns the number of directory entries.
+func (t *Table) DirSize() int { return len(t.dir) }

@@ -1,0 +1,137 @@
+package ehash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	h := New(8) // tiny buckets to force many splits
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i, i*3)
+	}
+	if h.Len() != n {
+		t.Fatalf("Len=%d want %d", h.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := h.Get(i)
+		if !ok || v != i*3 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := h.Get(n + 5); ok {
+		t.Fatal("found key that was never inserted")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := New(0)
+	h.Insert(42, 1)
+	h.Insert(42, 2)
+	if h.Len() != 1 {
+		t.Fatalf("Len=%d want 1", h.Len())
+	}
+	if v, _ := h.Get(42); v != 2 {
+		t.Fatalf("value=%d want 2", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := New(16)
+	for i := uint64(0); i < 1000; i++ {
+		h.Insert(i, i)
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		if !h.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if h.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if h.Len() != 500 {
+		t.Fatalf("Len=%d want 500", h.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		_, ok := h.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDirectoryGrows(t *testing.T) {
+	h := New(4)
+	for i := uint64(0); i < 4096; i++ {
+		h.Insert(i, i)
+	}
+	if h.GlobalDepth() < 8 {
+		t.Fatalf("global depth %d suspiciously small for 4096 keys / 4-entry buckets", h.GlobalDepth())
+	}
+	if h.DirSize() != 1<<h.GlobalDepth() {
+		t.Fatalf("dir size %d != 2^GD %d", h.DirSize(), 1<<h.GlobalDepth())
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		m := Mix64(i)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, i, m)
+		}
+		seen[m] = i
+	}
+}
+
+func TestAdversarialSequentialAndClustered(t *testing.T) {
+	// Sequential keys and dense clusters are spread by the hash.
+	h := New(32)
+	base := uint64(1) << 60
+	for c := 0; c < 50; c++ {
+		for i := uint64(0); i < 200; i++ {
+			h.Insert(base+uint64(c)*7+i<<3, i)
+		}
+	}
+	if h.Len() == 0 {
+		t.Fatal("no keys")
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(8)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Uint64()
+				h.Insert(k, v)
+				ref[k] = v
+			case 2:
+				_, inRef := ref[k]
+				if h.Delete(k) != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := h.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

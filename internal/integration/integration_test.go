@@ -1,0 +1,240 @@
+// Package integration runs cross-module tests: every index executing the
+// full workload suite over every synthetic dataset, checked for exact result
+// parity against a reference model — the end-to-end counterpart of the
+// per-package unit tests.
+package integration
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dytis/internal/bench"
+	"dytis/internal/core"
+	"dytis/internal/datasets"
+	"dytis/internal/kv"
+	"dytis/internal/workload"
+)
+
+func contenders() []bench.Factory {
+	return []bench.Factory{
+		bench.DyTIS(core.Options{FirstLevelBits: 4, BucketEntries: 16, StartDepth: 3}),
+		bench.ALEX("ALEX"),
+		bench.XIndex(false),
+		bench.BTree(),
+		bench.EH(),
+		bench.CCEH(),
+		bench.PGM(),
+	}
+}
+
+// refModel is the trivially-correct comparison oracle.
+type refModel struct {
+	m map[uint64]uint64
+}
+
+func newRef() *refModel { return &refModel{m: map[uint64]uint64{}} }
+
+func (r *refModel) apply(op workload.Op) {
+	switch op.Type {
+	case workload.OpInsert, workload.OpUpdate:
+		r.m[op.Key] = op.Val
+	case workload.OpRMW:
+		r.m[op.Key] = r.m[op.Key] + op.Val
+	}
+}
+
+func (r *refModel) sortedKeys() []uint64 {
+	out := make([]uint64, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestWorkloadParityAcrossIndexes replays every workload kind over every
+// Group-1 dataset on every index and requires the final state to match the
+// reference exactly (point lookups for all, full ordered scans for the
+// ordered indexes).
+func TestWorkloadParityAcrossIndexes(t *testing.T) {
+	for _, spec := range datasets.Group1 {
+		keys := spec.Gen(6000, 7)
+		for _, kind := range workload.Kinds {
+			plan := workload.Build(workload.Config{
+				Kind: kind, Keys: keys, Ops: 8000, Seed: 3,
+			})
+			ref := newRef()
+			for _, k := range keys[:plan.PreloadCount] {
+				ref.apply(workload.Op{Type: workload.OpInsert, Key: k, Val: k})
+			}
+			for _, op := range plan.Ops {
+				ref.apply(op)
+			}
+			want := ref.sortedKeys()
+
+			for _, f := range contenders() {
+				if kind == workload.E && !f.Ordered {
+					continue
+				}
+				inst := f.New()
+				for _, k := range keys[:plan.PreloadCount] {
+					inst.Insert(k, k)
+				}
+				var buf []kv.KV
+				for _, op := range plan.Ops {
+					bench.ExecOp(inst, op, &buf)
+				}
+				if inst.Len() != len(ref.m) {
+					t.Fatalf("%s/%s/%s: Len=%d want %d",
+						f.Name, spec.Name, kind, inst.Len(), len(ref.m))
+				}
+				for i := 0; i < len(want); i += 13 {
+					k := want[i]
+					v, ok := inst.Get(k)
+					if !ok || v != ref.m[k] {
+						t.Fatalf("%s/%s/%s: Get(%#x)=%d,%v want %d",
+							f.Name, spec.Name, kind, k, v, ok, ref.m[k])
+					}
+				}
+				if f.Ordered {
+					got, _ := inst.Scan(0, len(want)+1, nil)
+					if len(got) != len(want) {
+						t.Fatalf("%s/%s/%s: scan %d want %d",
+							f.Name, spec.Name, kind, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Key != want[i] || got[i].Value != ref.m[want[i]] {
+							t.Fatalf("%s/%s/%s: scan[%d]=%+v want {%d %d}",
+								f.Name, spec.Name, kind, i, got[i], want[i], ref.m[want[i]])
+						}
+					}
+				}
+				inst.Close()
+			}
+		}
+	}
+}
+
+// TestDeleteChurnParity drives interleaved insert/delete churn (not part of
+// the YCSB mixes) through every index.
+func TestDeleteChurnParity(t *testing.T) {
+	keys := datasets.ReviewM.Gen(5000, 11)
+	for _, f := range contenders() {
+		rng := rand.New(rand.NewSource(5))
+		inst := f.New()
+		ref := map[uint64]uint64{}
+		for op := 0; op < 40000; op++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Uint64()
+				inst.Insert(k, v)
+				ref[k] = v
+			case 2:
+				_, in := ref[k]
+				if inst.Delete(k) != in {
+					t.Fatalf("%s: delete disagreement on %#x", f.Name, k)
+				}
+				delete(ref, k)
+			}
+		}
+		if inst.Len() != len(ref) {
+			t.Fatalf("%s: Len=%d want %d", f.Name, inst.Len(), len(ref))
+		}
+		for k, v := range ref {
+			got, ok := inst.Get(k)
+			if !ok || got != v {
+				t.Fatalf("%s: Get(%#x)=%d,%v want %d", f.Name, k, got, ok, v)
+			}
+		}
+		inst.Close()
+	}
+}
+
+// TestScanWindowsAgreeAcrossOrderedIndexes loads identical data into every
+// ordered index and checks that arbitrary scan windows agree pairwise.
+func TestScanWindowsAgreeAcrossOrderedIndexes(t *testing.T) {
+	keys := datasets.Taxi.Gen(8000, 13)
+	var ordered []bench.Instance
+	var names []string
+	for _, f := range contenders() {
+		if !f.Ordered {
+			continue
+		}
+		inst := f.New()
+		for _, k := range keys {
+			inst.Insert(k, k^0xabc)
+		}
+		ordered = append(ordered, inst)
+		names = append(names, f.Name)
+	}
+	defer func() {
+		for _, inst := range ordered {
+			inst.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(17))
+	for q := 0; q < 200; q++ {
+		start := keys[rng.Intn(len(keys))] - uint64(rng.Intn(1000))
+		n := 1 + rng.Intn(200)
+		base, _ := ordered[0].Scan(start, n, nil)
+		for i := 1; i < len(ordered); i++ {
+			got, _ := ordered[i].Scan(start, n, nil)
+			if len(got) != len(base) {
+				t.Fatalf("scan(%#x,%d): %s returned %d, %s returned %d",
+					start, n, names[0], len(base), names[i], len(got))
+			}
+			for j := range base {
+				if got[j] != base[j] {
+					t.Fatalf("scan(%#x,%d)[%d]: %s=%+v %s=%+v",
+						start, n, j, names[0], base[j], names[i], got[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentCapExhaustionRecovery is failure injection: a configuration
+// with tiny segment limits must still absorb a hostile cluster through the
+// doubling/force-rebalance escape paths.
+func TestSegmentCapExhaustionRecovery(t *testing.T) {
+	d := core.New(core.Options{
+		FirstLevelBits: 2, BucketEntries: 8, StartDepth: 1,
+		BaseSegBuckets: 2, SegLimitMult: 1, AdaptiveMult: 2,
+	})
+	// Narrow hostile cluster + a scattered backdrop.
+	for i := uint64(0); i < 20000; i++ {
+		d.Insert(1<<50|i, i)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		d.Insert(rng.Uint64(), 1)
+	}
+	if d.Len() == 0 {
+		t.Fatal("no keys")
+	}
+	for i := uint64(0); i < 20000; i += 117 {
+		if _, ok := d.Get(1<<50 | i); !ok {
+			t.Fatalf("missing cluster key %d", i)
+		}
+	}
+	got := d.Scan(1<<50, 20000, nil)
+	if len(got) < 20000 {
+		t.Fatalf("cluster scan found %d", len(got))
+	}
+}
+
+// TestDatasetsAreDeterministicAcrossRuns pins the generator outputs the
+// benchmarks depend on for reproducibility.
+func TestDatasetsAreDeterministicAcrossRuns(t *testing.T) {
+	for _, s := range datasets.Group1 {
+		a := s.Gen(2000, 99)
+		b := s.Gen(2000, 99)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at %d", s.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package kv defines the key/value types and the common index interfaces
+// shared by the DyTIS core and by every baseline index structure in this
+// repository (B+-tree, ALEX-like, XIndex-like, CCEH, extendible hashing).
+//
+// Keys are unsigned 64-bit integers, matching the 8-byte integer keys the
+// DyTIS paper evaluates. Values are also 64-bit; in a real data management
+// system a value may be a pointer or record handle.
+package kv
+
+// Key is an 8-byte integer key, ordered by its unsigned numeric value.
+type Key = uint64
+
+// Value is an 8-byte value payload (possibly a pointer/handle).
+type Value = uint64
+
+// KV is a key/value pair, the unit returned by scans.
+type KV struct {
+	Key   Key
+	Value Value
+}
+
+// Index is the operation set all point indexes in this repository support.
+// Insert is an upsert: inserting an existing key updates its value in place,
+// mirroring the paper's in-place-update semantics for workloads A/B/D'/F.
+type Index interface {
+	// Insert stores or updates the value for key.
+	Insert(key Key, value Value)
+	// Get returns the value for key and whether it exists.
+	Get(key Key) (Value, bool)
+	// Delete removes key, reporting whether it was present.
+	Delete(key Key) bool
+	// Len returns the number of live keys.
+	Len() int
+}
+
+// Scanner is implemented by ordered indexes that support range scans.
+// Scan appends up to max pairs with key >= start, in ascending key order,
+// to dst and returns the extended slice.
+type Scanner interface {
+	Scan(start Key, max int, dst []KV) []KV
+}
+
+// OrderedIndex combines point operations with ordered scans; DyTIS, the
+// B+-tree, and the learned indexes satisfy it. Pure hash indexes (EH, CCEH)
+// only satisfy Index.
+type OrderedIndex interface {
+	Index
+	Scanner
+}
+
+// BulkLoader is implemented by indexes that can be initialized from a sorted
+// key/value stream (the learned-index "training"/bulk-loading phase).
+// Keys must be strictly ascending.
+type BulkLoader interface {
+	BulkLoad(keys []Key, values []Value)
+}

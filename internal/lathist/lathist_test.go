@@ -1,0 +1,139 @@
+package lathist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Hist
+	h.Record(1500 * time.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.Mean() != 1500 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	if h.Min() != 1500 || h.Max() != 1500 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	q := h.Quantile(0.5)
+	if q > 1500 || q < 1500*31/32 {
+		t.Fatalf("q50=%v not within bucket of 1500", q)
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below subCount land in exact unit buckets.
+	var h Hist
+	for v := 0; v < 32; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatalf("q0=%v", h.Quantile(0))
+	}
+	if h.Quantile(0.999) != 31 {
+		t.Fatalf("q99.9=%v want 31", h.Quantile(0.999))
+	}
+}
+
+func TestBucketBoundsConsistent(t *testing.T) {
+	for b := 0; b < nBuckets; b++ {
+		lb := lowerBound(b)
+		if got := bucketOf(lb); got != b {
+			t.Fatalf("bucketOf(lowerBound(%d)=%d) = %d", b, lb, got)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(time.Duration(100 + i))
+		b.Record(time.Duration(100000 + i))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count=%d", a.Count())
+	}
+	if a.Min() != 100 {
+		t.Fatalf("min=%v", a.Min())
+	}
+	if a.Max() < 100000 {
+		t.Fatalf("max=%v", a.Max())
+	}
+	if a.Quantile(0.25) > 250 {
+		t.Fatalf("q25=%v should be from the low half", a.Quantile(0.25))
+	}
+	if a.Quantile(0.75) < 90000 {
+		t.Fatalf("q75=%v should be from the high half", a.Quantile(0.75))
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Hist
+	b.Record(7)
+	a.Merge(&b)
+	if a.Min() != 7 || a.Count() != 1 {
+		t.Fatalf("merge into empty: min=%v n=%d", a.Min(), a.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Hist
+	h.Record(123456)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var h Hist
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative duration should clamp to 0, min=%v", h.Min())
+	}
+}
+
+// Property: histogram quantiles are within ~3.2% (one sub-bucket) of exact
+// sample quantiles.
+func TestQuickQuantileAccuracy(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(2000)
+		var h Hist
+		vals := make([]uint64, n)
+		for i := range vals {
+			v := uint64(rng.Intn(1_000_000) + 1)
+			vals[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(n))]
+			got := uint64(h.Quantile(q))
+			// Bucket lower bound: got <= exact and within one sub-bucket.
+			if got > exact {
+				return false
+			}
+			if float64(exact-got) > float64(exact)/float64(subCount)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package linmod provides the simple linear models shared by the learned
+// index structures in this repository (the ALEX-like and XIndex-like
+// baselines): least-squares fits of rank over key, scaled to a target output
+// range.
+package linmod
+
+// Model predicts a position from a key: pos = Slope*key + Intercept.
+// Keys are converted to float64; the ~2^-53 relative rounding only perturbs
+// predictions, never correctness (callers do exact last-mile searches).
+type Model struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Predict returns the raw (unclamped) prediction. Predictions far outside
+// the int range are not meaningful; use PredictClamped for indexing.
+func (m Model) Predict(k uint64) int {
+	return int(m.Slope*float64(k) + m.Intercept)
+}
+
+// PredictClamped clamps the prediction into [0, n). The comparison happens in
+// float space, so predictions beyond the int range clamp correctly instead of
+// overflowing in the conversion.
+func (m Model) PredictClamped(k uint64, n int) int {
+	p := m.Slope*float64(k) + m.Intercept
+	if !(p >= 0) { // also catches NaN
+		return 0
+	}
+	if p >= float64(n) {
+		return n - 1
+	}
+	return int(p)
+}
+
+// Fit least-squares-fits positions 0..n-1 over the ascending keys and scales
+// the result so predictions span [0, outRange). Mean-centered for numerical
+// stability. With fewer than 2 distinct keys the model degenerates to a
+// constant.
+func Fit(keys []uint64, outRange int) Model {
+	n := len(keys)
+	if n == 0 || outRange <= 0 {
+		return Model{}
+	}
+	if n == 1 || keys[0] == keys[n-1] {
+		return Model{Slope: 0, Intercept: float64(outRange) / 2}
+	}
+	var meanX, meanY float64
+	for i, k := range keys {
+		meanX += float64(k)
+		meanY += float64(i)
+	}
+	meanX /= float64(n)
+	meanY /= float64(n)
+	var sxx, sxy float64
+	for i, k := range keys {
+		dx := float64(k) - meanX
+		sxx += dx * dx
+		sxy += dx * (float64(i) - meanY)
+	}
+	if sxx == 0 {
+		return Model{Slope: 0, Intercept: float64(outRange) / 2}
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+	scale := float64(outRange) / float64(n)
+	return Model{Slope: slope * scale, Intercept: intercept * scale}
+}

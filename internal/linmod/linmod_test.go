@@ -1,0 +1,87 @@
+package linmod
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPerfectLine(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) * 10
+	}
+	m := Fit(keys, 1000)
+	for i, k := range keys {
+		if p := m.PredictClamped(k, 1000); p < i-1 || p > i+1 {
+			t.Fatalf("predict(%d)=%d want ~%d", k, p, i)
+		}
+	}
+}
+
+func TestFitScalesToOutRange(t *testing.T) {
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	m := Fit(keys, 10)
+	if p := m.PredictClamped(keys[0], 10); p > 1 {
+		t.Fatalf("low key predicts %d", p)
+	}
+	if p := m.PredictClamped(keys[99], 10); p < 8 {
+		t.Fatalf("high key predicts %d", p)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if m := Fit(nil, 10); m.Predict(5) != 0 {
+		t.Fatal("empty fit should be zero model")
+	}
+	m := Fit([]uint64{7}, 10)
+	if p := m.PredictClamped(7, 10); p != 5 {
+		t.Fatalf("single key predicts %d want middle", p)
+	}
+	m = Fit([]uint64{7, 7, 7}, 10)
+	if p := m.PredictClamped(7, 10); p != 5 {
+		t.Fatalf("constant keys predict %d", p)
+	}
+}
+
+func TestPredictClampedBounds(t *testing.T) {
+	m := Model{Slope: 1e18, Intercept: -1e18}
+	if p := m.PredictClamped(0, 100); p != 0 {
+		t.Fatalf("underflow clamp: %d", p)
+	}
+	if p := m.PredictClamped(1<<62, 100); p != 99 {
+		t.Fatalf("overflow clamp: %d", p)
+	}
+}
+
+// Property: predictions over the fitted keys are monotone non-decreasing
+// (after clamping), which index partitioning relies on.
+func TestQuickMonotonePredictions(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(500)
+		keys := make([]uint64, n)
+		k := uint64(0)
+		for i := range keys {
+			k += 1 + uint64(rng.Intn(1<<30))
+			keys[i] = k
+		}
+		out := 2 + rng.Intn(64)
+		m := Fit(keys, out)
+		prev := 0
+		for _, k := range keys {
+			p := m.PredictClamped(k, out)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

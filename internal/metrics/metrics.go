@@ -1,0 +1,151 @@
+// Package metrics quantifies the dynamic characteristics of a dataset the
+// way §2.1 of the DyTIS paper defines them:
+//
+//   - Variance of skewness: the average number of maximum-error-bounded PLR
+//     linear models needed to approximate the dataset's CDF, normalized per
+//     fixed-size chunk of keys (the paper uses 0.1M keys). The error bound
+//     is calibrated so a Uniform dataset needs exactly one model.
+//   - Key Distribution Divergence (KDD): the average Kullback-Leibler
+//     divergence between the histograms of every two consecutive fixed-size
+//     sub-datasets in insertion order.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"dytis/internal/plr"
+)
+
+// DefaultChunk is the per-chunk key count both metrics normalize by. The
+// paper uses 0.1M at full scale; the metrics are largely insensitive to the
+// choice (§2.1), and callers pass a scaled-down value for scaled datasets.
+const DefaultChunk = 100000
+
+// SkewnessVariance returns the average number of PLR models per chunk keys
+// needed to approximate the CDF of the dataset (insertion order ignored).
+// The PLR error bound is 2*sqrt(n) rank units, the magnitude of empirical-CDF
+// noise for a uniform sample, so Uniform ≈ 1 model total.
+func SkewnessVariance(keys []uint64, chunk int) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	eps := 2 * math.Sqrt(float64(len(sorted)))
+	models := len(plr.FitCDF(sorted, eps))
+	chunks := float64(len(keys)) / float64(chunk)
+	if chunks < 1 {
+		chunks = 1
+	}
+	return float64(models) / chunks
+}
+
+// ModelCount returns the raw number of PLR models for the dataset's CDF with
+// the same calibrated bound (Figure 2 reports these counts per dataset).
+func ModelCount(keys []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	eps := 2 * math.Sqrt(float64(len(sorted)))
+	return len(plr.FitCDF(sorted, eps))
+}
+
+// histBins is the histogram resolution for KDD sub-dataset comparison.
+const histBins = 100
+
+// KDD returns the average KL divergence between consecutive sub-datasets of
+// `chunk` keys in insertion order. Each pair's histograms share a key range
+// spanning both sub-datasets (per §2.1); counts use add-one smoothing so the
+// divergence is always finite.
+func KDD(keys []uint64, chunk int) float64 {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if len(keys) < 2*chunk {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for off := 0; off+2*chunk <= len(keys); off += chunk {
+		a := keys[off : off+chunk]
+		b := keys[off+chunk : off+2*chunk]
+		sum += KLDivergence(a, b)
+		pairs++
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}
+
+// KLDivergence computes KL(P_a || P_b) between the histograms of two key
+// slices over their joint range, with add-one smoothing.
+func KLDivergence(a, b []uint64) float64 {
+	min, max := a[0], a[0]
+	for _, s := range [][]uint64{a, b} {
+		for _, k := range s {
+			if k < min {
+				min = k
+			}
+			if k > max {
+				max = k
+			}
+		}
+	}
+	width := float64(max-min) + 1
+	var ha, hb [histBins]float64
+	for _, k := range a {
+		ha[binOf(k-min, width, histBins)]++
+	}
+	for _, k := range b {
+		hb[binOf(k-min, width, histBins)]++
+	}
+	// Add-one smoothing and normalization.
+	na, nb := float64(len(a)+histBins), float64(len(b)+histBins)
+	var kl float64
+	for i := 0; i < histBins; i++ {
+		p := (ha[i] + 1) / na
+		q := (hb[i] + 1) / nb
+		kl += p * math.Log(p/q)
+	}
+	return kl
+}
+
+// Histogram returns the bin counts of the keys over [min, max] with the
+// given number of bins; Figure 3 plots these for consecutive sub-datasets.
+func Histogram(keys []uint64, bins int) []int {
+	out := make([]int, bins)
+	if len(keys) == 0 {
+		return out
+	}
+	min, max := keys[0], keys[0]
+	for _, k := range keys {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	width := float64(max-min) + 1
+	for _, k := range keys {
+		out[binOf(k-min, width, bins)]++
+	}
+	return out
+}
+
+// binOf maps an offset into [0, bins), clamping the float-rounding edge case
+// where offset/width rounds to 1.0 for offsets near 2^63.
+func binOf(off uint64, width float64, bins int) int {
+	b := int(float64(off) / width * float64(bins))
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}

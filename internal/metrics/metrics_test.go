@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func uniformKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+func TestUniformNeedsOneModel(t *testing.T) {
+	keys := uniformKeys(100000, 1)
+	if m := ModelCount(keys); m > 3 {
+		t.Fatalf("uniform CDF needed %d models, want ~1", m)
+	}
+}
+
+func TestClusteredNeedsManyModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var keys []uint64
+	for c := 0; c < 50; c++ {
+		base := rng.Uint64() >> 1
+		for i := 0; i < 2000; i++ {
+			keys = append(keys, base+uint64(rng.Intn(1<<20)))
+		}
+	}
+	mu := ModelCount(uniformKeys(len(keys), 3))
+	mc := ModelCount(keys)
+	if mc < 10*mu {
+		t.Fatalf("clustered models %d not >> uniform %d", mc, mu)
+	}
+}
+
+func TestSkewnessVarianceNormalizesByChunk(t *testing.T) {
+	keys := uniformKeys(50000, 4)
+	v := SkewnessVariance(keys, 5000)
+	if v <= 0 || v > 1.5 {
+		t.Fatalf("uniform skewness variance %.3f, want ~<=1/chunks..1", v)
+	}
+}
+
+func TestKDDZeroForStationary(t *testing.T) {
+	stationary := uniformKeys(50000, 5)
+	drifting := make([]uint64, 50000)
+	for i := range drifting {
+		// Distribution shifts with insertion index.
+		drifting[i] = uint64(i)<<40 + uint64(rand.New(rand.NewSource(int64(i))).Intn(1<<30))
+	}
+	ks := KDD(stationary, 5000)
+	kd := KDD(drifting, 5000)
+	if ks >= kd {
+		t.Fatalf("stationary KDD %.4f not below drifting %.4f", ks, kd)
+	}
+	if ks > 0.05 {
+		t.Fatalf("stationary KDD too high: %.4f", ks)
+	}
+}
+
+func TestKDDShortDataset(t *testing.T) {
+	if got := KDD(uniformKeys(100, 6), 1000); got != 0 {
+		t.Fatalf("short dataset KDD = %v, want 0", got)
+	}
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	a := uniformKeys(10000, 7)
+	if d := KLDivergence(a, a); d > 1e-9 {
+		t.Fatalf("KL(a||a)=%v, want 0", d)
+	}
+	b := make([]uint64, 10000)
+	for i := range b {
+		b[i] = uint64(i) // concentrated at the bottom of a's range? no: own range
+	}
+	// Compare concentrated vs uniform over the joint range.
+	if d := KLDivergence(a, b); d <= 0 {
+		t.Fatalf("KL of different distributions = %v, want > 0", d)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	keys := []uint64{0, 1, 2, 3, 100, 101, 102}
+	h := Histogram(keys, 10)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(keys) {
+		t.Fatalf("histogram total %d", total)
+	}
+	if h[0] != 4 {
+		t.Fatalf("first bin %d want 4", h[0])
+	}
+	if h[9] != 3 {
+		t.Fatalf("last bin %d want 3", h[9])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := Histogram(nil, 5)
+	if len(h) != 5 {
+		t.Fatal("wrong bin count")
+	}
+	for _, c := range h {
+		if c != 0 {
+			t.Fatal("non-zero bin for empty input")
+		}
+	}
+}
+
+func TestSkewnessEmptyInput(t *testing.T) {
+	if SkewnessVariance(nil, 100) != 0 || ModelCount(nil) != 0 {
+		t.Fatal("empty input should yield zero metrics")
+	}
+}

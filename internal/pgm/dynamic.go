@@ -1,0 +1,367 @@
+package pgm
+
+import (
+	"sort"
+
+	"dytis/internal/kv"
+)
+
+// run is one immutable sorted run with its static PGM. Tombstones mark
+// deletions that shadow older runs until a merge drops them.
+type run struct {
+	keys  []uint64
+	vals  []uint64
+	tomb  []uint64 // bitmap, 1 = tombstone
+	index static
+}
+
+func (r *run) isTomb(i int) bool { return r.tomb[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (r *run) setTomb(i int)     { r.tomb[i>>6] |= 1 << (uint(i) & 63) }
+
+// find returns the position of k in the run, or -1.
+func (r *run) find(k uint64) int {
+	n := len(r.keys)
+	if n == 0 {
+		return -1
+	}
+	p, eps := r.index.approxPos(k, n)
+	lo := clamp(p-eps-1, 0, n)
+	hi := clamp(p+eps+2, 0, n)
+	// Widen if the error bound was exceeded by float rounding (possible for
+	// keys more than 2^53 apart within one segment).
+	for lo > 0 && r.keys[lo] > k {
+		lo = clamp(lo-2*eps, 0, n)
+	}
+	for hi < n && r.keys[hi-1] < k {
+		hi = clamp(hi+2*eps, 0, n)
+	}
+	j := lo + sort.Search(hi-lo, func(m int) bool { return r.keys[lo+m] >= k })
+	if j < n && r.keys[j] == k {
+		return j
+	}
+	return -1
+}
+
+// lowerBound returns the first position with key >= k.
+func (r *run) lowerBound(k uint64) int {
+	n := len(r.keys)
+	if n == 0 {
+		return 0
+	}
+	p, eps := r.index.approxPos(k, n)
+	lo := clamp(p-eps-1, 0, n)
+	hi := clamp(p+eps+2, 0, n)
+	for lo > 0 && r.keys[lo] > k {
+		lo = clamp(lo-2*eps, 0, n)
+	}
+	for hi < n && r.keys[hi-1] < k {
+		hi = clamp(hi+2*eps, 0, n)
+	}
+	return lo + sort.Search(hi-lo, func(m int) bool { return r.keys[lo+m] >= k })
+}
+
+// bufferCap is the size of the unindexed insert buffer (run 0 equivalent).
+const bufferCap = 256
+
+// Index is a dynamic PGM-index: a sorted insert buffer plus geometrically
+// sized runs, newest first. Not safe for concurrent use.
+type Index struct {
+	bkeys []uint64 // sorted buffer
+	bvals []uint64
+	btomb []bool
+	runs  []*run // runs[i] has capacity bufferCap << (i+1); nil slots empty
+	n     int
+	// Merges counts run-merge operations (the PGM's analogue of the
+	// maintenance operations the paper's §4.3 profiles).
+	Merges int64
+}
+
+// New returns an empty dynamic PGM-index.
+func New() *Index { return &Index{} }
+
+// BulkLoad replaces the contents with ascending pairs as one big run.
+func (x *Index) BulkLoad(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("pgm: mismatched bulk-load slices")
+	}
+	x.bkeys, x.bvals, x.btomb = nil, nil, nil
+	x.runs = nil
+	x.n = len(keys)
+	if len(keys) == 0 {
+		return
+	}
+	r := &run{
+		keys: append([]uint64(nil), keys...),
+		vals: append([]uint64(nil), values...),
+		tomb: make([]uint64, (len(keys)+63)/64),
+	}
+	r.index = buildStatic(r.keys)
+	// Place it at the level matching its size.
+	lvl := 0
+	for bufferCap<<(lvl+1) < len(keys) {
+		lvl++
+	}
+	x.runs = make([]*run, lvl+1)
+	x.runs[lvl] = r
+}
+
+// bufFind returns the buffer position of k, or -1.
+func (x *Index) bufFind(k uint64) int {
+	i := sort.Search(len(x.bkeys), func(m int) bool { return x.bkeys[m] >= k })
+	if i < len(x.bkeys) && x.bkeys[i] == k {
+		return i
+	}
+	return -1
+}
+
+// Get returns the value for key: the buffer shadows runs, newer runs shadow
+// older ones, tombstones shadow live entries.
+func (x *Index) Get(key uint64) (uint64, bool) {
+	if i := x.bufFind(key); i >= 0 {
+		if x.btomb[i] {
+			return 0, false
+		}
+		return x.bvals[i], true
+	}
+	for _, r := range x.runs {
+		if r == nil {
+			continue
+		}
+		if j := r.find(key); j >= 0 {
+			if r.isTomb(j) {
+				return 0, false
+			}
+			return r.vals[j], true
+		}
+	}
+	return 0, false
+}
+
+// exists reports liveness (used to keep n exact).
+func (x *Index) exists(key uint64) bool {
+	_, ok := x.Get(key)
+	return ok
+}
+
+// Insert stores or updates key.
+func (x *Index) Insert(key, value uint64) {
+	if !x.exists(key) {
+		x.n++
+	}
+	x.bufPut(key, value, false)
+}
+
+// Delete removes key, reporting whether it was present.
+func (x *Index) Delete(key uint64) bool {
+	if !x.exists(key) {
+		return false
+	}
+	x.n--
+	x.bufPut(key, 0, true)
+	return true
+}
+
+// bufPut upserts into the buffer (tombstone or live) and merges on overflow.
+func (x *Index) bufPut(key, value uint64, tomb bool) {
+	i := sort.Search(len(x.bkeys), func(m int) bool { return x.bkeys[m] >= key })
+	if i < len(x.bkeys) && x.bkeys[i] == key {
+		x.bvals[i] = value
+		x.btomb[i] = tomb
+		return
+	}
+	x.bkeys = append(x.bkeys, 0)
+	x.bvals = append(x.bvals, 0)
+	x.btomb = append(x.btomb, false)
+	copy(x.bkeys[i+1:], x.bkeys[i:])
+	copy(x.bvals[i+1:], x.bvals[i:])
+	copy(x.btomb[i+1:], x.btomb[i:])
+	x.bkeys[i], x.bvals[i], x.btomb[i] = key, value, tomb
+	if len(x.bkeys) >= bufferCap {
+		x.flush()
+	}
+}
+
+// flush converts the buffer into a run and carries it up the run chain,
+// merging with each occupied level like a binomial counter. The final merge
+// at the top level also drops tombstones (nothing older remains to shadow).
+func (x *Index) flush() {
+	cur := &run{
+		keys: x.bkeys, vals: x.bvals,
+		tomb: make([]uint64, (len(x.bkeys)+63)/64),
+	}
+	for i, t := range x.btomb {
+		if t {
+			cur.setTomb(i)
+		}
+	}
+	x.bkeys, x.bvals, x.btomb = nil, nil, nil
+	lvl := 0
+	for {
+		if lvl == len(x.runs) {
+			x.runs = append(x.runs, nil)
+		}
+		if x.runs[lvl] == nil {
+			// Drop tombstones if nothing older exists below this level.
+			if x.nothingOlder(lvl) {
+				cur = dropTombs(cur)
+			}
+			cur.index = buildStatic(cur.keys)
+			x.runs[lvl] = cur
+			return
+		}
+		// cur is newer than runs[lvl]: merge with cur winning ties.
+		cur = mergeRuns(cur, x.runs[lvl], x.nothingOlder(lvl+1))
+		x.runs[lvl] = nil
+		x.Merges++
+		lvl++
+	}
+}
+
+// nothingOlder reports whether no run exists at level >= lvl.
+func (x *Index) nothingOlder(lvl int) bool {
+	for i := lvl; i < len(x.runs); i++ {
+		if x.runs[i] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRuns merges newer over older; dropTombstones removes tombstoned keys
+// entirely (safe only when nothing older could resurrect them).
+func mergeRuns(newer, older *run, dropTombstones bool) *run {
+	out := &run{
+		keys: make([]uint64, 0, len(newer.keys)+len(older.keys)),
+		vals: make([]uint64, 0, len(newer.keys)+len(older.keys)),
+	}
+	var tombs []int
+	i, j := 0, 0
+	emit := func(k, v uint64, tomb bool) {
+		if tomb && dropTombstones {
+			return
+		}
+		if tomb {
+			tombs = append(tombs, len(out.keys))
+		}
+		out.keys = append(out.keys, k)
+		out.vals = append(out.vals, v)
+	}
+	for i < len(newer.keys) || j < len(older.keys) {
+		switch {
+		case j == len(older.keys) || (i < len(newer.keys) && newer.keys[i] < older.keys[j]):
+			emit(newer.keys[i], newer.vals[i], newer.isTomb(i))
+			i++
+		case i == len(newer.keys) || older.keys[j] < newer.keys[i]:
+			emit(older.keys[j], older.vals[j], older.isTomb(j))
+			j++
+		default: // equal: newer wins
+			emit(newer.keys[i], newer.vals[i], newer.isTomb(i))
+			i++
+			j++
+		}
+	}
+	out.tomb = make([]uint64, (len(out.keys)+63)/64)
+	for _, t := range tombs {
+		out.setTomb(t)
+	}
+	return out
+}
+
+func dropTombs(r *run) *run {
+	out := &run{
+		keys: make([]uint64, 0, len(r.keys)),
+		vals: make([]uint64, 0, len(r.keys)),
+	}
+	for i := range r.keys {
+		if !r.isTomb(i) {
+			out.keys = append(out.keys, r.keys[i])
+			out.vals = append(out.vals, r.vals[i])
+		}
+	}
+	out.tomb = make([]uint64, (len(out.keys)+63)/64)
+	return out
+}
+
+// Len returns the number of live keys.
+func (x *Index) Len() int { return x.n }
+
+// Scan appends up to max live pairs with key >= start in ascending order,
+// merging the buffer and all runs with newest-wins shadowing.
+func (x *Index) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	type cursor struct {
+		keys []uint64
+		vals []uint64
+		tomb func(int) bool
+		pos  int
+	}
+	var curs []cursor // index 0 = newest (buffer)
+	bi := sort.Search(len(x.bkeys), func(m int) bool { return x.bkeys[m] >= start })
+	curs = append(curs, cursor{x.bkeys, x.bvals, func(i int) bool { return x.btomb[i] }, bi})
+	for _, r := range x.runs {
+		if r == nil {
+			continue
+		}
+		r := r
+		curs = append(curs, cursor{r.keys, r.vals, r.isTomb, r.lowerBound(start)})
+	}
+	taken := 0
+	for taken < max {
+		// Smallest current key across cursors; newest wins ties.
+		best := -1
+		var bk uint64
+		for ci := range curs {
+			c := &curs[ci]
+			if c.pos >= len(c.keys) {
+				continue
+			}
+			if best < 0 || c.keys[c.pos] < bk {
+				best = ci
+				bk = c.keys[c.pos]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &curs[best]
+		tomb := c.tomb(c.pos)
+		v := c.vals[c.pos]
+		// Advance every cursor past bk (shadowed duplicates skipped).
+		for ci := range curs {
+			cc := &curs[ci]
+			for cc.pos < len(cc.keys) && cc.keys[cc.pos] == bk {
+				cc.pos++
+			}
+		}
+		if !tomb {
+			dst = append(dst, kv.KV{Key: bk, Value: v})
+			taken++
+		}
+	}
+	return dst
+}
+
+// Runs reports the live run sizes, newest first (for tests/metrics).
+func (x *Index) Runs() []int {
+	out := []int{len(x.bkeys)}
+	for _, r := range x.runs {
+		if r != nil {
+			out = append(out, len(r.keys))
+		}
+	}
+	return out
+}
+
+// MemoryFootprint estimates heap bytes.
+func (x *Index) MemoryFootprint() int64 {
+	b := int64(len(x.bkeys)) * 17
+	for _, r := range x.runs {
+		if r == nil {
+			continue
+		}
+		b += int64(len(r.keys))*16 + int64(len(r.tomb))*8
+		for _, lv := range r.index.levels {
+			b += int64(len(lv)) * 24
+		}
+	}
+	return b
+}

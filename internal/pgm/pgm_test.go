@@ -1,0 +1,253 @@
+package pgm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dytis/internal/kv"
+)
+
+func TestStaticApproxWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 100000)
+	k := uint64(0)
+	for i := range keys {
+		k += 1 + uint64(rng.Intn(1000))
+		keys[i] = k
+	}
+	st := buildStatic(keys)
+	if len(st.levels) == 0 {
+		t.Fatal("no levels")
+	}
+	for i := 0; i < len(keys); i += 37 {
+		p, eps := st.approxPos(keys[i], len(keys))
+		if abs(p-i) > eps+1 {
+			t.Fatalf("key %d at %d predicted %d (eps %d)", keys[i], i, p, eps)
+		}
+	}
+	// The hierarchy must shrink geometrically.
+	for li := 1; li < len(st.levels); li++ {
+		if len(st.levels[li]) > len(st.levels[li-1]) {
+			t.Fatalf("level %d larger than level %d", li, li-1)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestInsertGet(t *testing.T) {
+	x := New()
+	const n = 30000
+	for i := uint64(0); i < n; i++ {
+		x.Insert(i*3, i)
+	}
+	if x.Len() != n {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := uint64(0); i < n; i += 7 {
+		v, ok := x.Get(i * 3)
+		if !ok || v != i {
+			t.Fatalf("Get(%d)=%d,%v", i*3, v, ok)
+		}
+	}
+	if _, ok := x.Get(1); ok {
+		t.Fatal("phantom key")
+	}
+	if x.Merges == 0 {
+		t.Fatal("no run merges happened")
+	}
+}
+
+func TestRunChainIsGeometric(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 100000; i++ {
+		x.Insert(i, i)
+	}
+	runs := x.Runs()
+	total := 0
+	for _, r := range runs {
+		total += r
+	}
+	if total < 100000 {
+		t.Fatalf("runs hold %d keys, want >= 100000", total)
+	}
+	if len(runs) > 14 {
+		t.Fatalf("too many runs: %v", runs)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	x := New()
+	x.Insert(5, 1)
+	x.Insert(5, 2)
+	if x.Len() != 1 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	if v, _ := x.Get(5); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+	// Update of a key already flushed into a run.
+	for i := uint64(100); i < 100+2*bufferCap; i++ {
+		x.Insert(i, i)
+	}
+	x.Insert(100, 999)
+	if v, _ := x.Get(100); v != 999 {
+		t.Fatal("update of run-resident key failed")
+	}
+}
+
+func TestDeleteAndTombstones(t *testing.T) {
+	x := New()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		x.Insert(i, i)
+	}
+	for i := uint64(0); i < n; i += 2 {
+		if !x.Delete(i) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if x.Delete(0) {
+		t.Fatal("double delete")
+	}
+	if x.Len() != n/2 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		_, ok := x.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v", i, ok)
+		}
+	}
+	// Deleted keys can come back.
+	x.Insert(0, 42)
+	if v, ok := x.Get(0); !ok || v != 42 {
+		t.Fatal("reinsert failed")
+	}
+}
+
+func TestScanShadowsAndSkipsTombstones(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 5000; i++ {
+		x.Insert(i*2, i)
+	}
+	x.Insert(10, 999) // update: newest must win in scan
+	x.Delete(12)
+	got := x.Scan(8, 4, nil)
+	want := []kv.KV{{Key: 8, Value: 4}, {Key: 10, Value: 999}, {Key: 14, Value: 7}, {Key: 16, Value: 8}}
+	if len(got) != len(want) {
+		t.Fatalf("scan: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d]=%+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	keys := make([]uint64, 50000)
+	vals := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = uint64(i) * 5
+		vals[i] = uint64(i)
+	}
+	x := New()
+	x.BulkLoad(keys, vals)
+	if x.Len() != len(keys) {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := 0; i < len(keys); i += 11 {
+		if v, ok := x.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("Get(%d)", keys[i])
+		}
+	}
+	// Inserts after bulk load interleave correctly.
+	x.Insert(3, 777)
+	if got := x.Scan(0, 2, nil); len(got) != 2 || got[1].Key != 3 {
+		t.Fatalf("scan after post-load insert: %v", got)
+	}
+}
+
+func TestWideKeySpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := New()
+	keys := make([]uint64, 20000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		x.Insert(keys[i], uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := x.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%#x)", k)
+		}
+	}
+}
+
+func TestQuickMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New()
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(1200)) * 97
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				x.Insert(k, v)
+				ref[k] = v
+			case 3:
+				_, in := ref[k]
+				if x.Delete(k) != in {
+					return false
+				}
+				delete(ref, k)
+			case 4:
+				gv, gok := x.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+		}
+		if x.Len() != len(ref) {
+			return false
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := x.Scan(0, len(ref)+1, nil)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			if got[i] != (kv.KV{Key: k, Value: ref[k]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryFootprintPositive(t *testing.T) {
+	x := New()
+	for i := uint64(0); i < 10000; i++ {
+		x.Insert(i, i)
+	}
+	if x.MemoryFootprint() <= 0 {
+		t.Fatal("footprint")
+	}
+}

@@ -1,0 +1,135 @@
+// Package pgm implements a PGM-index (Ferragina & Vinciguerra, VLDB 2020),
+// the piecewise-geometric-model learned index the DyTIS paper's related-work
+// section discusses: a recursive hierarchy of maximum-error-bounded linear
+// segments over sorted keys, made dynamic with the classic logarithmic
+// method (geometrically sized sorted runs, each with its own static PGM,
+// merged like a binomial counter; deletes are tombstones dropped at merge).
+//
+// It serves as an extension baseline: a learned index whose update strategy
+// (run merging) differs from both ALEX's gapped arrays and XIndex's delta
+// buffers, rounding out the design space the paper positions DyTIS against.
+package pgm
+
+import (
+	"sort"
+
+	"dytis/internal/plr"
+)
+
+// Epsilon is the maximum prediction error (in positions) of bottom-level
+// segments; upper levels use a tighter bound over far fewer points.
+const (
+	Epsilon      = 64
+	upperEpsilon = 4
+)
+
+// segment is one linear model: predicted position = Slope*(key-Key) + Pos.
+type segment struct {
+	key   uint64 // first key covered
+	pos   float64
+	slope float64
+}
+
+func (s segment) predict(k uint64) int {
+	return int(s.pos + s.slope*float64(k-s.key))
+}
+
+// static is an immutable PGM over a sorted key array: levels[0] indexes the
+// keys, levels[i+1] indexes the first-keys of levels[i], the top level has
+// few enough segments to scan.
+type static struct {
+	levels [][]segment
+}
+
+// buildStatic constructs the recursive segmentation for sorted keys.
+func buildStatic(keys []uint64) static {
+	if len(keys) == 0 {
+		return static{}
+	}
+	var st static
+	level := fitSegments(keys, Epsilon)
+	st.levels = append(st.levels, level)
+	for len(level) > 4 {
+		firsts := make([]uint64, len(level))
+		for i, s := range level {
+			firsts[i] = s.key
+		}
+		level = fitSegments(firsts, upperEpsilon)
+		st.levels = append(st.levels, level)
+	}
+	return st
+}
+
+// fitSegments runs error-bounded PLR over (key, index) and converts the
+// result into searchable segments.
+func fitSegments(keys []uint64, eps float64) []segment {
+	f := plr.NewFitter(eps)
+	var prevX float64
+	first := true
+	for i, k := range keys {
+		x := float64(k)
+		if !first && x <= prevX {
+			continue // float64 collision (keys > 2^53 apart by < ulp)
+		}
+		f.Add(x, float64(i))
+		prevX, first = x, false
+	}
+	segs := f.Finish()
+	out := make([]segment, len(segs))
+	for i, s := range segs {
+		out[i] = segment{key: uint64(s.StartX), pos: s.StartY, slope: s.Slope}
+	}
+	return out
+}
+
+// approxPos returns the predicted index of k in the underlying array and the
+// level-0 epsilon to search around.
+func (st *static) approxPos(k uint64, n int) (int, int) {
+	if len(st.levels) == 0 {
+		return 0, 0
+	}
+	top := st.levels[len(st.levels)-1]
+	// Scan the (tiny) top level for the segment covering k.
+	si := 0
+	for si+1 < len(top) && top[si+1].key <= k {
+		si++
+	}
+	// Descend: each level's prediction locates the segment index in the
+	// level below within its epsilon.
+	for li := len(st.levels) - 1; li > 0; li-- {
+		below := st.levels[li-1]
+		p := clamp(top[si].predict(k), 0, len(below)-1)
+		lo := clamp(p-upperEpsilon-1, 0, len(below)-1)
+		hi := clamp(p+upperEpsilon+1, 0, len(below)-1)
+		// Find the last segment with key <= k inside [lo, hi].
+		si = lo
+		for j := lo; j <= hi; j++ {
+			if below[j].key <= k {
+				si = j
+			} else {
+				break
+			}
+		}
+		// Guard against prediction windows that miss (rare float edge):
+		// fall back to binary search over the whole level.
+		if (si == lo && below[si].key > k) || (si == hi && hi+1 < len(below) && below[hi+1].key <= k) {
+			si = sort.Search(len(below), func(j int) bool { return below[j].key > k }) - 1
+			if si < 0 {
+				si = 0
+			}
+		}
+		top = below
+	}
+	p := clamp(top[si].predict(k), 0, n-1)
+	return p, Epsilon
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+// Package plr implements maximum-error-bounded Piecewise Linear
+// Representation (PLR) of a monotone point series, following the greedy
+// feasible-slope-cone construction of Xie et al. (VLDB 2014), the technique
+// the DyTIS paper uses to quantify the "variance of skewness" of a dataset
+// (the average number of linear models needed to approximate its CDF).
+//
+// Given points (x_i, y_i) with strictly increasing x, Fit produces line
+// segments such that for every input point covered by a segment,
+// |segment(x_i) - y_i| <= maxError.
+package plr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one linear model y = Slope*(x-StartX) + StartY covering input
+// points with x in [StartX, EndX].
+type Segment struct {
+	StartX float64
+	EndX   float64
+	StartY float64
+	Slope  float64
+	// N is the number of input points the segment covers.
+	N int
+}
+
+// Eval returns the segment's prediction at x.
+func (s Segment) Eval(x float64) float64 {
+	return s.StartY + s.Slope*(x-s.StartX)
+}
+
+// Fitter incrementally builds an error-bounded PLR. Points must be fed in
+// strictly increasing x order.
+type Fitter struct {
+	maxErr float64
+	segs   []Segment
+
+	// state of the open segment
+	open   bool
+	x0, y0 float64 // anchor (first point of the open segment)
+	lo, hi float64 // feasible slope cone through the anchor
+	lastX  float64
+	n      int
+}
+
+// NewFitter returns a Fitter with the given maximum absolute error bound.
+// maxErr must be >= 0.
+func NewFitter(maxErr float64) *Fitter {
+	if maxErr < 0 || math.IsNaN(maxErr) {
+		panic(fmt.Sprintf("plr: invalid maxErr %v", maxErr))
+	}
+	return &Fitter{maxErr: maxErr}
+}
+
+// Add feeds the next point. x must be strictly greater than the previous x.
+func (f *Fitter) Add(x, y float64) {
+	if !f.open {
+		f.startSegment(x, y)
+		return
+	}
+	if x <= f.lastX {
+		panic(fmt.Sprintf("plr: non-increasing x: %v after %v", x, f.lastX))
+	}
+	dx := x - f.x0
+	lo := (y - f.maxErr - f.y0) / dx
+	hi := (y + f.maxErr - f.y0) / dx
+	// Intersect the feasible cone with the new point's constraint.
+	nlo := math.Max(f.lo, lo)
+	nhi := math.Min(f.hi, hi)
+	if nlo > nhi {
+		// Cone empty: close the current segment and start a new one here.
+		f.closeSegment()
+		f.startSegment(x, y)
+		return
+	}
+	f.lo, f.hi = nlo, nhi
+	f.lastX = x
+	f.n++
+}
+
+func (f *Fitter) startSegment(x, y float64) {
+	f.open = true
+	f.x0, f.y0 = x, y
+	f.lo, f.hi = math.Inf(-1), math.Inf(1)
+	f.lastX = x
+	f.n = 1
+}
+
+func (f *Fitter) closeSegment() {
+	slope := 0.0
+	switch {
+	case math.IsInf(f.lo, -1) && math.IsInf(f.hi, 1):
+		slope = 0 // single-point segment
+	case math.IsInf(f.lo, -1):
+		slope = f.hi
+	case math.IsInf(f.hi, 1):
+		slope = f.lo
+	default:
+		slope = (f.lo + f.hi) / 2
+	}
+	f.segs = append(f.segs, Segment{
+		StartX: f.x0, EndX: f.lastX, StartY: f.y0, Slope: slope, N: f.n,
+	})
+	f.open = false
+}
+
+// Finish closes any open segment and returns all segments. The Fitter may be
+// reused after Finish.
+func (f *Fitter) Finish() []Segment {
+	if f.open {
+		f.closeSegment()
+	}
+	out := f.segs
+	f.segs = nil
+	return out
+}
+
+// Fit runs the full pipeline over parallel x/y slices and returns the
+// segments. It panics if the slices differ in length.
+func Fit(xs, ys []float64, maxErr float64) []Segment {
+	if len(xs) != len(ys) {
+		panic("plr: mismatched slice lengths")
+	}
+	f := NewFitter(maxErr)
+	for i := range xs {
+		f.Add(xs[i], ys[i])
+	}
+	return f.Finish()
+}
+
+// FitCDF fits the empirical CDF of the sorted, de-duplicated keys: point i is
+// (key[i], i). maxErr is in rank units. Keys must be ascending; keys that are
+// duplicates — or that collide after the float64 conversion (possible for
+// keys above 2^53) — are skipped.
+func FitCDF(sortedKeys []uint64, maxErr float64) []Segment {
+	f := NewFitter(maxErr)
+	var prev float64
+	first := true
+	for i, k := range sortedKeys {
+		x := float64(k)
+		if !first && x <= prev {
+			continue
+		}
+		f.Add(x, float64(i))
+		prev, first = x, false
+	}
+	return f.Finish()
+}

@@ -1,0 +1,180 @@
+package plr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// segmentFor returns the segment covering x (by StartX..EndX), or nil.
+func segmentFor(segs []Segment, x float64) *Segment {
+	for i := range segs {
+		if x >= segs[i].StartX && x <= segs[i].EndX {
+			return &segs[i]
+		}
+	}
+	return nil
+}
+
+func TestPerfectLineUsesOneSegment(t *testing.T) {
+	f := NewFitter(0.5)
+	for i := 0; i < 1000; i++ {
+		f.Add(float64(i), 3*float64(i)+7)
+	}
+	segs := f.Finish()
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment for a perfect line, got %d", len(segs))
+	}
+	if math.Abs(segs[0].Slope-3) > 1e-9 {
+		t.Fatalf("slope = %v, want 3", segs[0].Slope)
+	}
+	if segs[0].N != 1000 {
+		t.Fatalf("N = %d, want 1000", segs[0].N)
+	}
+}
+
+func TestErrorBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const eps = 2.0
+	xs := make([]float64, 0, 2000)
+	ys := make([]float64, 0, 2000)
+	y := 0.0
+	for i := 0; i < 2000; i++ {
+		xs = append(xs, float64(i))
+		y += rng.Float64() * 3 // monotone noisy "CDF"
+		ys = append(ys, y)
+	}
+	segs := Fit(xs, ys, eps)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	for i := range xs {
+		s := segmentFor(segs, xs[i])
+		if s == nil {
+			t.Fatalf("no segment covers x=%v", xs[i])
+		}
+		if d := math.Abs(s.Eval(xs[i]) - ys[i]); d > eps+1e-9 {
+			t.Fatalf("error %v > eps %v at x=%v", d, eps, xs[i])
+		}
+	}
+}
+
+func TestStepFunctionNeedsManySegments(t *testing.T) {
+	// A hard step every 10 points cannot be covered by few lines with a
+	// tight bound.
+	f := NewFitter(0.1)
+	for i := 0; i < 100; i++ {
+		f.Add(float64(i), float64((i/10)*1000))
+	}
+	segs := f.Finish()
+	if len(segs) < 9 {
+		t.Fatalf("want >=9 segments for steps, got %d", len(segs))
+	}
+}
+
+func TestSegmentsPartitionInput(t *testing.T) {
+	f := NewFitter(1.0)
+	n := 500
+	for i := 0; i < n; i++ {
+		f.Add(float64(i), math.Sqrt(float64(i))*40)
+	}
+	segs := f.Finish()
+	total := 0
+	for i, s := range segs {
+		total += s.N
+		if i > 0 && s.StartX <= segs[i-1].EndX {
+			t.Fatalf("segment %d overlaps previous", i)
+		}
+	}
+	if total != n {
+		t.Fatalf("segments cover %d points, want %d", total, n)
+	}
+}
+
+func TestFitCDFSkipsDuplicates(t *testing.T) {
+	keys := []uint64{1, 1, 2, 2, 3, 10, 10, 11}
+	segs := FitCDF(keys, 100)
+	n := 0
+	for _, s := range segs {
+		n += s.N
+	}
+	if n != 5 { // unique keys: 1,2,3,10,11
+		t.Fatalf("covered %d points, want 5 unique", n)
+	}
+}
+
+func TestNonIncreasingXPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-increasing x")
+		}
+	}()
+	f := NewFitter(1)
+	f.Add(1, 1)
+	f.Add(1, 2)
+}
+
+func TestNegativeErrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative maxErr")
+		}
+	}()
+	NewFitter(-1)
+}
+
+func TestFitterReusableAfterFinish(t *testing.T) {
+	f := NewFitter(0.5)
+	f.Add(0, 0)
+	f.Add(1, 1)
+	if got := len(f.Finish()); got != 1 {
+		t.Fatalf("first finish: %d segments", got)
+	}
+	f.Add(5, 5)
+	f.Add(6, 9)
+	segs := f.Finish()
+	if len(segs) == 0 || segs[0].StartX != 5 {
+		t.Fatalf("fitter not reusable: %+v", segs)
+	}
+}
+
+// Property: for any random monotone series, every point is within the bound
+// of its covering segment, and segments jointly cover all points.
+func TestQuickErrorBound(t *testing.T) {
+	prop := func(seed int64, epsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eps := float64(epsRaw%50) + 0.5
+		n := 50 + rng.Intn(300)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x, y := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x += 1 + rng.Float64()*5
+			y += rng.Float64() * 10
+			xs[i], ys[i] = x, y
+		}
+		segs := Fit(xs, ys, eps)
+		covered := 0
+		for _, s := range segs {
+			covered += s.N
+		}
+		if covered != n {
+			return false
+		}
+		for i := range xs {
+			s := segmentFor(segs, xs[i])
+			if s == nil || math.Abs(s.Eval(xs[i])-ys[i]) > eps+1e-6 {
+				return false
+			}
+		}
+		// Segments must be sorted by StartX.
+		return sort.SliceIsSorted(segs, func(a, b int) bool {
+			return segs[a].StartX < segs[b].StartX
+		})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

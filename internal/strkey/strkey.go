@@ -1,0 +1,218 @@
+// Package strkey adapts DyTIS's integer key space to string keys, the
+// extension direction §5 of the paper discusses (SIndex/Wormhole handle
+// strings natively; DyTIS targets 8-byte integer keys).
+//
+// Encode packs a string's first 8 bytes big-endian, which preserves
+// lexicographic order: Encode(a) < Encode(b) whenever a < b differ within
+// the first 8 bytes. Strings sharing an 8-byte prefix collide; Map layers a
+// per-prefix overflow list on top of a DyTIS index so lookups stay exact and
+// scans stay ordered, while short keys pay no overhead.
+package strkey
+
+import (
+	"sort"
+
+	"dytis/internal/core"
+)
+
+// Encode maps a string to an order-preserving uint64: the first 8 bytes,
+// big-endian, zero-padded. Strings equal in their first 8 bytes map to the
+// same value.
+func Encode(s string) uint64 {
+	var k uint64
+	for i := 0; i < 8; i++ {
+		k <<= 8
+		if i < len(s) {
+			k |= uint64(s[i])
+		}
+	}
+	return k
+}
+
+// entry is one string key/value pair in a prefix's overflow list.
+type entry struct {
+	key string
+	val uint64
+}
+
+// Map is an ordered map from string keys to uint64 values built on DyTIS.
+// Keys with distinct 8-byte prefixes live directly in the index; colliding
+// keys share a per-prefix sorted overflow list. Not safe for concurrent use.
+type Map struct {
+	idx *core.DyTIS
+	// overflow holds every prefix shared by 2+ strings.
+	overflow map[uint64][]entry
+	// resident remembers the full string for keys longer than 8 bytes that
+	// are stored directly in the index (short keys reconstruct from the
+	// prefix itself).
+	resident map[uint64]string
+	n        int
+}
+
+// NewMap returns an empty string-keyed map with the given DyTIS options.
+func NewMap(opts core.Options) *Map {
+	return &Map{
+		idx:      core.New(opts),
+		overflow: map[uint64][]entry{},
+		resident: map[uint64]string{},
+	}
+}
+
+// exact reports whether Encode is injective for this string: no information
+// beyond the first 8 bytes.
+func exact(s string) bool { return len(s) <= 8 }
+
+// Set stores or updates key.
+func (m *Map) Set(key string, value uint64) {
+	pk := Encode(key)
+	if lst, ok := m.overflow[pk]; ok {
+		i := sort.Search(len(lst), func(i int) bool { return lst[i].key >= key })
+		if i < len(lst) && lst[i].key == key {
+			lst[i].val = value
+			return
+		}
+		lst = append(lst, entry{})
+		copy(lst[i+1:], lst[i:])
+		lst[i] = entry{key, value}
+		m.overflow[pk] = lst
+		m.n++
+		return
+	}
+	if old, present := m.idx.Get(pk); present {
+		// Prefix occupied: the same string updates in place; a different
+		// string sharing the prefix spills both into an overflow list.
+		prevKey, prevVal := m.residentKey(pk), old
+		if prevKey == key {
+			m.idx.Insert(pk, value)
+			return
+		}
+		lst := []entry{{prevKey, prevVal}}
+		i := sort.Search(len(lst), func(i int) bool { return lst[i].key >= key })
+		lst = append(lst, entry{})
+		copy(lst[i+1:], lst[i:])
+		lst[i] = entry{key, value}
+		m.overflow[pk] = lst
+		m.idx.Insert(pk, 0) // value now lives in the overflow list
+		delete(m.resident, pk)
+		m.n++
+		return
+	}
+	m.idx.Insert(pk, value)
+	if !exact(key) {
+		if m.resident == nil {
+			m.resident = map[uint64]string{}
+		}
+		m.resident[pk] = key
+	}
+	m.n++
+}
+
+// residentKey reconstructs the string stored directly under pk.
+func (m *Map) residentKey(pk uint64) string {
+	if s, ok := m.resident[pk]; ok {
+		return s
+	}
+	return decode(pk)
+}
+
+// decode inverts Encode for strings of length <= 8 (trailing zeros trimmed).
+func decode(pk uint64) string {
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(pk)
+		pk >>= 8
+	}
+	n := 8
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return string(b[:n])
+}
+
+// Get returns the value for key.
+func (m *Map) Get(key string) (uint64, bool) {
+	pk := Encode(key)
+	if lst, ok := m.overflow[pk]; ok {
+		i := sort.Search(len(lst), func(i int) bool { return lst[i].key >= key })
+		if i < len(lst) && lst[i].key == key {
+			return lst[i].val, true
+		}
+		return 0, false
+	}
+	v, ok := m.idx.Get(pk)
+	if !ok {
+		return 0, false
+	}
+	if m.residentKey(pk) != key {
+		return 0, false
+	}
+	return v, true
+}
+
+// Delete removes key, reporting presence.
+func (m *Map) Delete(key string) bool {
+	pk := Encode(key)
+	if lst, ok := m.overflow[pk]; ok {
+		i := sort.Search(len(lst), func(i int) bool { return lst[i].key >= key })
+		if i == len(lst) || lst[i].key != key {
+			return false
+		}
+		lst = append(lst[:i], lst[i+1:]...)
+		m.n--
+		switch len(lst) {
+		case 1:
+			// Collapse back to a direct resident.
+			delete(m.overflow, pk)
+			m.idx.Insert(pk, lst[0].val)
+			if !exact(lst[0].key) {
+				m.resident[pk] = lst[0].key
+			}
+		case 0:
+			delete(m.overflow, pk)
+			m.idx.Delete(pk)
+		default:
+			m.overflow[pk] = lst
+		}
+		return true
+	}
+	if _, ok := m.idx.Get(pk); ok && m.residentKey(pk) == key {
+		m.idx.Delete(pk)
+		delete(m.resident, pk)
+		m.n--
+		return true
+	}
+	return false
+}
+
+// Len returns the number of live string keys.
+func (m *Map) Len() int { return m.n }
+
+// Range calls fn for every pair with key >= start, in lexicographic order,
+// until fn returns false.
+func (m *Map) Range(start string, fn func(key string, value uint64) bool) {
+	c := m.idx.NewCursor(Encode(start))
+	for {
+		p, ok := c.Next()
+		if !ok {
+			return
+		}
+		if lst, over := m.overflow[p.Key]; over {
+			for _, e := range lst {
+				if e.key < start {
+					continue
+				}
+				if !fn(e.key, e.val) {
+					return
+				}
+			}
+			continue
+		}
+		k := m.residentKey(p.Key)
+		if k < start {
+			continue
+		}
+		if !fn(k, p.Value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package strkey
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dytis/internal/core"
+)
+
+func opts() core.Options {
+	return core.Options{FirstLevelBits: 2, BucketEntries: 8, StartDepth: 2}
+}
+
+func TestEncodeOrderPreserving(t *testing.T) {
+	words := []string{"", "a", "aa", "ab", "abacus", "b", "zebra", "zz"}
+	for i := 1; i < len(words); i++ {
+		if !(Encode(words[i-1]) < Encode(words[i])) {
+			t.Fatalf("Encode(%q)=%#x !< Encode(%q)=%#x",
+				words[i-1], Encode(words[i-1]), words[i], Encode(words[i]))
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello", "12345678"} {
+		if got := decode(Encode(s)); got != s {
+			t.Fatalf("decode(Encode(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	m := NewMap(opts())
+	m.Set("alpha", 1)
+	m.Set("beta", 2)
+	m.Set("alpha", 3) // update
+	if v, ok := m.Get("alpha"); !ok || v != 3 {
+		t.Fatalf("Get(alpha) = %d,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if !m.Delete("alpha") || m.Delete("alpha") {
+		t.Fatal("delete semantics")
+	}
+	if _, ok := m.Get("alpha"); ok {
+		t.Fatal("alpha survived delete")
+	}
+}
+
+func TestPrefixCollisions(t *testing.T) {
+	m := NewMap(opts())
+	// All share the 8-byte prefix "collide_".
+	keys := []string{"collide_one", "collide_two", "collide_three", "collide_"}
+	for i, k := range keys {
+		m.Set(k, uint64(i))
+	}
+	if m.Len() != len(keys) {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	for i, k := range keys {
+		if v, ok := m.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := m.Get("collide_four"); ok {
+		t.Fatal("phantom colliding key")
+	}
+	// Updates inside the overflow list.
+	m.Set("collide_two", 99)
+	if v, _ := m.Get("collide_two"); v != 99 {
+		t.Fatal("overflow update failed")
+	}
+	// Deleting down to one collapses back to a direct resident.
+	m.Delete("collide_one")
+	m.Delete("collide_three")
+	m.Delete("collide_")
+	if v, ok := m.Get("collide_two"); !ok || v != 99 {
+		t.Fatalf("survivor lost: %d,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+}
+
+func TestLongKeySameStringUpdates(t *testing.T) {
+	m := NewMap(opts())
+	m.Set("long-key-beyond-8", 1)
+	m.Set("long-key-beyond-8", 2)
+	if m.Len() != 1 {
+		t.Fatalf("Len=%d want 1", m.Len())
+	}
+	if v, _ := m.Get("long-key-beyond-8"); v != 2 {
+		t.Fatal("long-key update failed")
+	}
+	// A different long key with the same prefix must NOT match.
+	if _, ok := m.Get("long-key-beyond-9"); ok {
+		t.Fatal("prefix false positive")
+	}
+}
+
+func TestRangeLexicographic(t *testing.T) {
+	m := NewMap(opts())
+	words := []string{"apple", "apricot", "banana", "blueberry", "cherry",
+		"prefix__collide1", "prefix__collide2", "prefix__"}
+	for i, w := range words {
+		m.Set(w, uint64(i))
+	}
+	var got []string
+	m.Range("", func(k string, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+	// Start mid-way and early stop.
+	got = got[:0]
+	m.Range("banana", func(k string, v uint64) bool {
+		got = append(got, k)
+		return len(got) < 2
+	})
+	if len(got) != 2 || got[0] != "banana" || got[1] != "blueberry" {
+		t.Fatalf("bounded range: %v", got)
+	}
+}
+
+func TestQuickMatchesGoMap(t *testing.T) {
+	// A pool with deliberately colliding prefixes.
+	pool := make([]string, 0, 64)
+	for i := 0; i < 16; i++ {
+		pool = append(pool, fmt.Sprintf("k%02d", i))
+		pool = append(pool, fmt.Sprintf("shared__%d", i))
+		pool = append(pool, "shared__"+strings.Repeat("x", i))
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMap(opts())
+		ref := map[string]uint64{}
+		for op := 0; op < 1500; op++ {
+			k := pool[rng.Intn(len(pool))]
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				m.Set(k, v)
+				ref[k] = v
+			case 3:
+				_, in := ref[k]
+				if m.Delete(k) != in {
+					return false
+				}
+				delete(ref, k)
+			case 4:
+				gv, gok := m.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		// Ordered traversal equals the sorted reference.
+		keys := make([]string, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		m.Range("", func(k string, v uint64) bool {
+			if i >= len(keys) || k != keys[i] || v != ref[k] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

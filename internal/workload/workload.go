@@ -1,0 +1,233 @@
+// Package workload generates the seven YCSB-style operation mixes the DyTIS
+// paper evaluates (§4.3): Load, A, B, C, D', E, and F, with keys chosen by a
+// scrambled Zipfian(0.99) distribution over the loaded population, exactly
+// the configuration the paper describes (including its modified D' — reads
+// of existing rather than latest keys — and F — 50% reads, 50%
+// read-modify-write).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType enumerates the operation kinds an index executes.
+type OpType uint8
+
+const (
+	OpInsert OpType = iota // insert a new key
+	OpRead
+	OpUpdate // in-place value update of an existing key
+	OpScan   // range scan of ScanLen keys
+	OpRMW    // read-modify-write: read then update the same key
+)
+
+// Op is one benchmark operation.
+type Op struct {
+	Type OpType
+	Key  uint64
+	Val  uint64
+}
+
+// Kind names a YCSB-style workload.
+type Kind string
+
+const (
+	Load   Kind = "Load"
+	A      Kind = "A"
+	B      Kind = "B"
+	C      Kind = "C"
+	DPrime Kind = "D'"
+	E      Kind = "E"
+	F      Kind = "F"
+)
+
+// Kinds lists the paper's seven workloads in presentation order.
+var Kinds = []Kind{Load, A, B, C, DPrime, E, F}
+
+// ScanLen is the paper's workload-E range length.
+const ScanLen = 100
+
+// Mix is the operation composition of a workload.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+	// LoadFrac is the fraction of the dataset inserted before the measured
+	// ops run (the paper loads 100% for A/B/C/F and 80% for D'/E).
+	LoadFrac float64
+}
+
+// MixFor returns the composition of the given workload kind.
+func MixFor(k Kind) Mix {
+	switch k {
+	case Load:
+		return Mix{Insert: 1, LoadFrac: 0}
+	case A:
+		return Mix{Read: 0.5, Update: 0.5, LoadFrac: 1}
+	case B:
+		return Mix{Read: 0.95, Update: 0.05, LoadFrac: 1}
+	case C:
+		return Mix{Read: 1, LoadFrac: 1}
+	case DPrime:
+		return Mix{Read: 0.95, Insert: 0.05, LoadFrac: 0.8}
+	case E:
+		return Mix{Scan: 0.95, Insert: 0.05, LoadFrac: 0.8}
+	case F:
+		return Mix{Read: 0.5, RMW: 0.5, LoadFrac: 1}
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %q", k))
+	}
+}
+
+// Zipf is the YCSB (Gray et al.) Zipfian generator with constant 0.99,
+// scrambled with a 64-bit mixer so popular items spread over the key space.
+type Zipf struct {
+	items          uint64
+	theta          float64
+	alpha          float64
+	zetan, zeta2   float64
+	eta            float64
+	rng            *rand.Rand
+	scramble       bool
+	scrambleModulo uint64
+}
+
+// NewZipf returns a Zipfian chooser over [0, items) with YCSB's default
+// constant 0.99.
+func NewZipf(items int, seed int64, scramble bool) *Zipf {
+	const theta = 0.99
+	if items < 1 {
+		items = 1
+	}
+	z := &Zipf{
+		items:    uint64(items),
+		theta:    theta,
+		rng:      rand.New(rand.NewSource(seed)),
+		scramble: scramble,
+	}
+	z.zetan = zetaStatic(uint64(items), theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - pow(2/float64(items), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.scrambleModulo = uint64(items)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / pow(float64(i), theta)
+	}
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Next returns the next item index.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var item uint64
+	switch {
+	case uz < 1:
+		item = 0
+	case uz < 1+pow(0.5, z.theta):
+		item = 1
+	default:
+		item = uint64(float64(z.items) * pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if item >= z.items {
+		item = z.items - 1
+	}
+	if z.scramble {
+		item = mix64(item) % z.scrambleModulo
+	}
+	return item
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Config controls op-stream generation.
+type Config struct {
+	Kind Kind
+	// Keys is the dataset in insertion order.
+	Keys []uint64
+	// Ops is the number of measured operations (ignored for Load, which
+	// always inserts the non-preloaded remainder).
+	Ops int
+	// Seed drives key choice.
+	Seed int64
+	// UniformChoice selects uniform instead of Zipfian key choice (the
+	// paper reports similar results for both).
+	UniformChoice bool
+}
+
+// Plan is a fully materialized benchmark phase: preload the first
+// PreloadCount dataset keys, then execute Ops (generation is excluded from
+// timing).
+type Plan struct {
+	Kind         Kind
+	PreloadCount int
+	Ops          []Op
+}
+
+// Build materializes the op stream for a workload over a dataset.
+func Build(cfg Config) Plan {
+	mix := MixFor(cfg.Kind)
+	n := len(cfg.Keys)
+	preload := int(mix.LoadFrac * float64(n))
+	p := Plan{Kind: cfg.Kind, PreloadCount: preload}
+
+	if cfg.Kind == Load {
+		p.Ops = make([]Op, 0, n)
+		for _, k := range cfg.Keys {
+			p.Ops = append(p.Ops, Op{Type: OpInsert, Key: k, Val: k})
+		}
+		return p
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := NewZipf(preload, cfg.Seed+1, true)
+	chooseExisting := func() uint64 {
+		if cfg.UniformChoice {
+			return cfg.Keys[rng.Intn(preload)]
+		}
+		return cfg.Keys[zipf.Next()]
+	}
+
+	ops := cfg.Ops
+	// Workloads with inserts are bounded by the keys that remain unloaded
+	// (the paper measures "until all the keys in the dataset are inserted").
+	insertBudget := n - preload
+	nextInsert := preload
+	p.Ops = make([]Op, 0, ops)
+	for i := 0; i < ops; i++ {
+		r := rng.Float64()
+		switch {
+		case r < mix.Read:
+			p.Ops = append(p.Ops, Op{Type: OpRead, Key: chooseExisting()})
+		case r < mix.Read+mix.Update:
+			p.Ops = append(p.Ops, Op{Type: OpUpdate, Key: chooseExisting(), Val: uint64(i)})
+		case r < mix.Read+mix.Update+mix.RMW:
+			p.Ops = append(p.Ops, Op{Type: OpRMW, Key: chooseExisting(), Val: uint64(i)})
+		case r < mix.Read+mix.Update+mix.RMW+mix.Scan:
+			p.Ops = append(p.Ops, Op{Type: OpScan, Key: chooseExisting()})
+		default: // insert
+			if insertBudget == 0 {
+				p.Ops = append(p.Ops, Op{Type: OpRead, Key: chooseExisting()})
+				continue
+			}
+			p.Ops = append(p.Ops, Op{Type: OpInsert, Key: cfg.Keys[nextInsert], Val: 1})
+			nextInsert++
+			insertBudget--
+		}
+	}
+	return p
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func seqKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i) * 10
+	}
+	return out
+}
+
+func TestLoadPlanInsertsEverything(t *testing.T) {
+	keys := seqKeys(1000)
+	p := Build(Config{Kind: Load, Keys: keys})
+	if p.PreloadCount != 0 {
+		t.Fatalf("preload=%d", p.PreloadCount)
+	}
+	if len(p.Ops) != 1000 {
+		t.Fatalf("ops=%d", len(p.Ops))
+	}
+	for i, op := range p.Ops {
+		if op.Type != OpInsert || op.Key != keys[i] {
+			t.Fatalf("op[%d]=%+v", i, op)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	keys := seqKeys(20000)
+	for _, k := range []Kind{A, B, C, DPrime, E, F} {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			p := Build(Config{Kind: k, Keys: keys, Ops: 20000, Seed: 1})
+			counts := map[OpType]int{}
+			for _, op := range p.Ops {
+				counts[op.Type]++
+			}
+			mix := MixFor(k)
+			checks := []struct {
+				typ  OpType
+				frac float64
+			}{
+				{OpRead, mix.Read}, {OpUpdate, mix.Update},
+				{OpInsert, mix.Insert}, {OpScan, mix.Scan}, {OpRMW, mix.RMW},
+			}
+			for _, c := range checks {
+				got := float64(counts[c.typ]) / float64(len(p.Ops))
+				if math.Abs(got-c.frac) > 0.02 {
+					t.Fatalf("%v fraction %.3f want %.3f", c.typ, got, c.frac)
+				}
+			}
+		})
+	}
+}
+
+func TestPreloadFractions(t *testing.T) {
+	keys := seqKeys(1000)
+	if p := Build(Config{Kind: C, Keys: keys, Ops: 10}); p.PreloadCount != 1000 {
+		t.Fatalf("C preload=%d", p.PreloadCount)
+	}
+	if p := Build(Config{Kind: E, Keys: keys, Ops: 10}); p.PreloadCount != 800 {
+		t.Fatalf("E preload=%d", p.PreloadCount)
+	}
+}
+
+func TestInsertsUseUnloadedKeysInOrder(t *testing.T) {
+	keys := seqKeys(1000)
+	p := Build(Config{Kind: DPrime, Keys: keys, Ops: 4000, Seed: 2})
+	next := 800
+	for _, op := range p.Ops {
+		if op.Type == OpInsert {
+			if op.Key != keys[next] {
+				t.Fatalf("insert key %d want %d", op.Key, keys[next])
+			}
+			next++
+		}
+	}
+	if next == 800 {
+		t.Fatal("no inserts generated")
+	}
+	if next > 1000 {
+		t.Fatal("inserted beyond the dataset")
+	}
+}
+
+func TestInsertBudgetExhaustionFallsBackToReads(t *testing.T) {
+	keys := seqKeys(100)
+	// 5% of 100000 ops is far more than the 20 unloaded keys.
+	p := Build(Config{Kind: DPrime, Keys: keys, Ops: 100000, Seed: 3})
+	inserts := 0
+	for _, op := range p.Ops {
+		if op.Type == OpInsert {
+			inserts++
+		}
+	}
+	if inserts != 20 {
+		t.Fatalf("inserts=%d want exactly the unloaded 20", inserts)
+	}
+}
+
+func TestReadsComeFromPreloadedPopulation(t *testing.T) {
+	keys := seqKeys(1000)
+	p := Build(Config{Kind: E, Keys: keys, Ops: 5000, Seed: 4})
+	loaded := map[uint64]bool{}
+	for _, k := range keys[:p.PreloadCount] {
+		loaded[k] = true
+	}
+	for _, op := range p.Ops {
+		if op.Type == OpScan && !loaded[op.Key] {
+			t.Fatalf("scan start %d not from preloaded set", op.Key)
+		}
+	}
+}
+
+func TestZipfSkewsTowardFewKeys(t *testing.T) {
+	z := NewZipf(10000, 1, true)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Top item should be drawn far more often than uniform (20 each).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100*draws/10000 {
+		t.Fatalf("top item drawn %d times; zipf not skewed", max)
+	}
+	// All draws in range.
+	for item := range counts {
+		if item >= 10000 {
+			t.Fatalf("out-of-range item %d", item)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(1000, 9, true), NewZipf(1000, 9, true)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestUniformChoice(t *testing.T) {
+	keys := seqKeys(10000)
+	p := Build(Config{Kind: C, Keys: keys, Ops: 50000, Seed: 5, UniformChoice: true})
+	counts := map[uint64]int{}
+	for _, op := range p.Ops {
+		counts[op.Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 40 { // uniform expectation is 5 per key
+		t.Fatalf("uniform choice too skewed: max=%d", max)
+	}
+}

@@ -1,0 +1,450 @@
+// Package xindex implements an XIndex-style concurrent learned index (Tang
+// et al., PPoPP 2020), the concurrent-learned-index baseline of the DyTIS
+// paper. The structure has two levels: a learned root routing keys into
+// groups, and per-group sorted arrays with a small sorted delta buffer that
+// absorbs inserts. A compaction pass (run by a background thread in
+// concurrent mode, inline otherwise) merges each group's delta into its
+// array, retrains the group model, and splits oversized groups. The paper
+// attributes XIndex's lower throughput to exactly this delta-index +
+// background-compaction machinery; the mechanisms are reproduced here.
+package xindex
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dytis/internal/kv"
+	"dytis/internal/linmod"
+)
+
+const (
+	// deltaMax triggers compaction when a group's delta buffer exceeds it.
+	deltaMax = 256
+	// groupTarget is the bulk-load group size; groups split at 4x.
+	groupTarget = 4096
+	maxGroup    = 4 * groupTarget
+)
+
+type group struct {
+	mu    sync.RWMutex
+	min   uint64 // smallest key routed here (routing boundary)
+	model linmod.Model
+	keys  []uint64 // sorted main array
+	vals  []uint64
+	dead  []uint64 // tombstone bitmap over the main array
+	ndead int
+	dkeys []uint64 // sorted delta buffer
+	dvals []uint64
+}
+
+func (g *group) isDead(i int) bool { return g.dead[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (g *group) setDead(i int)     { g.dead[i>>6] |= 1 << (uint(i) & 63) }
+func (g *group) clearDead(i int)   { g.dead[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Stats counts the paper-relevant overhead sources.
+type Stats struct {
+	Compactions int64
+	GroupSplits int64
+	Groups      int
+}
+
+// root is the immutable routing snapshot; group splits install a new root
+// (copy-on-write), so readers only need an atomic pointer load.
+type root struct {
+	mins   []uint64
+	groups []*group
+	model  linmod.Model
+}
+
+// Index is an XIndex-like learned index. With concurrent=true all operations
+// are safe for concurrent use and compaction runs on a background goroutine;
+// Close must be called to stop it.
+type Index struct {
+	rootPtr atomic.Pointer[root]
+	rootMu  sync.Mutex // serializes root replacement (splits, bulk load)
+	conc    bool
+	n       atomic.Int64
+
+	compactCh chan *group
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	compactions atomic.Int64
+	splits      atomic.Int64
+}
+
+// New returns an empty index. concurrent selects the thread-safe variant
+// with a background compaction thread.
+func New(concurrent bool) *Index {
+	x := &Index{conc: concurrent, closed: make(chan struct{})}
+	g := &group{min: 0, dead: []uint64{}}
+	x.rootPtr.Store(&root{mins: []uint64{0}, groups: []*group{g}})
+	if concurrent {
+		x.compactCh = make(chan *group, 1024)
+		x.wg.Add(1)
+		go x.compactor()
+	}
+	return x
+}
+
+// Close stops the background compaction thread (no-op in single-thread mode).
+func (x *Index) Close() {
+	x.closeOnce.Do(func() {
+		close(x.closed)
+		x.wg.Wait()
+	})
+}
+
+func (x *Index) compactor() {
+	defer x.wg.Done()
+	for {
+		select {
+		case g := <-x.compactCh:
+			x.compact(g)
+		case <-x.closed:
+			return
+		}
+	}
+}
+
+// groupFor routes a key: learned root prediction plus a local correction
+// search over the group boundary keys.
+func (r *root) groupFor(k uint64) (*group, int) {
+	n := len(r.mins)
+	i := r.model.PredictClamped(k, n)
+	// Correct: find the last i with mins[i] <= k.
+	for i+1 < n && r.mins[i+1] <= k {
+		i++
+	}
+	for i > 0 && r.mins[i] > k {
+		i--
+	}
+	return r.groups[i], i
+}
+
+// BulkLoad replaces the contents with the ascending keys (the 70% training
+// load the paper uses for XIndex).
+func (x *Index) BulkLoad(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("xindex: mismatched bulk-load slices")
+	}
+	x.rootMu.Lock()
+	defer x.rootMu.Unlock()
+	var groups []*group
+	var mins []uint64
+	if len(keys) == 0 {
+		groups = []*group{{min: 0, dead: []uint64{}}}
+		mins = []uint64{0}
+	}
+	for i := 0; i < len(keys); i += groupTarget {
+		end := i + groupTarget
+		if end > len(keys) {
+			end = len(keys)
+		}
+		g := &group{
+			min:  keys[i],
+			keys: append([]uint64(nil), keys[i:end]...),
+			vals: append([]uint64(nil), values[i:end]...),
+		}
+		if i == 0 {
+			g.min = 0 // the first group must cover the whole lower range
+		}
+		g.dead = make([]uint64, (len(g.keys)+63)/64)
+		g.model = linmod.Fit(g.keys, len(g.keys))
+		groups = append(groups, g)
+		mins = append(mins, g.min)
+	}
+	x.installRoot(mins, groups)
+	x.n.Store(int64(len(keys)))
+}
+
+func (x *Index) installRoot(mins []uint64, groups []*group) {
+	x.rootPtr.Store(&root{mins: mins, groups: groups, model: linmod.Fit(mins, len(mins))})
+}
+
+// searchMain returns the main-array index of k, or -1.
+func (g *group) searchMain(k uint64) int {
+	n := len(g.keys)
+	if n == 0 {
+		return -1
+	}
+	i := g.model.PredictClamped(k, n)
+	// Exponential correction around the prediction.
+	lo, hi := i, i+1
+	step := 1
+	for lo > 0 && g.keys[lo] > k {
+		lo -= step
+		step <<= 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	step = 1
+	for hi < n && g.keys[hi-1] < k {
+		hi += step
+		step <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	j := lo + sort.Search(hi-lo, func(m int) bool { return g.keys[lo+m] >= k })
+	if j < n && g.keys[j] == k {
+		return j
+	}
+	return -1
+}
+
+func searchDelta(dk []uint64, k uint64) (int, bool) {
+	i := sort.Search(len(dk), func(m int) bool { return dk[m] >= k })
+	return i, i < len(dk) && dk[i] == k
+}
+
+// Get returns the value for key.
+func (x *Index) Get(key uint64) (uint64, bool) {
+	g, _ := x.rootPtr.Load().groupFor(key)
+	if x.conc {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+	}
+	if i, ok := searchDelta(g.dkeys, key); ok {
+		return g.dvals[i], true
+	}
+	if j := g.searchMain(key); j >= 0 && !g.isDead(j) {
+		return g.vals[j], true
+	}
+	return 0, false
+}
+
+// lockRouted returns key's group with its write lock held, revalidating the
+// routing after acquiring the lock: a concurrent group split installs the new
+// root while holding the old group's lock, so a re-check under the lock
+// guarantees writes never land in an unrouted group.
+func (x *Index) lockRouted(key uint64) *group {
+	for {
+		g, _ := x.rootPtr.Load().groupFor(key)
+		g.mu.Lock()
+		if g2, _ := x.rootPtr.Load().groupFor(key); g2 == g {
+			return g
+		}
+		g.mu.Unlock()
+	}
+}
+
+// Insert stores or updates key.
+func (x *Index) Insert(key, value uint64) {
+	var g *group
+	if x.conc {
+		g = x.lockRouted(key)
+	} else {
+		g, _ = x.rootPtr.Load().groupFor(key)
+	}
+	var needCompact bool
+	if j := g.searchMain(key); j >= 0 {
+		if g.isDead(j) {
+			g.clearDead(j)
+			g.ndead--
+			x.n.Add(1)
+		}
+		g.vals[j] = value
+	} else if i, ok := searchDelta(g.dkeys, key); ok {
+		g.dvals[i] = value
+	} else {
+		g.dkeys = append(g.dkeys, 0)
+		g.dvals = append(g.dvals, 0)
+		copy(g.dkeys[i+1:], g.dkeys[i:])
+		copy(g.dvals[i+1:], g.dvals[i:])
+		g.dkeys[i], g.dvals[i] = key, value
+		x.n.Add(1)
+		needCompact = len(g.dkeys) > deltaMax
+	}
+	if x.conc {
+		g.mu.Unlock()
+		if needCompact {
+			select {
+			case x.compactCh <- g:
+			default: // queue full; the next overflow re-triggers
+			}
+		}
+	} else if needCompact {
+		x.compact(g)
+	}
+}
+
+// compact merges a group's delta into its main array, drops tombstones,
+// retrains the model, and splits the group when oversized.
+func (x *Index) compact(g *group) {
+	if x.conc {
+		g.mu.Lock()
+	}
+	if len(g.dkeys) == 0 && g.ndead == 0 {
+		if x.conc {
+			g.mu.Unlock()
+		}
+		return
+	}
+	merged := make([]uint64, 0, len(g.keys)+len(g.dkeys))
+	mvals := make([]uint64, 0, len(g.keys)+len(g.dkeys))
+	i, j := 0, 0
+	for i < len(g.keys) || j < len(g.dkeys) {
+		switch {
+		case i == len(g.keys) || (j < len(g.dkeys) && g.dkeys[j] < g.keys[i]):
+			merged = append(merged, g.dkeys[j])
+			mvals = append(mvals, g.dvals[j])
+			j++
+		default:
+			if !g.isDead(i) {
+				merged = append(merged, g.keys[i])
+				mvals = append(mvals, g.vals[i])
+			}
+			i++
+		}
+	}
+	g.keys, g.vals = merged, mvals
+	g.dead = make([]uint64, (len(merged)+63)/64)
+	g.ndead = 0
+	g.dkeys, g.dvals = nil, nil
+	g.model = linmod.Fit(g.keys, len(g.keys))
+	x.compactions.Add(1)
+	big := len(g.keys) > maxGroup
+	if x.conc {
+		g.mu.Unlock()
+	}
+	if big {
+		x.splitGroup(g)
+	}
+}
+
+// splitGroup halves an oversized group and installs a copy-on-write root.
+func (x *Index) splitGroup(g *group) {
+	x.rootMu.Lock()
+	defer x.rootMu.Unlock()
+	r := x.rootPtr.Load()
+	idx := -1
+	for i, gg := range r.groups {
+		if gg == g {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // group already replaced by a concurrent split
+	}
+	if x.conc {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	if len(g.keys) <= maxGroup || len(g.dkeys) > 0 {
+		return // state changed since the trigger
+	}
+	mid := len(g.keys) / 2
+	left := &group{min: g.min,
+		keys: append([]uint64(nil), g.keys[:mid]...),
+		vals: append([]uint64(nil), g.vals[:mid]...)}
+	right := &group{min: g.keys[mid],
+		keys: append([]uint64(nil), g.keys[mid:]...),
+		vals: append([]uint64(nil), g.vals[mid:]...)}
+	for _, ng := range []*group{left, right} {
+		ng.dead = make([]uint64, (len(ng.keys)+63)/64)
+		ng.model = linmod.Fit(ng.keys, len(ng.keys))
+	}
+	mins := make([]uint64, 0, len(r.mins)+1)
+	groups := make([]*group, 0, len(r.groups)+1)
+	mins = append(mins, r.mins[:idx]...)
+	groups = append(groups, r.groups[:idx]...)
+	mins = append(mins, left.min, right.min)
+	groups = append(groups, left, right)
+	mins = append(mins, r.mins[idx+1:]...)
+	groups = append(groups, r.groups[idx+1:]...)
+	x.installRoot(mins, groups)
+	x.splits.Add(1)
+}
+
+// Delete removes key, reporting presence. Main-array hits become tombstones
+// reclaimed by the next compaction.
+func (x *Index) Delete(key uint64) bool {
+	var g *group
+	if x.conc {
+		g = x.lockRouted(key)
+		defer g.mu.Unlock()
+	} else {
+		g, _ = x.rootPtr.Load().groupFor(key)
+	}
+	if i, ok := searchDelta(g.dkeys, key); ok {
+		g.dkeys = append(g.dkeys[:i], g.dkeys[i+1:]...)
+		g.dvals = append(g.dvals[:i], g.dvals[i+1:]...)
+		x.n.Add(-1)
+		return true
+	}
+	if j := g.searchMain(key); j >= 0 && !g.isDead(j) {
+		g.setDead(j)
+		g.ndead++
+		x.n.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Scan appends up to max pairs with key >= start in ascending order, merging
+// each group's main array and delta buffer on the fly.
+func (x *Index) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	r := x.rootPtr.Load()
+	_, gi := r.groupFor(start)
+	taken := 0
+	for ; gi < len(r.groups) && taken < max; gi++ {
+		g := r.groups[gi]
+		if x.conc {
+			g.mu.RLock()
+		}
+		i := sort.Search(len(g.keys), func(m int) bool { return g.keys[m] >= start })
+		j := sort.Search(len(g.dkeys), func(m int) bool { return g.dkeys[m] >= start })
+		for taken < max && (i < len(g.keys) || j < len(g.dkeys)) {
+			if i < len(g.keys) && g.isDead(i) {
+				i++
+				continue
+			}
+			if j == len(g.dkeys) || (i < len(g.keys) && g.keys[i] < g.dkeys[j]) {
+				dst = append(dst, kv.KV{Key: g.keys[i], Value: g.vals[i]})
+				i++
+			} else {
+				dst = append(dst, kv.KV{Key: g.dkeys[j], Value: g.dvals[j]})
+				j++
+			}
+			taken++
+		}
+		if x.conc {
+			g.mu.RUnlock()
+		}
+	}
+	return dst
+}
+
+// Len returns the number of live keys.
+func (x *Index) Len() int { return int(x.n.Load()) }
+
+// Stats snapshots overhead counters.
+func (x *Index) Stats() Stats {
+	return Stats{
+		Compactions: x.compactions.Load(),
+		GroupSplits: x.splits.Load(),
+		Groups:      len(x.rootPtr.Load().groups),
+	}
+}
+
+// MemoryFootprint estimates heap bytes used by the structure, including
+// delta buffers — the paper highlights XIndex's extra memory for deltas.
+func (x *Index) MemoryFootprint() int64 {
+	r := x.rootPtr.Load()
+	b := int64(len(r.mins)) * 16
+	for _, g := range r.groups {
+		if x.conc {
+			g.mu.RLock()
+		}
+		b += int64(len(g.keys))*16 + int64(cap(g.dkeys))*16 + int64(len(g.dead))*8 + 96
+		if x.conc {
+			g.mu.RUnlock()
+		}
+	}
+	return b
+}

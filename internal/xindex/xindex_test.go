@@ -1,0 +1,294 @@
+package xindex
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dytis/internal/kv"
+)
+
+func TestInsertGetSingleThread(t *testing.T) {
+	x := New(false)
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		x.Insert(i, i*2)
+	}
+	if x.Len() != n {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := x.Get(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Get(%d)=%d,%v", i, v, ok)
+		}
+	}
+	if st := x.Stats(); st.Compactions == 0 {
+		t.Fatalf("no compactions after %d inserts: %+v", n, st)
+	}
+}
+
+func TestBulkLoadThenOps(t *testing.T) {
+	var keys, vals []uint64
+	for i := uint64(0); i < 100000; i++ {
+		keys = append(keys, i*5)
+		vals = append(vals, i)
+	}
+	x := New(false)
+	x.BulkLoad(keys, vals)
+	if x.Len() != len(keys) {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	for i := 0; i < len(keys); i += 17 {
+		if v, ok := x.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("Get(%d)", keys[i])
+		}
+	}
+	// Keys below the first loaded key still route somewhere valid.
+	x.Insert(2, 99)
+	if v, ok := x.Get(2); !ok || v != 99 {
+		t.Fatal("insert below min failed")
+	}
+	if st := x.Stats(); st.Groups < 10 {
+		t.Fatalf("bulk load built too few groups: %+v", st)
+	}
+}
+
+func TestUpdateInPlaceBothPlaces(t *testing.T) {
+	x := New(false)
+	var keys, vals []uint64
+	for i := uint64(0); i < 1000; i++ {
+		keys = append(keys, i*10)
+		vals = append(vals, i)
+	}
+	x.BulkLoad(keys, vals) // key in main array
+	x.Insert(50, 123)
+	if v, _ := x.Get(50); v != 123 {
+		t.Fatal("main-array update failed")
+	}
+	x.Insert(55, 7) // delta insert
+	x.Insert(55, 8) // delta update
+	if v, _ := x.Get(55); v != 8 {
+		t.Fatal("delta update failed")
+	}
+	if x.Len() != 1001 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+}
+
+func TestDeleteTombstonesAndCompaction(t *testing.T) {
+	x := New(false)
+	for i := uint64(0); i < 20000; i++ {
+		x.Insert(i, i)
+	}
+	for i := uint64(0); i < 20000; i += 2 {
+		if !x.Delete(i) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if x.Delete(0) {
+		t.Fatal("double delete")
+	}
+	if x.Len() != 10000 {
+		t.Fatalf("Len=%d", x.Len())
+	}
+	// Force more compactions over tombstoned groups.
+	for i := uint64(100000); i < 120000; i++ {
+		x.Insert(i, i)
+	}
+	for i := uint64(0); i < 20000; i++ {
+		_, ok := x.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v", i, ok)
+		}
+	}
+	// Deleted key can be reinserted.
+	x.Insert(0, 42)
+	if v, ok := x.Get(0); !ok || v != 42 {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+func TestScanMergesDeltaAndMain(t *testing.T) {
+	x := New(false)
+	var keys, vals []uint64
+	for i := uint64(0); i < 1000; i++ {
+		keys = append(keys, i*10)
+		vals = append(vals, i)
+	}
+	x.BulkLoad(keys, vals)
+	// Odd keys go to deltas.
+	for i := uint64(0); i < 100; i++ {
+		x.Insert(i*10+5, i)
+	}
+	got := x.Scan(0, 150, nil)
+	if len(got) != 150 {
+		t.Fatalf("scan len=%d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key <= got[i-1].Key {
+			t.Fatalf("not ascending at %d: %d after %d", i, got[i].Key, got[i-1].Key)
+		}
+	}
+	// Both sources present.
+	if got[0].Key != 0 || got[1].Key != 5 {
+		t.Fatalf("merge wrong: %v %v", got[0], got[1])
+	}
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	x := New(false)
+	for i := uint64(0); i < 5000; i++ {
+		x.Insert(i, i)
+	}
+	x.Delete(2)
+	x.Delete(3)
+	got := x.Scan(0, 5, nil)
+	want := []uint64{0, 1, 4, 5, 6}
+	for i, w := range want {
+		if got[i].Key != w {
+			t.Fatalf("scan[%d]=%d want %d", i, got[i].Key, w)
+		}
+	}
+}
+
+func TestGroupSplits(t *testing.T) {
+	x := New(false)
+	for i := uint64(0); i < uint64(maxGroup*4); i++ {
+		x.Insert(i, i)
+	}
+	if st := x.Stats(); st.GroupSplits == 0 || st.Groups < 2 {
+		t.Fatalf("groups never split: %+v", st)
+	}
+}
+
+func TestQuickMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New(false)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(3000)) * 7
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				x.Insert(k, v)
+				ref[k] = v
+			case 3:
+				_, in := ref[k]
+				if x.Delete(k) != in {
+					return false
+				}
+				delete(ref, k)
+			case 4:
+				gv, gok := x.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+		}
+		if x.Len() != len(ref) {
+			return false
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := x.Scan(0, len(ref)+1, nil)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			if got[i] != (kv.KV{Key: k, Value: ref[k]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	x := New(true)
+	defer x.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := uint64(w) << 32
+			for i := 0; i < 5000; i++ {
+				k := base + uint64(rng.Intn(10000))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4:
+					x.Insert(k, k)
+				case 5, 6:
+					x.Get(k)
+				case 7:
+					x.Delete(k)
+				default:
+					got := x.Scan(k, 20, nil)
+					for j := 1; j < len(got); j++ {
+						if got[j].Key <= got[j-1].Key {
+							t.Errorf("concurrent scan not ascending")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Workers own disjoint ranges: every final write must be visible.
+func TestConcurrentDisjointExact(t *testing.T) {
+	x := New(true)
+	defer x.Close()
+	const workers = 6
+	final := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := map[uint64]uint64{}
+			base := uint64(w) << 40
+			for i := 0; i < 10000; i++ {
+				k := base + uint64(rng.Intn(5000))
+				if rng.Intn(6) == 0 {
+					x.Delete(k)
+					delete(mine, k)
+				} else {
+					v := rng.Uint64()
+					x.Insert(k, v)
+					mine[k] = v
+				}
+			}
+			final[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for w := range final {
+		total += len(final[w])
+		for k, v := range final[w] {
+			got, ok := x.Get(k)
+			if !ok || got != v {
+				t.Fatalf("worker %d key %#x: %d,%v want %d", w, k, got, ok, v)
+			}
+		}
+	}
+	if x.Len() != total {
+		t.Fatalf("Len=%d want %d", x.Len(), total)
+	}
+}

@@ -1,0 +1,26 @@
+// Package strkey provides string-keyed access to DyTIS: an order-preserving
+// 8-byte prefix encoding plus an ordered Map that handles prefix collisions
+// exactly — the string-key extension direction §5 of the paper discusses.
+//
+//	m := strkey.NewMap(dytis.Options{})
+//	m.Set("alpha", 1)
+//	v, ok := m.Get("alpha")
+//	m.Range("a", func(k string, v uint64) bool { ... })
+package strkey
+
+import (
+	"dytis"
+	"dytis/internal/strkey"
+)
+
+// Map is an ordered map from string keys to uint64 values built on a DyTIS
+// index. Not safe for concurrent use.
+type Map = strkey.Map
+
+// NewMap returns an empty string-keyed map with the given DyTIS options.
+func NewMap(opts dytis.Options) *Map { return strkey.NewMap(opts) }
+
+// Encode maps a string to an order-preserving uint64 (first 8 bytes,
+// big-endian). Strings equal in their first 8 bytes collide; Map handles
+// collisions exactly, raw Encode users must tolerate them.
+func Encode(s string) uint64 { return strkey.Encode(s) }
