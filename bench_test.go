@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"dytis"
 	"dytis/internal/bench"
 	"dytis/internal/core"
 	"dytis/internal/datasets"
@@ -281,6 +282,48 @@ func BenchmarkExtensionPGM(b *testing.B) {
 				runCell(b, c, datasets.Taxi, kind, 1)
 			})
 		}
+	}
+}
+
+// BenchmarkObservability measures the hot-path cost of the observability
+// subsystem: "off" is the default index (nil observer, one branch per op),
+// "on" has a full Observer recording into sharded atomic histograms. The
+// API contract is that "off" stays within 5% of the pre-observability
+// baseline; the off/on gap is the documented cost of enabling metrics.
+func BenchmarkObservability(b *testing.B) {
+	const n = 200000
+	keys := benchKeys(datasets.Taxi)
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	modes := []struct {
+		name string
+		mk   func() *dytis.Index
+	}{
+		{"off", func() *dytis.Index { return dytis.New() }},
+		{"on", func() *dytis.Index {
+			return dytis.New(dytis.WithObserver(dytis.NewObserver()))
+		}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run("Get/"+m.name, func(b *testing.B) {
+			idx := m.mk()
+			for _, k := range keys {
+				idx.Insert(k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Get(keys[i%len(keys)])
+			}
+		})
+		b.Run("Insert/"+m.name, func(b *testing.B) {
+			idx := m.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Insert(keys[i%len(keys)], uint64(i))
+			}
+		})
 	}
 }
 

@@ -45,7 +45,11 @@ const helpText = `commands:
 
 func main() {
 	flag.Parse()
-	idx := dytis.New(dytis.Options{Concurrent: *concurrentFlag})
+	var opts []dytis.Option
+	if *concurrentFlag {
+		opts = append(opts, dytis.WithConcurrent())
+	}
+	idx := dytis.New(opts...)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("dytis-cli — type 'help' for commands")

@@ -2,6 +2,16 @@
 // §2.1 of the DyTIS paper and regenerates Figures 1–3: the skewness-variance
 // vs KDD scatter over Groups 1/2/3, the per-dataset PLR model counts, and
 // the consecutive sub-dataset histograms.
+//
+// With -serve it instead becomes a live observability demo: it runs a DyTIS
+// index under a continuous mixed workload (inserts, point lookups, scans,
+// deletes over the chosen dataset) and serves the index's merged latency
+// histograms, structure-event counters, Stats, and MemoryFootprint over
+// HTTP:
+//
+//	dytis-metrics -serve :8080 -dataset TX -threads 4
+//	curl localhost:8080/metrics      # Prometheus text format
+//	curl localhost:8080/debug/vars   # expvar JSON
 package main
 
 import (
@@ -15,13 +25,23 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "fig1", "experiment: fig1|fig2|fig3|all")
-	scaleFlag = flag.Float64("scale", 0.001, "dataset scale relative to the paper")
-	seedFlag  = flag.Int64("seed", 1, "generator seed")
+	expFlag     = flag.String("exp", "fig1", "experiment: fig1|fig2|fig3|all")
+	scaleFlag   = flag.Float64("scale", 0.001, "dataset scale relative to the paper")
+	seedFlag    = flag.Int64("seed", 1, "generator seed")
+	serveFlag   = flag.String("serve", "", "serve live index metrics on this address (e.g. :8080) instead of running an experiment")
+	datasetFlag = flag.String("dataset", "TX", "dataset driving the live workload in -serve mode")
+	threadsFlag = flag.Int("threads", 2, "workload goroutines in -serve mode")
 )
 
 func main() {
 	flag.Parse()
+	if *serveFlag != "" {
+		if err := serve(*serveFlag, *datasetFlag, *threadsFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *expFlag {
 	case "fig1":
 		fig1()

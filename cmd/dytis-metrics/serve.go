@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"dytis"
+	"dytis/internal/datasets"
+)
+
+// serve runs a concurrent DyTIS index under a continuous mixed workload and
+// blocks serving its observer over HTTP. The workload cycles through the
+// dataset's key stream: ahead of the frontier it inserts (fresh keys, the
+// dynamic-dataset pattern the paper targets), behind it it mixes point
+// lookups, short scans, and occasional deletes, so every histogram and
+// structure-event counter stays live.
+func serve(addr, dataset string, threads int) error {
+	spec, ok := datasets.ByName(dataset)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	n := spec.Count(*scaleFlag)
+	if n < 100000 {
+		n = 100000
+	}
+	keys := spec.Gen(n, *seedFlag)
+
+	ob := dytis.NewObserver()
+	idx := dytis.New(dytis.WithConcurrent(), dytis.WithObserver(ob))
+
+	for t := 0; t < threads; t++ {
+		go drive(idx, keys, t, threads)
+	}
+
+	fmt.Printf("serving live metrics for a DyTIS index under a %s workload (%d keys, %d threads)\n",
+		spec.Name, len(keys), threads)
+	fmt.Printf("  http://localhost%s/metrics      Prometheus text format\n", addr)
+	fmt.Printf("  http://localhost%s/debug/vars   expvar JSON\n", addr)
+	return http.ListenAndServe(addr, ob.Handler())
+}
+
+// drive loops one workload goroutine forever over its stripe of the key
+// stream: insert the frontier key, then 3 gets, and periodically a 100-key
+// scan or a delete against the loaded prefix. When the stream is exhausted
+// the pass restarts (inserts become updates), keeping the op mix steady.
+func drive(idx *dytis.Index, keys []uint64, stripe, threads int) {
+	rng := rand.New(rand.NewSource(int64(stripe) + 42))
+	for pass := 0; ; pass++ {
+		for i := stripe; i < len(keys); i += threads {
+			idx.Insert(keys[i], keys[i])
+			for j := 0; j < 3; j++ {
+				idx.Get(keys[rng.Intn(i+1)])
+			}
+			switch {
+			case i%512 == 0:
+				idx.Scan(keys[rng.Intn(i+1)], 100, nil)
+			case i%97 == 0 && pass == 0 && i > 0:
+				idx.Delete(keys[rng.Intn(i)])
+			}
+		}
+	}
+}

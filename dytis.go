@@ -11,21 +11,29 @@
 //
 // Quick start:
 //
-//	idx := dytis.NewDefault()
+//	idx := dytis.New()
 //	idx.Insert(42, 1)
 //	v, ok := idx.Get(42)
 //	pairs := idx.Scan(0, 100, nil) // first 100 pairs in key order
 //
-// For multi-goroutine use, enable the two-level locking scheme of the
-// paper's §3.4:
+// New takes functional options; for multi-goroutine use, enable the
+// two-level locking scheme of the paper's §3.4:
 //
-//	idx := dytis.New(dytis.Options{Concurrent: true})
+//	idx := dytis.New(dytis.WithConcurrent())
+//
+// The Options-struct constructor remains available as NewFromOptions.
 //
 // Beyond the core operations the index offers ordered iteration (NewCursor,
-// Range), Min/Max/Successor, a LoadSorted bulk fast path, binary snapshots
-// (WriteSnapshot/ReadSnapshot), and structure statistics (Stats,
+// Range, ScanFunc), Min/Max/Successor, a LoadSorted bulk fast path, binary
+// snapshots (WriteSnapshot/ReadSnapshot), and structure statistics (Stats,
 // MemoryFootprint). String keys are supported via the dytis/strkey
-// subpackage.
+// subpackage. For live observability — per-operation latency histograms,
+// structure-event hooks, and a Prometheus/expvar HTTP endpoint — attach an
+// Observer:
+//
+//	ob := dytis.NewObserver()
+//	idx := dytis.New(dytis.WithConcurrent(), dytis.WithObserver(ob))
+//	go http.ListenAndServe(":8080", ob.Handler())
 //
 // The internal packages also contain the paper's baselines (an ALEX-like
 // adaptive learned index, an XIndex-like concurrent learned index, an STX
@@ -38,6 +46,7 @@ package dytis
 import (
 	"dytis/internal/core"
 	"dytis/internal/kv"
+	"dytis/internal/obs"
 )
 
 // Key is an 8-byte integer key, ordered by unsigned value.
@@ -51,6 +60,9 @@ type KV = kv.KV
 
 // Options configure an Index; the zero value selects the paper's §4.1
 // defaults (R=9, 2 KB buckets, U_t=0.6, L_start=6, adaptive Limit_seg).
+// New's functional options are the primary way to configure an index;
+// Options remains for callers that build configurations programmatically
+// (pass it to NewFromOptions).
 type Options = core.Options
 
 // Stats reports the index's structure-maintenance counters (splits,
@@ -66,9 +78,30 @@ type Index = core.DyTIS
 // Cursor iterates an Index in ascending key order; see Index.NewCursor.
 type Cursor = core.Cursor
 
-// New creates an empty index with the given options.
-func New(opts Options) *Index { return core.New(opts) }
+// New creates an empty index. With no options it is single-threaded with
+// the paper's §4.1 default parameters; see the With* functional options.
+func New(opts ...Option) *Index {
+	var o core.Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return newFromCoreOptions(o)
+}
+
+// NewFromOptions creates an empty index from an Options struct. It is the
+// compatibility path for the pre-functional-options API; New is preferred.
+func NewFromOptions(o Options) *Index { return newFromCoreOptions(o) }
 
 // NewDefault creates an empty single-threaded index with the paper's
-// default parameters.
-func NewDefault() *Index { return core.NewDefault() }
+// default parameters. Equivalent to New() with no options.
+func NewDefault() *Index { return New() }
+
+func newFromCoreOptions(o core.Options) *Index {
+	idx := core.New(o)
+	// Complete the observer wiring: the exporter serves Stats and
+	// MemoryFootprint straight from the index.
+	if ob, ok := o.Observer.(*obs.Observer); ok && ob != nil {
+		ob.Attach(idx)
+	}
+	return idx
+}

@@ -9,7 +9,7 @@ import (
 // The zero-config index supports point operations and ordered scans with no
 // training phase.
 func Example() {
-	idx := dytis.NewDefault()
+	idx := dytis.New()
 	for i := uint64(0); i < 100; i++ {
 		idx.Insert(i*7, i)
 	}
@@ -25,8 +25,36 @@ func Example() {
 	// 28
 }
 
+// Functional options configure the index; WithObserver attaches live
+// observability (latency histograms, structure events, HTTP exporter).
+func ExampleNew() {
+	ob := dytis.NewObserver()
+	idx := dytis.New(dytis.WithConcurrent(), dytis.WithObserver(ob))
+	for i := uint64(0); i < 1000; i++ {
+		idx.Insert(i, i)
+	}
+	idx.Get(500)
+	fmt.Println(ob.OpHist(dytis.OpInsert).Count(), ob.OpHist(dytis.OpGet).Count())
+	// Output: 1000 1
+}
+
+// ScanFunc visits pairs in key order with no intermediate buffer.
+func ExampleIndex_ScanFunc() {
+	idx := dytis.New()
+	for i := uint64(0); i < 10; i++ {
+		idx.Insert(i*10, i)
+	}
+	idx.ScanFunc(25, func(k, v uint64) bool {
+		fmt.Println(k, v)
+		return k < 40
+	})
+	// Output:
+	// 30 3
+	// 40 4
+}
+
 func ExampleIndex_Range() {
-	idx := dytis.NewDefault()
+	idx := dytis.New()
 	for i := uint64(0); i < 10; i++ {
 		idx.Insert(i, i*i)
 	}
@@ -40,7 +68,7 @@ func ExampleIndex_Range() {
 }
 
 func ExampleIndex_NewCursor() {
-	idx := dytis.NewDefault()
+	idx := dytis.New()
 	idx.Insert(30, 3)
 	idx.Insert(10, 1)
 	idx.Insert(20, 2)
@@ -58,7 +86,7 @@ func ExampleIndex_NewCursor() {
 }
 
 func ExampleIndex_LoadSorted() {
-	idx := dytis.NewDefault()
+	idx := dytis.New()
 	keys := []uint64{2, 3, 5, 7, 11}
 	vals := []uint64{1, 2, 3, 4, 5}
 	idx.LoadSorted(keys, vals)

@@ -24,7 +24,7 @@ func cellKey(latBand, lonBand, placeID uint64) uint64 {
 }
 
 func main() {
-	idx := dytis.New(dytis.Options{Concurrent: true})
+	idx := dytis.New(dytis.WithConcurrent())
 
 	// Four loader goroutines, each streaming one continent's places
 	// region-by-region (spatially clustered insertion order).

@@ -10,7 +10,7 @@ import (
 )
 
 func main() {
-	idx := dytis.NewDefault()
+	idx := dytis.New()
 
 	// Insert a skewed little dataset: three dense ID clusters, the shape
 	// that breaks plain hash directories and untrained learned indexes.

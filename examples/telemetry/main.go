@@ -24,7 +24,11 @@ const (
 func key(ts uint64, sensor uint64) uint64 { return ts<<sensorBits | sensor }
 
 func main() {
-	idx := dytis.NewDefault()
+	// Attach an observer so the run reports per-operation latency
+	// distributions and the structure events behind them — the live view a
+	// production ingester would scrape over ob.Handler().
+	ob := dytis.NewObserver()
+	idx := dytis.New(dytis.WithObserver(ob))
 	rng := rand.New(rand.NewSource(1))
 
 	// Ingest 2M readings across a simulated day: demand varies by hour, so
@@ -86,4 +90,10 @@ func main() {
 	st := idx.Stats()
 	fmt.Printf("index adapted with %d remaps, %d expansions, %d splits (dir entries: %d)\n",
 		st.Remaps, st.Expansions, st.Splits, st.DirEntries)
+
+	// The observer saw every operation and maintenance event.
+	fmt.Printf("insert latency: %v\n", ob.OpHist(dytis.OpInsert))
+	fmt.Printf("scan latency:   %v\n", ob.OpHist(dytis.OpScan))
+	fmt.Printf("time in remaps: %v across %d events\n",
+		ob.EventDuration(dytis.EvRemap), ob.EventCount(dytis.EvRemap))
 }

@@ -51,7 +51,7 @@ func main() {
 	keys := taxiLikeKeys(datasetSize)
 	fmt.Printf("%-6s %12s %10s\n", "mix", "ops", "Mops/s")
 	for _, m := range mixes {
-		idx := dytis.NewDefault()
+		idx := dytis.New()
 		preN := len(keys) * m.preload / 100
 		for _, k := range keys[:preN] {
 			idx.Insert(k, k)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"dytis/internal/kv"
 )
 
@@ -15,6 +17,7 @@ import (
 type DyTIS struct {
 	opts       Options
 	suffixBits uint8
+	obs        Observer // nil when observability is disabled
 	ehs        []*eh
 }
 
@@ -25,6 +28,7 @@ func New(opts Options) *DyTIS {
 	d := &DyTIS{
 		opts:       opts,
 		suffixBits: uint8(64 - r),
+		obs:        opts.Observer,
 		ehs:        make([]*eh, 1<<r),
 	}
 	for i := range d.ehs {
@@ -40,13 +44,40 @@ func NewDefault() *DyTIS { return New(Options{}) }
 func (d *DyTIS) ehOf(k uint64) *eh { return d.ehs[k>>d.suffixBits] }
 
 // Insert stores or updates the value for key.
-func (d *DyTIS) Insert(key, value uint64) { d.ehOf(key).insert(key, value) }
+func (d *DyTIS) Insert(key, value uint64) {
+	e := d.ehOf(key)
+	if d.obs == nil {
+		e.insert(key, value)
+		return
+	}
+	t0 := time.Now()
+	e.insert(key, value)
+	d.obs.RecordOp(OpInsert, e.idx, time.Since(t0))
+}
 
 // Get returns the value for key and whether it exists.
-func (d *DyTIS) Get(key uint64) (uint64, bool) { return d.ehOf(key).get(key) }
+func (d *DyTIS) Get(key uint64) (uint64, bool) {
+	e := d.ehOf(key)
+	if d.obs == nil {
+		return e.get(key)
+	}
+	t0 := time.Now()
+	v, ok := e.get(key)
+	d.obs.RecordOp(OpGet, e.idx, time.Since(t0))
+	return v, ok
+}
 
 // Delete removes key, reporting whether it was present.
-func (d *DyTIS) Delete(key uint64) bool { return d.ehOf(key).delete(key) }
+func (d *DyTIS) Delete(key uint64) bool {
+	e := d.ehOf(key)
+	if d.obs == nil {
+		return e.delete(key)
+	}
+	t0 := time.Now()
+	ok := e.delete(key)
+	d.obs.RecordOp(OpDelete, e.idx, time.Since(t0))
+	return ok
+}
 
 // Len returns the number of live keys.
 func (d *DyTIS) Len() int {
@@ -67,6 +98,10 @@ func (d *DyTIS) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
 	if max <= 0 {
 		return dst
 	}
+	var t0 time.Time
+	if d.obs != nil {
+		t0 = time.Now()
+	}
 	for i := int(start >> d.suffixBits); i < len(d.ehs); i++ {
 		before := len(dst)
 		dst = d.ehs[i].scan(start, max, dst)
@@ -75,34 +110,48 @@ func (d *DyTIS) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
 			break
 		}
 	}
+	if d.obs != nil {
+		d.obs.RecordOp(OpScan, int(start>>d.suffixBits), time.Since(t0))
+	}
 	return dst
 }
 
-// Range calls fn for every pair with key in [start, end], in ascending
-// order, until fn returns false. It is a convenience wrapper over Scan used
-// by the examples.
-func (d *DyTIS) Range(start, end uint64, fn func(key, value uint64) bool) {
-	const chunk = 256
-	buf := make([]kv.KV, 0, chunk)
-	for {
-		buf = d.Scan(start, chunk, buf[:0])
-		if len(buf) == 0 {
-			return
-		}
-		for _, p := range buf {
-			if p.Key > end {
-				return
-			}
-			if !fn(p.Key, p.Value) {
-				return
-			}
-		}
-		last := buf[len(buf)-1].Key
-		if last == ^uint64(0) {
-			return
-		}
-		start = last + 1
+// ScanFunc calls fn for every pair with key >= start, in ascending key
+// order, until fn returns false. It is the zero-allocation visitor under
+// Range and Cursor: pairs are passed straight out of the buckets with no
+// intermediate []kv.KV buffer.
+//
+// In Concurrent mode fn runs while the current segment's read lock is held,
+// so fn must return quickly and must not call back into the index (an
+// Insert/Delete from inside fn can deadlock); the iteration observes each
+// segment atomically but is not a point-in-time snapshot (same semantics as
+// Scan).
+func (d *DyTIS) ScanFunc(start uint64, fn func(key, value uint64) bool) {
+	var t0 time.Time
+	if d.obs != nil {
+		t0 = time.Now()
 	}
+	for i := int(start >> d.suffixBits); i < len(d.ehs); i++ {
+		if !d.ehs[i].scanFunc(start, fn) {
+			break
+		}
+	}
+	if d.obs != nil {
+		d.obs.RecordOp(OpScan, int(start>>d.suffixBits), time.Since(t0))
+	}
+}
+
+// Range calls fn for every pair with key in [start, end], in ascending
+// order, until fn returns false. It is ScanFunc with an end bound and shares
+// its constraints: in Concurrent mode fn runs under the segment read lock
+// and must not call back into the index.
+func (d *DyTIS) Range(start, end uint64, fn func(key, value uint64) bool) {
+	if end < start {
+		return
+	}
+	d.ScanFunc(start, func(k, v uint64) bool {
+		return k <= end && fn(k, v)
+	})
 }
 
 // Stats aggregates the maintenance-operation counters of every EH table;
@@ -137,14 +186,10 @@ func (d *DyTIS) Stats() Stats {
 			e.mu.RLock()
 		}
 		st.DirEntries += len(e.dir)
-		var prev *segment
-		for _, s := range e.dir {
-			if s != prev {
-				st.Segments++
-				st.Buckets += s.nb
-				prev = s
-			}
-		}
+		e.forEachSegment(func(s *segment) {
+			st.Segments++
+			st.Buckets += s.nb
+		})
 		if e.conc {
 			e.mu.RUnlock()
 		}
@@ -162,13 +207,9 @@ func (d *DyTIS) MemoryFootprint() int64 {
 			e.mu.RLock()
 		}
 		b += int64(len(e.dir)) * 8
-		var prev *segment
-		for _, s := range e.dir {
-			if s != prev {
-				b += int64(s.nb*s.bcap)*16 + int64(s.nb)*2 + int64(len(s.cnt))*8 + 96
-				prev = s
-			}
-		}
+		e.forEachSegment(func(s *segment) {
+			b += int64(s.nb*s.bcap)*16 + int64(s.nb)*2 + int64(len(s.cnt))*8 + 96
+		})
 		if e.conc {
 			e.mu.RUnlock()
 		}
@@ -176,18 +217,31 @@ func (d *DyTIS) MemoryFootprint() int64 {
 	return b
 }
 
-// checkInvariants validates every segment; used by tests.
+// checkInvariants validates directory run-tiling and every segment; used by
+// tests. The run-tiling check (each segment owns exactly the aligned
+// 2^(gd-ld) directory entries derived from its depth, and the runs tile the
+// directory) is precisely the precondition of the stride walk that Stats,
+// MemoryFootprint, and maxPair rely on to visit each segment once.
 func (d *DyTIS) checkInvariants() error {
 	for _, e := range d.ehs {
-		var prev *segment
-		for _, s := range e.dir {
-			if s == prev {
-				continue
+		for i := 0; i < len(e.dir); {
+			s := e.dir[i]
+			if s.ld > e.gd {
+				return errf("segment ld=%d exceeds gd=%d", s.ld, e.gd)
 			}
-			prev = s
+			span := 1 << (e.gd - s.ld)
+			if i%span != 0 {
+				return errf("segment run at dir[%d] not aligned to span %d", i, span)
+			}
+			for j := i; j < i+span; j++ {
+				if e.dir[j] != s {
+					return errf("segment run interrupted at dir[%d] (run started at %d, span %d)", j, i, span)
+				}
+			}
 			if err := s.checkInvariants(); err != nil {
 				return err
 			}
+			i += span
 		}
 	}
 	return nil

@@ -26,6 +26,8 @@ type eh struct {
 
 	suffixBits uint8  // 64 - R
 	base       uint64 // first key of this EH's range
+	idx        int    // first-level table index (base >> suffixBits)
+	obs        Observer
 
 	dir []*segment
 	gd  uint8
@@ -50,12 +52,43 @@ func newEH(base uint64, suffixBits uint8, opts *Options) *eh {
 		conc:       opts.Concurrent,
 		suffixBits: suffixBits,
 		base:       base,
+		idx:        int(base >> suffixBits),
+		obs:        opts.Observer,
 		gd:         0,
 	}
 	e.limitMult.Store(int32(opts.SegLimitMult))
 	root := newSegment(0, suffixBits, base, 1, opts.BucketEntries, 0)
 	e.dir = []*segment{root}
 	return e
+}
+
+// fire emits a structure event for segment s; kept out of line so the
+// disabled case costs one branch at each maintenance site.
+func (e *eh) fire(kind EventKind, s *segment, d time.Duration) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.StructureEvent(StructureEvent{
+		Kind:        kind,
+		EH:          e.idx,
+		SegmentBase: s.base,
+		LocalDepth:  s.ld,
+		Duration:    d,
+	})
+}
+
+// forEachSegment visits each distinct segment once by stepping over the
+// aligned 2^(gd-ld) directory run each segment owns (the walk maxPair uses).
+// The previous consecutive-dedup walk (`s != prev`) silently double-counted
+// any segment whose run was interrupted; the stride walk visits by run, and
+// checkInvariants verifies runs tile the directory exactly. Caller holds the
+// EH read lock in Concurrent mode.
+func (e *eh) forEachSegment(fn func(*segment)) {
+	for i := 0; i < len(e.dir); {
+		s := e.dir[i]
+		fn(s)
+		i += 1 << (e.gd - s.ld)
+	}
 }
 
 func (e *eh) dirIndex(k uint64) int {
@@ -199,7 +232,9 @@ func (e *eh) restructure(k uint64) {
 		}
 		e.doubleDirectory()
 		e.stats.doublings.Add(1)
-		e.stats.doubleNS.Add(int64(time.Since(t0)))
+		d := time.Since(t0)
+		e.stats.doubleNS.Add(int64(d))
+		e.fire(EvDouble, s, d)
 		return
 	}
 	e.splitSegment(s)
@@ -214,9 +249,11 @@ func (e *eh) restructure(k uint64) {
 func (e *eh) forceRebalance(s *segment) {
 	t0 := time.Now()
 	nb := s.nb
+	kind := EvRemap
 	if s.util() >= e.opts.UtilThreshold {
 		nb *= 2
 		s.expanded = true
+		kind = EvExpand
 		e.stats.expansions.Add(1)
 	} else {
 		e.stats.remaps.Add(1)
@@ -227,7 +264,9 @@ func (e *eh) forceRebalance(s *segment) {
 	vs := make([]uint64, 0, s.total)
 	ks, vs = s.appendAll(ks, vs)
 	s.adoptLayout(s.pbits, cnt, nb, ks, vs)
-	e.stats.expandNS.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	e.stats.expandNS.Add(int64(d))
+	e.fire(kind, s, d)
 }
 
 // allocSmoothed is allocProportional with additive smoothing: key-free
@@ -263,7 +302,9 @@ func (e *eh) forceExpand(s *segment) {
 	s.adoptLayout(s.pbits, cnt, s.nb*2, ks, vs)
 	s.expanded = true
 	e.stats.expansions.Add(1)
-	e.stats.expandNS.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	e.stats.expandNS.Add(int64(d))
+	e.fire(EvExpand, s, d)
 }
 
 func (e *eh) doubleDirectory() {
@@ -316,7 +357,9 @@ func (e *eh) splitSegment(s *segment) {
 		e.dir[first+i] = right
 	}
 	e.stats.splits.Add(1)
-	e.stats.splitNS.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	e.stats.splitNS.Add(int64(d))
+	e.fire(EvSplit, s, d)
 
 	// Adaptive Limit_seg (§3.3 "Selecting a segment size"): the first time a
 	// segment reaches L' = L_start + 2, inspect the portion of segments
@@ -325,17 +368,12 @@ func (e *eh) splitSegment(s *segment) {
 	if !e.adaptDone && int(nld) >= e.opts.StartDepth+2 && !e.opts.DisableAdaptiveLimit {
 		e.adaptDone = true
 		var total, exp int
-		var prev *segment
-		for _, sg := range e.dir {
-			if sg == prev {
-				continue
-			}
-			prev = sg
+		e.forEachSegment(func(sg *segment) {
 			total++
 			if sg.expanded {
 				exp++
 			}
-		}
+		})
 		if total > 0 && float64(exp)/float64(total) >= DefaultAdaptiveFrac {
 			e.limitMult.Store(int32(e.opts.AdaptiveMult))
 		}
@@ -508,6 +546,7 @@ func (e *eh) remap(s *segment, k uint64) bool {
 		nb += need
 		if nb > e.maxBuckets(s.ld) {
 			e.stats.remapFails.Add(1)
+			e.fire(EvRemapFailure, s, 0)
 			return false
 		}
 		cnt[t] += uint32(need)
@@ -518,7 +557,9 @@ func (e *eh) remap(s *segment, k uint64) bool {
 	ks, vs = s.appendAll(ks, vs)
 	s.adoptLayout(pb, cnt, nb, ks, vs)
 	e.stats.remaps.Add(1)
-	e.stats.remapNS.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	e.stats.remapNS.Add(int64(d))
+	e.fire(EvRemap, s, d)
 	return true
 }
 
@@ -600,6 +641,47 @@ func (e *eh) scan(start uint64, max int, dst []kv.KV) []kv.KV {
 		s.mu.RUnlock()
 	}
 	return dst
+}
+
+// scanFunc calls fn for every pair with key >= start in this EH, in
+// ascending order, walking the segment sibling chain. It returns false when
+// fn stopped the iteration. In Concurrent mode fn runs under the current
+// segment's read lock (see DyTIS.ScanFunc).
+func (e *eh) scanFunc(start uint64, fn func(k, v uint64) bool) bool {
+	if start < e.base {
+		start = e.base
+	}
+	if e.conc {
+		e.mu.RLock()
+	}
+	s := e.dir[e.dirIndex(start)]
+	if e.conc {
+		s.mu.RLock()
+		e.mu.RUnlock()
+	}
+	bi, pos := s.lowerBound(start)
+	for {
+		if bi >= 0 && !s.visit(bi, pos, fn) {
+			if e.conc {
+				s.mu.RUnlock()
+			}
+			return false
+		}
+		nxt := s.next.Load()
+		if nxt == nil {
+			break
+		}
+		if e.conc {
+			nxt.mu.RLock()
+			s.mu.RUnlock()
+		}
+		s = nxt
+		bi, pos = 0, 0
+	}
+	if e.conc {
+		s.mu.RUnlock()
+	}
+	return true
 }
 
 // lowerBound returns the bucket/position of the first key >= k, or bi=-1 if

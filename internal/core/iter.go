@@ -3,14 +3,7 @@ package core
 import "dytis/internal/kv"
 
 // Min returns the smallest key/value pair, or ok=false when empty.
-func (d *DyTIS) Min() (kv.KV, bool) {
-	var buf [1]kv.KV
-	out := d.Scan(0, 1, buf[:0])
-	if len(out) == 0 {
-		return kv.KV{}, false
-	}
-	return out[0], true
-}
+func (d *DyTIS) Min() (kv.KV, bool) { return d.Successor(0) }
 
 // Max returns the largest key/value pair, or ok=false when empty.
 func (d *DyTIS) Max() (kv.KV, bool) {
@@ -64,12 +57,13 @@ func (s *segment) maxPair() (kv.KV, bool) {
 
 // Successor returns the smallest pair with key >= k.
 func (d *DyTIS) Successor(k uint64) (kv.KV, bool) {
-	var buf [1]kv.KV
-	out := d.Scan(k, 1, buf[:0])
-	if len(out) == 0 {
-		return kv.KV{}, false
-	}
-	return out[0], true
+	var out kv.KV
+	var found bool
+	d.ScanFunc(k, func(key, value uint64) bool {
+		out, found = kv.KV{Key: key, Value: value}, true
+		return false
+	})
+	return out, found
 }
 
 // Cursor iterates pairs in ascending key order. It reads the index in small
@@ -97,22 +91,40 @@ func (c *Cursor) Next() (kv.KV, bool) {
 		if c.done {
 			return kv.KV{}, false
 		}
-		c.buf = c.d.Scan(c.next, cursorChunk, c.buf[:0])
-		c.pos = 0
+		c.refill()
 		if len(c.buf) == 0 {
 			c.done = true
 			return kv.KV{}, false
-		}
-		last := c.buf[len(c.buf)-1].Key
-		if last == ^uint64(0) || len(c.buf) < cursorChunk {
-			c.done = true
-		} else {
-			c.next = last + 1
 		}
 	}
 	p := c.buf[c.pos]
 	c.pos++
 	return p, true
+}
+
+// refill repopulates the cursor's reusable buffer with the next chunk via
+// ScanFunc, so each refill visits the buckets directly instead of
+// round-tripping through Scan's []kv.KV machinery; the buffer is allocated
+// once and reused for the cursor's lifetime.
+func (c *Cursor) refill() {
+	if c.buf == nil {
+		c.buf = make([]kv.KV, 0, cursorChunk)
+	}
+	c.buf = c.buf[:0]
+	c.pos = 0
+	c.d.ScanFunc(c.next, func(k, v uint64) bool {
+		c.buf = append(c.buf, kv.KV{Key: k, Value: v})
+		return len(c.buf) < cursorChunk
+	})
+	if len(c.buf) == 0 {
+		return
+	}
+	last := c.buf[len(c.buf)-1].Key
+	if last == ^uint64(0) || len(c.buf) < cursorChunk {
+		c.done = true
+	} else {
+		c.next = last + 1
+	}
 }
 
 // Seek repositions the cursor at the first key >= k.

@@ -1,0 +1,137 @@
+package core
+
+import "testing"
+
+// TestIterEmptyIndex: Min/Max/Successor and cursors on an index with no
+// keys, in both locking modes.
+func TestIterEmptyIndex(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		if _, ok := d.Min(); ok {
+			t.Fatal("Min on empty index returned a pair")
+		}
+		if _, ok := d.Max(); ok {
+			t.Fatal("Max on empty index returned a pair")
+		}
+		for _, k := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+			if _, ok := d.Successor(k); ok {
+				t.Fatalf("Successor(%#x) on empty index returned a pair", k)
+			}
+		}
+		c := d.NewCursor(0)
+		if _, ok := c.Next(); ok {
+			t.Fatal("cursor on empty index yielded a pair")
+		}
+		d.ScanFunc(0, func(k, v uint64) bool {
+			t.Fatal("ScanFunc on empty index yielded a pair")
+			return false
+		})
+	})
+}
+
+// TestIterExtremeKeys: keys at the very edges of the key space, 0 and
+// ^uint64(0), flow through every iteration surface.
+func TestIterExtremeKeys(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		maxK := ^uint64(0)
+		d.Insert(0, 100)
+		d.Insert(maxK, 200)
+		d.Insert(1<<40, 300)
+
+		if p, ok := d.Min(); !ok || p.Key != 0 || p.Value != 100 {
+			t.Fatalf("Min = %+v, %v; want key 0", p, ok)
+		}
+		if p, ok := d.Max(); !ok || p.Key != maxK || p.Value != 200 {
+			t.Fatalf("Max = %+v, %v; want key MaxUint64", p, ok)
+		}
+		if p, ok := d.Successor(0); !ok || p.Key != 0 {
+			t.Fatalf("Successor(0) = %+v; must include key 0", p)
+		}
+		if p, ok := d.Successor(maxK); !ok || p.Key != maxK {
+			t.Fatalf("Successor(MaxUint64) = %+v; must include the max key", p)
+		}
+
+		// A full cursor traversal sees all three, in order, and terminates
+		// without wrapping past MaxUint64.
+		c := d.NewCursor(0)
+		wantKeys := []uint64{0, 1 << 40, maxK}
+		for i, w := range wantKeys {
+			p, ok := c.Next()
+			if !ok || p.Key != w {
+				t.Fatalf("cursor[%d] = %+v, %v; want key %#x", i, p, ok, w)
+			}
+		}
+		if _, ok := c.Next(); ok {
+			t.Fatal("cursor wrapped past MaxUint64")
+		}
+
+		// Range spanning the whole key space is inclusive at both edges.
+		var got []uint64
+		d.Range(0, maxK, func(k, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != 3 || got[0] != 0 || got[2] != maxK {
+			t.Fatalf("Range(0, MaxUint64) = %#x, want all three keys", got)
+		}
+
+		// Deleting the extremes keeps the middle reachable.
+		d.Delete(0)
+		d.Delete(maxK)
+		if p, ok := d.Min(); !ok || p.Key != 1<<40 {
+			t.Fatalf("Min after deleting extremes = %+v", p)
+		}
+		if p, ok := d.Max(); !ok || p.Key != 1<<40 {
+			t.Fatalf("Max after deleting extremes = %+v", p)
+		}
+	})
+}
+
+// TestCursorSeekBackwardAfterExhaustion: a cursor that has returned ok=false
+// must come back to life when Seek'd to an earlier position.
+func TestCursorSeekBackwardAfterExhaustion(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		for i := uint64(0); i < 500; i++ {
+			d.Insert(i*10, i)
+		}
+		c := d.NewCursor(4000)
+		n := 0
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 100 {
+			t.Fatalf("tail traversal saw %d pairs, want 100", n)
+		}
+		if _, ok := c.Next(); ok {
+			t.Fatal("exhausted cursor yielded a pair")
+		}
+
+		// Seek backwards: the cursor must clear its done state and buffer.
+		c.Seek(100)
+		p, ok := c.Next()
+		if !ok || p.Key != 100 {
+			t.Fatalf("after backward Seek(100): %+v, %v; want key 100", p, ok)
+		}
+		rest := 1
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+			rest++
+		}
+		if rest != 490 {
+			t.Fatalf("after backward seek saw %d pairs, want 490", rest)
+		}
+
+		// Seek to before the smallest key after exhausting again.
+		c.Seek(0)
+		if p, ok := c.Next(); !ok || p.Key != 0 {
+			t.Fatalf("after Seek(0): %+v, %v; want key 0", p, ok)
+		}
+	})
+}

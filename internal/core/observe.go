@@ -1,0 +1,102 @@
+package core
+
+import "time"
+
+// Op identifies a public index operation for latency observation.
+type Op uint8
+
+const (
+	OpGet Op = iota
+	OpInsert
+	OpDelete
+	OpScan
+
+	// NumOps is the number of observable operations; valid Op values are
+	// 0..NumOps-1, so it can size per-op arrays.
+	NumOps
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// EventKind identifies one of Algorithm 1's structure-maintenance operations.
+// The five kinds cover the paper's cases exactly: segment split and directory
+// doubling are the basic Extendible-Hashing schemes (high utilization,
+// ld == gd doubles, ld < gd splits), remapping and expansion are the §3.3
+// CDF-adjustment schemes, and remap-failure records a remap that could not
+// grow within Limit_seg and fell through to the structural path.
+type EventKind uint8
+
+const (
+	EvSplit EventKind = iota
+	EvRemap
+	EvExpand
+	EvDouble
+	EvRemapFailure
+
+	// NumEventKinds is the number of event kinds; valid EventKind values are
+	// 0..NumEventKinds-1, so it can size per-kind arrays.
+	NumEventKinds
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSplit:
+		return "split"
+	case EvRemap:
+		return "remap"
+	case EvExpand:
+		return "expand"
+	case EvDouble:
+		return "double"
+	case EvRemapFailure:
+		return "remap-failure"
+	}
+	return "unknown"
+}
+
+// StructureEvent describes one structure-maintenance operation as it
+// completes. Events are emitted with exactly the same cardinality as the
+// Stats counters: every Stats increment fires one event.
+type StructureEvent struct {
+	// Kind is the maintenance operation that ran.
+	Kind EventKind
+	// EH is the first-level table index (the key's top R bits).
+	EH int
+	// SegmentBase identifies the segment the operation targeted: the first
+	// key of its covered range. Together with LocalDepth it names the
+	// segment uniquely at the time of the event.
+	SegmentBase uint64
+	// LocalDepth is the segment's local depth when the event fired (for a
+	// split, the pre-split depth; the children are one deeper).
+	LocalDepth uint8
+	// Duration is the wall time the operation took, 0 for EvRemapFailure
+	// (the failed attempt's cost is not separately tracked by Stats either).
+	Duration time.Duration
+}
+
+// Observer receives per-operation latencies and structure events from an
+// index. Implementations must be safe for concurrent use; internal/obs
+// provides the standard one (sharded histograms + subscriber fan-out).
+//
+// RecordOp is on the hot path of every operation: shard is the first-level
+// EH index of the operation's (start) key, letting implementations keep
+// per-shard state and avoid contended atomics. StructureEvent is called from
+// inside the maintenance paths — in Concurrent mode while the EH and/or
+// segment locks are held — so implementations must return quickly and must
+// not call back into the index.
+type Observer interface {
+	RecordOp(op Op, shard int, d time.Duration)
+	StructureEvent(ev StructureEvent)
+}

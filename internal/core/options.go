@@ -64,6 +64,11 @@ type Options struct {
 	// goroutines.
 	Concurrent bool
 
+	// Observer, when non-nil, receives per-operation latencies and
+	// structure-maintenance events. nil (the default) compiles the
+	// instrumentation down to one branch per operation.
+	Observer Observer
+
 	// Ablation switches (not in the paper's interface; used by the
 	// ablation benchmarks to quantify each mechanism of §3.3).
 

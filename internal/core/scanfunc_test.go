@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dytis/internal/kv"
+)
+
+func bothModes(t *testing.T, fn func(t *testing.T, opts Options)) {
+	t.Helper()
+	for _, conc := range []bool{false, true} {
+		conc := conc
+		name := "single"
+		if conc {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			o := smallOpts()
+			o.Concurrent = conc
+			fn(t, o)
+		})
+	}
+}
+
+// TestScanFuncMatchesScan checks the visitor yields exactly the pairs Scan
+// yields, from several start points.
+func TestScanFuncMatchesScan(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 30000; i++ {
+			k := rng.Uint64() >> uint(rng.Intn(50))
+			d.Insert(k, k^3)
+		}
+		starts := []uint64{0, 1, 1 << 20, 1 << 45, 1 << 62, ^uint64(0)}
+		for _, start := range starts {
+			want := d.Scan(start, 1<<20, nil)
+			got := make([]kv.KV, 0, len(want))
+			d.ScanFunc(start, func(k, v uint64) bool {
+				got = append(got, kv.KV{Key: k, Value: v})
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("start %#x: ScanFunc yielded %d pairs, Scan %d", start, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("start %#x: pair %d = %+v, want %+v", start, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+// TestScanFuncEarlyStop checks returning false stops the iteration exactly
+// there, including across EH boundaries.
+func TestScanFuncEarlyStop(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		// Spread keys over all four first-level EHs (FirstLevelBits=2).
+		for i := uint64(0); i < 4; i++ {
+			for j := uint64(0); j < 100; j++ {
+				d.Insert(i<<62|j, i)
+			}
+		}
+		var n int
+		d.ScanFunc(0, func(k, v uint64) bool {
+			n++
+			return n < 150 // stop partway through the second EH
+		})
+		if n != 150 {
+			t.Fatalf("visited %d pairs, want 150", n)
+		}
+	})
+}
+
+// TestScanFuncZeroAlloc is the API contract of the visitor: iterating
+// allocates nothing.
+func TestScanFuncZeroAlloc(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		for i := uint64(0); i < 5000; i++ {
+			d.Insert(i*31, i)
+		}
+		var sum uint64
+		fn := func(k, v uint64) bool { sum += v; return true }
+		allocs := testing.AllocsPerRun(10, func() {
+			d.ScanFunc(0, fn)
+		})
+		if allocs != 0 {
+			t.Fatalf("ScanFunc allocated %.1f times per run, want 0", allocs)
+		}
+		if sum == 0 {
+			t.Fatal("visitor did not run")
+		}
+	})
+}
+
+// TestRangeMatchesReference re-checks Range (now built on ScanFunc) against
+// a sorted reference, with inclusive bounds and early stop.
+func TestRangeMatchesReference(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		d := New(opts)
+		rng := rand.New(rand.NewSource(7))
+		ref := map[uint64]uint64{}
+		for i := 0; i < 20000; i++ {
+			k := rng.Uint64() >> uint(rng.Intn(30))
+			ref[k] = k + 1
+			d.Insert(k, k+1)
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		lo, hi := keys[len(keys)/4], keys[3*len(keys)/4]
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		var prev uint64
+		d.Range(lo, hi, func(k, v uint64) bool {
+			if k < lo || k > hi {
+				t.Fatalf("Range yielded out-of-bounds key %#x not in [%#x,%#x]", k, lo, hi)
+			}
+			if got > 0 && k <= prev {
+				t.Fatalf("Range not ascending: %#x after %#x", k, prev)
+			}
+			if v != ref[k] {
+				t.Fatalf("Range value for %#x = %d, want %d", k, v, ref[k])
+			}
+			prev = k
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("Range visited %d pairs, want %d", got, want)
+		}
+
+		// Inverted bounds yield nothing; early stop stops.
+		d.Range(hi, lo, func(k, v uint64) bool { t.Fatal("inverted range yielded a pair"); return false })
+		n := 0
+		d.Range(0, ^uint64(0), func(k, v uint64) bool { n++; return n < 5 })
+		if n != 5 {
+			t.Fatalf("early stop visited %d, want 5", n)
+		}
+	})
+}

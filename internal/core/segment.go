@@ -404,6 +404,21 @@ func (s *segment) moveFirstToEnd(a, b int) {
 	s.insertAt(b, int(s.sz[b]), k, v)
 }
 
+// visit calls fn for each pair from (bi, pos) to the end of the segment, in
+// ascending order, returning false if fn stopped the iteration.
+func (s *segment) visit(bi, pos int, fn func(k, v uint64) bool) bool {
+	for ; bi < s.nb; bi, pos = bi+1, 0 {
+		off := bi * s.bcap
+		n := int(s.sz[bi])
+		for ; pos < n; pos++ {
+			if !fn(s.keys[off+pos], s.vals[off+pos]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // appendAll appends the segment's pairs in sorted order.
 func (s *segment) appendAll(dstK, dstV []uint64) ([]uint64, []uint64) {
 	for bi := 0; bi < s.nb; bi++ {

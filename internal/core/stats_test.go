@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// segmentGroundTruth deduplicates segments by identity (pointer map), the
+// walk Stats cannot afford on the hot read path but that is correct no
+// matter how directory runs are arranged.
+func segmentGroundTruth(d *DyTIS) (segments, buckets int, bytes int64) {
+	for _, e := range d.ehs {
+		seen := map[*segment]bool{}
+		bytes += int64(len(e.dir)) * 8
+		for _, s := range e.dir {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			segments++
+			buckets += s.nb
+			bytes += int64(s.nb*s.bcap)*16 + int64(s.nb)*2 + int64(len(s.cnt))*8 + 96
+		}
+	}
+	return
+}
+
+// TestStatsSegmentDedup is the regression test for the duplicate-segment
+// walk: Stats and MemoryFootprint used to dedup directory entries by
+// comparing with the previous entry, which double-counts any segment whose
+// run is interrupted; they now stride over each segment's aligned
+// 2^(gd-ld) run. Drive workloads heavy in doublings, splits, remaps and
+// expansions interleaved with deletes, and require exact agreement with
+// identity-based ground truth throughout.
+func TestStatsSegmentDedup(t *testing.T) {
+	workloads := []struct {
+		name string
+		gen  func(i int) uint64
+	}{
+		// Narrow clusters force repeated directory doubling.
+		{"clustered", func(i int) uint64 { return uint64(i/64)<<30 | uint64(i%64) }},
+		// Dense ascending keys drive splits and remaps in one EH.
+		{"ascending", func(i int) uint64 { return uint64(i) * 17 }},
+		// Random keys spread maintenance across all EHs.
+		{"random", func(i int) uint64 { return rand.New(rand.NewSource(int64(i))).Uint64() }},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			d := New(smallOpts())
+			for i := 0; i < 40000; i++ {
+				d.Insert(w.gen(i), uint64(i))
+				if i%7 == 0 {
+					d.Delete(w.gen(i / 2))
+				}
+				if i%5000 == 4999 {
+					checkStatsAgainstGroundTruth(t, d, w.name, i)
+				}
+			}
+			checkStatsAgainstGroundTruth(t, d, w.name, -1)
+			if err := d.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := d.Stats()
+			if st.Doublings == 0 && st.Splits == 0 {
+				t.Fatalf("%s: no structural activity, test is vacuous (%+v)", w.name, st)
+			}
+		})
+	}
+}
+
+func checkStatsAgainstGroundTruth(t *testing.T, d *DyTIS, name string, step int) {
+	t.Helper()
+	segs, buckets, bytes := segmentGroundTruth(d)
+	st := d.Stats()
+	if st.Segments != segs || st.Buckets != buckets {
+		t.Fatalf("%s (step %d): Stats counted %d segments / %d buckets, ground truth %d / %d",
+			name, step, st.Segments, st.Buckets, segs, buckets)
+	}
+	if got := d.MemoryFootprint(); got != bytes {
+		t.Fatalf("%s (step %d): MemoryFootprint = %d, ground truth %d", name, step, got, bytes)
+	}
+}
+
+// TestStatsAfterDoublingInterleavedRuns pins the exact scenario from the
+// issue: directory doubling interleaving a segment's run with its newly
+// split neighbors. The stride walk must count each distinct segment once.
+func TestStatsAfterDoublingInterleavedRuns(t *testing.T) {
+	d := New(Options{FirstLevelBits: 2, BucketEntries: 4, StartDepth: 8})
+	// With remapping pushed past reachable depths, every overflow splits or
+	// doubles, churning directory runs of mixed local depths.
+	for i := 0; i < 5000; i++ {
+		d.Insert(uint64(i)<<20|uint64(i%3), uint64(i))
+	}
+	segs, buckets, _ := segmentGroundTruth(d)
+	st := d.Stats()
+	if st.Segments != segs || st.Buckets != buckets {
+		t.Fatalf("Stats counted %d segments / %d buckets, ground truth %d / %d",
+			st.Segments, st.Buckets, segs, buckets)
+	}
+	if st.Doublings == 0 {
+		t.Fatalf("no doublings; scenario not exercised (%+v)", st)
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package lathist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHist is a latency histogram safe for concurrent Record calls, with
+// the same bucket layout as Hist. It backs the always-on observability path
+// (internal/obs), where one histogram shard is shared by all goroutines
+// hitting the same first-level EH table: Record is a handful of uncontended
+// atomic adds, and readers fold shards into a plain Hist with AddTo.
+//
+// The zero value is ready to use.
+type AtomicHist struct {
+	counts [nBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	// min stores the observed minimum plus one, so zero means "no
+	// observations yet" and a recorded latency of 0 is representable.
+	min atomic.Uint64
+}
+
+// Record adds one latency observation. It is safe to call concurrently.
+func (h *AtomicHist) Record(d time.Duration) {
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && cur <= v+1) || h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *AtomicHist) Count() uint64 { return h.total.Load() }
+
+// AddTo folds a snapshot of h into dst. Concurrent Record calls may or may
+// not be included; the snapshot is not atomic across buckets, but every
+// completed Record is eventually visible to a later AddTo.
+func (h *AtomicHist) AddTo(dst *Hist) {
+	if h.total.Load() == 0 {
+		return
+	}
+	var snap Hist
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.counts[i] = c
+		snap.total += c
+	}
+	if snap.total == 0 {
+		return
+	}
+	snap.sum = h.sum.Load()
+	snap.max = h.max.Load()
+	if m := h.min.Load(); m != 0 {
+		snap.min = m - 1
+	}
+	dst.Merge(&snap)
+}
+
+// Reset clears the histogram. Not safe to call concurrently with Record.
+func (h *AtomicHist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(0)
+}

@@ -1,0 +1,84 @@
+package lathist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtomicHistMatchesHist records the same stream into both histogram
+// flavors and checks every exported statistic agrees.
+func TestAtomicHistMatchesHist(t *testing.T) {
+	var a AtomicHist
+	var h Hist
+	durs := []time.Duration{0, 1, 31, 32, 33, 100, 1000, 12345, 1 << 30, -5}
+	for _, d := range durs {
+		a.Record(d)
+		h.Record(d)
+	}
+	var got Hist
+	a.AddTo(&got)
+	if got.Count() != h.Count() || got.Sum() != h.Sum() {
+		t.Fatalf("count/sum mismatch: got n=%d sum=%d, want n=%d sum=%d",
+			got.Count(), got.Sum(), h.Count(), h.Sum())
+	}
+	if got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Fatalf("min/max mismatch: got [%v,%v], want [%v,%v]", got.Min(), got.Max(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("quantile %g mismatch: %v vs %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+// TestAtomicHistZeroMin checks the min+1 encoding represents a true zero.
+func TestAtomicHistZeroMin(t *testing.T) {
+	var a AtomicHist
+	a.Record(5)
+	a.Record(0)
+	var got Hist
+	a.AddTo(&got)
+	if got.Min() != 0 {
+		t.Fatalf("min = %v, want 0", got.Min())
+	}
+}
+
+// TestAtomicHistEmptyAddTo checks an empty shard leaves the destination
+// untouched (in particular its min).
+func TestAtomicHistEmptyAddTo(t *testing.T) {
+	var a AtomicHist
+	var dst Hist
+	dst.Record(7)
+	a.AddTo(&dst)
+	if dst.Count() != 1 || dst.Min() != 7 {
+		t.Fatalf("empty AddTo changed dst: n=%d min=%v", dst.Count(), dst.Min())
+	}
+}
+
+// TestAtomicHistConcurrent hammers one shard from many goroutines; run with
+// -race this verifies Record is data-race free, and the final count must be
+// exact because every path is atomic.
+func TestAtomicHistConcurrent(t *testing.T) {
+	var a AtomicHist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Record(time.Duration(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var got Hist
+	a.AddTo(&got)
+	if got.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", got.Count(), workers*per)
+	}
+	if got.Min() != 0 || got.Max() != workers*per-1 {
+		t.Fatalf("min/max = %v/%v, want 0/%d", got.Min(), got.Max(), workers*per-1)
+	}
+}

@@ -130,6 +130,9 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	return time.Duration(h.max)
 }
 
+// Sum returns the total of all recorded latencies in nanoseconds.
+func (h *Hist) Sum() uint64 { return h.sum }
+
 // Reset clears the histogram.
 func (h *Hist) Reset() { *h = Hist{} }
 

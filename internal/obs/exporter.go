@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"dytis/internal/core"
+	"dytis/internal/lathist"
+)
+
+// quantiles exported per operation histogram, matching the paper's latency
+// tables (avg is derived from sum/count).
+var quantiles = []float64{0.5, 0.9, 0.99, 0.9999}
+
+// OpSnapshot is the JSON form of one operation's merged histogram.
+type OpSnapshot struct {
+	Count  uint64           `json:"count"`
+	MeanNS int64            `json:"mean_ns"`
+	MaxNS  int64            `json:"max_ns"`
+	Q      map[string]int64 `json:"quantiles_ns"`
+}
+
+// EventSnapshot is the JSON form of one structure-event counter.
+type EventSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Vars returns the observer's full state as a flat expvar-style map: merged
+// per-op histograms, structure-event counters, and — when an index is
+// attached — its Stats, MemoryFootprint, and key count.
+func (o *Observer) Vars() map[string]any {
+	ops := make(map[string]OpSnapshot, int(core.NumOps))
+	for op := core.Op(0); op < core.NumOps; op++ {
+		h := o.OpHist(op)
+		q := make(map[string]int64, len(quantiles))
+		for _, p := range quantiles {
+			q[fmt.Sprintf("p%g", p*100)] = int64(h.Quantile(p))
+		}
+		ops[op.String()] = OpSnapshot{
+			Count:  h.Count(),
+			MeanNS: int64(h.Mean()),
+			MaxNS:  int64(h.Max()),
+			Q:      q,
+		}
+	}
+	events := make(map[string]EventSnapshot, int(core.NumEventKinds))
+	for k := core.EventKind(0); k < core.NumEventKinds; k++ {
+		events[k.String()] = EventSnapshot{
+			Count:   o.EventCount(k),
+			TotalNS: o.eventNS[k].Load(),
+		}
+	}
+	vars := map[string]any{
+		"dytis.ops":            ops,
+		"dytis.events":         events,
+		"dytis.uptime_seconds": time.Since(o.start).Seconds(),
+	}
+	if src := o.source(); src != nil {
+		vars["dytis.stats"] = src.Stats()
+		vars["dytis.memory_bytes"] = src.MemoryFootprint()
+		vars["dytis.keys"] = src.Len()
+	}
+	return vars
+}
+
+// WritePrometheus writes the observer's state in the Prometheus text
+// exposition format: one summary per operation, counters per structure-event
+// kind, and gauges for the attached index's shape and memory.
+func (o *Observer) WritePrometheus(w io.Writer) {
+	fmt.Fprintln(w, "# HELP dytis_op_latency_nanoseconds Per-operation latency (merged across shards).")
+	fmt.Fprintln(w, "# TYPE dytis_op_latency_nanoseconds summary")
+	for op := core.Op(0); op < core.NumOps; op++ {
+		h := o.OpHist(op)
+		writeOpSummary(w, op.String(), h)
+	}
+	fmt.Fprintln(w, "# HELP dytis_structure_events_total Structure-maintenance events by kind (Algorithm 1 cases).")
+	fmt.Fprintln(w, "# TYPE dytis_structure_events_total counter")
+	for k := core.EventKind(0); k < core.NumEventKinds; k++ {
+		fmt.Fprintf(w, "dytis_structure_events_total{kind=%q} %d\n", k.String(), o.EventCount(k))
+	}
+	fmt.Fprintln(w, "# HELP dytis_structure_event_nanoseconds_total Cumulative wall time per event kind.")
+	fmt.Fprintln(w, "# TYPE dytis_structure_event_nanoseconds_total counter")
+	for k := core.EventKind(0); k < core.NumEventKinds; k++ {
+		fmt.Fprintf(w, "dytis_structure_event_nanoseconds_total{kind=%q} %d\n", k.String(), o.eventNS[k].Load())
+	}
+	src := o.source()
+	if src == nil {
+		return
+	}
+	st := src.Stats()
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"dytis_keys", "Live keys in the index.", int64(src.Len())},
+		{"dytis_memory_bytes", "Estimated heap usage of the index.", src.MemoryFootprint()},
+		{"dytis_segments", "Distinct segments across all EH tables.", int64(st.Segments)},
+		{"dytis_buckets", "Buckets across all segments.", int64(st.Buckets)},
+		{"dytis_directory_entries", "Directory entries across all EH tables.", int64(st.DirEntries)},
+		{"dytis_adaptive_ehs", "EH tables running with the raised Limit_seg.", int64(st.AdaptiveEHs)},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+	counters := []struct {
+		kind string
+		v    int64
+	}{
+		{"split", st.Splits}, {"remap", st.Remaps}, {"expand", st.Expansions},
+		{"double", st.Doublings}, {"remap-failure", st.RemapFailures},
+	}
+	fmt.Fprintln(w, "# HELP dytis_maintenance_total Maintenance operations from the index's own Stats counters.")
+	fmt.Fprintln(w, "# TYPE dytis_maintenance_total counter")
+	for _, c := range counters {
+		fmt.Fprintf(w, "dytis_maintenance_total{kind=%q} %d\n", c.kind, c.v)
+	}
+}
+
+func writeOpSummary(w io.Writer, op string, h *lathist.Hist) {
+	for _, p := range quantiles {
+		fmt.Fprintf(w, "dytis_op_latency_nanoseconds{op=%q,quantile=\"%g\"} %d\n", op, p, int64(h.Quantile(p)))
+	}
+	fmt.Fprintf(w, "dytis_op_latency_nanoseconds_sum{op=%q} %d\n", op, h.Sum())
+	fmt.Fprintf(w, "dytis_op_latency_nanoseconds_count{op=%q} %d\n", op, h.Count())
+}
+
+// Handler returns an http.Handler exposing the observer:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  expvar-style JSON (also at /vars)
+//	/            a plain-text directory of the above
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WritePrometheus(w)
+	})
+	vars := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// Sort keys for stable output, mirroring expvar's behavior.
+		m := o.Vars()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "{")
+		for i, k := range keys {
+			b, err := json.Marshal(m[k])
+			if err != nil {
+				b = []byte(fmt.Sprintf("%q", err.Error()))
+			}
+			comma := ","
+			if i == len(keys)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(w, "%q: %s%s\n", k, b, comma)
+		}
+		fmt.Fprintln(w, "}")
+	}
+	mux.HandleFunc("/debug/vars", vars)
+	mux.HandleFunc("/vars", vars)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "dytis observability endpoints:\n  /metrics     Prometheus text format\n  /debug/vars  expvar JSON")
+	})
+	return mux
+}
