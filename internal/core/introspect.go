@@ -1,0 +1,265 @@
+package core
+
+// Introspection hooks for the structural checker in internal/check. The
+// views expose the index's internal layout — directory runs, segment
+// geometry, bucket contents, remapping functions, counters — read-only, so
+// the checker can recount ground truth without reaching into unexported
+// fields. The *ForTest mutators at the bottom let the checker's own tests
+// corrupt an index in controlled ways; nothing else may call them.
+
+// Introspect calls fn once per first-level EH table, in index order. In
+// Concurrent mode the EH write lock is held for the duration of fn, which
+// excludes directory rewrites; segment contents are only stable under the
+// per-segment lock, which fn must take via SegmentView.RLock before reading
+// bucket data. Must not be called from an Observer callback in Concurrent
+// mode: the maintenance paths fire events while holding the same locks.
+func (d *DyTIS) Introspect(fn func(EHView)) {
+	for _, e := range d.ehs {
+		if e.conc {
+			e.mu.Lock()
+		}
+		fn(EHView{e: e})
+		if e.conc {
+			e.mu.Unlock()
+		}
+	}
+}
+
+// NumEHs returns the number of first-level EH tables (2^R).
+func (d *DyTIS) NumEHs() int { return len(d.ehs) }
+
+// Opts returns the index's effective (defaulted) options.
+func (d *DyTIS) Opts() Options { return d.opts }
+
+// EHView is a read-only view of one second-level EH table. It is only valid
+// inside the Introspect callback that produced it.
+type EHView struct{ e *eh }
+
+// Index returns the first-level table index (the key's top R bits).
+//
+//dytis:nolockcheck
+func (v EHView) Index() int { return v.e.idx }
+
+// Base returns the first key of the EH's range.
+//
+//dytis:nolockcheck
+func (v EHView) Base() uint64 { return v.e.base }
+
+// SuffixBits returns 64 - R, the width of the EH's key range in bits.
+//
+//dytis:nolockcheck
+func (v EHView) SuffixBits() uint8 { return v.e.suffixBits }
+
+// GlobalDepth returns GD, the EH's directory depth.
+//
+//dytis:locked v.e.mu r
+func (v EHView) GlobalDepth() uint8 { return v.e.gd }
+
+// DirLen returns the directory length (expected 2^GD).
+//
+//dytis:locked v.e.mu r
+func (v EHView) DirLen() int { return len(v.e.dir) }
+
+// DirSegment returns the segment pointed to by directory slot i.
+//
+//dytis:locked v.e.mu r
+func (v EHView) DirSegment(i int) SegmentView { return SegmentView{s: v.e.dir[i], conc: v.e.conc} }
+
+// TotalCounter returns the EH's live-key counter (the bookkeeping value,
+// not a recount).
+//
+//dytis:nolockcheck
+func (v EHView) TotalCounter() int64 { return v.e.total.Load() }
+
+// LimitMult returns the EH's current Limit_seg multiplier.
+//
+//dytis:nolockcheck
+func (v EHView) LimitMult() int { return int(v.e.limitMult.Load()) }
+
+// MaxBuckets returns the depth-derived segment-size cap Limit_seg for local
+// depth ld under the EH's current multiplier.
+//
+//dytis:nolockcheck
+func (v EHView) MaxBuckets(ld uint8) int { return v.e.maxBuckets(ld) }
+
+// AtDepthGuard reports whether the directory has reached the hard depth
+// guard, the degenerate regime in which segments may grow past Limit_seg.
+//
+//dytis:locked v.e.mu r
+func (v EHView) AtDepthGuard() bool { return int(v.e.gd) >= maxDirDepth }
+
+// Concurrent reports whether the index runs the two-level locking scheme.
+//
+//dytis:nolockcheck
+func (v EHView) Concurrent() bool { return v.e.conc }
+
+// SegmentView is a read-only view of one segment. Two SegmentViews compare
+// equal (==) iff they view the same segment object, so the checker can
+// detect revisits and compare directory walks against the sibling chain.
+type SegmentView struct {
+	s    *segment
+	conc bool
+}
+
+// Valid reports whether the view points at a segment (the zero SegmentView
+// does not).
+func (v SegmentView) Valid() bool { return v.s != nil }
+
+// RLock takes the segment's read lock in Concurrent mode (no-op otherwise).
+// Bucket contents, the remapping function, and the counters are only stable
+// while it is held.
+//
+//dytis:nolockcheck
+func (v SegmentView) RLock() {
+	if v.conc {
+		v.s.mu.RLock()
+	}
+}
+
+// RUnlock releases RLock.
+//
+//dytis:nolockcheck
+func (v SegmentView) RUnlock() {
+	if v.conc {
+		v.s.mu.RUnlock()
+	}
+}
+
+// LocalDepth returns the segment's local depth LD.
+//
+//dytis:nolockcheck
+func (v SegmentView) LocalDepth() uint8 { return v.s.ld }
+
+// RangeBits returns log2 of the covered key-range width.
+//
+//dytis:nolockcheck
+func (v SegmentView) RangeBits() uint8 { return v.s.rangeBits }
+
+// Base returns the first key of the segment's covered range.
+//
+//dytis:nolockcheck
+func (v SegmentView) Base() uint64 { return v.s.base }
+
+// NumBuckets returns the segment's bucket count nb.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) NumBuckets() int { return v.s.nb }
+
+// BucketCap returns the per-bucket capacity B_size.
+//
+//dytis:nolockcheck
+func (v SegmentView) BucketCap() int { return v.s.bcap }
+
+// TotalCounter returns the segment's live-key counter (the bookkeeping
+// value, not a recount).
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) TotalCounter() int { return v.s.total }
+
+// Expanded reports whether the segment has undergone an expansion.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) Expanded() bool { return v.s.expanded }
+
+// SubRangeBits returns log2 of the number of remapping sub-ranges.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) SubRangeBits() uint8 { return v.s.pbits }
+
+// SubRangeBuckets returns the live bucket-share array cnt of the remapping
+// function. The caller must not mutate it.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) SubRangeBuckets() []uint32 { return v.s.cnt }
+
+// StartOffsets returns the live prefix-sum array start of the remapping
+// function (len(cnt)+1 entries). The caller must not mutate it.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) StartOffsets() []uint32 { return v.s.start }
+
+// BucketLen returns the occupancy of bucket bi.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) BucketLen(bi int) int { return int(v.s.sz[bi]) }
+
+// BucketKeys returns the live sorted key slice of bucket bi. The caller
+// must not mutate it.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) BucketKeys(bi int) []uint64 { return v.s.bucketKeys(bi) }
+
+// FirstKeyCache returns entry bi of the fk cache (first key per bucket,
+// right-filled with ^uint64(0) across empty buckets).
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) FirstKeyCache(bi int) uint64 { return v.s.fk[bi] }
+
+// Predict returns the bucket index the remapping function assigns to key k.
+//
+//dytis:locked v.s.mu r
+func (v SegmentView) Predict(k uint64) int { return v.s.predict(k) }
+
+// Next returns the sibling-chain successor, or ok=false at the end of the
+// EH's chain.
+//
+//dytis:nolockcheck
+func (v SegmentView) Next() (SegmentView, bool) {
+	n := v.s.next.Load()
+	if n == nil {
+		return SegmentView{}, false
+	}
+	return SegmentView{s: n, conc: v.conc}, true
+}
+
+// Test-only mutators. These exist so internal/check's tests can corrupt an
+// index in precisely one way and assert the checker reports precisely one
+// violation. They take no locks and must only be used on quiescent indexes.
+
+// SetKeyForTest overwrites the key at bucket bi, position pos.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetKeyForTest(bi, pos int, k uint64) { v.s.keys[bi*v.s.bcap+pos] = k }
+
+// SetFirstKeyCacheForTest overwrites fk cache entry bi.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetFirstKeyCacheForTest(bi int, k uint64) { v.s.fk[bi] = k }
+
+// SetTotalForTest overwrites the segment's live-key counter.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetTotalForTest(n int) { v.s.total = n }
+
+// SetSubRangeBucketsForTest overwrites cnt[j] without updating the start
+// prefix sums, breaking remapping-function coherence.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetSubRangeBucketsForTest(j int, c uint32) { v.s.cnt[j] = c }
+
+// SetStartOffsetForTest overwrites start[j] without updating cnt, breaking
+// remapping-function coherence.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetStartOffsetForTest(j int, off uint32) { v.s.start[j] = off }
+
+// SetNextForTest overwrites the sibling pointer (pass the zero SegmentView
+// to terminate the chain).
+//
+//dytis:nolockcheck
+func (v SegmentView) SetNextForTest(n SegmentView) { v.s.next.Store(n.s) }
+
+// SetDirForTest overwrites directory slot i.
+//
+//dytis:locked v.e.mu w
+func (v EHView) SetDirForTest(i int, s SegmentView) { v.e.dir[i] = s.s }
+
+// SetTotalForTest overwrites the EH's live-key counter.
+//
+//dytis:nolockcheck
+func (v EHView) SetTotalForTest(n int64) { v.e.total.Store(n) }
+
+// SetLimitMultForTest overwrites the EH's Limit_seg multiplier.
+//
+//dytis:nolockcheck
+func (v EHView) SetLimitMultForTest(m int) { v.e.limitMult.Store(int32(m)) }
