@@ -1,17 +1,32 @@
-package core
+package core_test
 
 import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"dytis/internal/check"
+	"dytis/internal/core"
 )
 
-func concOpts() Options {
-	return Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2, Concurrent: true}
+func concOpts() core.Options {
+	return core.Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2, Concurrent: true}
+}
+
+// requireSound fails the test when the structural checker finds violations;
+// every concurrency test runs it at teardown, once the workers are quiescent.
+func requireSound(t *testing.T, d *core.DyTIS) {
+	t.Helper()
+	if vs := check.Check(d); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("invariant violation: %v", v)
+		}
+		t.FailNow()
+	}
 }
 
 func TestConcurrentInsertGet(t *testing.T) {
-	d := New(concOpts())
+	d := core.New(concOpts())
 	const workers = 8
 	const perWorker = 5000
 	var wg sync.WaitGroup
@@ -47,13 +62,11 @@ func TestConcurrentInsertGet(t *testing.T) {
 			}
 		}
 	}
-	if err := d.checkInvariants(); err != nil {
-		t.Fatal(err)
-	}
+	requireSound(t, d)
 }
 
 func TestConcurrentMixedWorkload(t *testing.T) {
-	d := New(concOpts())
+	d := core.New(concOpts())
 	// Pre-load a base population.
 	for i := uint64(0); i < 20000; i++ {
 		d.Insert(i*3, i)
@@ -90,15 +103,13 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	if err := d.checkInvariants(); err != nil {
-		t.Fatal(err)
-	}
+	requireSound(t, d)
 }
 
 // TestConcurrentDisjointRangesLinearizable: workers own disjoint key ranges,
 // so each worker's final writes must all be visible exactly.
 func TestConcurrentDisjointRangesLinearizable(t *testing.T) {
-	d := New(concOpts())
+	d := core.New(concOpts())
 	const workers = 6
 	var wg sync.WaitGroup
 	final := make([]map[uint64]uint64, workers)
@@ -137,4 +148,60 @@ func TestConcurrentDisjointRangesLinearizable(t *testing.T) {
 	if d.Len() != total {
 		t.Fatalf("Len=%d want %d", d.Len(), total)
 	}
+	requireSound(t, d)
+}
+
+// TestConcurrentStatsDuringWrites hammers the read-side accounting
+// (Stats/MemoryFootprint/Len) while writers force splits, remaps, and
+// expansions: the aggregation walks must take the per-segment locks, not
+// just the EH lock, because remap/expand rewrite segment internals while
+// holding only the segment lock.
+func TestConcurrentStatsDuringWrites(t *testing.T) {
+	d := core.New(concOpts())
+	const writers = 4
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 31))
+			for i := 0; i < 30000; i++ {
+				k := uint64(rng.Intn(1 << 20))
+				if rng.Intn(8) == 0 {
+					d.Delete(k)
+				} else {
+					d.Insert(k, uint64(i))
+				}
+			}
+		}(w)
+	}
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := d.Stats()
+			if st.Segments <= 0 || st.Buckets <= 0 {
+				t.Error("non-positive stats")
+				return
+			}
+			if d.MemoryFootprint() <= 0 {
+				t.Error("non-positive footprint")
+				return
+			}
+			d.Len()
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if t.Failed() {
+		return
+	}
+	requireSound(t, d)
 }

@@ -187,8 +187,17 @@ func (d *DyTIS) Stats() Stats {
 		}
 		st.DirEntries += len(e.dir)
 		e.forEachSegment(func(s *segment) {
+			// e.mu excludes directory rewrites, but remap/expand rewrite a
+			// segment's bucket geometry under only s.mu (insert drops the EH
+			// lock before restructuring), so nb is only stable under s.mu.
+			if e.conc {
+				s.mu.RLock()
+			}
 			st.Segments++
 			st.Buckets += s.nb
+			if e.conc {
+				s.mu.RUnlock()
+			}
 		})
 		if e.conc {
 			e.mu.RUnlock()
@@ -208,7 +217,15 @@ func (d *DyTIS) MemoryFootprint() int64 {
 		}
 		b += int64(len(e.dir)) * 8
 		e.forEachSegment(func(s *segment) {
+			// nb and cnt are rewritten by remap/expand under only s.mu; see
+			// the matching lock in Stats.
+			if e.conc {
+				s.mu.RLock()
+			}
 			b += int64(s.nb*s.bcap)*16 + int64(s.nb)*2 + int64(len(s.cnt))*8 + 96
+			if e.conc {
+				s.mu.RUnlock()
+			}
 		})
 		if e.conc {
 			e.mu.RUnlock()
