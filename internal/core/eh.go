@@ -369,9 +369,20 @@ func (e *eh) splitSegment(s *segment) {
 		e.adaptDone = true
 		var total, exp int
 		e.forEachSegment(func(sg *segment) {
+			// expanded is written by expand/forceExpand under only sg.mu
+			// (insert drops the EH read lock before restructuring), so the EH
+			// write lock we hold does not exclude those writers. Safe to take
+			// here: s itself left the directory above, and no path acquires
+			// e.mu while holding a segment lock.
+			if e.conc {
+				sg.mu.RLock()
+			}
 			total++
 			if sg.expanded {
 				exp++
+			}
+			if e.conc {
+				sg.mu.RUnlock()
 			}
 		})
 		if total > 0 && float64(exp)/float64(total) >= DefaultAdaptiveFrac {
