@@ -38,6 +38,8 @@ func (d *DyTIS) LoadSorted(keys, values []uint64) {
 }
 
 // loadSorted rebuilds one EH from its ascending key slice.
+//
+//dytis:nolockcheck
 func (e *eh) loadSorted(keys, values []uint64) {
 	bcap := e.opts.BucketEntries
 	// Target: segments that start around half the base segment limit so

@@ -239,6 +239,8 @@ func (d *DyTIS) MemoryFootprint() int64 {
 // 2^(gd-ld) directory entries derived from its depth, and the runs tile the
 // directory) is precisely the precondition of the stride walk that Stats,
 // MemoryFootprint, and maxPair rely on to visit each segment once.
+//
+//dytis:nolockcheck
 func (d *DyTIS) checkInvariants() error {
 	for _, e := range d.ehs {
 		for i := 0; i < len(e.dir); {

@@ -29,12 +29,12 @@ type eh struct {
 	idx        int    // first-level table index (base >> suffixBits)
 	obs        Observer
 
-	dir []*segment
-	gd  uint8
+	dir []*segment // guarded-by: mu
+	gd  uint8      // guarded-by: mu
 
 	total     atomic.Int64
 	limitMult atomic.Int32
-	adaptDone bool // guarded by mu (write paths)
+	adaptDone bool // guarded-by: mu; adaptive-limit decision made (write paths)
 
 	stats ehStats
 }
@@ -83,6 +83,8 @@ func (e *eh) fire(kind EventKind, s *segment, d time.Duration) {
 // any segment whose run was interrupted; the stride walk visits by run, and
 // checkInvariants verifies runs tile the directory exactly. Caller holds the
 // EH read lock in Concurrent mode.
+//
+//dytis:locked e.mu r
 func (e *eh) forEachSegment(fn func(*segment)) {
 	for i := 0; i < len(e.dir); {
 		s := e.dir[i]
@@ -91,6 +93,7 @@ func (e *eh) forEachSegment(fn func(*segment)) {
 	}
 }
 
+//dytis:locked e.mu r
 func (e *eh) dirIndex(k uint64) int {
 	if e.gd == 0 {
 		return 0
@@ -246,6 +249,8 @@ func (e *eh) restructure(k uint64) {
 // growing the segment (ignoring Limit_seg) only when it is genuinely full.
 // Growing on every trip would balloon capacity unboundedly under
 // insert-at-a-boundary patterns whose overflow is local, not global.
+//
+//dytis:locked s.mu w
 func (e *eh) forceRebalance(s *segment) {
 	t0 := time.Now()
 	nb := s.nb
@@ -290,6 +295,8 @@ func allocSmoothed(weights []int, total int) []uint32 {
 }
 
 // forceExpand doubles a segment in place, scaling the remapping function.
+//
+//dytis:locked s.mu w
 func (e *eh) forceExpand(s *segment) {
 	t0 := time.Now()
 	cnt := make([]uint32, len(s.cnt))
@@ -307,6 +314,7 @@ func (e *eh) forceExpand(s *segment) {
 	e.fire(EvExpand, s, d)
 }
 
+//dytis:locked e.mu w
 func (e *eh) doubleDirectory() {
 	nd := make([]*segment, len(e.dir)*2)
 	for i, s := range e.dir {
@@ -322,6 +330,9 @@ func (e *eh) doubleDirectory() {
 // and its bucket allocation follows the observed per-sub-range key counts so
 // the remapping-function slopes carry over. Caller holds the EH write lock
 // and the segment lock (in concurrent mode).
+//
+//dytis:locked e.mu w
+//dytis:locked s.mu w
 func (e *eh) splitSegment(s *segment) {
 	t0 := time.Now()
 	nld := s.ld + 1
@@ -455,6 +466,8 @@ func allocProportional(weights []int, total int) []uint32 {
 
 // expand doubles the segment in place, scaling the remapping function
 // (doubling every sub-range's bucket count). Caller holds the segment lock.
+//
+//dytis:locked s.mu w
 func (e *eh) expand(s *segment) bool {
 	if s.nb*2 > e.maxBuckets(s.ld) {
 		return false
@@ -468,6 +481,8 @@ func (e *eh) expand(s *segment) bool {
 // is dense, then doubles the target's bucket share by stealing buckets from
 // under-utilized sub-ranges, growing the segment only if stealing cannot
 // cover the need. Caller holds the segment lock.
+//
+//dytis:locked s.mu w
 func (e *eh) remap(s *segment, k uint64) bool {
 	t0 := time.Now()
 	ut := e.opts.UtilThreshold
@@ -697,6 +712,8 @@ func (e *eh) scanFunc(start uint64, fn func(k, v uint64) bool) bool {
 
 // lowerBound returns the bucket/position of the first key >= k, or bi=-1 if
 // none exists in the segment.
+//
+//dytis:locked s.mu r
 func (s *segment) lowerBound(k uint64) (int, int) {
 	if s.total == 0 {
 		return -1, 0

@@ -45,6 +45,7 @@ func (e *eh) maxPair() (kv.KV, bool) {
 	return kv.KV{}, false
 }
 
+//dytis:locked s.mu r
 func (s *segment) maxPair() (kv.KV, bool) {
 	for bi := s.nb - 1; bi >= 0; bi-- {
 		if n := int(s.sz[bi]); n > 0 {

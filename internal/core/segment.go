@@ -28,24 +28,24 @@ type segment struct {
 	rangeBits uint8  // log2 of covered key-range width
 	base      uint64 // first key covered (full-key space, aligned)
 
-	pbits uint8    // log2 of the number of remapping sub-ranges
-	cnt   []uint32 // buckets owned by each sub-range
-	start []uint32 // prefix sums; len(cnt)+1, start[len(cnt)] == nb
+	pbits uint8    // guarded-by: mu; log2 of the number of remapping sub-ranges
+	cnt   []uint32 // guarded-by: mu; buckets owned by each sub-range
+	start []uint32 // guarded-by: mu; prefix sums; len(cnt)+1, start[len(cnt)] == nb
 
-	nb       int  // total buckets
-	bcap     int  // entries per bucket
-	expanded bool // whether this segment has undergone an expansion
-	keys     []uint64
-	vals     []uint64
-	sz       []uint16 // per-bucket occupancy
-	total    int
+	nb       int      // guarded-by: mu; total buckets
+	bcap     int      // entries per bucket (immutable)
+	expanded bool     // guarded-by: mu; whether this segment has undergone an expansion
+	keys     []uint64 // guarded-by: mu
+	vals     []uint64 // guarded-by: mu
+	sz       []uint16 // guarded-by: mu; per-bucket occupancy
+	total    int      // guarded-by: mu
 
 	// fk caches each bucket's first key; empty buckets carry the first key
 	// of the nearest non-empty bucket to their RIGHT (fkSentinel past the
 	// last). fk is therefore globally non-decreasing, which turns the
 	// which-bucket-holds-k question into a binary search instead of a walk
 	// over (possibly long) spill runs.
-	fk []uint64
+	fk []uint64 // guarded-by: mu
 }
 
 const fkSentinel = ^uint64(0)
@@ -128,22 +128,29 @@ func predictWith(r uint64, rangeBits, pbits uint8, cnt, start []uint32, nb int) 
 }
 
 // predict returns the bucket index the remapping function assigns to key k.
+//
+//dytis:locked s.mu r
 func (s *segment) predict(k uint64) int {
 	return predictWith(k-s.base, s.rangeBits, s.pbits, s.cnt, s.start, s.nb)
 }
 
 // subRangeOf returns the sub-range index containing key k.
+//
+//dytis:locked s.mu r
 func (s *segment) subRangeOf(k uint64) int {
 	return int((k - s.base) >> (s.rangeBits - s.pbits))
 }
 
+//dytis:locked s.mu r
 func (s *segment) bucketKeys(bi int) []uint64 {
 	off := bi * s.bcap
 	return s.keys[off : off+int(s.sz[bi])]
 }
 
+//dytis:locked s.mu r
 func (s *segment) firstKey(bi int) uint64 { return s.keys[bi*s.bcap] }
 
+//dytis:locked s.mu r
 func (s *segment) nextNonEmpty(bi int) int {
 	for j := bi + 1; j < s.nb; j++ {
 		if s.sz[j] > 0 {
@@ -153,6 +160,7 @@ func (s *segment) nextNonEmpty(bi int) int {
 	return -1
 }
 
+//dytis:locked s.mu r
 func (s *segment) firstNonEmpty() int {
 	for j := 0; j < s.nb; j++ {
 		if s.sz[j] > 0 {
@@ -163,6 +171,8 @@ func (s *segment) firstNonEmpty() int {
 }
 
 // util returns the segment's utilization U_s.
+//
+//dytis:locked s.mu r
 func (s *segment) util() float64 {
 	return float64(s.total) / float64(s.nb*s.bcap)
 }
@@ -176,6 +186,8 @@ func (s *segment) util() float64 {
 // The search is seeded by the remapping function's prediction and then
 // corrected by walking over the (globally sorted) bucket sequence, the
 // last-mile search step shared with learned indexes.
+//
+//dytis:locked s.mu r
 func (s *segment) findSlot(k uint64) (bi, pos int, exists, full bool) {
 	p := s.predict(k)
 	if s.total == 0 {
@@ -231,6 +243,8 @@ func (s *segment) findSlot(k uint64) (bi, pos int, exists, full bool) {
 // candidate returns the last non-empty bucket whose first key is <= k (-1 if
 // none), by exponential search over the non-decreasing fk cache seeded at
 // the predicted bucket p.
+//
+//dytis:locked s.mu r
 func (s *segment) candidate(k uint64, p int) int {
 	// Find the first bucket j with fk[j] > k, galloping out from p.
 	var lo, hi int
@@ -290,6 +304,8 @@ func clampInt(v, lo, hi int) int {
 }
 
 // get returns the value for k.
+//
+//dytis:locked s.mu r
 func (s *segment) get(k uint64) (uint64, bool) {
 	bi, pos, exists, _ := s.findSlot(k)
 	if !exists {
@@ -300,6 +316,8 @@ func (s *segment) get(k uint64) (uint64, bool) {
 
 // insertAt places (k,v) at bucket bi, position pos, shifting larger entries.
 // The bucket must have room.
+//
+//dytis:locked s.mu w
 func (s *segment) insertAt(bi, pos int, k, v uint64) {
 	off := bi * s.bcap
 	n := int(s.sz[bi])
@@ -316,6 +334,8 @@ func (s *segment) insertAt(bi, pos int, k, v uint64) {
 
 // refreshFK records bucket bi's new first key and propagates it left across
 // the empty-bucket run that mirrors it.
+//
+//dytis:locked s.mu w
 func (s *segment) refreshFK(bi int, first uint64) {
 	s.fk[bi] = first
 	for m := bi - 1; m >= 0 && s.sz[m] == 0; m-- {
@@ -324,6 +344,8 @@ func (s *segment) refreshFK(bi int, first uint64) {
 }
 
 // removeAt deletes the entry at bucket bi, position pos.
+//
+//dytis:locked s.mu w
 func (s *segment) removeAt(bi, pos int) {
 	off := bi * s.bcap
 	n := int(s.sz[bi])
@@ -348,6 +370,8 @@ func (s *segment) removeAt(bi, pos int) {
 // bucket. Used in the degenerate-cluster regime (directory at the depth
 // guard) where rebuilding the segment for every few boundary inserts would
 // be quadratic.
+//
+//dytis:locked s.mu w
 func (s *segment) makeRoom(bi, limit int) bool {
 	r, l := -1, -1
 	for j := bi + 1; j < s.nb && j <= bi+limit; j++ {
@@ -379,6 +403,8 @@ func (s *segment) makeRoom(bi, limit int) bool {
 
 // moveLastToFront moves bucket a's largest pair to the front of bucket b
 // (a < b, b has room).
+//
+//dytis:locked s.mu w
 func (s *segment) moveLastToFront(a, b int) {
 	n := int(s.sz[a])
 	off := a*s.bcap + n - 1
@@ -398,6 +424,8 @@ func (s *segment) moveLastToFront(a, b int) {
 
 // moveFirstToEnd moves bucket a's smallest pair to the end of bucket b
 // (b < a, b has room).
+//
+//dytis:locked s.mu w
 func (s *segment) moveFirstToEnd(a, b int) {
 	k, v := s.keys[a*s.bcap], s.vals[a*s.bcap]
 	s.removeAt(a, 0)
@@ -406,6 +434,8 @@ func (s *segment) moveFirstToEnd(a, b int) {
 
 // visit calls fn for each pair from (bi, pos) to the end of the segment, in
 // ascending order, returning false if fn stopped the iteration.
+//
+//dytis:locked s.mu r
 func (s *segment) visit(bi, pos int, fn func(k, v uint64) bool) bool {
 	for ; bi < s.nb; bi, pos = bi+1, 0 {
 		off := bi * s.bcap
@@ -420,6 +450,8 @@ func (s *segment) visit(bi, pos int, fn func(k, v uint64) bool) bool {
 }
 
 // appendAll appends the segment's pairs in sorted order.
+//
+//dytis:locked s.mu r
 func (s *segment) appendAll(dstK, dstV []uint64) ([]uint64, []uint64) {
 	for bi := 0; bi < s.nb; bi++ {
 		off := bi * s.bcap
@@ -435,6 +467,8 @@ func (s *segment) appendAll(dstK, dstV []uint64) ([]uint64, []uint64) {
 // "create new layout, copy each key using the new remapping functions"
 // data movement of remapping, expansion, and shrinking. nb*bcap must be
 // >= len(ks).
+//
+//dytis:locked s.mu w
 func (s *segment) adoptLayout(pbits uint8, cnt []uint32, nb int, ks, vs []uint64) {
 	start := prefixSums(cnt)
 	keys := make([]uint64, nb*s.bcap)
@@ -518,6 +552,8 @@ func placeSorted(keys, vals []uint64, sz []uint16, bcap int, rangeBits uint8, ba
 
 // subRangeKeyCounts histograms the segment's keys into 2^pbits equal
 // sub-ranges of its key range.
+//
+//dytis:locked s.mu r
 func (s *segment) subRangeKeyCounts(pbits uint8) []int {
 	out := make([]int, 1<<pbits)
 	shift := s.rangeBits - pbits
@@ -530,6 +566,8 @@ func (s *segment) subRangeKeyCounts(pbits uint8) []int {
 }
 
 // countBelow returns how many keys are smaller than pivot.
+//
+//dytis:locked s.mu r
 func (s *segment) countBelow(pivot uint64) int {
 	n := 0
 	for bi := 0; bi < s.nb; bi++ {
@@ -548,6 +586,8 @@ func (s *segment) countBelow(pivot uint64) int {
 }
 
 // checkInvariants verifies structural invariants; used by tests.
+//
+//dytis:nolockcheck
 func (s *segment) checkInvariants() error {
 	if got := int(s.start[len(s.cnt)]); got != s.nb {
 		return errf("cnt sums to %d, nb=%d", got, s.nb)

@@ -1,0 +1,49 @@
+// Package analyzers holds the project's custom static-analysis passes and
+// the minimal framework they run on. The framework mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
+// self-contained — the module is stdlib-only — and supports exactly what the
+// two passes need: a parsed, type-checked single package and a diagnostic
+// sink. cmd/vet-dytis adapts it to the `go vet -vettool` protocol.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run applies the pass to one package, reporting findings via
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns every registered analyzer, in stable order.
+func All() []*Analyzer { return []*Analyzer{LockCheck, AtomicCheck} }

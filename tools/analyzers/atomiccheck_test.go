@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestAtomicCheck(t *testing.T) {
+	runAnalyzerTest(t, AtomicCheck, "b")
+}

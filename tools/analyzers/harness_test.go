@@ -1,0 +1,135 @@
+package analyzers
+
+// A minimal analysistest-style harness: load testdata/src/<dir>, typecheck
+// it with the source importer (stdlib-only environment), run one analyzer,
+// and compare its diagnostics against `// want "regexp"` comments. Every
+// want must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type wantLine struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", src)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (".*"|` + "`.*`" + `)\s*$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*wantLine {
+	t.Helper()
+	var out []*wantLine
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := wantRE.FindStringSubmatch(cm.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pat string
+				if raw[0] == '`' {
+					pat = raw[1 : len(raw)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want at %s: %v", fset.Position(cm.Pos()), err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want regexp at %s: %v", fset.Position(cm.Pos()), err)
+				}
+				pos := fset.Position(cm.Pos())
+				out = append(out, &wantLine{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,802 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck verifies the repository's lock discipline: struct fields
+// annotated `// guarded-by: <mutex>` may only be read while the named
+// sibling mutex is held (read- or write-locked) on the current path, and
+// only written while it is write-locked.
+//
+// The analysis is deliberately optimistic (flow-lite), tuned to the
+// codebase's idioms so that real violations surface without drowning in
+// false positives:
+//
+//   - Branches merge by union, and the stronger lock mode wins, so the
+//     pervasive `if e.conc { e.mu.Lock() }` pattern counts as acquired and
+//     an unlock inside one branch does not clear the fact.
+//   - `defer mu.Unlock()` is ignored: the lock is held for the rest of the
+//     function body.
+//   - A branch ending in return/break/continue/panic is excluded from the
+//     merge.
+//   - `s := nxt` copies nxt's lock facts to s (hand-over-hand iteration).
+//   - Objects born on this path — `&T{...}` literals, or calls to
+//     functions named new*/build*/make* returning a pointer — are exempt:
+//     nobody else can see them yet.
+//   - Function literals are analyzed at their position with the facts held
+//     there (the codebase only uses synchronous closures); `go` statements
+//     analyze the closure with no facts.
+//
+// Function annotations, written in doc comments:
+//
+//	//dytis:locked <path>.<mutex> [r|w]
+//
+// seeds the fact at entry (the caller holds that lock), and — when the
+// path's root names the receiver or a parameter — doubles as a call-site
+// contract: every caller inside the package must hold the corresponding
+// lock on its own expression for that argument.
+//
+//	//dytis:nolockcheck
+//
+// skips the function entirely (single-threaded rebuild paths, test-only
+// corruptors).
+//
+// _test.go files are skipped.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "check that guarded-by-annotated fields are accessed under their mutex",
+	Run:  runLockCheck,
+}
+
+// lockMode is the strength of a held lock fact.
+type lockMode byte
+
+const (
+	lockRead  lockMode = iota + 1 // RLock
+	lockWrite                     // Lock
+)
+
+func (m lockMode) String() string {
+	if m == lockWrite {
+		return "w"
+	}
+	return "r"
+}
+
+// contract is one //dytis:locked annotation whose root names the receiver
+// or a parameter, checked at call sites.
+type contract struct {
+	argIndex int // -1 = receiver, else parameter index
+	rest     string
+	mode     lockMode
+}
+
+// funcFacts is the parsed annotation set of one function.
+type funcFacts struct {
+	skip      bool
+	seeds     map[string]lockMode // path -> mode, seeded at entry
+	contracts []contract
+}
+
+type lockChecker struct {
+	pass    *Pass
+	guarded map[*types.Var]string     // annotated field -> mutex field name
+	facts   map[types.Object]funcFacts // function/method object -> annotations
+}
+
+func runLockCheck(pass *Pass) error {
+	c := &lockChecker{
+		pass:    pass,
+		guarded: map[*types.Var]string{},
+		facts:   map[types.Object]funcFacts{},
+	}
+	c.collectGuards()
+	c.collectAnnotations()
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// collectGuards finds `// guarded-by: <name>` comments on struct fields.
+func (c *lockChecker) collectGuards() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						c.guarded[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			text := strings.TrimPrefix(cm.Text, "//")
+			text = strings.TrimSpace(text)
+			if rest, ok := strings.CutPrefix(text, "guarded-by:"); ok {
+				rest = strings.TrimSpace(rest)
+				if i := strings.IndexAny(rest, " \t;,"); i >= 0 {
+					rest = rest[:i]
+				}
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// collectAnnotations parses //dytis:locked and //dytis:nolockcheck doc
+// comments on every function declaration.
+func (c *lockChecker) collectAnnotations() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			obj := c.pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			ff := funcFacts{seeds: map[string]lockMode{}}
+			for _, cm := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+				if text == "dytis:nolockcheck" {
+					ff.skip = true
+					continue
+				}
+				spec, ok := strings.CutPrefix(text, "dytis:locked ")
+				if !ok {
+					continue
+				}
+				parts := strings.Fields(spec)
+				if len(parts) == 0 {
+					continue
+				}
+				path := parts[0]
+				mode := lockRead
+				if len(parts) > 1 && parts[1] == "w" {
+					mode = lockWrite
+				}
+				if old, ok := ff.seeds[path]; !ok || mode > old {
+					ff.seeds[path] = mode
+				}
+				root, rest, _ := strings.Cut(path, ".")
+				if rest == "" {
+					continue
+				}
+				if idx, ok := paramIndex(fd, root); ok {
+					ff.contracts = append(ff.contracts, contract{argIndex: idx, rest: "." + rest, mode: mode})
+				}
+			}
+			c.facts[obj] = ff
+		}
+	}
+}
+
+// paramIndex resolves an annotation root name to the receiver (-1) or a
+// parameter index of fd.
+func paramIndex(fd *ast.FuncDecl, root string) (int, bool) {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		for _, n := range fd.Recv.List[0].Names {
+			if n.Name == root {
+				return -1, true
+			}
+		}
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name == root {
+				return idx, true
+			}
+			idx++
+		}
+	}
+	return 0, false
+}
+
+// lockState is the per-path analysis state.
+type lockState struct {
+	facts map[string]lockMode
+	owned map[types.Object]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{facts: map[string]lockMode{}, owned: map[types.Object]bool{}}
+}
+
+func (st *lockState) clone() *lockState {
+	n := newLockState()
+	for k, v := range st.facts {
+		n.facts[k] = v
+	}
+	for k, v := range st.owned {
+		n.owned[k] = v
+	}
+	return n
+}
+
+// merge unions other into st, keeping the stronger mode (optimistic).
+func (st *lockState) merge(other *lockState) {
+	for k, v := range other.facts {
+		if v > st.facts[k] {
+			st.facts[k] = v
+		}
+	}
+	for k, v := range other.owned {
+		if v {
+			st.owned[k] = true
+		}
+	}
+}
+
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	obj := c.pass.TypesInfo.Defs[fd.Name]
+	ff := c.facts[obj]
+	if ff.skip {
+		return
+	}
+	st := newLockState()
+	for path, mode := range ff.seeds {
+		st.facts[path] = mode
+	}
+	c.block(fd.Body.List, st)
+}
+
+// block walks stmts sequentially, returning whether the path terminated
+// (return / branch / panic).
+func (c *lockChecker) block(stmts []ast.Stmt, st *lockState) bool {
+	for _, s := range stmts {
+		if c.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if isPanicCall(s.X) {
+			c.expr(s.X, st)
+			return true
+		}
+		c.expr(s.X, st)
+	case *ast.AssignStmt:
+		c.assign(s, st)
+	case *ast.IncDecStmt:
+		c.writeTarget(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// Ignore deferred unlocks (the lock stays held for the rest of the
+		// body); analyze anything else for accesses without lock effects.
+		if c.lockEffect(s.Call, st, false) {
+			return false
+		}
+		for _, a := range s.Call.Args {
+			c.expr(a, st)
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine holds nothing.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.block(fl.Body.List, newLockState())
+		}
+		for _, a := range s.Call.Args {
+			c.expr(a, st)
+		}
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st)
+		then := st.clone()
+		thenDone := c.block(s.Body.List, then)
+		if s.Else != nil {
+			els := st.clone()
+			elseDone := c.stmt(s.Else, els)
+			switch {
+			case thenDone && elseDone:
+				return true
+			case thenDone:
+				*st = *els
+			case elseDone:
+				*st = *then
+			default:
+				st.merge(then)
+				st.merge(els)
+			}
+		} else if !thenDone {
+			st.merge(then)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, st)
+		}
+		body := st.clone()
+		if !c.block(s.Body.List, body) {
+			if s.Post != nil {
+				c.stmt(s.Post, body)
+			}
+			st.merge(body)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		body := st.clone()
+		if !c.block(s.Body.List, body) {
+			st.merge(body)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st)
+		}
+		c.caseClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.stmt(s.Assign, st)
+		c.caseClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		c.caseClauses(s.Body.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		c.expr(s.Chan, st)
+		c.expr(s.Value, st)
+	}
+	return false
+}
+
+func (c *lockChecker) caseClauses(clauses []ast.Stmt, st *lockState) {
+	merged := false
+	out := newLockState()
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.expr(e, st)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, st)
+			}
+			body = cl.Body
+		}
+		branch := st.clone()
+		if !c.block(body, branch) {
+			out.merge(branch)
+			merged = true
+		}
+	}
+	if merged {
+		st.merge(out)
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// assign handles RHS reads, fresh-object births, fact aliasing, and LHS
+// write accesses.
+func (c *lockChecker) assign(s *ast.AssignStmt, st *lockState) {
+	for _, r := range s.Rhs {
+		c.expr(r, st)
+	}
+	// Alias: `s = nxt` copies nxt's facts and ownedness to s.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if lid, ok := s.Lhs[0].(*ast.Ident); ok && lid.Name != "_" {
+			if rid, ok := s.Rhs[0].(*ast.Ident); ok {
+				c.aliasFacts(st, lid.Name, rid.Name)
+				if robj := c.pass.TypesInfo.Uses[rid]; robj != nil && st.owned[robj] {
+					if lobj := c.identObj(lid); lobj != nil {
+						st.owned[lobj] = true
+					}
+				}
+			}
+		}
+	}
+	// Fresh objects: lhs bound to &T{...} or new*/build*/make* call results.
+	if len(s.Lhs) >= 1 && len(s.Rhs) == 1 && isFreshExpr(s.Rhs[0], c.pass) {
+		if lid, ok := s.Lhs[0].(*ast.Ident); ok && lid.Name != "_" {
+			if obj := c.identObj(lid); obj != nil {
+				st.owned[obj] = true
+			}
+		}
+	}
+	for _, l := range s.Lhs {
+		if _, ok := l.(*ast.Ident); ok {
+			continue // plain variable bind, not a guarded-field write
+		}
+		c.writeTarget(l, st)
+	}
+}
+
+// identObj resolves an identifier on the LHS of an assignment (a Def for :=,
+// a Use for =).
+func (c *lockChecker) identObj(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// aliasFacts copies every fact rooted at `from` to the same path rooted at
+// `to`, after dropping stale facts rooted at `to`.
+func (c *lockChecker) aliasFacts(st *lockState, to, from string) {
+	for path := range st.facts {
+		if path == to || strings.HasPrefix(path, to+".") {
+			delete(st.facts, path)
+		}
+	}
+	for path, mode := range st.facts {
+		if path == from || strings.HasPrefix(path, from+".") {
+			st.facts[to+strings.TrimPrefix(path, from)] = mode
+		}
+	}
+}
+
+// isFreshExpr reports whether e births an object unreachable by other
+// goroutines: a &T{...} literal or a call to a new*/build*/make*-named
+// function returning a pointer.
+func isFreshExpr(e ast.Expr, pass *Pass) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		_, isLit := e.X.(*ast.CompositeLit)
+		return e.Op.String() == "&" && isLit
+	case *ast.CallExpr:
+		var name string
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return false
+		}
+		lower := strings.ToLower(name)
+		if !strings.HasPrefix(lower, "new") && !strings.HasPrefix(lower, "build") && !strings.HasPrefix(lower, "make") {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return false
+		}
+		_, isPtr := tv.Type.Underlying().(*types.Pointer)
+		return isPtr
+	}
+	return false
+}
+
+// writeTarget checks the guarded-field access implied by an assignment
+// target, unwrapping indexes, stars, and parens.
+func (c *lockChecker) writeTarget(e ast.Expr, st *lockState) {
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			c.expr(t.Index, st)
+			e = t.X
+			continue
+		case *ast.StarExpr:
+			e = t.X
+			continue
+		case *ast.ParenExpr:
+			e = t.X
+			continue
+		case *ast.SelectorExpr:
+			c.checkFieldAccess(t, st, lockWrite)
+			c.expr(t.X, st)
+			return
+		default:
+			c.expr(e, st)
+			return
+		}
+	}
+}
+
+// expr walks e checking guarded reads, lock effects, closures, and
+// call-site contracts.
+func (c *lockChecker) expr(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if c.lockEffect(e, st, true) {
+			return
+		}
+		c.checkContracts(e, st)
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			// A method value's base expression is still a read path.
+			c.expr(sel.X, st)
+			if c.isFieldSel(sel) {
+				c.checkFieldAccess(sel, st, lockRead)
+			}
+		} else {
+			c.expr(e.Fun, st)
+		}
+		for _, a := range e.Args {
+			c.expr(a, st)
+		}
+	case *ast.SelectorExpr:
+		c.checkFieldAccess(e, st, lockRead)
+		c.expr(e.X, st)
+	case *ast.FuncLit:
+		// Synchronous closure: runs with the facts held here.
+		c.block(e.Body.List, st.clone())
+	case *ast.UnaryExpr:
+		c.expr(e.X, st)
+	case *ast.BinaryExpr:
+		c.expr(e.X, st)
+		c.expr(e.Y, st)
+	case *ast.IndexExpr:
+		c.expr(e.X, st)
+		c.expr(e.Index, st)
+	case *ast.SliceExpr:
+		c.expr(e.X, st)
+		c.expr(e.Low, st)
+		c.expr(e.High, st)
+		c.expr(e.Max, st)
+	case *ast.StarExpr:
+		c.expr(e.X, st)
+	case *ast.ParenExpr:
+		c.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kvp, ok := el.(*ast.KeyValueExpr); ok {
+				c.expr(kvp.Value, st)
+			} else {
+				c.expr(el, st)
+			}
+		}
+	}
+}
+
+// isFieldSel reports whether sel selects a struct field (not a method).
+func (c *lockChecker) isFieldSel(sel *ast.SelectorExpr) bool {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// lockEffect applies Lock/RLock/Unlock/RUnlock calls on sync mutexes to st,
+// reporting whether call was such a call. When apply is false the state is
+// left untouched (deferred unlocks).
+func (c *lockChecker) lockEffect(call *ast.CallExpr, st *lockState, apply bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	var mode lockMode
+	unlock := false
+	switch name {
+	case "Lock":
+		mode = lockWrite
+	case "RLock":
+		mode = lockRead
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return false
+	}
+	if !isSyncMutex(c.pass.TypesInfo.Types[sel.X].Type) {
+		return false
+	}
+	path := renderPath(sel.X)
+	if path == "" || !apply {
+		return true
+	}
+	if unlock {
+		delete(st.facts, path)
+	} else if mode > st.facts[path] {
+		st.facts[path] = mode
+	}
+	return true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkContracts enforces //dytis:locked call-site contracts of the callee.
+func (c *lockChecker) checkContracts(call *ast.CallExpr, st *lockState) {
+	var calleeObj types.Object
+	var recvExpr ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		calleeObj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		calleeObj = c.pass.TypesInfo.Uses[fun.Sel]
+		if s, ok := c.pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			recvExpr = fun.X
+		}
+	default:
+		return
+	}
+	if calleeObj == nil {
+		return
+	}
+	ff, ok := c.facts[calleeObj]
+	if !ok {
+		return
+	}
+	for _, ct := range ff.contracts {
+		var arg ast.Expr
+		if ct.argIndex == -1 {
+			arg = recvExpr
+		} else if ct.argIndex < len(call.Args) {
+			arg = call.Args[ct.argIndex]
+		}
+		if arg == nil {
+			continue
+		}
+		base := renderPath(arg)
+		if base == "" {
+			continue
+		}
+		if obj := rootObj(c.pass, arg); obj != nil && st.owned[obj] {
+			continue
+		}
+		path := base + ct.rest
+		if st.facts[path] < ct.mode {
+			verb := "holding"
+			if ct.mode == lockWrite {
+				verb = "write-holding"
+			}
+			c.pass.Reportf(call.Pos(), "call to %s requires %s %s", calleeObj.Name(), verb, path)
+		}
+	}
+}
+
+// checkFieldAccess reports a guarded field touched without its mutex.
+func (c *lockChecker) checkFieldAccess(sel *ast.SelectorExpr, st *lockState, need lockMode) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := c.guarded[field]
+	if !ok {
+		return
+	}
+	base := renderPath(sel.X)
+	if base == "" {
+		return // unrenderable receiver; give up rather than false-positive
+	}
+	if obj := rootObj(c.pass, sel.X); obj != nil && st.owned[obj] {
+		return
+	}
+	path := base + "." + guard
+	if st.facts[path] < need {
+		if need == lockWrite {
+			c.pass.Reportf(sel.Sel.Pos(), "write to %s.%s requires write-holding %s", base, field.Name(), path)
+		} else {
+			c.pass.Reportf(sel.Sel.Pos(), "read of %s.%s requires holding %s", base, field.Name(), path)
+		}
+	}
+}
+
+// renderPath renders an ident/selector chain as a dotted path, or "" if the
+// expression is anything else.
+func renderPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return renderPath(e.X)
+		}
+	}
+	return ""
+}
+
+// rootObj returns the types object of the leftmost identifier of e.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	runAnalyzerTest(t, LockCheck, "a")
+}

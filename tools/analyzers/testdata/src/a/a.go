@@ -1,0 +1,129 @@
+package a
+
+import "sync"
+
+type box struct {
+	mu   sync.RWMutex
+	data []int // guarded-by: mu
+	n    int   // guarded-by: mu
+}
+
+func good(b *box) {
+	b.mu.Lock()
+	b.data = append(b.data, 1)
+	b.n++
+	b.mu.Unlock()
+}
+
+func goodDeferred(b *box) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func badRead(b *box) int {
+	return b.n // want `read of b.n requires holding b.mu`
+}
+
+func badWriteUnderRead(b *box) {
+	b.mu.RLock()
+	b.n = 2 // want `write to b.n requires write-holding b.mu`
+	b.mu.RUnlock()
+}
+
+func badAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.data[0] = 1 // want `write to b.data requires write-holding b.mu`
+}
+
+func condLock(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.n = 1 // optimistic branch merge: conditional lock counts as acquired
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+func unlockInBranch(b *box, c bool) {
+	b.mu.Lock()
+	if c {
+		b.mu.Unlock()
+		return
+	}
+	b.n = 4 // terminated branch excluded; still write-held here
+	b.mu.Unlock()
+}
+
+//dytis:locked b.mu w
+func contract(b *box) { b.n = 3 }
+
+func callsContractBare(b *box) {
+	contract(b) // want `call to contract requires write-holding b.mu`
+}
+
+func callsContractHeld(b *box) {
+	b.mu.Lock()
+	contract(b)
+	b.mu.Unlock()
+}
+
+//dytis:locked x.mu r
+func (x *box) sum() int { return x.n + len(x.data) }
+
+func callsMethodBare(b *box) int {
+	return b.sum() // want `call to sum requires holding b.mu`
+}
+
+func callsMethodHeld(b *box) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.sum()
+}
+
+//dytis:nolockcheck
+func exempt(b *box) { b.n = 9 }
+
+func fresh() *box {
+	b := &box{}
+	b.n = 1 // fresh object: nobody else can see it yet
+	return b
+}
+
+func newBox() *box { return &box{} }
+
+func viaBuilder() *box {
+	b := newBox()
+	b.data = append(b.data, 1) // fresh via new*-named constructor
+	return b
+}
+
+func alias(b *box) int {
+	b.mu.RLock()
+	c := b
+	n := c.n // alias copies b's facts to c
+	c.mu.RUnlock()
+	return n
+}
+
+func closure(b *box) {
+	b.mu.Lock()
+	f := func() { b.n++ } // synchronous closure inherits held facts
+	f()
+	b.mu.Unlock()
+}
+
+func closureBare(b *box) {
+	f := func() { b.n++ } // want `write to b.n requires write-holding b.mu`
+	f()
+}
+
+func spawned(b *box) {
+	b.mu.Lock()
+	go func() {
+		b.n++ // want `write to b.n requires write-holding b.mu`
+	}()
+	b.mu.Unlock()
+}
