@@ -30,6 +30,12 @@
 //   - Limit_seg discipline (§3.3): the adaptive multiplier is one of the two
 //     configured values and, below the directory depth guard, no segment
 //     exceeds its depth-derived bucket cap.
+//   - Optimistic-read publication (§3.4, optimistic variant): in Concurrent
+//     mode each EH's published directory snapshot agrees with the canonical
+//     directory, and — in both modes — every directory-reachable segment's
+//     seqlock version counter is even (odd permanently marks a segment
+//     retired by a split, or transiently a writer mid-critical-section,
+//     neither of which a quiescent directory may reference).
 //
 // Check assumes a quiescent index: in Concurrent mode it takes the EH and
 // segment locks itself, but the final comparison against Stats, Len, and
@@ -95,6 +101,13 @@ const (
 	KindStats
 	// KindFootprint: MemoryFootprint differs from the recomputed value.
 	KindFootprint
+	// KindSnapshot: in Concurrent mode, the published directory snapshot
+	// disagrees with the canonical directory.
+	KindSnapshot
+	// KindSeqParity: a directory-reachable segment has an odd seqlock
+	// version (retired, or a writer mid-critical-section on a quiescent
+	// index).
+	KindSeqParity
 
 	numKinds
 )
@@ -104,6 +117,7 @@ var kindNames = [numKinds]string{
 	"geometry", "bucket-order", "key-range", "first-key-cache",
 	"remap-shape", "remap-monotone", "sibling-chain", "segment-total",
 	"eh-total", "limit-mult", "seg-limit", "stats", "footprint",
+	"snapshot", "seq-parity",
 }
 
 func (k Kind) String() string {
@@ -199,6 +213,26 @@ func (c *ehChecker) run() {
 		// The run walk below still works on whatever is there.
 	}
 
+	// Optimistic readers resolve through the published snapshot, so in
+	// Concurrent mode it must agree with the canonical directory (writers
+	// republish before retiring the segments a stale snapshot would route
+	// to). Single-threaded mode only publishes at construction/bulk-load and
+	// legitimately diverges after maintenance.
+	if e.Concurrent() {
+		if sgd, sn := e.SnapshotGlobalDepth(), e.SnapshotDirLen(); sgd != gd || sn != dirLen {
+			c.violate(KindSnapshot, 0, "snapshot gd=%d len=%d, canonical gd=%d len=%d",
+				sgd, sn, gd, dirLen)
+		} else {
+			for i := 0; i < dirLen; i++ {
+				if e.SnapshotSegment(i) != e.DirSegment(i) {
+					c.violate(KindSnapshot, e.DirSegment(i).Base(),
+						"snapshot dir[%d] disagrees with canonical directory", i)
+					break
+				}
+			}
+		}
+	}
+
 	// Walk the directory collecting maximal same-segment runs, verifying
 	// tiling, alignment, and geometry, then validate each segment once.
 	var inOrder []core.SegmentView
@@ -241,6 +275,13 @@ func (c *ehChecker) run() {
 		} else {
 			seen[s] = true
 			inOrder = append(inOrder, s)
+			// Retirement marks a segment permanently odd in both modes; a
+			// quiescent directory must never reference one, and no writer can
+			// be mid-critical-section.
+			if s.SeqOdd() {
+				c.violate(KindSeqParity, s.Base(),
+					"directory-reachable segment has odd seqlock version")
+			}
 			c.checkSegment(s)
 		}
 		i += runLen

@@ -281,6 +281,61 @@ func TestCheckInvalidLimitMult(t *testing.T) {
 	requireOnly(t, vs, check.KindLimitMult)
 }
 
+func TestCheckStaleSnapshot(t *testing.T) {
+	d := build(t, true)
+	e := eh0(d)
+	// Publish a snapshot with the wrong depth and length: every optimistic
+	// reader would mis-route. The canonical directory is untouched, so this
+	// is exactly one violation.
+	e.SetSnapshotForTest(0, e.DirSegment(0))
+	requireOnly(t, check.Check(d), check.KindSnapshot)
+}
+
+func TestCheckSnapshotEntryMismatch(t *testing.T) {
+	d := build(t, true)
+	e := eh0(d)
+	distinct := segments(e)
+	if len(distinct) < 2 {
+		t.Fatal("need a multi-segment EH")
+	}
+	// Right depth and length, but slot 0 points at the wrong segment — the
+	// shape comparison passes and only the per-slot walk catches it.
+	segs := make([]core.SegmentView, e.DirLen())
+	for i := range segs {
+		segs[i] = e.DirSegment(i)
+	}
+	segs[0] = distinct[len(distinct)-1]
+	e.SetSnapshotForTest(e.GlobalDepth(), segs...)
+	requireOnly(t, check.Check(d), check.KindSnapshot)
+}
+
+func TestCheckSnapshotNotCheckedSingleThreaded(t *testing.T) {
+	// Single-threaded maintenance legitimately leaves the construction-time
+	// snapshot behind the canonical directory; the checker must not flag it.
+	d := build(t, false)
+	e := eh0(d)
+	e.SetSnapshotForTest(0, e.DirSegment(0))
+	if vs := check.Check(d); len(vs) != 0 {
+		t.Fatalf("single-threaded snapshot drift reported: %v", vs)
+	}
+}
+
+func TestCheckOddSeqVersion(t *testing.T) {
+	for _, conc := range []bool{false, true} {
+		d := build(t, conc)
+		e := eh0(d)
+		segments(e)[0].SetSeqForTest(1)
+		if conc {
+			// The corrupted segment is still referenced by the published
+			// snapshot, so resolveRLocked/tryGet would spin on it; only the
+			// parity check itself is under test here.
+			requireHas(t, check.Check(d), check.KindSeqParity)
+		} else {
+			requireOnly(t, check.Check(d), check.KindSeqParity)
+		}
+	}
+}
+
 func TestViolationString(t *testing.T) {
 	v := check.Violation{Kind: check.KindBucketOrder, EH: 3, SegmentBase: 0x40, Detail: "boom"}
 	if got := v.String(); !strings.Contains(got, "bucket-order") || !strings.Contains(got, "eh=3") {

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// kindDurObserver sums structure-event durations and counts per kind.
+type kindDurObserver struct {
+	n  [NumEventKinds]int64
+	ns [NumEventKinds]int64
+}
+
+func (o *kindDurObserver) RecordOp(Op, int, time.Duration) {}
+
+func (o *kindDurObserver) StructureEvent(ev StructureEvent) {
+	o.n[ev.Kind]++
+	o.ns[ev.Kind] += int64(ev.Duration)
+}
+
+// TestDepthGuardRebalanceAttribution drives one EH's directory to the hard
+// depth guard (DisableRemap + DisableExpansion leave only splits and
+// doublings, and a dense sequential cluster is far narrower than the
+// directory can resolve) so overflow falls through to forceRebalance, which
+// fires both its remap and expand branches here. Counters, event counts, and
+// durations all derive from the same measurement in single-threaded mode, so
+// each per-kind NS counter must equal that kind's summed event durations —
+// forceRebalance booking its remap-branch duration in ExpandNS was the
+// §4.3-breakdown attribution bug.
+func TestDepthGuardRebalanceAttribution(t *testing.T) {
+	o := &kindDurObserver{}
+	opts := Options{
+		FirstLevelBits: 2, BucketEntries: 4, StartDepth: 2, BaseSegBuckets: 4,
+		DisableRemap: true, DisableExpansion: true, UtilThreshold: 0.99,
+		Observer: o,
+	}
+	d := New(opts)
+	for i := uint64(0); i < 20000; i++ {
+		d.Insert(i, i)
+	}
+	guard := false
+	d.Introspect(func(e EHView) { guard = guard || e.AtDepthGuard() })
+	if !guard {
+		t.Fatal("workload never reached the directory depth guard; forceRebalance untested")
+	}
+	st := d.Stats()
+	if o.n[EvRemap] == 0 {
+		t.Fatalf("no remap-branch rebalances fired; attribution untested (%+v)", st)
+	}
+	for _, c := range []struct {
+		kind  EventKind
+		count int64
+		ns    int64
+	}{
+		{EvSplit, st.Splits, st.SplitNS},
+		{EvRemap, st.Remaps, st.RemapNS},
+		{EvExpand, st.Expansions, st.ExpandNS},
+		{EvDouble, st.Doublings, st.DoubleNS},
+	} {
+		if c.count != o.n[c.kind] {
+			t.Errorf("%v: counter %d, %d events fired", c.kind, c.count, o.n[c.kind])
+		}
+		if c.ns != o.ns[c.kind] {
+			t.Errorf("%v: counter booked %dns, events carried %dns (misattributed duration)",
+				c.kind, c.ns, o.ns[c.kind])
+		}
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scanShardObserver counts OpScan records per shard.
+type scanShardObserver struct {
+	mu    sync.Mutex
+	scans map[int]int
+}
+
+func newScanShardObserver() *scanShardObserver {
+	return &scanShardObserver{scans: map[int]int{}}
+}
+
+func (o *scanShardObserver) RecordOp(op Op, shard int, d time.Duration) {
+	if op != OpScan {
+		return
+	}
+	o.mu.Lock()
+	o.scans[shard]++
+	o.mu.Unlock()
+}
+
+func (o *scanShardObserver) StructureEvent(StructureEvent) {}
+
+func (o *scanShardObserver) reset() {
+	o.mu.Lock()
+	o.scans = map[int]int{}
+	o.mu.Unlock()
+}
+
+// TestScanAttributionPerEH asserts a scan crossing first-level tables records
+// one OpScan span per EH that contributed pairs — always including the
+// starting EH, never an empty table crossed in passing. Attributing the whole
+// multi-EH latency to the starting key's shard was the third PR-3 bugfix.
+func TestScanAttributionPerEH(t *testing.T) {
+	o := newScanShardObserver()
+	opts := smallOpts() // FirstLevelBits=2: four EH tables, suffixBits=62
+	opts.Observer = o
+	d := New(opts)
+	for i := uint64(0); i < 100; i++ {
+		d.Insert(i, i)       // shard 0
+		d.Insert(2<<62|i, i) // shard 2; shards 1 and 3 stay empty
+	}
+
+	got := d.Scan(0, 200, nil)
+	if len(got) != 200 {
+		t.Fatalf("scan returned %d pairs, want 200", len(got))
+	}
+	if want := map[int]int{0: 1, 2: 1}; !mapsEqual(o.scans, want) {
+		t.Fatalf("Scan spanning shards 0 and 2 recorded %v, want %v", o.scans, want)
+	}
+
+	// Starting in an empty shard still records it (empty scans stay visible),
+	// plus the shard the pairs actually came from.
+	o.reset()
+	d.Scan(1<<62, 50, nil)
+	if want := map[int]int{1: 1, 2: 1}; !mapsEqual(o.scans, want) {
+		t.Fatalf("Scan starting in empty shard 1 recorded %v, want %v", o.scans, want)
+	}
+
+	// ScanFunc shares the attribution contract, including early stop.
+	o.reset()
+	d.ScanFunc(0, func(k, v uint64) bool { return k < 10 })
+	if want := map[int]int{0: 1}; !mapsEqual(o.scans, want) {
+		t.Fatalf("early-stopped ScanFunc recorded %v, want %v", o.scans, want)
+	}
+
+	o.reset()
+	d.ScanFunc(0, func(k, v uint64) bool { return true })
+	if want := map[int]int{0: 1, 2: 1}; !mapsEqual(o.scans, want) {
+		t.Fatalf("full ScanFunc recorded %v, want %v", o.scans, want)
+	}
+}
+
+func mapsEqual(a, b map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -64,6 +65,32 @@ func benchGet(b *testing.B, keys []uint64) {
 
 func BenchmarkGetUniform(b *testing.B)   { benchGet(b, benchKeysUniform(400000)) }
 func BenchmarkGetClustered(b *testing.B) { benchGet(b, benchKeysClustered(400000)) }
+
+// benchGetParallel measures Concurrent-mode point-lookup throughput with all
+// goroutines reading a quiescent index: the optimistic/locked pair isolates
+// what the seqlock-validated lock-free probe buys over the §3.4 two-level
+// locked read (run with -cpu=8 for the recorded configuration).
+func benchGetParallel(b *testing.B, disableOptimistic bool) {
+	keys := benchKeysUniform(400000)
+	d := New(Options{Concurrent: true, DisableOptimisticReads: disableOptimistic})
+	for _, k := range keys {
+		d.Insert(k, k)
+	}
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger each goroutine's walk so workers don't march through the
+		// key slice in lockstep.
+		i := int(worker.Add(1)) * 50023
+		for pb.Next() {
+			d.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}
+
+func BenchmarkGetParallelOptimistic(b *testing.B) { benchGetParallel(b, false) }
+func BenchmarkGetParallelLocked(b *testing.B)     { benchGetParallel(b, true) }
 
 func BenchmarkScan100(b *testing.B) {
 	keys := benchKeysUniform(400000)

@@ -76,4 +76,7 @@ func (e *eh) loadSorted(keys, values []uint64) {
 		e.dir[di] = s
 		lo = hi
 	}
+	// LoadSorted is documented non-concurrent, but the rebuilt directory must
+	// still be published so optimistic readers resolve through it afterwards.
+	e.publishDir()
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -147,6 +148,138 @@ func TestConcurrentDisjointRangesLinearizable(t *testing.T) {
 	}
 	if d.Len() != total {
 		t.Fatalf("Len=%d want %d", d.Len(), total)
+	}
+	requireSound(t, d)
+}
+
+// TestConcurrentGetDuringSplits hammers point lookups on a stable key
+// population while writers force splits in the same segments, in both the
+// optimistic configuration and the locked fallback (DisableOptimisticReads):
+// every Get of a pre-existing key must return its value, whether the lookup
+// validated against the seqlock, retried around a retirement, or fell back
+// to the locked path.
+func TestConcurrentGetDuringSplits(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		noOpt bool
+	}{{"optimistic", false}, {"locked", true}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			o := concOpts()
+			o.DisableOptimisticReads = cfg.noOpt
+			d := core.New(o)
+			const stable = 20000
+			for i := uint64(0); i < stable; i++ {
+				d.Insert(i*797, i)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w) * 53))
+					for i := 0; i < 20000; i++ {
+						// Land between the stable keys so splits keep firing
+						// without ever touching a stable key's value.
+						k := uint64(rng.Intn(stable))*797 + uint64(1+rng.Intn(796))
+						d.Insert(k, k)
+					}
+				}(w)
+			}
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(r) * 97))
+					for i := 0; i < 30000; i++ {
+						want := uint64(rng.Intn(stable))
+						if v, ok := d.Get(want * 797); !ok || v != want {
+							t.Errorf("Get(%#x) = %d,%v want %d", want*797, v, ok, want)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			requireSound(t, d)
+		})
+	}
+}
+
+// TestConcurrentScanAcrossEHSplits races scans that cross first-level EH
+// boundaries against writers forcing splits in every shard. Scans are not
+// point-in-time snapshots, but two properties must survive any interleaving
+// with splits (including a scan holding a just-retired segment's frozen
+// view): results stay strictly ascending, and no key that existed before the
+// workload started may be lost from a scanned window.
+func TestConcurrentScanAcrossEHSplits(t *testing.T) {
+	d := core.New(concOpts()) // FirstLevelBits=3: 8 EH tables, suffixBits=61
+	const shards = 8
+	const perShard = 6000
+	preload := make([]uint64, 0, shards*perShard)
+	for s := uint64(0); s < shards; s++ {
+		for i := uint64(0); i < perShard; i++ {
+			k := (s << 61) | (i * 997)
+			d.Insert(k, k)
+			preload = append(preload, k)
+		}
+	}
+	sort.Slice(preload, func(i, j int) bool { return preload[i] < preload[j] })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 131))
+			for i := 0; i < 12000; i++ {
+				s := uint64(rng.Intn(shards))
+				k := (s << 61) | (uint64(rng.Intn(perShard))*997 + uint64(1+rng.Intn(996)))
+				d.Insert(k, k)
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) * 173))
+			for i := 0; i < 300; i++ {
+				// Start 20 preloaded keys shy of a shard's populated tail and
+				// ask for far more pairs than the tail can hold: the scan must
+				// continue into the next EH table mid-flight.
+				s := uint64(rng.Intn(shards - 1))
+				start := (s << 61) | ((perShard - 20) * 997)
+				got := d.Scan(start, 600, nil)
+				if len(got) != 600 {
+					t.Errorf("scan %d: %d pairs, want 600", i, len(got))
+					return
+				}
+				seen := make(map[uint64]struct{}, len(got))
+				for j, p := range got {
+					if j > 0 && p.Key <= got[j-1].Key {
+						t.Errorf("scan %d: not strictly ascending at %d", i, j)
+						return
+					}
+					seen[p.Key] = struct{}{}
+				}
+				last := got[len(got)-1].Key
+				lo := sort.Search(len(preload), func(i int) bool { return preload[i] >= start })
+				for ; lo < len(preload) && preload[lo] <= last; lo++ {
+					if _, ok := seen[preload[lo]]; !ok {
+						t.Errorf("scan %d: lost pre-existing key %#x in [%#x,%#x]",
+							i, preload[lo], start, last)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
 	}
 	requireSound(t, d)
 }

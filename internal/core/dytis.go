@@ -94,24 +94,40 @@ func (d *DyTIS) Len() int {
 // Under concurrency, the scan is not a point-in-time snapshot: each segment
 // is read atomically (under its lock), but concurrent structural changes may
 // hide keys inserted during the scan.
+//
+// Observability: a scan that crosses first-level EH tables records one
+// per-shard OpScan span for each EH that contributed pairs (always including
+// the starting EH, so empty scans are still counted), each with the time
+// spent inside that EH — not the whole multi-EH latency against the starting
+// key's shard.
 func (d *DyTIS) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
 	if max <= 0 {
 		return dst
 	}
-	var t0 time.Time
-	if d.obs != nil {
-		t0 = time.Now()
+	first := int(start >> d.suffixBits)
+	if d.obs == nil {
+		for i := first; i < len(d.ehs); i++ {
+			before := len(dst)
+			dst = d.ehs[i].scan(start, max, dst)
+			max -= len(dst) - before
+			if max <= 0 {
+				break
+			}
+		}
+		return dst
 	}
-	for i := int(start >> d.suffixBits); i < len(d.ehs); i++ {
+	for i := first; i < len(d.ehs); i++ {
+		t0 := time.Now()
 		before := len(dst)
 		dst = d.ehs[i].scan(start, max, dst)
-		max -= len(dst) - before
+		took := len(dst) - before
+		if took > 0 || i == first {
+			d.obs.RecordOp(OpScan, i, time.Since(t0))
+		}
+		max -= took
 		if max <= 0 {
 			break
 		}
-	}
-	if d.obs != nil {
-		d.obs.RecordOp(OpScan, int(start>>d.suffixBits), time.Since(t0))
 	}
 	return dst
 }
@@ -125,19 +141,32 @@ func (d *DyTIS) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
 // so fn must return quickly and must not call back into the index (an
 // Insert/Delete from inside fn can deadlock); the iteration observes each
 // segment atomically but is not a point-in-time snapshot (same semantics as
-// Scan).
+// Scan, including the per-visited-EH OpScan attribution).
 func (d *DyTIS) ScanFunc(start uint64, fn func(key, value uint64) bool) {
-	var t0 time.Time
-	if d.obs != nil {
-		t0 = time.Now()
+	first := int(start >> d.suffixBits)
+	if d.obs == nil {
+		for i := first; i < len(d.ehs); i++ {
+			if !d.ehs[i].scanFunc(start, fn) {
+				break
+			}
+		}
+		return
 	}
-	for i := int(start >> d.suffixBits); i < len(d.ehs); i++ {
-		if !d.ehs[i].scanFunc(start, fn) {
+	visited := false
+	wrapped := func(k, v uint64) bool {
+		visited = true
+		return fn(k, v)
+	}
+	for i := first; i < len(d.ehs); i++ {
+		t0 := time.Now()
+		visited = false
+		more := d.ehs[i].scanFunc(start, wrapped)
+		if visited || i == first {
+			d.obs.RecordOp(OpScan, i, time.Since(t0))
+		}
+		if !more {
 			break
 		}
-	}
-	if d.obs != nil {
-		d.obs.RecordOp(OpScan, int(start>>d.suffixBits), time.Since(t0))
 	}
 }
 
@@ -158,11 +187,11 @@ func (d *DyTIS) Range(start, end uint64, fn func(key, value uint64) bool) {
 // Durations cover the same operations and feed the §4.3 insertion-breakdown
 // experiment.
 type Stats struct {
-	Splits, Remaps, Expansions, Doublings, RemapFailures int64
-	SplitNS, RemapNS, ExpandNS, DoubleNS                 int64
-	Segments, Buckets                                    int
-	DirEntries                                           int
-	AdaptiveEHs                                          int // EHs running with the raised Limit_seg
+	Splits, Remaps, Expansions, Doublings, RemapFailures, Shrinks int64
+	SplitNS, RemapNS, ExpandNS, DoubleNS, ShrinkNS                int64
+	Segments, Buckets                                             int
+	DirEntries                                                    int
+	AdaptiveEHs                                                   int // EHs running with the raised Limit_seg
 }
 
 // Stats snapshots the maintenance counters. It is safe to call concurrently
@@ -175,10 +204,12 @@ func (d *DyTIS) Stats() Stats {
 		st.Expansions += e.stats.expansions.Load()
 		st.Doublings += e.stats.doublings.Load()
 		st.RemapFailures += e.stats.remapFails.Load()
+		st.Shrinks += e.stats.shrinks.Load()
 		st.SplitNS += e.stats.splitNS.Load()
 		st.RemapNS += e.stats.remapNS.Load()
 		st.ExpandNS += e.stats.expandNS.Load()
 		st.DoubleNS += e.stats.doubleNS.Load()
+		st.ShrinkNS += e.stats.shrinkNS.Load()
 		if int(e.limitMult.Load()) != d.opts.SegLimitMult {
 			st.AdaptiveEHs++
 		}

@@ -241,9 +241,16 @@ func TestDeleteShrinksSegments(t *testing.T) {
 			d.Delete(i)
 		}
 	}
-	after := d.Stats().Buckets
+	st := d.Stats()
+	after := st.Buckets
 	if after >= before {
 		t.Fatalf("buckets did not shrink after mass delete: %d -> %d", before, after)
+	}
+	if st.Shrinks == 0 {
+		t.Fatalf("buckets shrank %d -> %d but Stats.Shrinks is zero: %+v", before, after, st)
+	}
+	if st.ShrinkNS == 0 {
+		t.Fatalf("Shrinks=%d but ShrinkNS=0: shrink duration not booked", st.Shrinks)
 	}
 	// Everything remaining still reachable and ordered.
 	got := d.Scan(0, n, nil)

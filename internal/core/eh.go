@@ -14,11 +14,15 @@ import (
 // 2^GD entries pointing at segments (local depth LD <= GD), each holding a
 // contiguous sub-range of the EH's key range.
 //
-// Locking (§3.4): every operation first takes mu.RLock to resolve the
-// directory, then the segment's own lock; structure changes (split, directory
-// doubling, sibling-pointer updates) take mu.Lock, which excludes all other
-// operations on this EH. Remapping and expansion only mutate segment
-// internals, so they run under the segment write lock alone.
+// Locking (§3.4, optimistic variant): writers follow the paper's two-level
+// scheme — mu.RLock to resolve the directory, then the segment write lock;
+// structure changes (split, directory doubling, sibling-pointer updates)
+// take mu.Lock, which excludes all other writers on this EH. Readers are
+// optimistic: they resolve the directory through the published snapshot
+// (snap) without touching mu, and point lookups probe the segment's
+// published layout under its seqlock version counter with no lock at all,
+// falling back to the locked path on conflict. Remapping and expansion only
+// mutate segment internals, so they run under the segment write lock alone.
 type eh struct {
 	mu   sync.RWMutex
 	opts *Options
@@ -28,9 +32,17 @@ type eh struct {
 	base       uint64 // first key of this EH's range
 	idx        int    // first-level table index (base >> suffixBits)
 	obs        Observer
+	noOpt      bool // cached Options.DisableOptimisticReads
 
 	dir []*segment // guarded-by: mu
 	gd  uint8      // guarded-by: mu
+
+	// snap is the published directory snapshot optimistic readers resolve
+	// through. Writers republish (under mu.Lock) before retiring any segment
+	// the old snapshot routed to, so a reader that observes retirement and
+	// reloads is guaranteed a directory that routes around it. Only
+	// maintained in Concurrent mode past construction.
+	snap atomic.Pointer[dirSnap]
 
 	total     atomic.Int64
 	limitMult atomic.Int32
@@ -42,9 +54,30 @@ type eh struct {
 // ehStats counts and times the Algorithm-1 maintenance operations, feeding
 // the §4.3 insertion-breakdown experiment.
 type ehStats struct {
-	splits, remaps, expansions, doublings, remapFails atomic.Int64
-	splitNS, remapNS, expandNS, doubleNS              atomic.Int64
+	splits, remaps, expansions, doublings, remapFails, shrinks atomic.Int64
+	splitNS, remapNS, expandNS, doubleNS, shrinkNS             atomic.Int64
 }
+
+// dirSnap is an immutable snapshot of an EH's directory: the slice is a
+// private copy, so in-place directory rewrites never mutate a published
+// snapshot.
+type dirSnap struct {
+	dir []*segment
+	gd  uint8
+}
+
+// index resolves k's directory slot within the snapshot (the snapshot's gd,
+// not the canonical one).
+func (sn *dirSnap) index(k, base uint64, suffixBits uint8) int {
+	if sn.gd == 0 {
+		return 0
+	}
+	return int((k - base) >> (suffixBits - sn.gd))
+}
+
+// optimisticRetries bounds how many optimistic attempts a reader makes
+// before falling back to the locked path.
+const optimisticRetries = 4
 
 func newEH(base uint64, suffixBits uint8, opts *Options) *eh {
 	e := &eh{
@@ -56,10 +89,23 @@ func newEH(base uint64, suffixBits uint8, opts *Options) *eh {
 		obs:        opts.Observer,
 		gd:         0,
 	}
+	e.noOpt = opts.DisableOptimisticReads
 	e.limitMult.Store(int32(opts.SegLimitMult))
 	root := newSegment(0, suffixBits, base, 1, opts.BucketEntries, 0)
 	e.dir = []*segment{root}
+	e.publishDir()
 	return e
+}
+
+// publishDir publishes a fresh snapshot of the directory for optimistic
+// readers. Called whenever the directory or gd changes in Concurrent mode
+// (and at construction/bulk-load in both modes).
+//
+//dytis:locked e.mu w
+func (e *eh) publishDir() {
+	d := make([]*segment, len(e.dir))
+	copy(d, e.dir)
+	e.snap.Store(&dirSnap{dir: d, gd: e.gd})
 }
 
 // fire emits a structure event for segment s; kept out of line so the
@@ -120,19 +166,48 @@ func (e *eh) maxBuckets(ld uint8) int {
 	return lim
 }
 
+// get returns k's value and presence. Concurrent mode runs the optimistic
+// protocol: resolve the segment through the published directory snapshot (no
+// EH lock), probe it with tryGet (no segment lock, seqlock-validated), and
+// fall back to the §3.4 locked path after bounded conflicts. A retired
+// segment fails validation permanently, and the splitter republishes the
+// snapshot before retiring, so the retry's reload routes around it.
 func (e *eh) get(k uint64) (uint64, bool) {
-	if e.conc {
-		e.mu.RLock()
+	if !e.conc {
+		return e.getSeq(k)
 	}
+	if !e.noOpt {
+		for attempt := 0; attempt < optimisticRetries; attempt++ {
+			sn := e.snap.Load()
+			s := sn.dir[sn.index(k, e.base, e.suffixBits)]
+			if v, ok, valid := s.tryGet(k); valid {
+				return v, ok
+			}
+		}
+	}
+	return e.getLocked(k)
+}
+
+// getSeq is the single-threaded read path: the paper's no-lock variant, kept
+// on the pre-optimistic probe so non-Concurrent mode pays nothing for the
+// snapshot machinery.
+//
+//dytis:nolockcheck
+func (e *eh) getSeq(k uint64) (uint64, bool) {
+	return e.dir[e.dirIndex(k)].get(k)
+}
+
+// getLocked is the §3.4 two-level locked read: resolve the directory under
+// the EH read lock, probe under the segment read lock. It is the fallback
+// for optimistic conflicts and the whole read path under
+// DisableOptimisticReads. Concurrent mode only.
+func (e *eh) getLocked(k uint64) (uint64, bool) {
+	e.mu.RLock()
 	s := e.dir[e.dirIndex(k)]
-	if e.conc {
-		s.mu.RLock()
-		e.mu.RUnlock()
-	}
+	s.mu.RLock()
+	e.mu.RUnlock()
 	v, ok := s.get(k)
-	if e.conc {
-		s.mu.RUnlock()
-	}
+	s.mu.RUnlock()
 	return v, ok
 }
 
@@ -146,21 +221,21 @@ func (e *eh) insert(k, v uint64) bool {
 		gdSnap := e.gd
 		s := e.dir[e.dirIndex(k)]
 		if e.conc {
-			s.mu.Lock()
+			s.wlock()
 			e.mu.RUnlock()
 		}
 		bi, pos, exists, full := s.findSlot(k)
 		if exists {
 			s.vals[bi*s.bcap+pos] = v
 			if e.conc {
-				s.mu.Unlock()
+				s.wunlock()
 			}
 			return false
 		}
 		if !full {
 			s.insertAt(bi, pos, k, v)
 			if e.conc {
-				s.mu.Unlock()
+				s.wunlock()
 			}
 			e.total.Add(1)
 			return true
@@ -174,7 +249,7 @@ func (e *eh) insert(k, v uint64) bool {
 			if bi2, pos2, _, full2 := s.findSlot(k); !full2 {
 				s.insertAt(bi2, pos2, k, v)
 				if e.conc {
-					s.mu.Unlock()
+					s.wunlock()
 				}
 				e.total.Add(1)
 				return true
@@ -198,7 +273,7 @@ func (e *eh) insert(k, v uint64) bool {
 			}
 		}
 		if e.conc {
-			s.mu.Unlock()
+			s.wunlock()
 		}
 		if handled {
 			continue
@@ -217,8 +292,8 @@ func (e *eh) restructure(k uint64) {
 	}
 	s := e.dir[e.dirIndex(k)]
 	if e.conc {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.wlock()
+		defer s.wunlock()
 	}
 	_, _, exists, full := s.findSlot(k)
 	if exists || !full {
@@ -270,7 +345,14 @@ func (e *eh) forceRebalance(s *segment) {
 	ks, vs = s.appendAll(ks, vs)
 	s.adoptLayout(s.pbits, cnt, nb, ks, vs)
 	d := time.Since(t0)
-	e.stats.expandNS.Add(int64(d))
+	// Book the duration to the counter matching the fired event kind, so the
+	// §4.3 breakdown's remap and expansion rows stay comparable (durations
+	// must have the same cardinality as their counters).
+	if kind == EvExpand {
+		e.stats.expandNS.Add(int64(d))
+	} else {
+		e.stats.remapNS.Add(int64(d))
+	}
 	e.fire(kind, s, d)
 }
 
@@ -323,6 +405,9 @@ func (e *eh) doubleDirectory() {
 	}
 	e.dir = nd
 	e.gd++
+	if e.conc {
+		e.publishDir()
+	}
 }
 
 // splitSegment divides s into two children at the midpoint of its key range.
@@ -367,6 +452,18 @@ func (e *eh) splitSegment(s *segment) {
 	for i := half; i < span; i++ {
 		e.dir[first+i] = right
 	}
+	// Publish the rewired directory BEFORE retiring s: a reader that
+	// observes retirement (odd seq) and retries is then guaranteed — the
+	// atomics are seq-cst, so the stores are totally ordered — to load a
+	// snapshot that routes around the retired segment. The retirement bump
+	// leaves s permanently odd in both modes; the momentary even window at
+	// wunlock is harmless because a split never mutates s's arrays, so an
+	// optimistic probe of the frozen pre-split contents reads the children's
+	// union.
+	if e.conc {
+		e.publishDir()
+	}
+	s.seq.Add(1)
 	e.stats.splits.Add(1)
 	d := time.Since(t0)
 	e.stats.splitNS.Add(int64(d))
@@ -597,9 +694,9 @@ func (e *eh) delete(k uint64) bool {
 	}
 	s := e.dir[e.dirIndex(k)]
 	if e.conc {
-		s.mu.Lock()
+		s.wlock()
 		e.mu.RUnlock()
-		defer s.mu.Unlock()
+		defer s.wunlock()
 	}
 	bi, pos, exists, _ := s.findSlot(k)
 	if !exists {
@@ -611,15 +708,79 @@ func (e *eh) delete(k uint64) bool {
 	if s.nb > 1 && s.util() < 0.2 {
 		target := int(float64(s.total)/(float64(s.bcap)*e.opts.UtilThreshold)) + 1
 		if target <= s.nb/2 {
+			t0 := time.Now()
 			counts := s.subRangeKeyCounts(s.pbits)
 			cnt := allocProportional(counts, target)
 			ks := make([]uint64, 0, s.total)
 			vs := make([]uint64, 0, s.total)
 			ks, vs = s.appendAll(ks, vs)
 			s.adoptLayout(s.pbits, cnt, target, ks, vs)
+			e.stats.shrinks.Add(1)
+			d := time.Since(t0)
+			e.stats.shrinkNS.Add(int64(d))
+			e.fire(EvShrink, s, d)
 		}
 	}
 	return true
+}
+
+// seqSegment resolves k's directory entry with no locks; single-threaded
+// mode only (Concurrent readers go through resolveRLocked or the snapshot).
+//
+//dytis:nolockcheck
+func (e *eh) seqSegment(k uint64) *segment { return e.dir[e.dirIndex(k)] }
+
+// resolveRLocked returns the segment owning k with its read lock held,
+// resolving through the published directory snapshot so the common case
+// never touches e.mu. A segment retired by a concurrent split is permanently
+// odd-versioned, and no writer can be mid-critical-section while we hold the
+// read lock, so an odd version under the read lock means retired: drop it
+// and retry — the splitter publishes the new snapshot before retiring, so
+// the reload observes a directory that routes around the retired segment.
+// After bounded conflicts, fall back to the §3.4 locked resolution (under
+// e.mu a directory entry cannot be retired before its lock is taken).
+// Concurrent mode only.
+//
+//dytis:locksresult mu r
+func (e *eh) resolveRLocked(k uint64) *segment {
+	for attempt := 0; attempt < optimisticRetries; attempt++ {
+		sn := e.snap.Load()
+		s := sn.dir[sn.index(k, e.base, e.suffixBits)]
+		s.mu.RLock()
+		if !s.retired() {
+			return s
+		}
+		s.mu.RUnlock()
+	}
+	e.mu.RLock()
+	s := e.dir[e.dirIndex(k)]
+	s.mu.RLock()
+	e.mu.RUnlock()
+	return s
+}
+
+// nextLocked advances hand-over-hand from the read-locked segment s to its
+// chain successor nxt (= s.next at the call): it read-locks nxt before
+// releasing s, so the chain cannot be rewired in the gap. If nxt turns out
+// to be retired by a concurrent split, the splitter has already rewired
+// s.next to the live left child — reload and retry. After bounded conflicts
+// the retired segment is accepted: its frozen pre-split contents are a
+// correct stale view of its key range (scans are documented not to be
+// point-in-time snapshots), and its own next pointer continues the chain
+// without overlap. Concurrent mode only.
+//
+//dytis:locked s.mu r
+//dytis:locksresult mu r
+func (e *eh) nextLocked(s, nxt *segment) *segment {
+	for attempt := 0; ; attempt++ {
+		nxt.mu.RLock()
+		if attempt >= optimisticRetries || !nxt.retired() {
+			s.mu.RUnlock()
+			return nxt
+		}
+		nxt.mu.RUnlock()
+		nxt = s.next.Load()
+	}
 }
 
 // scan appends up to max pairs with key >= start from this EH, walking the
@@ -628,13 +789,11 @@ func (e *eh) scan(start uint64, max int, dst []kv.KV) []kv.KV {
 	if start < e.base {
 		start = e.base
 	}
+	var s *segment
 	if e.conc {
-		e.mu.RLock()
-	}
-	s := e.dir[e.dirIndex(start)]
-	if e.conc {
-		s.mu.RLock()
-		e.mu.RUnlock()
+		s = e.resolveRLocked(start)
+	} else {
+		s = e.seqSegment(start)
 	}
 	bi, pos := s.lowerBound(start)
 	taken := 0
@@ -657,8 +816,7 @@ func (e *eh) scan(start uint64, max int, dst []kv.KV) []kv.KV {
 			break
 		}
 		if e.conc {
-			nxt.mu.RLock()
-			s.mu.RUnlock()
+			nxt = e.nextLocked(s, nxt)
 		}
 		s = nxt
 		bi, pos = 0, 0
@@ -677,13 +835,11 @@ func (e *eh) scanFunc(start uint64, fn func(k, v uint64) bool) bool {
 	if start < e.base {
 		start = e.base
 	}
+	var s *segment
 	if e.conc {
-		e.mu.RLock()
-	}
-	s := e.dir[e.dirIndex(start)]
-	if e.conc {
-		s.mu.RLock()
-		e.mu.RUnlock()
+		s = e.resolveRLocked(start)
+	} else {
+		s = e.seqSegment(start)
 	}
 	bi, pos := s.lowerBound(start)
 	for {
@@ -698,8 +854,7 @@ func (e *eh) scanFunc(start uint64, fn func(k, v uint64) bool) bool {
 			break
 		}
 		if e.conc {
-			nxt.mu.RLock()
-			s.mu.RUnlock()
+			nxt = e.nextLocked(s, nxt)
 		}
 		s = nxt
 		bi, pos = 0, 0

@@ -93,6 +93,24 @@ func (v EHView) AtDepthGuard() bool { return int(v.e.gd) >= maxDirDepth }
 //dytis:nolockcheck
 func (v EHView) Concurrent() bool { return v.e.conc }
 
+// SnapshotGlobalDepth returns the GD recorded in the EH's published
+// directory snapshot (the one optimistic readers resolve through).
+//
+//dytis:nolockcheck
+func (v EHView) SnapshotGlobalDepth() uint8 { return v.e.snap.Load().gd }
+
+// SnapshotDirLen returns the published directory snapshot's length.
+//
+//dytis:nolockcheck
+func (v EHView) SnapshotDirLen() int { return len(v.e.snap.Load().dir) }
+
+// SnapshotSegment returns the segment in published-snapshot slot i.
+//
+//dytis:nolockcheck
+func (v EHView) SnapshotSegment(i int) SegmentView {
+	return SegmentView{s: v.e.snap.Load().dir[i], conc: v.e.conc}
+}
+
 // SegmentView is a read-only view of one segment. Two SegmentViews compare
 // equal (==) iff they view the same segment object, so the checker can
 // detect revisits and compare directory walks against the sibling chain.
@@ -200,6 +218,13 @@ func (v SegmentView) FirstKeyCache(bi int) uint64 { return v.s.fk[bi] }
 //dytis:locked v.s.mu r
 func (v SegmentView) Predict(k uint64) int { return v.s.predict(k) }
 
+// SeqOdd reports whether the segment's seqlock version counter is odd. Odd
+// means retired (replaced by a split) or a writer mid-critical-section; on a
+// quiescent index every directory-reachable segment must be even.
+//
+//dytis:nolockcheck
+func (v SegmentView) SeqOdd() bool { return v.s.seq.Load()&1 == 1 }
+
 // Next returns the sibling-chain successor, or ok=false at the end of the
 // EH's chain.
 //
@@ -263,3 +288,21 @@ func (v EHView) SetTotalForTest(n int64) { v.e.total.Store(n) }
 //
 //dytis:nolockcheck
 func (v EHView) SetLimitMultForTest(m int) { v.e.limitMult.Store(int32(m)) }
+
+// SetSnapshotForTest replaces the EH's published directory snapshot with one
+// built from the given segments at depth gd, desynchronizing it from the
+// canonical directory.
+//
+//dytis:nolockcheck
+func (v EHView) SetSnapshotForTest(gd uint8, segs ...SegmentView) {
+	d := make([]*segment, len(segs))
+	for i, sv := range segs {
+		d[i] = sv.s
+	}
+	v.e.snap.Store(&dirSnap{dir: d, gd: gd})
+}
+
+// SetSeqForTest overwrites the segment's seqlock version counter.
+//
+//dytis:nolockcheck
+func (v SegmentView) SetSeqForTest(n uint64) { v.s.seq.Store(n) }

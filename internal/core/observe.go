@@ -30,12 +30,13 @@ func (op Op) String() string {
 	return "unknown"
 }
 
-// EventKind identifies one of Algorithm 1's structure-maintenance operations.
-// The five kinds cover the paper's cases exactly: segment split and directory
-// doubling are the basic Extendible-Hashing schemes (high utilization,
-// ld == gd doubles, ld < gd splits), remapping and expansion are the §3.3
-// CDF-adjustment schemes, and remap-failure records a remap that could not
-// grow within Limit_seg and fell through to the structural path.
+// EventKind identifies one of the structure-maintenance operations. Segment
+// split and directory doubling are the basic Extendible-Hashing schemes of
+// Algorithm 1 (high utilization, ld == gd doubles, ld < gd splits), remapping
+// and expansion are the §3.3 CDF-adjustment schemes, remap-failure records a
+// remap that could not grow within Limit_seg and fell through to the
+// structural path, and shrink is the delete-path inverse of remapping
+// (§3.3 "Deletion"): a rebuild onto fewer buckets when utilization collapses.
 type EventKind uint8
 
 const (
@@ -44,6 +45,7 @@ const (
 	EvExpand
 	EvDouble
 	EvRemapFailure
+	EvShrink
 
 	// NumEventKinds is the number of event kinds; valid EventKind values are
 	// 0..NumEventKinds-1, so it can size per-kind arrays.
@@ -62,6 +64,8 @@ func (k EventKind) String() string {
 		return "double"
 	case EvRemapFailure:
 		return "remap-failure"
+	case EvShrink:
+		return "shrink"
 	}
 	return "unknown"
 }

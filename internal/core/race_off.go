@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in normal builds: optimistic point lookups run the
+// true lock-free seqlock probe (segment.tryGet, eh.get).
+const raceEnabled = false

@@ -24,6 +24,20 @@ type segment struct {
 	mu   sync.RWMutex
 	next atomic.Pointer[segment] // sibling pointer for scans
 
+	// seq is the seqlock version for optimistic readers: wlock/wunlock keep
+	// it odd exactly while a writer holds mu (Concurrent mode), and split
+	// retirement leaves it permanently odd (both modes, so "retired ⟺ odd"
+	// is mode-independent). Single-threaded operation never takes locks and
+	// never bumps it, keeping that mode zero-overhead.
+	seq atomic.Uint64
+	// pub is the last adopted bucket layout, republished by adoptLayout (and
+	// construction) so an optimistic reader obtains mutually-consistent
+	// array headers from a single load. In-place mutators write through the
+	// same backing arrays, so a published layout tracks the live contents;
+	// only a wholesale array swap (adoptLayout) makes it stale, and the
+	// seqlock version rejects any probe that raced one.
+	pub atomic.Pointer[layout]
+
 	ld        uint8  // local depth
 	rangeBits uint8  // log2 of covered key-range width
 	base      uint64 // first key covered (full-key space, aligned)
@@ -49,6 +63,62 @@ type segment struct {
 }
 
 const fkSentinel = ^uint64(0)
+
+// layout is an immutable snapshot of a segment's swappable geometry: the
+// remapping function and the bucket arrays, captured together so a lock-free
+// probe indexes mutually-consistent lengths (keys/vals are nb*bcap long, sz
+// and fk are nb long, start is len(cnt)+1) no matter how stale the snapshot
+// is. Element values may lag behind the live segment; the seqlock version
+// decides whether a probe's view was consistent.
+type layout struct {
+	pbits uint8
+	cnt   []uint32
+	start []uint32
+	nb    int
+	keys  []uint64
+	vals  []uint64
+	sz    []uint16
+	fk    []uint64
+}
+
+// publish snapshots the current geometry for optimistic readers. Every site
+// that swaps the arrays (adoptLayout, construction) must republish before
+// releasing the write lock.
+//
+//dytis:locked s.mu w
+func (s *segment) publish() {
+	s.pub.Store(&layout{
+		pbits: s.pbits, cnt: s.cnt, start: s.start, nb: s.nb,
+		keys: s.keys, vals: s.vals, sz: s.sz, fk: s.fk,
+	})
+}
+
+// wlock acquires the write lock and makes the seqlock version odd, telling
+// optimistic readers that concurrently-probed state may be inconsistent.
+// Writers in Concurrent mode must pair it with wunlock instead of touching
+// mu directly; single-threaded mode takes no locks at all.
+//
+//dytis:locks s.mu w
+func (s *segment) wlock() {
+	s.mu.Lock()
+	s.seq.Add(1)
+}
+
+// wunlock makes the seqlock version even again and releases the write lock.
+//
+//dytis:locked s.mu w
+//dytis:unlocks s.mu
+func (s *segment) wunlock() {
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+// retired reports whether the segment has been replaced by a split. The
+// caller must hold mu (either mode): no writer can then be mid-critical-
+// section, so an odd version can only mean the permanent retirement bump.
+//
+//dytis:locked s.mu r
+func (s *segment) retired() bool { return s.seq.Load()&1 == 1 }
 
 // newSegment allocates a segment with a uniform (identity-CDF) remapping
 // function: every sub-range owns an equal share of the buckets.
@@ -78,6 +148,7 @@ func newSegment(ld, rangeBits uint8, base uint64, nb, bcap int, pbits uint8) *se
 		s.fk[j] = fkSentinel
 	}
 	s.start = prefixSums(cnt)
+	s.publish()
 	return s
 }
 
@@ -246,13 +317,20 @@ func (s *segment) findSlot(k uint64) (bi, pos int, exists, full bool) {
 //
 //dytis:locked s.mu r
 func (s *segment) candidate(k uint64, p int) int {
+	return candidateIn(s.fk, s.sz, s.nb, k, p)
+}
+
+// candidateIn is candidate over explicit arrays, shared between the locked
+// probe and the lock-free layout probe (lookupIn). fk and sz must have at
+// least nb entries and p must be in [0, nb).
+func candidateIn(fk []uint64, sz []uint16, nb int, k uint64, p int) int {
 	// Find the first bucket j with fk[j] > k, galloping out from p.
 	var lo, hi int
-	if s.fk[p] > k {
+	if fk[p] > k {
 		step := 1
 		hi = p
 		lo = p
-		for lo > 0 && s.fk[lo] > k {
+		for lo > 0 && fk[lo] > k {
 			hi = lo
 			lo -= step
 			step <<= 1
@@ -260,25 +338,25 @@ func (s *segment) candidate(k uint64, p int) int {
 		if lo < 0 {
 			lo = 0
 		}
-		if s.fk[lo] > k && lo == 0 {
+		if fk[lo] > k && lo == 0 {
 			hi = 0
 		}
 	} else {
 		step := 1
 		lo = p
 		hi = p + 1
-		for hi < s.nb && s.fk[hi] <= k {
+		for hi < nb && fk[hi] <= k {
 			lo = hi
 			hi += step
 			step <<= 1
 		}
-		if hi > s.nb {
-			hi = s.nb
+		if hi > nb {
+			hi = nb
 		}
 	}
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if s.fk[mid] > k {
+		if fk[mid] > k {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -287,7 +365,7 @@ func (s *segment) candidate(k uint64, p int) int {
 	c := hi - 1
 	// c can only be empty when k equals the sentinel (trailing empties);
 	// walk left to the real bucket.
-	for c >= 0 && s.sz[c] == 0 {
+	for c >= 0 && sz[c] == 0 {
 		c--
 	}
 	return c
@@ -312,6 +390,67 @@ func (s *segment) get(k uint64) (uint64, bool) {
 		return 0, false
 	}
 	return s.vals[bi*s.bcap+pos], true
+}
+
+// lookupIn runs the predict→candidate→binary-search point probe against one
+// published layout without holding the segment lock. Buckets are globally
+// sorted and fk is right-filled, so a key can only live in the candidate
+// bucket; no gap handling is needed. Any interleaving with writers still
+// yields bounded indexes — headers within one layout are mutually consistent
+// and the racy occupancy read is clamped to bcap — so the probe cannot
+// fault; the caller validates the seqlock version afterward and discards the
+// result on conflict.
+//
+//dytis:seqlocked
+func (s *segment) lookupIn(l *layout, k uint64) (uint64, bool) {
+	p := predictWith(k-s.base, s.rangeBits, l.pbits, l.cnt, l.start, l.nb)
+	c := candidateIn(l.fk, l.sz, l.nb, k, p)
+	if c < 0 {
+		return 0, false
+	}
+	n := int(l.sz[c])
+	if n > s.bcap {
+		n = s.bcap
+	}
+	off := c * s.bcap
+	ks := l.keys[off : off+n]
+	i := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+	if i < len(ks) && ks[i] == k {
+		return l.vals[off+i], true
+	}
+	return 0, false
+}
+
+// tryGet is one optimistic point-lookup attempt: version check, lock-free
+// probe, version re-check. valid=false means the probe raced a writer or the
+// segment is retired; the caller retries through a fresher directory
+// snapshot or falls back to the locked path. Under the race detector the
+// lock-free element reads would be reported (the seqlock protocol is
+// formally racy by design), so race builds validate the snapshot/retirement
+// half of the protocol under the segment read lock instead; see race_off.go.
+//
+//dytis:seqlocked
+func (s *segment) tryGet(k uint64) (v uint64, ok, valid bool) {
+	if raceEnabled {
+		s.mu.RLock()
+		if s.retired() {
+			s.mu.RUnlock()
+			return 0, false, false
+		}
+		v, ok = s.get(k)
+		s.mu.RUnlock()
+		return v, ok, true
+	}
+	v1 := s.seq.Load()
+	if v1&1 != 0 {
+		return 0, false, false // writer active, or segment retired
+	}
+	l := s.pub.Load()
+	v, ok = s.lookupIn(l, k)
+	if s.seq.Load() != v1 {
+		return 0, false, false // raced a writer; discard
+	}
+	return v, ok, true
 }
 
 // insertAt places (k,v) at bucket bi, position pos, shifting larger entries.
@@ -488,6 +627,7 @@ func (s *segment) adoptLayout(pbits uint8, cnt []uint32, nb int, ks, vs []uint64
 		}
 		s.fk[j] = fill
 	}
+	s.publish()
 }
 
 // placeSorted distributes ascending pairs into buckets following the

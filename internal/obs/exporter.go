@@ -113,6 +113,7 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 	}{
 		{"split", st.Splits}, {"remap", st.Remaps}, {"expand", st.Expansions},
 		{"double", st.Doublings}, {"remap-failure", st.RemapFailures},
+		{"shrink", st.Shrinks},
 	}
 	fmt.Fprintln(w, "# HELP dytis_maintenance_total Maintenance operations from the index's own Stats counters.")
 	fmt.Fprintln(w, "# TYPE dytis_maintenance_total counter")

@@ -69,6 +69,12 @@ func TestEventParityWithStats(t *testing.T) {
 	for i := uint64(0); i < 300000; i++ {
 		d.Insert(i*1000, i)
 	}
+	// Deleting most keys collapses utilization and fires the shrink path.
+	for i := uint64(0); i < 300000; i++ {
+		if i%16 != 0 {
+			d.Delete(i * 1000)
+		}
+	}
 
 	st := d.Stats()
 	want := map[core.EventKind]int64{
@@ -77,6 +83,7 @@ func TestEventParityWithStats(t *testing.T) {
 		core.EvExpand:       st.Expansions,
 		core.EvDouble:       st.Doublings,
 		core.EvRemapFailure: st.RemapFailures,
+		core.EvShrink:       st.Shrinks,
 	}
 	var total int64
 	for k, n := range want {
@@ -93,6 +100,12 @@ func TestEventParityWithStats(t *testing.T) {
 	}
 	if st.Splits == 0 || st.Remaps+st.Expansions == 0 {
 		t.Fatalf("expected splits and remap/expansion activity, got %+v", st)
+	}
+	if st.Shrinks == 0 {
+		t.Fatalf("delete phase fired no shrinks; test is vacuous for EvShrink (stats %+v)", st)
+	}
+	if st.ShrinkNS == 0 {
+		t.Errorf("Shrinks=%d but ShrinkNS=0: shrink duration not booked", st.Shrinks)
 	}
 }
 
@@ -155,10 +168,12 @@ func TestExporterEndpoints(t *testing.T) {
 		`dytis_op_latency_nanoseconds_count{op="insert"} 60000`,
 		`dytis_structure_events_total{kind="split"}`,
 		`dytis_structure_events_total{kind="remap-failure"}`,
+		`dytis_structure_events_total{kind="shrink"}`,
 		"dytis_keys ",
 		"dytis_memory_bytes ",
 		"dytis_segments ",
 		`dytis_maintenance_total{kind="split"}`,
+		`dytis_maintenance_total{kind="shrink"}`,
 	} {
 		if !strings.Contains(prom, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -10,10 +10,21 @@ import (
 // keep their §4.1 defaults.
 type Option func(*core.Options)
 
-// WithConcurrent enables the two-level (EH + segment) reader/writer locking
-// scheme of §3.4, making all index methods safe for concurrent use.
+// WithConcurrent makes all index methods safe for concurrent use: writers
+// follow the two-level (EH + segment) reader/writer locking scheme of §3.4,
+// while Get and Scan run an optimistic protocol (published directory
+// snapshots plus a per-segment seqlock) that keeps point lookups lock-free;
+// see DESIGN.md "Concurrency design".
 func WithConcurrent() Option {
 	return func(o *core.Options) { o.Concurrent = true }
+}
+
+// WithLockedReads forces Concurrent-mode reads back onto the fully locked
+// §3.4 path, disabling the optimistic lock-free Get and snapshot-resolved
+// Scan. It exists as the benchmark baseline for the optimistic path and as
+// a conservative fallback; it has no effect without WithConcurrent.
+func WithLockedReads() Option {
+	return func(o *core.Options) { o.DisableOptimisticReads = true }
 }
 
 // WithFirstLevelBits sets R, the number of key MSBs selecting the
@@ -85,14 +96,16 @@ const (
 type EventKind = core.EventKind
 
 // Structure-event kinds: segment split, remapping-function adjustment,
-// in-place segment expansion, directory doubling, and a remap attempt that
-// exceeded Limit_seg and fell through to the structural path.
+// in-place segment expansion, directory doubling, a remap attempt that
+// exceeded Limit_seg and fell through to the structural path, and the
+// deletion-path segment shrink (remapping in the opposite direction).
 const (
 	EvSplit        = core.EvSplit
 	EvRemap        = core.EvRemap
 	EvExpand       = core.EvExpand
 	EvDouble       = core.EvDouble
 	EvRemapFailure = core.EvRemapFailure
+	EvShrink       = core.EvShrink
 )
 
 // StructureEvent describes one completed structure-maintenance operation;

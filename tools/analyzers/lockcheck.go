@@ -39,6 +39,30 @@ import (
 // contract: every caller inside the package must hold the corresponding
 // lock on its own expression for that argument.
 //
+//	//dytis:locks <path>.<mutex> [r|w]
+//	//dytis:unlocks <path>.<mutex>
+//
+// declare a call-site lock effect: calling the function acquires (releases)
+// the named lock on the caller's expression for that receiver/parameter,
+// exactly as if the caller had called Lock/Unlock itself. This is how
+// helpers that wrap a mutex acquisition (e.g. a seqlock write-enter that
+// bumps a version counter around mu.Lock) stay transparent to the analysis.
+// A deferred call to a //dytis:unlocks function is ignored like a deferred
+// Unlock.
+//
+//	//dytis:locksresult <mutex> [r|w]
+//
+// declares that the function returns a value with the named lock already
+// held on it: `s := f(...)` seeds the fact `s.<mutex>` in the caller
+// (resolve-and-lock helpers in hand-over-hand iteration).
+//
+//	//dytis:seqlocked
+//
+// marks a function as an optimistic seqlock reader: read-mode field checks
+// and read-mode call contracts are suppressed inside it (its reads are made
+// safe by version validation, not by holding the mutex). Write accesses are
+// still enforced.
+//
 //	//dytis:nolockcheck
 //
 // skips the function entirely (single-threaded rebuild paths, test-only
@@ -74,17 +98,41 @@ type contract struct {
 	mode     lockMode
 }
 
+// lockEffectAnn is one //dytis:locks or //dytis:unlocks annotation: calling
+// the function acquires (releases) the lock on the caller's expression for
+// the named receiver/parameter.
+type lockEffectAnn struct {
+	argIndex int // -1 = receiver, else parameter index
+	rest     string
+	mode     lockMode
+	unlock   bool
+}
+
+// resultLock is one //dytis:locksresult annotation: the function's result
+// comes back with the named lock held on it.
+type resultLock struct {
+	name string
+	mode lockMode
+}
+
 // funcFacts is the parsed annotation set of one function.
 type funcFacts struct {
-	skip      bool
-	seeds     map[string]lockMode // path -> mode, seeded at entry
-	contracts []contract
+	skip        bool
+	seqlocked   bool
+	seeds       map[string]lockMode // path -> mode, seeded at entry
+	contracts   []contract
+	effects     []lockEffectAnn
+	resultLocks []resultLock
 }
 
 type lockChecker struct {
 	pass    *Pass
-	guarded map[*types.Var]string     // annotated field -> mutex field name
+	guarded map[*types.Var]string      // annotated field -> mutex field name
 	facts   map[types.Object]funcFacts // function/method object -> annotations
+
+	// curSeqlocked is set while checking a //dytis:seqlocked function:
+	// read-mode field accesses and read-mode call contracts are suppressed.
+	curSeqlocked bool
 }
 
 func runLockCheck(pass *Pass) error {
@@ -173,37 +221,68 @@ func (c *lockChecker) collectAnnotations() {
 			ff := funcFacts{seeds: map[string]lockMode{}}
 			for _, cm := range fd.Doc.List {
 				text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
-				if text == "dytis:nolockcheck" {
+				switch {
+				case text == "dytis:nolockcheck":
 					ff.skip = true
-					continue
-				}
-				spec, ok := strings.CutPrefix(text, "dytis:locked ")
-				if !ok {
-					continue
-				}
-				parts := strings.Fields(spec)
-				if len(parts) == 0 {
-					continue
-				}
-				path := parts[0]
-				mode := lockRead
-				if len(parts) > 1 && parts[1] == "w" {
-					mode = lockWrite
-				}
-				if old, ok := ff.seeds[path]; !ok || mode > old {
-					ff.seeds[path] = mode
-				}
-				root, rest, _ := strings.Cut(path, ".")
-				if rest == "" {
-					continue
-				}
-				if idx, ok := paramIndex(fd, root); ok {
-					ff.contracts = append(ff.contracts, contract{argIndex: idx, rest: "." + rest, mode: mode})
+				case text == "dytis:seqlocked":
+					ff.seqlocked = true
+				case strings.HasPrefix(text, "dytis:locked "):
+					spec := strings.TrimPrefix(text, "dytis:locked ")
+					path, mode, ok := parseLockSpec(spec)
+					if !ok {
+						continue
+					}
+					if old, ok := ff.seeds[path]; !ok || mode > old {
+						ff.seeds[path] = mode
+					}
+					root, rest, _ := strings.Cut(path, ".")
+					if rest == "" {
+						continue
+					}
+					if idx, ok := paramIndex(fd, root); ok {
+						ff.contracts = append(ff.contracts, contract{argIndex: idx, rest: "." + rest, mode: mode})
+					}
+				case strings.HasPrefix(text, "dytis:locksresult "):
+					spec := strings.TrimPrefix(text, "dytis:locksresult ")
+					name, mode, ok := parseLockSpec(spec)
+					if !ok {
+						continue
+					}
+					ff.resultLocks = append(ff.resultLocks, resultLock{name: name, mode: mode})
+				case strings.HasPrefix(text, "dytis:locks "), strings.HasPrefix(text, "dytis:unlocks "):
+					unlock := strings.HasPrefix(text, "dytis:unlocks ")
+					spec := strings.TrimPrefix(strings.TrimPrefix(text, "dytis:locks "), "dytis:unlocks ")
+					path, mode, ok := parseLockSpec(spec)
+					if !ok {
+						continue
+					}
+					root, rest, _ := strings.Cut(path, ".")
+					if rest == "" {
+						continue
+					}
+					if idx, ok := paramIndex(fd, root); ok {
+						ff.effects = append(ff.effects, lockEffectAnn{
+							argIndex: idx, rest: "." + rest, mode: mode, unlock: unlock,
+						})
+					}
 				}
 			}
 			c.facts[obj] = ff
 		}
 	}
+}
+
+// parseLockSpec parses "<path> [r|w]", defaulting to read mode.
+func parseLockSpec(spec string) (string, lockMode, bool) {
+	parts := strings.Fields(spec)
+	if len(parts) == 0 {
+		return "", 0, false
+	}
+	mode := lockRead
+	if len(parts) > 1 && parts[1] == "w" {
+		mode = lockWrite
+	}
+	return parts[0], mode, true
 }
 
 // paramIndex resolves an annotation root name to the receiver (-1) or a
@@ -277,7 +356,10 @@ func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
 	for path, mode := range ff.seeds {
 		st.facts[path] = mode
 	}
+	prev := c.curSeqlocked
+	c.curSeqlocked = ff.seqlocked
 	c.block(fd.Body.List, st)
+	c.curSeqlocked = prev
 }
 
 // block walks stmts sequentially, returning whether the path terminated
@@ -464,6 +546,26 @@ func (c *lockChecker) assign(s *ast.AssignStmt, st *lockState) {
 			}
 		}
 	}
+	// //dytis:locksresult: `s := f(...)` where f returns its result with a
+	// lock held seeds that fact on s (after dropping any stale facts).
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if lid, ok := s.Lhs[0].(*ast.Ident); ok && lid.Name != "_" {
+				if calleeObj, _ := c.calleeOf(call); calleeObj != nil {
+					if ff, ok := c.facts[calleeObj]; ok && len(ff.resultLocks) > 0 {
+						for path := range st.facts {
+							if path == lid.Name || strings.HasPrefix(path, lid.Name+".") {
+								delete(st.facts, path)
+							}
+						}
+						for _, rl := range ff.resultLocks {
+							st.facts[lid.Name+"."+rl.name] = rl.mode
+						}
+					}
+				}
+			}
+		}
+	}
 	// Fresh objects: lhs bound to &T{...} or new*/build*/make* call results.
 	if len(s.Lhs) >= 1 && len(s.Rhs) == 1 && isFreshExpr(s.Rhs[0], c.pass) {
 		if lid, ok := s.Lhs[0].(*ast.Ident); ok && lid.Name != "_" {
@@ -572,6 +674,7 @@ func (c *lockChecker) expr(e ast.Expr, st *lockState) {
 			return
 		}
 		c.checkContracts(e, st)
+		c.applyCallEffects(e, st)
 		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
 			// A method value's base expression is still a read path.
 			c.expr(sel.X, st)
@@ -680,21 +783,60 @@ func isSyncMutex(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
-// checkContracts enforces //dytis:locked call-site contracts of the callee.
-func (c *lockChecker) checkContracts(call *ast.CallExpr, st *lockState) {
-	var calleeObj types.Object
-	var recvExpr ast.Expr
+// calleeOf resolves a call's target object and, for method-value calls, the
+// receiver expression.
+func (c *lockChecker) calleeOf(call *ast.CallExpr) (types.Object, ast.Expr) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		calleeObj = c.pass.TypesInfo.Uses[fun]
+		return c.pass.TypesInfo.Uses[fun], nil
 	case *ast.SelectorExpr:
-		calleeObj = c.pass.TypesInfo.Uses[fun.Sel]
+		var recvExpr ast.Expr
 		if s, ok := c.pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal {
 			recvExpr = fun.X
 		}
-	default:
+		return c.pass.TypesInfo.Uses[fun.Sel], recvExpr
+	}
+	return nil, nil
+}
+
+// applyCallEffects applies the callee's //dytis:locks and //dytis:unlocks
+// annotations to the caller's state (deferred calls never reach here, so
+// deferred unlock helpers are ignored like deferred Unlocks).
+func (c *lockChecker) applyCallEffects(call *ast.CallExpr, st *lockState) {
+	calleeObj, recvExpr := c.calleeOf(call)
+	if calleeObj == nil {
 		return
 	}
+	ff, ok := c.facts[calleeObj]
+	if !ok {
+		return
+	}
+	for _, ef := range ff.effects {
+		var arg ast.Expr
+		if ef.argIndex == -1 {
+			arg = recvExpr
+		} else if ef.argIndex < len(call.Args) {
+			arg = call.Args[ef.argIndex]
+		}
+		if arg == nil {
+			continue
+		}
+		base := renderPath(arg)
+		if base == "" {
+			continue
+		}
+		path := base + ef.rest
+		if ef.unlock {
+			delete(st.facts, path)
+		} else if ef.mode > st.facts[path] {
+			st.facts[path] = ef.mode
+		}
+	}
+}
+
+// checkContracts enforces //dytis:locked call-site contracts of the callee.
+func (c *lockChecker) checkContracts(call *ast.CallExpr, st *lockState) {
+	calleeObj, recvExpr := c.calleeOf(call)
 	if calleeObj == nil {
 		return
 	}
@@ -703,6 +845,9 @@ func (c *lockChecker) checkContracts(call *ast.CallExpr, st *lockState) {
 		return
 	}
 	for _, ct := range ff.contracts {
+		if c.curSeqlocked && ct.mode == lockRead {
+			continue
+		}
 		var arg ast.Expr
 		if ct.argIndex == -1 {
 			arg = recvExpr
@@ -732,6 +877,9 @@ func (c *lockChecker) checkContracts(call *ast.CallExpr, st *lockState) {
 
 // checkFieldAccess reports a guarded field touched without its mutex.
 func (c *lockChecker) checkFieldAccess(sel *ast.SelectorExpr, st *lockState, need lockMode) {
+	if c.curSeqlocked && need == lockRead {
+		return // optimistic reads are validated by the version counter
+	}
 	s, ok := c.pass.TypesInfo.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
 		return

@@ -127,3 +127,61 @@ func spawned(b *box) {
 	}()
 	b.mu.Unlock()
 }
+
+//dytis:locks b.mu w
+func (b *box) enter() { b.mu.Lock() }
+
+//dytis:locked b.mu w
+//dytis:unlocks b.mu
+func (b *box) exit() { b.mu.Unlock() }
+
+func usesLockHelpers(b *box) int {
+	b.enter()
+	b.n = 5 // helper-acquired lock counts as held
+	b.exit()
+	return b.n // want `read of b.n requires holding b.mu`
+}
+
+func deferredHelperUnlock(b *box) int {
+	b.enter()
+	defer b.exit() // deferred unlock helper ignored like a deferred Unlock
+	return b.n
+}
+
+func helperUnlockBare(b *box) {
+	b.exit() // want `call to exit requires write-holding b.mu`
+}
+
+//dytis:locksresult mu r
+func resolve(b *box) *box {
+	b.mu.RLock()
+	return b
+}
+
+func usesLockedResult(b *box) int {
+	c := resolve(b)
+	n := c.n // result came back read-locked
+	c.mu.RUnlock()
+	return n
+}
+
+func staleFactsDropped(b *box) int {
+	c := b
+	c.mu.Lock()
+	c.mu.Unlock()
+	c = resolve(b)
+	c.n = 1 // want `write to c.n requires write-holding c.mu`
+	n := c.n
+	c.mu.RUnlock()
+	return n
+}
+
+//dytis:seqlocked
+func optimisticRead(b *box) int {
+	return b.n + b.sum() // version-validated reads: checks suppressed
+}
+
+//dytis:seqlocked
+func optimisticWrite(b *box) {
+	b.n = 1 // want `write to b.n requires write-holding b.mu`
+}

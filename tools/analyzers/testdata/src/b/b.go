@@ -42,7 +42,7 @@ func pointerUseIsFine(c *counters) int64 {
 
 func mixed(c *counters) int64 {
 	atomic.AddInt64(&c.mix, 1)
-	c.mix++ // want `non-atomic access to mix`
+	c.mix++    // want `non-atomic access to mix`
 	n := c.mix // want `non-atomic access to mix`
 	return n + atomic.LoadInt64(&c.mix)
 }
