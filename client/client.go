@@ -1,0 +1,369 @@
+// Package client is the Go client for dytis-server, speaking the
+// length-prefixed binary protocol of internal/proto with request
+// pipelining, connection pooling, batch helpers, context-based timeouts,
+// and bounded reconnect with exponential backoff.
+//
+// A Client is safe for concurrent use and that is the intended way to use
+// it: goroutines issuing requests on the same Client share its pooled
+// connections, and because every request carries an id that the server
+// echoes, many requests ride one connection concurrently — the write side
+// interleaves frames, the read loop routes each response to its waiter. A
+// single goroutine gets pipelining for free the same way by issuing batch
+// calls (GetBatch/InsertBatch/DeleteBatch), which amortize both framing and
+// the server's per-op dispatch.
+//
+// Error semantics: an operation fails with the server's error for rejected
+// requests, with ctx.Err() on timeout/cancellation, and with a connection
+// error when the link dies mid-flight (e.g. the server restarts). The
+// client never silently retries an operation after its bytes may have
+// reached the server — a failed Insert may or may not have applied, and
+// only the caller knows whether re-issuing is safe — but the next operation
+// on the client transparently redials (bounded attempts, exponential
+// backoff), so a restarted server resumes service without new Dial calls.
+//
+//	c, err := client.Dial("127.0.0.1:7070")
+//	defer c.Close()
+//	err = c.Insert(ctx, 42, 1)
+//	v, ok, err := c.Get(ctx, 42)
+//	keys, vals, err := c.Scan(ctx, 0, 100)
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dytis/internal/proto"
+)
+
+// ErrClosed is returned by operations on a Client after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Option configures a Client at Dial time.
+type Option func(*options)
+
+type options struct {
+	poolSize    int
+	pipeline    int
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+	redials     int
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+}
+
+func defaultOptions() options {
+	return options{
+		poolSize:    2,
+		pipeline:    128,
+		dialTimeout: 5 * time.Second,
+		reqTimeout:  0, // context-only by default
+		redials:     4,
+		backoffMin:  25 * time.Millisecond,
+		backoffMax:  1 * time.Second,
+	}
+}
+
+// WithPoolSize sets how many connections the client keeps to the server
+// (default 2). Requests are spread round-robin; more connections help many
+// goroutines more than they help one.
+func WithPoolSize(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	}
+}
+
+// WithPipeline caps the requests one connection keeps in flight (default
+// 128); at the cap, callers block until a response frees a slot.
+func WithPipeline(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.pipeline = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// WithRequestTimeout applies a default per-request deadline when the
+// caller's context has none (default: none — the context rules).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.reqTimeout = d
+		}
+	}
+}
+
+// WithReconnect bounds transparent redialing of a broken pool slot:
+// attempts tries per operation, with exponential backoff from min to max
+// between consecutive failures of that slot (defaults: 4 tries, 25ms–1s).
+func WithReconnect(attempts int, min, max time.Duration) Option {
+	return func(o *options) {
+		if attempts > 0 {
+			o.redials = attempts
+		}
+		if min > 0 {
+			o.backoffMin = min
+		}
+		if max >= min && max > 0 {
+			o.backoffMax = max
+		}
+	}
+}
+
+// Client is a pooled, pipelining dytis-server client. Create with Dial; all
+// methods are safe for concurrent use.
+type Client struct {
+	addr string
+	o    options
+
+	mu     sync.Mutex
+	slots  []*slot
+	rr     uint64
+	closed bool
+}
+
+// slot is one pool position: a live connection, or a cooldown record from
+// its last failure that the next user must respect before redialing.
+type slot struct {
+	mu       sync.Mutex
+	cc       *clientConn
+	failures int       // consecutive dial/IO failures
+	lastFail time.Time // when the last one happened
+}
+
+// Dial connects to a dytis-server at addr. The first connection is
+// established eagerly so an unreachable address fails here, not on the
+// first operation.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := defaultOptions()
+	for _, apply := range opts {
+		apply(&o)
+	}
+	c := &Client{addr: addr, o: o, slots: make([]*slot, o.poolSize)}
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+	}
+	cc, err := dialConn(addr, o)
+	if err != nil {
+		return nil, err
+	}
+	c.slots[0].cc = cc
+	return c, nil
+}
+
+// Close shuts the client down: all pooled connections close and their
+// in-flight requests fail. Close is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	slots := c.slots
+	c.mu.Unlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		if s.cc != nil {
+			s.cc.fail(ErrClosed)
+			s.cc = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// conn returns a live connection from the pool, redialing its slot if the
+// previous connection died — waiting out the slot's backoff first, bounded
+// by both the reconnect budget and ctx.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.rr++
+	s := c.slots[c.rr%uint64(len(c.slots))]
+	c.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cc != nil && !s.cc.broken() {
+		return s.cc, nil
+	}
+	s.cc = nil
+	var lastErr error
+	for try := 0; try < c.o.redials; try++ {
+		if wait := c.backoff(s); wait > 0 {
+			s.mu.Unlock()
+			err := sleepCtx(ctx, wait)
+			s.mu.Lock()
+			if err != nil {
+				return nil, err
+			}
+			if s.cc != nil && !s.cc.broken() { // another goroutine redialed
+				return s.cc, nil
+			}
+		}
+		cc, err := dialConn(c.addr, c.o)
+		if err != nil {
+			lastErr = err
+			s.failures++
+			s.lastFail = time.Now()
+			continue
+		}
+		s.cc = cc
+		s.failures = 0
+		return cc, nil
+	}
+	return nil, fmt.Errorf("client: reconnect to %s failed after %d attempts: %w", c.addr, c.o.redials, lastErr)
+}
+
+// backoff returns how long the slot's cooldown still has to run.
+func (c *Client) backoff(s *slot) time.Duration {
+	if s.failures == 0 {
+		return 0
+	}
+	d := c.o.backoffMin << (s.failures - 1)
+	if d > c.o.backoffMax || d <= 0 {
+		d = c.o.backoffMax
+	}
+	if elapsed := time.Since(s.lastFail); elapsed < d {
+		return d - elapsed
+	}
+	return 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do sends req on a pooled connection and waits for its response.
+func (c *Client) do(ctx context.Context, req *proto.Request) (*proto.Response, error) {
+	if c.o.reqTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.o.reqTimeout)
+			defer cancel()
+		}
+	}
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- operations -------------------------------------------------------------
+
+// Ping round-trips an empty request.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpPing})
+	return err
+}
+
+// Get returns the value stored under key and whether it exists.
+func (c *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Found, nil
+}
+
+// Insert stores or updates value under key.
+func (c *Client) Insert(ctx context.Context, key, value uint64) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpInsert, Key: key, Val: value})
+	return err
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Client) Delete(ctx context.Context, key uint64) (bool, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// Scan returns up to max pairs with key >= start in ascending key order, as
+// parallel key/value slices. max is capped by the protocol at proto.MaxScan
+// (65536); page with the last key + 1 to go further.
+func (c *Client) Scan(ctx context.Context, start uint64, max int) (keys, vals []uint64, err error) {
+	if max < 0 {
+		max = 0
+	}
+	if max > proto.MaxScan {
+		max = proto.MaxScan
+	}
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpScan, Key: start, Max: uint32(max)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Keys, resp.Vals, nil
+}
+
+// GetBatch looks up every key of keys in one round trip, returning parallel
+// result slices (vals[i], found[i] answer keys[i]). At most proto.MaxBatch
+// (65536) keys per call.
+func (c *Client) GetBatch(ctx context.Context, keys []uint64) (vals []uint64, found []bool, err error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpGetBatch, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Vals, resp.Founds, nil
+}
+
+// InsertBatch stores vals[i] under keys[i] for every i in one round trip.
+// At most proto.MaxBatch pairs per call; the batch is not atomic on the
+// server, it is an amortization.
+func (c *Client) InsertBatch(ctx context.Context, keys, vals []uint64) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpInsertBatch, Keys: keys, Vals: vals})
+	return err
+}
+
+// DeleteBatch removes every key of keys in one round trip, returning
+// whether each was present.
+func (c *Client) DeleteBatch(ctx context.Context, keys []uint64) ([]bool, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpDeleteBatch, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Founds, nil
+}
+
+// Len returns the number of live keys in the served index.
+func (c *Client) Len(ctx context.Context) (int, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpLen})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Val), nil
+}

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dytis/internal/proto"
+)
+
+// clientConn is one pooled connection. Requests from any number of
+// goroutines interleave on it: each registers a waiter keyed by its request
+// id, appends its frame under the write lock, and blocks on its own channel;
+// the single read loop routes responses by id, so pipelined completions can
+// arrive in any order. When the connection dies every waiter fails with the
+// sticky error and the conn is left for the pool to replace.
+type clientConn struct {
+	nc     net.Conn
+	nextID atomic.Uint64
+
+	// inflight bounds pipelining: a slot is taken before writing and
+	// released when the response (or failure) arrives.
+	inflight chan struct{}
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	waiters map[uint64]chan result
+	err     error // sticky; non-nil once the conn is dead
+}
+
+type result struct {
+	resp *proto.Response
+	err  error
+}
+
+func dialConn(addr string, o options) (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, o.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		nc:       nc,
+		inflight: make(chan struct{}, o.pipeline),
+		waiters:  make(map[uint64]chan result),
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// broken reports whether the connection has failed and must be replaced.
+func (cc *clientConn) broken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// fail marks the connection dead, closes the socket, and delivers err to
+// every waiter. Idempotent; the first error wins.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	waiters := cc.waiters
+	cc.waiters = nil
+	cc.mu.Unlock()
+	cc.nc.Close()
+	for _, ch := range waiters {
+		ch <- result{err: err}
+	}
+}
+
+// readLoop routes response frames to waiters until the connection dies.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.nc, 32<<10)
+	var buf []byte
+	for {
+		body, nbuf, err := proto.ReadFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			cc.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		resp := new(proto.Response) // escapes to the waiter; no reuse
+		if err := proto.DecodeResponse(body, resp); err != nil {
+			cc.fail(fmt.Errorf("client: protocol error: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.waiters[resp.ID]
+		delete(cc.waiters, resp.ID)
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- result{resp: resp}
+		}
+		// A response with no waiter is one whose caller timed out; drop it.
+	}
+}
+
+// do sends req and waits for its response, honoring ctx for the queueing,
+// the write, and the wait.
+func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Response, error) {
+	select {
+	case cc.inflight <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-cc.inflight }()
+
+	req.ID = cc.nextID.Add(1)
+	frame, err := proto.AppendRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.waiters[req.ID] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		cc.nc.SetWriteDeadline(dl)
+	} else {
+		cc.nc.SetWriteDeadline(time.Time{})
+	}
+	_, werr := cc.nc.Write(frame)
+	cc.wmu.Unlock()
+	if werr != nil {
+		// A write error poisons the framing for every user of the conn
+		// (partial frames desynchronize the stream), so the whole conn fails.
+		cc.fail(fmt.Errorf("client: write: %w", werr))
+		<-ch // fail delivered to our waiter (or routed response raced it)
+		return nil, fmt.Errorf("client: write: %w", werr)
+	}
+
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// Deregister so the response, if it still comes, is dropped.
+		cc.mu.Lock()
+		if cc.waiters != nil {
+			delete(cc.waiters, req.ID)
+		}
+		cc.mu.Unlock()
+		select {
+		case r := <-ch: // response or failure raced the deregistration
+			return r.resp, r.err
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}

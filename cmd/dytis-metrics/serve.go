@@ -1,20 +1,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"dytis"
 	"dytis/internal/datasets"
 )
 
 // serve runs a concurrent DyTIS index under a continuous mixed workload and
-// blocks serving its observer over HTTP. The workload cycles through the
-// dataset's key stream: ahead of the frontier it inserts (fresh keys, the
-// dynamic-dataset pattern the paper targets), behind it it mixes point
-// lookups, short scans, and occasional deletes, so every histogram and
-// structure-event counter stays live.
+// blocks serving its observer over HTTP until SIGINT/SIGTERM. The workload
+// cycles through the dataset's key stream: ahead of the frontier it inserts
+// (fresh keys, the dynamic-dataset pattern the paper targets), behind it it
+// mixes point lookups, short scans, and occasional deletes, so every
+// histogram and structure-event counter stays live.
+//
+// Shutdown is graceful: on a signal the workload goroutines stop, the HTTP
+// server drains its in-flight scrapes, and the index is Closed (detaching it
+// from the observer) before the process exits 0.
 func serve(addr, dataset string, threads int) error {
 	spec, ok := datasets.ByName(dataset)
 	if !ok {
@@ -32,25 +42,63 @@ func serve(addr, dataset string, threads int) error {
 	ob := dytis.NewObserver()
 	idx := dytis.New(dytis.WithConcurrent(), dytis.WithObserver(ob))
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
-		go drive(idx, keys, t, threads)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			drive(ctx, idx, keys, t, threads)
+		}(t)
 	}
 
 	fmt.Printf("serving live metrics for a DyTIS index under a %s workload (%d keys, %d threads)\n",
 		spec.Name, len(keys), threads)
 	fmt.Printf("  http://localhost%s/metrics      Prometheus text format\n", addr)
 	fmt.Printf("  http://localhost%s/debug/vars   expvar JSON\n", addr)
-	return http.ListenAndServe(addr, ob.Handler())
+
+	srv := &http.Server{Addr: addr, Handler: ob.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-httpErr:
+		stop() // listener failed; unwind the workload
+		wg.Wait()
+		idx.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("signal received; shutting down...")
+	wg.Wait() // workload goroutines observe ctx and stop
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shCtx)
+	<-httpErr // ListenAndServe returned http.ErrServerClosed
+	idx.Close()
+	fmt.Println("dytis-metrics: clean shutdown")
+	return nil
 }
 
-// drive loops one workload goroutine forever over its stripe of the key
-// stream: insert the frontier key, then 3 gets, and periodically a 100-key
-// scan or a delete against the loaded prefix. When the stream is exhausted
-// the pass restarts (inserts become updates), keeping the op mix steady.
-func drive(idx *dytis.Index, keys []uint64, stripe, threads int) {
+// drive loops one workload goroutine over its stripe of the key stream until
+// ctx is done: insert the frontier key, then 3 gets, and periodically a
+// 100-key scan or a delete against the loaded prefix. When the stream is
+// exhausted the pass restarts (inserts become updates), keeping the op mix
+// steady.
+func drive(ctx context.Context, idx *dytis.Index, keys []uint64, stripe, threads int) {
 	rng := rand.New(rand.NewSource(int64(stripe) + 42))
 	for pass := 0; ; pass++ {
 		for i := stripe; i < len(keys); i += threads {
+			// Poll the signal once per small op group; the checks are cheap
+			// relative to the index work.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 			idx.Insert(keys[i], keys[i])
 			for j := 0; j < 3; j++ {
 				idx.Get(keys[rng.Intn(i+1)])

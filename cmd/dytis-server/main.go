@@ -1,0 +1,139 @@
+// Command dytis-server serves a DyTIS index over TCP with the pipelined
+// binary protocol of internal/proto. It is the network face of the
+// reproduction: a concurrent index (optimistic lock-free reads by default)
+// behind per-connection read/write goroutines, batched opcodes, connection
+// limits with accept-side backpressure, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	dytis-server -addr :7070 -metrics :8080 -mode optimistic
+//
+// With -metrics, an HTTP endpoint serves the index observer's histograms
+// and structure-event counters together with the server-side request
+// latency metrics on one /metrics page (Prometheus text format; expvar
+// JSON at /debug/vars).
+//
+//	-mode optimistic   concurrent index, lock-free Get / snapshot Scan (default)
+//	-mode locked       concurrent index, fully locked §3.4 read path
+//
+// On SIGINT/SIGTERM the server stops accepting, finishes every request it
+// has read, flushes the responses, shuts the metrics endpoint down, closes
+// the index, and exits 0; -drain-timeout bounds the wait.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dytis"
+	"dytis/internal/obs"
+	"dytis/internal/server"
+)
+
+var (
+	addrFlag    = flag.String("addr", ":7070", "TCP listen address for the binary protocol")
+	metricsFlag = flag.String("metrics", "", "HTTP listen address for /metrics and /debug/vars (empty = disabled)")
+	modeFlag    = flag.String("mode", "optimistic", "concurrency mode: optimistic|locked")
+	maxConns    = flag.Int("max-conns", 256, "simultaneous connection cap (excess clients wait in the accept backlog)")
+	pipeline    = flag.Int("pipeline", 128, "per-connection response queue depth")
+	drainFlag   = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
+)
+
+func main() {
+	flag.Parse()
+
+	ob := dytis.NewObserver()
+	idxOpts := []dytis.Option{dytis.WithConcurrent(), dytis.WithObserver(ob)}
+	switch *modeFlag {
+	case "optimistic":
+	case "locked":
+		idxOpts = append(idxOpts, dytis.WithLockedReads())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want optimistic or locked)\n", *modeFlag)
+		os.Exit(2)
+	}
+	idx := dytis.New(idxOpts...)
+
+	sm := &server.Metrics{}
+	srv := server.New(server.Config{
+		Index:    idx,
+		MaxConns: *maxConns,
+		Pipeline: *pipeline,
+		Metrics:  sm,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var metricsSrv *http.Server
+	if *metricsFlag != "" {
+		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm)}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsFlag)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("dytis-server (%s reads) listening on %s\n", *modeFlag, ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		// Listener failed outright; nothing to drain.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("signal received; draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain incomplete:", err)
+	}
+	<-serveErr // Serve has returned ErrServerClosed
+	if metricsSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		metricsSrv.Shutdown(shCtx)
+		cancel()
+	}
+	idx.Close()
+	fmt.Println("dytis-server: clean shutdown")
+}
+
+// metricsHandler serves the index observer's endpoints with the server-side
+// metrics appended to /metrics, so index-op latency, structure events, and
+// server request latency read as one page.
+func metricsHandler(ob *obs.Observer, sm *server.Metrics) http.Handler {
+	obH := ob.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		ob.WritePrometheus(w)
+		sm.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", obH)
+	mux.Handle("/vars", obH)
+	mux.Handle("/", obH)
+	return mux
+}

@@ -1,0 +1,119 @@
+package core
+
+import "time"
+
+// Batch entry points. A networked or otherwise batching caller that already
+// holds many operations amortizes two per-op costs by using these: the
+// option/observer dispatch in the public methods (one time.Now pair and one
+// observer call per batch instead of per op) and, for remote callers, the
+// per-op request round trip. The index work itself is identical to calling
+// the single-op methods in a loop — batches are not atomic: under
+// concurrency, other writers may interleave between the batch's operations.
+//
+// Observability: a batch is booked as n samples of its mean per-op latency
+// (via BatchObserver when the observer implements it), attributed to the
+// first key's first-level EH shard — per-key shard attribution is the price
+// of skipping per-op dispatch.
+
+// GetBatch looks up every key of keys, appending each result to vals and
+// found (position i of the appended region corresponds to keys[i]), and
+// returns the extended slices. Passing recycled slices avoids allocation.
+func (d *DyTIS) GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool) {
+	if len(keys) == 0 {
+		return vals, found
+	}
+	if d.obs == nil {
+		for _, k := range keys {
+			v, ok := d.ehOf(k).get(k)
+			vals = append(vals, v)
+			found = append(found, ok)
+		}
+		return vals, found
+	}
+	t0 := time.Now()
+	for _, k := range keys {
+		v, ok := d.ehOf(k).get(k)
+		vals = append(vals, v)
+		found = append(found, ok)
+	}
+	d.recordBatch(OpGet, d.ehOf(keys[0]).idx, len(keys), time.Since(t0))
+	return vals, found
+}
+
+// InsertBatch stores or updates vals[i] under keys[i] for every i. It panics
+// if the slices differ in length.
+func (d *DyTIS) InsertBatch(keys, vals []uint64) {
+	if len(keys) != len(vals) {
+		panic("dytis: InsertBatch slice length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if d.obs == nil {
+		for i, k := range keys {
+			d.ehOf(k).insert(k, vals[i])
+		}
+		return
+	}
+	t0 := time.Now()
+	for i, k := range keys {
+		d.ehOf(k).insert(k, vals[i])
+	}
+	d.recordBatch(OpInsert, d.ehOf(keys[0]).idx, len(keys), time.Since(t0))
+}
+
+// DeleteBatch removes every key of keys, appending to found whether each was
+// present, and returns the extended slice.
+func (d *DyTIS) DeleteBatch(keys []uint64, found []bool) []bool {
+	if len(keys) == 0 {
+		return found
+	}
+	if d.obs == nil {
+		for _, k := range keys {
+			found = append(found, d.ehOf(k).delete(k))
+		}
+		return found
+	}
+	t0 := time.Now()
+	for _, k := range keys {
+		found = append(found, d.ehOf(k).delete(k))
+	}
+	d.recordBatch(OpDelete, d.ehOf(keys[0]).idx, len(keys), time.Since(t0))
+	return found
+}
+
+// recordBatch books n operations taking total altogether, through the
+// observer's batched hook when it has one.
+func (d *DyTIS) recordBatch(op Op, shard, n int, total time.Duration) {
+	if d.obsBatch != nil {
+		d.obsBatch.RecordBatch(op, shard, n, total)
+		return
+	}
+	mean := total / time.Duration(n)
+	for i := 0; i < n; i++ {
+		d.obs.RecordOp(op, shard, mean)
+	}
+}
+
+// Close shuts the index down as an observable entity: it detaches the index
+// from its observer (so HTTP exporters stop serving its Stats and the index
+// can be collected) and drops the observer reference so no further latencies
+// or structure events are recorded. The in-memory structure itself needs no
+// flushing and remains readable; Close is idempotent and always returns nil.
+//
+// Close must not race with in-flight operations: quiesce callers first (a
+// server drains its connections before closing the index it serves).
+func (d *DyTIS) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	if det, ok := d.obs.(Detacher); ok {
+		det.DetachIndex(d)
+	}
+	d.obs = nil
+	d.obsBatch = nil
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (d *DyTIS) Closed() bool { return d.closed.Load() }

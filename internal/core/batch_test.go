@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dytis/internal/check"
+	"dytis/internal/core"
+)
+
+// TestBatchMatchesSingleOps drives identical mixed workloads through the
+// batch entry points and the single-op methods on two indexes; every
+// intermediate result and the final structures must agree.
+func TestBatchMatchesSingleOps(t *testing.T) {
+	opts := core.Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2}
+	db := core.New(opts) // batched
+	ds := core.New(opts) // single-op reference
+	rng := rand.New(rand.NewSource(42))
+
+	var vals []uint64
+	var found []bool
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(64)
+		keys := make([]uint64, n)
+		vs := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1 << 12))
+			vs[i] = rng.Uint64()
+		}
+		switch round % 3 {
+		case 0:
+			db.InsertBatch(keys, vs)
+			for i, k := range keys {
+				ds.Insert(k, vs[i])
+			}
+		case 1:
+			vals, found = db.GetBatch(keys, vals[:0], found[:0])
+			for i, k := range keys {
+				v, ok := ds.Get(k)
+				if found[i] != ok || (ok && vals[i] != v) {
+					t.Fatalf("round %d: GetBatch[%d] key %d = %d,%v; single = %d,%v",
+						round, i, k, vals[i], found[i], v, ok)
+				}
+			}
+		case 2:
+			found = db.DeleteBatch(keys, found[:0])
+			for i, k := range keys {
+				if ok := ds.Delete(k); found[i] != ok {
+					t.Fatalf("round %d: DeleteBatch[%d] key %d = %v; single = %v",
+						round, i, k, found[i], ok)
+				}
+			}
+		}
+	}
+	if db.Len() != ds.Len() {
+		t.Fatalf("Len: batched %d, single %d", db.Len(), ds.Len())
+	}
+	bs, ss := db.Scan(0, db.Len()+1, nil), ds.Scan(0, ds.Len()+1, nil)
+	if len(bs) != len(ss) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(bs), len(ss))
+	}
+	for i := range bs {
+		if bs[i] != ss[i] {
+			t.Fatalf("scan[%d]: batched %+v, single %+v", i, bs[i], ss[i])
+		}
+	}
+	if vs := check.Check(db); len(vs) != 0 {
+		t.Fatalf("batched index unsound: %v", vs)
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	d := core.New(core.Options{})
+	// Empty batches are no-ops, not panics, and leave dst slices untouched.
+	vals, found := d.GetBatch(nil, nil, nil)
+	if vals != nil || found != nil {
+		t.Fatal("empty GetBatch grew its slices")
+	}
+	d.InsertBatch(nil, nil)
+	if f := d.DeleteBatch(nil, nil); f != nil {
+		t.Fatal("empty DeleteBatch grew its slice")
+	}
+	// Mismatched InsertBatch lengths panic loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertBatch with mismatched slices did not panic")
+		}
+	}()
+	d.InsertBatch([]uint64{1, 2}, []uint64{1})
+}
+
+// batchSpyObserver counts per-op and batched bookings.
+type batchSpyObserver struct {
+	recordOps   int
+	batchCalls  int
+	batchedN    int
+	lastShard   int
+	structureEv int
+}
+
+func (o *batchSpyObserver) RecordOp(op core.Op, shard int, d time.Duration) { o.recordOps++ }
+func (o *batchSpyObserver) StructureEvent(ev core.StructureEvent)           { o.structureEv++ }
+
+type batchCapableObserver struct {
+	batchSpyObserver
+}
+
+func (o *batchCapableObserver) RecordBatch(op core.Op, shard int, n int, total time.Duration) {
+	o.batchCalls++
+	o.batchedN += n
+	o.lastShard = shard
+}
+
+// TestBatchObserverDispatch: an observer implementing BatchObserver gets one
+// RecordBatch per batch; a plain Observer gets n RecordOp fallback calls —
+// either way every operation is booked.
+func TestBatchObserverDispatch(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40, 50}
+	vals := []uint64{1, 2, 3, 4, 5}
+
+	plain := &batchSpyObserver{}
+	d1 := core.New(core.Options{Observer: plain})
+	d1.InsertBatch(keys, vals)
+	d1.GetBatch(keys, nil, nil)
+	if plain.recordOps != 2*len(keys) {
+		t.Errorf("plain observer got %d RecordOp calls, want %d", plain.recordOps, 2*len(keys))
+	}
+
+	capable := &batchCapableObserver{}
+	d2 := core.New(core.Options{Observer: capable})
+	d2.InsertBatch(keys, vals)
+	d2.GetBatch(keys, nil, nil)
+	d2.DeleteBatch(keys[:2], nil)
+	if capable.recordOps != 0 {
+		t.Errorf("batch-capable observer got %d per-op fallbacks, want 0", capable.recordOps)
+	}
+	if capable.batchCalls != 3 || capable.batchedN != 2*len(keys)+2 {
+		t.Errorf("RecordBatch calls/ops = %d/%d, want 3/%d",
+			capable.batchCalls, capable.batchedN, 2*len(keys)+2)
+	}
+}
+
+// detachSpy records DetachIndex calls.
+type detachSpy struct {
+	batchSpyObserver
+	detached []any
+}
+
+func (o *detachSpy) DetachIndex(src any) { o.detached = append(o.detached, src) }
+
+func TestCloseDetachesAndStopsObserving(t *testing.T) {
+	spy := &detachSpy{}
+	d := core.New(core.Options{Observer: spy})
+	d.Insert(1, 2)
+	before := spy.recordOps
+	if before == 0 {
+		t.Fatal("observer not wired")
+	}
+	if d.Closed() {
+		t.Fatal("Closed before Close")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if len(spy.detached) != 1 || spy.detached[0] != any(d) {
+		t.Fatalf("DetachIndex calls = %v, want exactly the index once", spy.detached)
+	}
+	// Idempotent: no second detach.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.detached) != 1 {
+		t.Fatalf("second Close detached again: %v", spy.detached)
+	}
+	// The structure stays readable, but nothing is recorded anymore.
+	if v, ok := d.Get(1); !ok || v != 2 {
+		t.Fatalf("Get after Close = %d,%v", v, ok)
+	}
+	d.Insert(3, 4)
+	d.InsertBatch([]uint64{5}, []uint64{6})
+	if spy.recordOps != before {
+		t.Fatalf("observer recorded %d ops after Close (had %d)", spy.recordOps, before)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Micro-benchmarks for the core operations under the three key-distribution
@@ -105,6 +106,68 @@ func BenchmarkScan100(b *testing.B) {
 	}
 	_ = res
 }
+
+// Batched vs single-op entry points. The index work is identical; the
+// difference the pair isolates is per-op dispatch (timing + observer
+// booking), which the batch paths pay once per batch. Run with and without
+// an observer attached to see both the floor and the amortized overhead.
+const batchLen = 64
+
+func benchGetBatchVsSingle(b *testing.B, batched bool, o Observer) {
+	keys := benchKeysUniform(400000)
+	d := New(Options{Observer: o})
+	for _, k := range keys {
+		d.Insert(k, k)
+	}
+	vals := make([]uint64, 0, batchLen)
+	found := make([]bool, 0, batchLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		batch := keys[i%(len(keys)-batchLen):][:batchLen]
+		if batched {
+			vals, found = d.GetBatch(batch, vals[:0], found[:0])
+		} else {
+			for _, k := range batch {
+				d.Get(k)
+			}
+		}
+	}
+	_, _ = vals, found
+}
+
+func BenchmarkGetSingle64(b *testing.B) { benchGetBatchVsSingle(b, false, nil) }
+func BenchmarkGetBatch64(b *testing.B)  { benchGetBatchVsSingle(b, true, nil) }
+func BenchmarkGetSingle64Obs(b *testing.B) {
+	benchGetBatchVsSingle(b, false, nopObserver{})
+}
+func BenchmarkGetBatch64Obs(b *testing.B) { benchGetBatchVsSingle(b, true, nopObserver{}) }
+
+func benchInsertBatchVsSingle(b *testing.B, batched bool) {
+	keys := benchKeysUniform(400000)
+	vals := benchKeysUniform(400000)
+	d := New(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		j := i % (len(keys) - batchLen)
+		if batched {
+			d.InsertBatch(keys[j:j+batchLen], vals[j:j+batchLen])
+		} else {
+			for l := j; l < j+batchLen; l++ {
+				d.Insert(keys[l], vals[l])
+			}
+		}
+	}
+}
+
+func BenchmarkInsertSingle64(b *testing.B) { benchInsertBatchVsSingle(b, false) }
+func BenchmarkInsertBatch64(b *testing.B)  { benchInsertBatchVsSingle(b, true) }
+
+// nopObserver is the cheapest possible Observer without RecordBatch, so the
+// *Obs benchmarks measure pure dispatch overhead.
+type nopObserver struct{}
+
+func (nopObserver) RecordOp(op Op, shard int, d time.Duration) {}
+func (nopObserver) StructureEvent(ev StructureEvent)           {}
 
 func BenchmarkDelete(b *testing.B) {
 	keys := benchKeysUniform(400000)

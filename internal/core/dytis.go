@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"dytis/internal/kv"
@@ -17,8 +18,10 @@ import (
 type DyTIS struct {
 	opts       Options
 	suffixBits uint8
-	obs        Observer // nil when observability is disabled
+	obs        Observer      // nil when observability is disabled
+	obsBatch   BatchObserver // obs's batched hook, nil if not implemented
 	ehs        []*eh
+	closed     atomic.Bool // set by Close
 }
 
 // New creates an empty DyTIS index.
@@ -30,6 +33,9 @@ func New(opts Options) *DyTIS {
 		suffixBits: uint8(64 - r),
 		obs:        opts.Observer,
 		ehs:        make([]*eh, 1<<r),
+	}
+	if ob, ok := opts.Observer.(BatchObserver); ok {
+		d.obsBatch = ob
 	}
 	for i := range d.ehs {
 		d.ehs[i] = newEH(uint64(i)<<d.suffixBits, d.suffixBits, &d.opts)

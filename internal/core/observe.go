@@ -104,3 +104,21 @@ type Observer interface {
 	RecordOp(op Op, shard int, d time.Duration)
 	StructureEvent(ev StructureEvent)
 }
+
+// BatchObserver is optionally implemented by an Observer that can book a
+// whole batch of same-kind operations in one call: n operations against the
+// given shard took total wall time altogether. The batch entry points
+// (GetBatch, InsertBatch, DeleteBatch) time the batch once and dispatch once,
+// so per-operation observer overhead disappears from the batched hot path;
+// implementations typically record n samples of total/n. Observers that do
+// not implement it fall back to n RecordOp calls with the mean latency.
+type BatchObserver interface {
+	RecordBatch(op Op, shard int, n int, total time.Duration)
+}
+
+// Detacher is optionally implemented by an Observer that holds a reference
+// back to the index (e.g. to serve its Stats over HTTP); DyTIS.Close calls
+// DetachIndex(d) so a closed index can be collected and is no longer served.
+type Detacher interface {
+	DetachIndex(src any)
+}

@@ -45,6 +45,36 @@ func (h *AtomicHist) Record(d time.Duration) {
 	}
 }
 
+// RecordN adds n identical latency observations in one shot — the batched
+// form of Record (same cost as a single Record regardless of n), used by the
+// batch entry points to book a whole batch's mean per-op latency without
+// paying one Record per operation.
+func (h *AtomicHist) RecordN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	c := uint64(n)
+	h.counts[bucketOf(v)].Add(c)
+	h.total.Add(c)
+	h.sum.Add(v * c)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && cur <= v+1) || h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
 // Count returns the number of recorded observations.
 func (h *AtomicHist) Count() uint64 { return h.total.Load() }
 

@@ -68,6 +68,29 @@ func (h *Hist) Record(d time.Duration) {
 	}
 }
 
+// RecordN adds n identical latency observations in one shot. It is the
+// batched form of Record used when a caller times a whole batch and books
+// the mean per-op latency for each of its n operations.
+func (h *Hist) RecordN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	c := uint64(n)
+	h.counts[bucketOf(v)] += c
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	h.total += c
+	h.sum += v * c
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Merge adds all observations of o into h.
 func (h *Hist) Merge(o *Hist) {
 	if o.total == 0 {

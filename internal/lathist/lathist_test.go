@@ -137,3 +137,49 @@ func TestQuickQuantileAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecordNMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var batched, looped Hist
+	var ab AtomicHist
+	for i := 0; i < 200; i++ {
+		d := time.Duration(rng.Intn(1 << 20))
+		n := 1 + rng.Intn(50)
+		batched.RecordN(d, n)
+		ab.RecordN(d, n)
+		for j := 0; j < n; j++ {
+			looped.Record(d)
+		}
+	}
+	var fromAtomic Hist
+	ab.AddTo(&fromAtomic)
+	for _, pair := range []struct {
+		name string
+		h    *Hist
+	}{{"Hist.RecordN", &batched}, {"AtomicHist.RecordN", &fromAtomic}} {
+		h := pair.h
+		if h.Count() != looped.Count() || h.Sum() != looped.Sum() ||
+			h.Min() != looped.Min() || h.Max() != looped.Max() {
+			t.Fatalf("%s: count/sum/min/max %d/%d/%v/%v, loop %d/%d/%v/%v",
+				pair.name, h.Count(), h.Sum(), h.Min(), h.Max(),
+				looped.Count(), looped.Sum(), looped.Min(), looped.Max())
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if h.Quantile(q) != looped.Quantile(q) {
+				t.Fatalf("%s: q%v = %v, loop %v", pair.name, q, h.Quantile(q), looped.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestRecordNZeroAndNegative(t *testing.T) {
+	var h Hist
+	var ah AtomicHist
+	h.RecordN(time.Microsecond, 0)
+	ah.RecordN(time.Microsecond, -1)
+	var fromAtomic Hist
+	ah.AddTo(&fromAtomic)
+	if h.Count() != 0 || fromAtomic.Count() != 0 {
+		t.Fatalf("RecordN with n<=0 recorded something: %d/%d", h.Count(), fromAtomic.Count())
+	}
+}

@@ -62,6 +62,16 @@ func (o *Observer) RecordOp(op core.Op, shard int, d time.Duration) {
 	o.hists[op][shard&(Shards-1)].Record(d)
 }
 
+// RecordBatch implements core.BatchObserver: a batch of n operations that
+// took total altogether lands as n samples of the mean per-op latency in the
+// given shard's histogram, at the cost of a single RecordOp regardless of n.
+func (o *Observer) RecordBatch(op core.Op, shard int, n int, total time.Duration) {
+	if n <= 0 {
+		return
+	}
+	o.hists[op][shard&(Shards-1)].RecordN(total/time.Duration(n), n)
+}
+
 // StructureEvent implements core.Observer: it bumps the per-kind counters
 // and fans the event out to every subscriber. It is called from inside the
 // index's maintenance paths (under locks in Concurrent mode), so
@@ -93,6 +103,22 @@ func (o *Observer) Subscribe(fn func(core.StructureEvent)) {
 func (o *Observer) Attach(src StatsSource) {
 	o.mu.Lock()
 	o.src = src
+	o.mu.Unlock()
+}
+
+// DetachIndex implements core.Detacher: if src is the currently attached
+// index, the exporter stops serving its Stats/MemoryFootprint/Len.
+// DyTIS.Close calls it so a closed index is released; detaching does not
+// clear the histograms or event counters already collected.
+func (o *Observer) DetachIndex(src any) {
+	s, ok := src.(StatsSource)
+	if !ok {
+		return
+	}
+	o.mu.Lock()
+	if o.src == s {
+		o.src = nil
+	}
 	o.mu.Unlock()
 }
 

@@ -1,0 +1,88 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder — the
+// exact surface a hostile client reaches once ReadFrame has accepted a
+// length prefix. The decoder must never panic, never allocate beyond the
+// validated counts, and must re-encode anything it accepts into a frame
+// that decodes to the same request (encode∘decode is the identity on the
+// decoder's accepted set, which is how corrupted-but-parseable frames are
+// caught semantically, not just memory-safely).
+func FuzzDecodeRequest(f *testing.F) {
+	seed := func(r *Request) {
+		frame, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	seed(&Request{ID: 1, Op: OpPing})
+	seed(&Request{ID: 2, Op: OpGet, Key: 42})
+	seed(&Request{ID: 3, Op: OpInsert, Key: 1, Val: 2})
+	seed(&Request{ID: 4, Op: OpScan, Key: 9, Max: 100})
+	seed(&Request{ID: 5, Op: OpGetBatch, Keys: []uint64{1, 2, 3}})
+	seed(&Request{ID: 6, Op: OpInsertBatch, Keys: []uint64{7}, Vals: []uint64{8}})
+	seed(&Request{ID: 7, Op: OpDeleteBatch, Keys: []uint64{0, ^uint64(0)}})
+	f.Add([]byte{})
+	f.Add(make([]byte, 9))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req Request
+		if err := DecodeRequest(body, &req); err != nil {
+			return
+		}
+		// Accepted input must re-encode to a body that decodes identically.
+		frame, err := AppendRequest(nil, &req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+		}
+		var again Request
+		if err := DecodeRequest(frame[4:], &again); err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !bytes.Equal(frame[4:], body) {
+			// The wire format has exactly one encoding per request, so any
+			// accepted body must be the canonical one.
+			t.Fatalf("non-canonical body accepted:\n in: %x\nout: %x", body, frame[4:])
+		}
+	})
+}
+
+// FuzzDecodeResponse is the client-side mirror: arbitrary bytes at the
+// response decoder, which a hostile or corrupted server reaches.
+func FuzzDecodeResponse(f *testing.F) {
+	seed := func(r *Response) {
+		frame, err := AppendResponse(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	seed(&Response{ID: 1, Op: OpPing})
+	seed(&Response{ID: 2, Op: OpGet, Found: true, Val: 3})
+	seed(&Response{ID: 3, Op: OpScan, Keys: []uint64{1, 2}, Vals: []uint64{3, 4}})
+	seed(&Response{ID: 4, Op: OpGetBatch, Vals: []uint64{1}, Founds: []bool{true}})
+	seed(&Response{ID: 5, Op: OpDeleteBatch, Founds: []bool{false, true}})
+	seed(&Response{ID: 6, Op: OpLen, Val: 99})
+	seed(&Response{ID: 7, Op: OpGet, Status: StatusErr, Msg: "boom"})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var resp Response
+		if err := DecodeResponse(body, &resp); err != nil {
+			return
+		}
+		frame, err := AppendResponse(nil, &resp)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %+v: %v", resp, err)
+		}
+		var again Response
+		if err := DecodeResponse(frame[4:], &again); err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+	})
+}

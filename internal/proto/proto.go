@@ -1,0 +1,558 @@
+// Package proto defines the length-prefixed binary wire protocol spoken
+// between dytis-server and the client package. It is the repository's first
+// process boundary, so the decoders in this package are written to survive
+// arbitrary adversarial bytes: every length is validated before allocation,
+// nothing panics, and the fuzz targets in fuzz_test.go hammer exactly the
+// two functions a peer can reach with attacker-controlled input
+// (DecodeRequest, DecodeResponse).
+//
+// Framing (both directions):
+//
+//	uint32  body length (big endian), at most MaxFrame-4
+//	uint64  request id  — echoed verbatim in the response so a pipelining
+//	                      client can match out-of-order completions
+//	uint8   opcode
+//	...     opcode-specific payload (requests) / status + payload (responses)
+//
+// Integers are big endian. Request payloads:
+//
+//	Ping         —
+//	Get          key(8)
+//	Insert       key(8) val(8)
+//	Delete       key(8)
+//	Scan         start(8) max(4)                      max <= MaxScan
+//	GetBatch     n(4) key(8)*n                        n <= MaxBatch
+//	InsertBatch  n(4) [key(8) val(8)]*n               n <= MaxBatch
+//	DeleteBatch  n(4) key(8)*n                        n <= MaxBatch
+//	Len          —
+//
+// Response payloads, after a 1-byte status (0 = OK; otherwise the remaining
+// body is a UTF-8 error message):
+//
+//	Ping         —
+//	Get          found(1) val(8)
+//	Insert       —
+//	Delete       found(1)
+//	Scan         n(4) [key(8) val(8)]*n
+//	GetBatch     n(4) [found(1) val(8)]*n
+//	InsertBatch  —
+//	DeleteBatch  n(4) found(1)*n
+//	Len          count(8)
+//
+// The per-op byte cost makes the batching amortization concrete: a pipelined
+// single-key GET costs 25 bytes of request framing for 8 bytes of key; a
+// 128-key GetBatch costs 17+4 bytes of framing for 1024 bytes of keys.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode identifies a request kind. Zero is deliberately invalid so an
+// all-zero frame (a classic truncation artifact) cannot decode.
+type Opcode uint8
+
+const (
+	OpInvalid Opcode = iota
+	OpPing
+	OpGet
+	OpInsert
+	OpDelete
+	OpScan
+	OpGetBatch
+	OpInsertBatch
+	OpDeleteBatch
+	OpLen
+
+	// NumOpcodes bounds the opcode space; valid opcodes are 1..NumOpcodes-1,
+	// so it can size per-opcode metric arrays.
+	NumOpcodes
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpGetBatch:
+		return "get-batch"
+	case OpInsertBatch:
+		return "insert-batch"
+	case OpDeleteBatch:
+		return "delete-batch"
+	case OpLen:
+		return "len"
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined request opcode.
+func (o Opcode) Valid() bool { return o > OpInvalid && o < NumOpcodes }
+
+// Status is the first payload byte of every response.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusBadRequest: the server could not decode or validate the request;
+	// the connection stays usable.
+	StatusBadRequest
+	// StatusShuttingDown: the server is draining and rejected new work.
+	StatusShuttingDown
+	// StatusErr: any other server-side failure.
+	StatusErr
+)
+
+// Wire limits. A decoder rejects anything beyond them before allocating, so
+// a hostile peer cannot make either side reserve unbounded memory.
+const (
+	// MaxFrame bounds a whole frame (4-byte length prefix included). It is
+	// sized so a MaxBatch insert batch and a MaxScan scan result both fit.
+	MaxFrame = 1 << 21
+	// MaxBatch bounds the entry count of one batched request.
+	MaxBatch = 1 << 16
+	// MaxScan bounds the pair count one Scan may request.
+	MaxScan = 1 << 16
+
+	headerLen = 4     // length prefix
+	prefixLen = 8 + 1 // request id + opcode, present in every body
+	maxBody   = MaxFrame - headerLen
+)
+
+// Decode errors. Wrapped with detail; match with errors.Is.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("proto: truncated frame")
+	ErrTrailingBytes = errors.New("proto: trailing bytes after payload")
+	ErrBadOpcode     = errors.New("proto: unknown opcode")
+	ErrLimit         = errors.New("proto: count exceeds protocol limit")
+)
+
+// Request is one decoded client request.
+type Request struct {
+	ID uint64
+	Op Opcode
+
+	Key uint64 // Get/Insert/Delete key, Scan start
+	Val uint64 // Insert value
+	Max uint32 // Scan pair budget
+
+	Keys []uint64 // GetBatch/DeleteBatch keys, InsertBatch keys
+	Vals []uint64 // InsertBatch values (len == len(Keys))
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID     uint64
+	Op     Opcode
+	Status Status
+	Msg    string // error message when Status != StatusOK
+
+	Found bool   // Get/Delete
+	Val   uint64 // Get value, Len count
+
+	Keys   []uint64 // Scan result keys
+	Vals   []uint64 // Scan result values, GetBatch values
+	Founds []bool   // GetBatch/DeleteBatch per-entry found flags
+}
+
+// Err returns the response's error, nil for StatusOK.
+func (r *Response) Err() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("proto: server status %d: %s", r.Status, r.Msg)
+}
+
+// --- encoding ---------------------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// AppendRequest appends r as one framed request to dst and returns the
+// extended slice. It returns an error (leaving dst unusable only in length)
+// if r violates a protocol limit, so a misconfigured caller fails loudly
+// instead of emitting a frame the peer must reject.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	lenAt := len(dst)
+	dst = appendU32(dst, 0) // frame length, patched below
+	dst = appendU64(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	switch r.Op {
+	case OpPing, OpLen:
+	case OpGet, OpDelete:
+		dst = appendU64(dst, r.Key)
+	case OpInsert:
+		dst = appendU64(dst, r.Key)
+		dst = appendU64(dst, r.Val)
+	case OpScan:
+		if r.Max > MaxScan {
+			return dst, fmt.Errorf("%w: scan max %d", ErrLimit, r.Max)
+		}
+		dst = appendU64(dst, r.Key)
+		dst = appendU32(dst, r.Max)
+	case OpGetBatch, OpDeleteBatch:
+		if len(r.Keys) > MaxBatch {
+			return dst, fmt.Errorf("%w: batch of %d", ErrLimit, len(r.Keys))
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendU64(dst, k)
+		}
+	case OpInsertBatch:
+		if len(r.Keys) > MaxBatch {
+			return dst, fmt.Errorf("%w: batch of %d", ErrLimit, len(r.Keys))
+		}
+		if len(r.Keys) != len(r.Vals) {
+			return dst, fmt.Errorf("proto: insert batch keys/vals length mismatch (%d vs %d)", len(r.Keys), len(r.Vals))
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for i, k := range r.Keys {
+			dst = appendU64(dst, k)
+			dst = appendU64(dst, r.Vals[i])
+		}
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
+	}
+	return patchLen(dst, lenAt)
+}
+
+// AppendResponse appends r as one framed response to dst.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	lenAt := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendU64(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	dst = append(dst, byte(r.Status))
+	if r.Status != StatusOK {
+		dst = append(dst, r.Msg...)
+		return patchLen(dst, lenAt)
+	}
+	switch r.Op {
+	case OpPing, OpInsert, OpInsertBatch:
+	case OpGet:
+		dst = append(dst, boolByte(r.Found))
+		dst = appendU64(dst, r.Val)
+	case OpDelete:
+		dst = append(dst, boolByte(r.Found))
+	case OpScan:
+		if len(r.Keys) > MaxScan || len(r.Keys) != len(r.Vals) {
+			return dst, fmt.Errorf("%w: scan result of %d/%d", ErrLimit, len(r.Keys), len(r.Vals))
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for i, k := range r.Keys {
+			dst = appendU64(dst, k)
+			dst = appendU64(dst, r.Vals[i])
+		}
+	case OpGetBatch:
+		if len(r.Vals) > MaxBatch || len(r.Vals) != len(r.Founds) {
+			return dst, fmt.Errorf("%w: get-batch result of %d/%d", ErrLimit, len(r.Vals), len(r.Founds))
+		}
+		dst = appendU32(dst, uint32(len(r.Vals)))
+		for i, v := range r.Vals {
+			dst = append(dst, boolByte(r.Founds[i]))
+			dst = appendU64(dst, v)
+		}
+	case OpDeleteBatch:
+		if len(r.Founds) > MaxBatch {
+			return dst, fmt.Errorf("%w: delete-batch result of %d", ErrLimit, len(r.Founds))
+		}
+		dst = appendU32(dst, uint32(len(r.Founds)))
+		for _, f := range r.Founds {
+			dst = append(dst, boolByte(f))
+		}
+	case OpLen:
+		dst = appendU64(dst, r.Val)
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
+	}
+	return patchLen(dst, lenAt)
+}
+
+// patchLen writes the frame's body length into the 4 bytes at lenAt and
+// rejects frames that outgrew MaxFrame.
+func patchLen(dst []byte, lenAt int) ([]byte, error) {
+	body := len(dst) - lenAt - headerLen
+	if body > maxBody {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body+headerLen)
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(body))
+	return dst, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// reader is a bounds-checked cursor over one frame body.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// count reads a 4-byte entry count and validates it against both the given
+// protocol limit and the bytes actually remaining in the frame (at perEntry
+// bytes each), so a lying count can neither over-allocate nor over-read.
+func (r *reader) count(limit int, perEntry int) (int, error) {
+	n32, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(n32)
+	if n > limit {
+		return 0, fmt.Errorf("%w: %d > %d", ErrLimit, n, limit)
+	}
+	if need := n * perEntry; need > r.remaining() {
+		return 0, fmt.Errorf("%w: count %d needs %d bytes, %d remain", ErrTruncated, n, need, r.remaining())
+	}
+	return n, nil
+}
+
+func (r *reader) done() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, r.remaining())
+	}
+	return nil
+}
+
+// DecodeRequest decodes one request from a frame body (the bytes after the
+// 4-byte length prefix) into req, which is overwritten; its Keys/Vals slices
+// are reused when their capacity suffices. It never panics and never
+// allocates more than the validated entry counts require.
+func DecodeRequest(body []byte, req *Request) error {
+	rd := reader{b: body}
+	id, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	opb, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	op := Opcode(opb)
+	if !op.Valid() {
+		return fmt.Errorf("%w: %d", ErrBadOpcode, opb)
+	}
+	*req = Request{ID: id, Op: op, Keys: req.Keys[:0], Vals: req.Vals[:0]}
+	switch op {
+	case OpPing, OpLen:
+	case OpGet, OpDelete:
+		if req.Key, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpInsert:
+		if req.Key, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Val, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpScan:
+		if req.Key, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Max, err = rd.u32(); err != nil {
+			return err
+		}
+		if req.Max > MaxScan {
+			return fmt.Errorf("%w: scan max %d", ErrLimit, req.Max)
+		}
+	case OpGetBatch, OpDeleteBatch:
+		n, err := rd.count(MaxBatch, 8)
+		if err != nil {
+			return err
+		}
+		req.Keys = growTo(req.Keys, n)
+		for i := 0; i < n; i++ {
+			req.Keys[i], _ = rd.u64() // length pre-validated by count
+		}
+	case OpInsertBatch:
+		n, err := rd.count(MaxBatch, 16)
+		if err != nil {
+			return err
+		}
+		req.Keys = growTo(req.Keys, n)
+		req.Vals = growTo(req.Vals, n)
+		for i := 0; i < n; i++ {
+			req.Keys[i], _ = rd.u64()
+			req.Vals[i], _ = rd.u64()
+		}
+	}
+	return rd.done()
+}
+
+// DecodeResponse decodes one response from a frame body into resp, which is
+// overwritten; slices are reused when capacity suffices.
+func DecodeResponse(body []byte, resp *Response) error {
+	rd := reader{b: body}
+	id, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	opb, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	op := Opcode(opb)
+	if !op.Valid() {
+		return fmt.Errorf("%w: %d", ErrBadOpcode, opb)
+	}
+	st, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	*resp = Response{
+		ID: id, Op: op, Status: Status(st),
+		Keys: resp.Keys[:0], Vals: resp.Vals[:0], Founds: resp.Founds[:0],
+	}
+	if resp.Status != StatusOK {
+		resp.Msg = string(rd.b[rd.off:])
+		return nil
+	}
+	switch op {
+	case OpPing, OpInsert, OpInsertBatch:
+	case OpGet:
+		f, err := rd.u8()
+		if err != nil {
+			return err
+		}
+		resp.Found = f != 0
+		if resp.Val, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpDelete:
+		f, err := rd.u8()
+		if err != nil {
+			return err
+		}
+		resp.Found = f != 0
+	case OpScan:
+		n, err := rd.count(MaxScan, 16)
+		if err != nil {
+			return err
+		}
+		resp.Keys = growTo(resp.Keys, n)
+		resp.Vals = growTo(resp.Vals, n)
+		for i := 0; i < n; i++ {
+			resp.Keys[i], _ = rd.u64()
+			resp.Vals[i], _ = rd.u64()
+		}
+	case OpGetBatch:
+		n, err := rd.count(MaxBatch, 9)
+		if err != nil {
+			return err
+		}
+		resp.Vals = growTo(resp.Vals, n)
+		resp.Founds = growBools(resp.Founds, n)
+		for i := 0; i < n; i++ {
+			f, _ := rd.u8()
+			resp.Founds[i] = f != 0
+			resp.Vals[i], _ = rd.u64()
+		}
+	case OpDeleteBatch:
+		n, err := rd.count(MaxBatch, 1)
+		if err != nil {
+			return err
+		}
+		resp.Founds = growBools(resp.Founds, n)
+		for i := 0; i < n; i++ {
+			f, _ := rd.u8()
+			resp.Founds[i] = f != 0
+		}
+	case OpLen:
+		if resp.Val, err = rd.u64(); err != nil {
+			return err
+		}
+	}
+	return rd.done()
+}
+
+func growTo(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// --- framing ----------------------------------------------------------------
+
+// ReadFrame reads one length-prefixed frame body from r into buf (grown as
+// needed) and returns the body slice, which aliases buf. It validates the
+// length prefix against MaxFrame before reading — a hostile peer cannot make
+// the caller allocate more than MaxFrame — and requires the body to contain
+// at least the id+opcode prefix.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxBody {
+		return nil, buf, fmt.Errorf("%w: body of %d", ErrFrameTooLarge, n)
+	}
+	if n < prefixLen {
+		return nil, buf, fmt.Errorf("%w: body of %d bytes", ErrTruncated, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	return body, buf, nil
+}

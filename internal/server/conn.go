@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"time"
+
+	"dytis/internal/kv"
+	"dytis/internal/proto"
+)
+
+// conn is one client connection: a read loop (the serve goroutine itself,
+// which also executes the index operations) feeding encoded responses to a
+// write loop over the bounded out channel. See the package comment for the
+// backpressure chain.
+type conn struct {
+	srv *Server
+	nc  netConn
+	out chan []byte
+
+	// Read-loop scratch, reused across requests so the steady state of a
+	// connection allocates only the response frames it sends.
+	readBuf []byte
+	req     proto.Request
+	resp    proto.Response
+	kvBuf   []kv.KV
+	shard   int
+}
+
+// netConn is the subset of net.Conn the conn uses (test seam).
+type netConn interface {
+	io.ReadWriteCloser
+	SetReadDeadline(t time.Time) error
+}
+
+func (c *conn) serve() {
+	c.shard = int(connSerial.Add(1))
+	c.out = make(chan []byte, c.srv.cfg.Pipeline)
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	for {
+		body, buf, err := proto.ReadFrame(br, c.readBuf)
+		c.readBuf = buf
+		if err != nil {
+			if err != io.EOF && !clientGone(err) {
+				c.srv.logf("server: conn read: %v", err)
+			}
+			break
+		}
+		if err := proto.DecodeRequest(body, &c.req); err != nil {
+			// The frame was well-delimited but its body is malformed. Answer
+			// with the request id if one was present, then drop the
+			// connection: a peer that emits garbage cannot be assumed to
+			// agree on stream alignment from here on.
+			if m := c.srv.cfg.Metrics; m != nil {
+				m.protoError()
+			}
+			var id uint64
+			if len(body) >= 8 {
+				id = binary.BigEndian.Uint64(body)
+			}
+			c.send(&proto.Response{
+				ID: id, Op: proto.OpPing, Status: proto.StatusBadRequest, Msg: err.Error(),
+			})
+			break
+		}
+		if !c.handle() {
+			break
+		}
+	}
+	close(c.out)
+	<-writerDone
+	c.nc.Close()
+}
+
+// handle executes c.req against the index, books the server-side latency,
+// and queues the response; it reports whether the connection should go on.
+func (c *conn) handle() bool {
+	idx := c.srv.cfg.Index
+	req, resp := &c.req, &c.resp
+	*resp = proto.Response{
+		ID: req.ID, Op: req.Op,
+		Keys: resp.Keys[:0], Vals: resp.Vals[:0], Founds: resp.Founds[:0],
+	}
+	t0 := time.Now()
+	switch req.Op {
+	case proto.OpPing:
+	case proto.OpGet:
+		resp.Val, resp.Found = idx.Get(req.Key)
+	case proto.OpInsert:
+		idx.Insert(req.Key, req.Val)
+	case proto.OpDelete:
+		resp.Found = idx.Delete(req.Key)
+	case proto.OpScan:
+		c.kvBuf = idx.Scan(req.Key, int(req.Max), c.kvBuf[:0])
+		for _, p := range c.kvBuf {
+			resp.Keys = append(resp.Keys, p.Key)
+			resp.Vals = append(resp.Vals, p.Value)
+		}
+	case proto.OpGetBatch:
+		resp.Vals, resp.Founds = idx.GetBatch(req.Keys, resp.Vals, resp.Founds)
+	case proto.OpInsertBatch:
+		idx.InsertBatch(req.Keys, req.Vals)
+	case proto.OpDeleteBatch:
+		resp.Founds = idx.DeleteBatch(req.Keys, resp.Founds)
+	case proto.OpLen:
+		resp.Val = uint64(idx.Len())
+	}
+	if m := c.srv.cfg.Metrics; m != nil {
+		m.recordOp(req.Op, c.shard, batchSize(req), time.Since(t0))
+	}
+	return c.send(resp)
+}
+
+// batchSize is the operation count a request represents, for metrics.
+func batchSize(req *proto.Request) int {
+	switch req.Op {
+	case proto.OpGetBatch, proto.OpInsertBatch, proto.OpDeleteBatch:
+		return len(req.Keys)
+	}
+	return 1
+}
+
+// send encodes resp and queues it on the out channel, blocking when the
+// write loop is backed up (the read side of the backpressure chain).
+func (c *conn) send(resp *proto.Response) bool {
+	frame, err := proto.AppendResponse(nil, resp)
+	if err != nil {
+		// Only reachable if the index returned an over-limit result, which
+		// the request validation rules out; treat as a connection-fatal bug.
+		c.srv.logf("server: encode response: %v", err)
+		return false
+	}
+	c.out <- frame
+	return true
+}
+
+// writeLoop drains the out channel into the socket through one buffered
+// writer, flushing whenever the queue momentarily empties, so pipelined
+// responses coalesce into large writes but the last response of a burst is
+// never withheld.
+func (c *conn) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	for frame := range c.out {
+		if _, err := bw.Write(frame); err != nil {
+			c.nc.Close() // unwedge the read loop too
+			drainOut(c.out)
+			return
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.nc.Close()
+				drainOut(c.out)
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// drainOut keeps a failed writer from wedging the read loop on a full
+// channel: consume until the read loop closes it.
+func drainOut(out <-chan []byte) {
+	for range out {
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"dytis/internal/lathist"
+	"dytis/internal/proto"
+)
+
+// metricsShards spreads per-opcode latency recording over a few histogram
+// shards keyed by connection serial, the same contention-avoidance scheme
+// internal/obs uses with EH indexes. Power of two.
+const metricsShards = 8
+
+// Metrics collects server-side observability: per-opcode request latency
+// histograms (measured from decode to response enqueue, i.e. including the
+// index work but not the client's network time) and connection counters.
+// All methods are safe for concurrent use; the zero value is ready.
+//
+// It deliberately mirrors internal/obs rather than replacing it: the obs
+// Observer keeps reporting index-side op latency and structure events, and
+// cmd/dytis-server serves both on one /metrics endpoint, so server-side
+// latency sits next to the index's own numbers with distinct metric names
+// (dytis_server_* vs dytis_*).
+type Metrics struct {
+	ops [proto.NumOpcodes][metricsShards]lathist.AtomicHist
+	// opCount counts index operations (batch entries count individually),
+	// while the histograms count requests.
+	opCount [proto.NumOpcodes]atomic.Int64
+
+	connsTotal  atomic.Int64
+	connsActive atomic.Int64
+	protoErrors atomic.Int64
+}
+
+func (m *Metrics) connAccepted() {
+	m.connsTotal.Add(1)
+	m.connsActive.Add(1)
+}
+
+func (m *Metrics) connClosed() { m.connsActive.Add(-1) }
+
+func (m *Metrics) protoError() { m.protoErrors.Add(1) }
+
+// recordOp books one request of the given opcode covering n index
+// operations, served in d.
+func (m *Metrics) recordOp(op proto.Opcode, shard int, n int, d time.Duration) {
+	if !op.Valid() {
+		return
+	}
+	m.ops[op][shard&(metricsShards-1)].Record(d)
+	m.opCount[op].Add(int64(n))
+}
+
+// OpHist returns a merged snapshot of one opcode's request latency
+// histogram.
+func (m *Metrics) OpHist(op proto.Opcode) *lathist.Hist {
+	h := &lathist.Hist{}
+	if !op.Valid() {
+		return h
+	}
+	for i := range m.ops[op] {
+		m.ops[op][i].AddTo(h)
+	}
+	return h
+}
+
+// OpCount returns the number of index operations served under the opcode
+// (batch entries counted individually).
+func (m *Metrics) OpCount(op proto.Opcode) int64 {
+	if !op.Valid() {
+		return 0
+	}
+	return m.opCount[op].Load()
+}
+
+// ConnsActive returns the number of currently served connections.
+func (m *Metrics) ConnsActive() int64 { return m.connsActive.Load() }
+
+// ConnsTotal returns the number of connections accepted since start.
+func (m *Metrics) ConnsTotal() int64 { return m.connsTotal.Load() }
+
+// ProtoErrors returns the number of malformed requests received.
+func (m *Metrics) ProtoErrors() int64 { return m.protoErrors.Load() }
+
+var promQuantiles = []float64{0.5, 0.9, 0.99, 0.9999}
+
+// WritePrometheus writes the server metrics in the Prometheus text
+// exposition format. cmd/dytis-server appends it to the index observer's
+// output on the same /metrics endpoint.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintln(w, "# HELP dytis_server_request_latency_nanoseconds Server-side request latency (decode to response enqueue) per opcode.")
+	fmt.Fprintln(w, "# TYPE dytis_server_request_latency_nanoseconds summary")
+	for op := proto.Opcode(1); op < proto.NumOpcodes; op++ {
+		h := m.OpHist(op)
+		if h.Count() == 0 {
+			continue
+		}
+		for _, q := range promQuantiles {
+			fmt.Fprintf(w, "dytis_server_request_latency_nanoseconds{op=%q,quantile=\"%g\"} %d\n",
+				op.String(), q, int64(h.Quantile(q)))
+		}
+		fmt.Fprintf(w, "dytis_server_request_latency_nanoseconds_sum{op=%q} %d\n", op.String(), h.Sum())
+		fmt.Fprintf(w, "dytis_server_request_latency_nanoseconds_count{op=%q} %d\n", op.String(), h.Count())
+	}
+	fmt.Fprintln(w, "# HELP dytis_server_ops_total Index operations served per opcode (batch entries counted individually).")
+	fmt.Fprintln(w, "# TYPE dytis_server_ops_total counter")
+	for op := proto.Opcode(1); op < proto.NumOpcodes; op++ {
+		if n := m.OpCount(op); n != 0 {
+			fmt.Fprintf(w, "dytis_server_ops_total{op=%q} %d\n", op.String(), n)
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"dytis_server_connections_active", "Currently served connections.", m.ConnsActive()},
+		{"dytis_server_connections_total", "Connections accepted since start.", m.ConnsTotal()},
+		{"dytis_server_protocol_errors_total", "Malformed requests received.", m.ProtoErrors()},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+}

@@ -1,0 +1,254 @@
+// Package server is the network serving subsystem: it exposes a DyTIS index
+// over the length-prefixed binary protocol of internal/proto with request
+// pipelining, per-connection read/write goroutines, batched opcodes,
+// connection limits with accept-side backpressure, and graceful drain.
+//
+// Concurrency model, per connection:
+//
+//	read loop ──decode──► handle (index op) ──encode──► out chan ──► write loop
+//
+// The read loop decodes and executes requests back-to-back without waiting
+// for the client to consume responses — that is what makes client-side
+// pipelining effective — and hands each encoded response to the write loop
+// over a bounded channel. The chain is self-throttling end to end: a client
+// that stops reading stalls the write loop on TCP, which fills the out
+// channel, which blocks the read loop, which fills the client's send window.
+// No per-connection buffering grows beyond the channel's Pipeline frames.
+//
+// Because every index operation a connection issues runs on that
+// connection's read-loop goroutine, the server is exactly the multi-client
+// adversarial workload the Concurrent index was built for: N connections =
+// N goroutines hammering Get/Insert/Delete/Scan (the optimistic read path
+// included) with no additional synchronization in this package.
+//
+// Graceful drain (Shutdown): the listener closes first (no new
+// connections), then every connection's read deadline is pulled to "now".
+// Requests already buffered keep executing and their responses flush before
+// the connection closes — a pipelining client receives an answer for
+// everything the server read off the wire — and Shutdown returns when every
+// connection has drained, or forcibly closes the stragglers when its
+// context expires.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dytis/internal/kv"
+)
+
+// Index is the index surface the server serves; *core.DyTIS (and therefore
+// the public dytis.Index) implements it. The index must be in Concurrent
+// mode: every connection drives it from its own goroutine.
+type Index interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, value uint64)
+	Delete(key uint64) bool
+	Scan(start uint64, max int, dst []kv.KV) []kv.KV
+	GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool)
+	InsertBatch(keys, vals []uint64)
+	DeleteBatch(keys []uint64, found []bool) []bool
+	Len() int
+}
+
+// Config configures a Server; Index is the only required field.
+type Config struct {
+	Index Index
+	// MaxConns caps simultaneously served connections (default 256). At the
+	// cap, further clients queue in the kernel accept backlog instead of
+	// being accepted and starved — backpressure, not load shedding.
+	MaxConns int
+	// Pipeline is the per-connection bound on encoded responses queued
+	// between the read and write loops (default 128).
+	Pipeline int
+	// Metrics, when non-nil, records server-side per-opcode latencies and
+	// connection counters (see metrics.go).
+	Metrics *Metrics
+	// Logf, when non-nil, receives one line per abnormal connection end.
+	Logf func(format string, args ...any)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown, mirroring net/http.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves one Index over one listener. Create with New, run with
+// Serve, stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	closed chan struct{} // closed when Shutdown begins
+	wg     sync.WaitGroup
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	if cfg.Index == nil {
+		panic("server: Config.Index is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 128
+	}
+	return &Server{
+		cfg:    cfg,
+		conns:  make(map[*conn]struct{}),
+		closed: make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (returning ErrServerClosed)
+// or an unrecoverable accept error. The listener is closed on return.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer ln.Close()
+
+	sem := make(chan struct{}, s.cfg.MaxConns)
+	for {
+		// Acquire a connection slot before accepting: at MaxConns the accept
+		// loop itself blocks and new clients wait in the listen backlog.
+		select {
+		case sem <- struct{}{}:
+		case <-s.closed:
+			return ErrServerClosed
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-sem
+			select {
+			case <-s.closed:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		c := &conn{srv: s, nc: nc}
+		if !s.track(c) { // lost the race with Shutdown
+			nc.Close()
+			<-sem
+			return ErrServerClosed
+		}
+		if m := s.cfg.Metrics; m != nil {
+			m.connAccepted()
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-sem }()
+			c.serve()
+			s.untrack(c)
+			if m := s.cfg.Metrics; m != nil {
+				m.connClosed()
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+func (s *Server) track(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully drains the server: it stops accepting, lets every
+// connection finish the requests the server has already read (flushing their
+// responses), and waits for all connections to end. If ctx expires first the
+// remaining connections are closed forcibly and ctx.Err() is returned.
+// Shutdown is idempotent; concurrent calls all wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if first {
+		close(s.closed)
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	// Pull every reader's deadline to now: blocked reads fail immediately,
+	// while requests already buffered decode and execute before the reader
+	// next touches the socket.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// connSerial numbers connections for metric sharding.
+var connSerial atomic.Uint64
+
+// errClientGone matches the errors a closing or resetting peer produces,
+// which are normal ends, not log-worthy failures.
+func clientGone(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true // drain deadline
+	}
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,422 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dytis/client"
+	"dytis/internal/check"
+	"dytis/internal/core"
+	"dytis/internal/proto"
+	"dytis/internal/server"
+)
+
+// smallOpts mirrors the concurrency tests' configuration: tiny segments so
+// even small key counts exercise splits, remaps, and directory doublings
+// under the server's multi-connection load.
+func smallOpts() core.Options {
+	return core.Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2, Concurrent: true}
+}
+
+// start runs a server over idx on a loopback listener and returns its
+// address; the server is drained at test end and the index checked.
+func start(t *testing.T, idx *core.DyTIS, cfg server.Config) (string, *server.Server) {
+	t.Helper()
+	cfg.Index = idx
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; !errors.Is(err, server.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		requireSound(t, idx)
+	})
+	return ln.Addr().String(), srv
+}
+
+func requireSound(t *testing.T, d *core.DyTIS) {
+	t.Helper()
+	if vs := check.Check(d); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("invariant violation: %v", v)
+		}
+		t.FailNow()
+	}
+}
+
+func TestServeBasicOps(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, _ := start(t, idx, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := c.Insert(ctx, k<<40, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := c.Get(ctx, 7<<40)
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("Get = %d,%v,%v want 7,true,nil", v, ok, err)
+	}
+	if _, ok, _ := c.Get(ctx, 12345); ok {
+		t.Fatal("Get of absent key reported found")
+	}
+	found, err := c.Delete(ctx, 7<<40)
+	if err != nil || !found {
+		t.Fatalf("Delete = %v,%v want true,nil", found, err)
+	}
+	if n, _ := c.Len(ctx); n != 99 {
+		t.Fatalf("Len = %d want 99", n)
+	}
+	keys, vals, err := c.Scan(ctx, 0, 10)
+	if err != nil || len(keys) != 10 {
+		t.Fatalf("Scan returned %d keys, err %v", len(keys), err)
+	}
+	for i, k := range keys {
+		if k != vals[i]<<40 {
+			t.Fatalf("scan pair %d: key %d val %d", i, k, vals[i])
+		}
+	}
+
+	// Batched opcodes.
+	bk := []uint64{1 << 40, 2 << 40, 7 << 40}
+	bv, bf, err := c.GetBatch(ctx, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bf[0] || !bf[1] || bf[2] {
+		t.Fatalf("GetBatch founds = %v", bf)
+	}
+	if bv[0] != 1 || bv[1] != 2 {
+		t.Fatalf("GetBatch vals = %v", bv)
+	}
+	if err := c.InsertBatch(ctx, []uint64{500, 501}, []uint64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	df, err := c.DeleteBatch(ctx, []uint64{500, 999})
+	if err != nil || !df[0] || df[1] {
+		t.Fatalf("DeleteBatch = %v, %v", df, err)
+	}
+}
+
+// TestPipelinedResponses drives many goroutines over a single pooled
+// connection; response-to-request matching by id is what keeps every caller
+// seeing its own key's value.
+func TestPipelinedResponses(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, _ := start(t, idx, server.Config{})
+	c, err := client.Dial(addr, client.WithPoolSize(1), client.WithPipeline(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const workers = 16
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				if err := c.Insert(ctx, k, k+1); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				v, ok, err := c.Get(ctx, k)
+				if err != nil || !ok || v != k+1 {
+					t.Errorf("get %d = %d,%v,%v", k, v, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, _ := c.Len(ctx); n != workers*perWorker {
+		t.Fatalf("Len = %d want %d", n, workers*perWorker)
+	}
+}
+
+// TestMalformedFrame sends a syntactically framed but semantically garbage
+// request: the server must answer StatusBadRequest with the echoed id and
+// close the connection, never crash or hang.
+func TestMalformedFrame(t *testing.T) {
+	idx := core.New(smallOpts())
+	m := &server.Metrics{}
+	addr, _ := start(t, idx, server.Config{Metrics: m})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// id=77, opcode=0xEE (unknown).
+	body := binary.BigEndian.AppendUint64(nil, 77)
+	body = append(body, 0xEE)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	respBody, _, err := proto.ReadFrame(nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := proto.DecodeResponse(respBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 77 || resp.Status != proto.StatusBadRequest {
+		t.Fatalf("resp = %+v, want id 77 status bad-request", resp)
+	}
+	// The connection must now close.
+	if _, _, err := proto.ReadFrame(nc, nil); err == nil {
+		t.Fatal("connection stayed open after protocol error")
+	}
+	if m.ProtoErrors() != 1 {
+		t.Fatalf("ProtoErrors = %d want 1", m.ProtoErrors())
+	}
+}
+
+// TestConnLimitBackpressure: with MaxConns=1 a second client connects (the
+// kernel backlog accepts it) but is not served until the first leaves —
+// backpressure, not rejection.
+func TestConnLimitBackpressure(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, _ := start(t, idx, server.Config{MaxConns: 1})
+
+	c1, err := client.Dial(addr, client.WithPoolSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP-accepted by the kernel backlog, but not served.
+	c2, err := client.Dial(addr, client.WithPoolSize(1))
+	if err != nil {
+		t.Fatalf("second dial should enter the backlog, got %v", err)
+	}
+	defer c2.Close()
+	shortCtx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := c2.Ping(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unserved conn's ping = %v, want DeadlineExceeded", err)
+	}
+
+	c1.Close() // frees the slot
+	longCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := c2.Ping(longCtx); err != nil {
+		t.Fatalf("ping after slot freed: %v", err)
+	}
+}
+
+// TestGracefulDrain: requests the server has already read are executed and
+// their responses flushed before the connection closes, so a pipelining
+// client gets an answer for everything it managed to send.
+func TestGracefulDrain(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, srv := start(t, idx, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	const n = 200
+	var out []byte
+	for i := uint64(1); i <= n; i++ {
+		out, err = proto.AppendRequest(out, &proto.Request{ID: i, Op: proto.OpInsert, Key: i, Val: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to buffer the burst, then drain.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := 0
+	var buf []byte
+	for {
+		var body []byte
+		body, buf, err = proto.ReadFrame(nc, buf)
+		if err != nil {
+			break // EOF once the drained conn closes
+		}
+		var resp proto.Response
+		if err := proto.DecodeResponse(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != proto.StatusOK {
+			t.Fatalf("drained response %d: %+v", resp.ID, resp)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("received %d responses before close, want %d", got, n)
+	}
+	if idx.Len() != n {
+		t.Fatalf("index has %d keys, want %d", idx.Len(), n)
+	}
+}
+
+// TestSlowReaderBackpressure: a client that writes a large pipelined burst
+// and refuses to read must stall the server's bounded per-connection queue,
+// not balloon its memory — and the server must keep serving other
+// connections meanwhile. When the slow reader finally reads, every response
+// arrives intact.
+func TestSlowReaderBackpressure(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, _ := start(t, idx, server.Config{Pipeline: 8})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// A burst of scans with fat responses, written without reading anything:
+	// response bytes >> request bytes, so the server-side queue and socket
+	// buffers fill long before the burst is consumed.
+	for k := uint64(0); k < 2000; k++ {
+		idx.Insert(k, k)
+	}
+	const burst = 2000
+	var out []byte
+	for i := uint64(1); i <= burst; i++ {
+		out, err = proto.AppendRequest(out, &proto.Request{ID: i, Op: proto.OpScan, Key: 0, Max: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := nc.Write(out)
+		wrote <- err
+	}()
+
+	// While the slow reader is stalled, a second connection is served
+	// promptly: per-connection backpressure does not become head-of-line
+	// blocking across connections.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c2.Ping(ctx); err != nil {
+		t.Fatalf("second conn starved during slow-reader stall: %v", err)
+	}
+
+	// Now read everything; all burst responses must arrive, in order and
+	// well-formed.
+	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var buf []byte
+	var resp proto.Response
+	for want := uint64(1); want <= burst; want++ {
+		body, nbuf, err := proto.ReadFrame(nc, buf)
+		buf = nbuf
+		if err != nil {
+			t.Fatalf("reading response %d: %v", want, err)
+		}
+		if err := proto.DecodeResponse(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != want || resp.Status != proto.StatusOK || len(resp.Keys) != 512 {
+			t.Fatalf("response %d: id=%d status=%d keys=%d", want, resp.ID, resp.Status, len(resp.Keys))
+		}
+	}
+	if err := <-wrote; err != nil {
+		t.Fatalf("burst write: %v", err)
+	}
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	idx := core.New(smallOpts())
+	m := &server.Metrics{}
+	addr, _ := start(t, idx, server.Config{Metrics: m})
+	c, err := client.Dial(addr, client.WithPoolSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	c.Insert(ctx, 1, 2)
+	c.Get(ctx, 1)
+	c.GetBatch(ctx, []uint64{1, 2, 3})
+
+	if got := m.OpCount(proto.OpGetBatch); got != 3 {
+		t.Errorf("OpCount(get-batch) = %d want 3 (batch entries count individually)", got)
+	}
+	if m.ConnsActive() != 1 || m.ConnsTotal() != 1 {
+		t.Errorf("conns active/total = %d/%d want 1/1", m.ConnsActive(), m.ConnsTotal())
+	}
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`dytis_server_request_latency_nanoseconds{op="get",quantile="0.99"}`,
+		`dytis_server_ops_total{op="insert"} 1`,
+		`dytis_server_ops_total{op="get-batch"} 3`,
+		"dytis_server_connections_active 1",
+		"dytis_server_protocol_errors_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(out, `op="delete"`) {
+		t.Error("metrics output contains series for unused opcode")
+	}
+}
+
+// TestShutdownIdempotent also covers shutting down with no connections.
+func TestShutdownIdempotent(t *testing.T) {
+	idx := core.New(smallOpts())
+	_, srv := start(t, idx, server.Config{})
+	ctx := context.Background()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package workload
+
+// Stripe partitions an op stream round-robin into n substreams for
+// multi-client replay: client i executes ops[i], ops[i+n], ops[i+2n], …
+// in order. Round-robin keeps every client's substream representative of
+// the whole mix (a contiguous split would hand one client all the early
+// inserts of an insert-bounded workload) and preserves each op's relative
+// order within its stripe. Concurrent replay of the stripes interleaves
+// nondeterministically — that is the point of network-mode benchmarking —
+// so correctness of a striped replay is judged against a quiescent oracle,
+// not op-by-op.
+//
+// The returned slices alias freshly allocated arrays, not ops.
+func Stripe(ops []Op, n int) [][]Op {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Op, n)
+	per := len(ops) / n
+	for i := range out {
+		out[i] = make([]Op, 0, per+1)
+	}
+	for i, op := range ops {
+		out[i%n] = append(out[i%n], op)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+func TestStripe(t *testing.T) {
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Key: uint64(i)}
+	}
+	stripes := Stripe(ops, 3)
+	if len(stripes) != 3 {
+		t.Fatalf("got %d stripes", len(stripes))
+	}
+	// Every op appears exactly once, on stripe i%n, in order.
+	total := 0
+	for s, stripe := range stripes {
+		prev := -1
+		for _, op := range stripe {
+			k := int(op.Key)
+			if k%3 != s {
+				t.Fatalf("key %d landed on stripe %d", k, s)
+			}
+			if k <= prev {
+				t.Fatalf("stripe %d out of order: %d after %d", s, k, prev)
+			}
+			prev = k
+			total++
+		}
+	}
+	if total != len(ops) {
+		t.Fatalf("stripes hold %d ops, want %d", total, len(ops))
+	}
+}
+
+func TestStripeDegenerate(t *testing.T) {
+	if got := Stripe(nil, 4); len(got) != 4 {
+		t.Fatalf("nil ops: %d stripes", len(got))
+	}
+	one := Stripe(make([]Op, 5), 0) // n < 1 clamps to 1
+	if len(one) != 1 || len(one[0]) != 5 {
+		t.Fatalf("clamped stripe: %d stripes, %d ops", len(one), len(one[0]))
+	}
+}
