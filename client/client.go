@@ -18,8 +18,28 @@
 // client never silently retries an operation after its bytes may have
 // reached the server — a failed Insert may or may not have applied, and
 // only the caller knows whether re-issuing is safe — but the next operation
-// on the client transparently redials (bounded attempts, exponential
-// backoff), so a restarted server resumes service without new Dial calls.
+// on the client transparently redials (bounded attempts, jittered
+// exponential backoff), so a restarted server resumes service without new
+// Dial calls.
+//
+// Overload and failure handling: when the server sheds a request under
+// admission control, the operation fails with an error matching
+// ErrOverload, and errors.As against *OverloadError yields the server's
+// retry-after hint. A circuit breaker (see WithCircuitBreaker) watches
+// connection-level failures and overloads: after enough consecutive ones
+// it opens, failing operations instantly with ErrCircuitOpen instead of
+// hammering a struggling server, and after a cooldown it lets a single
+// probe through (half-open) — one success closes it again. When the
+// calling context carries a deadline, the remaining budget is propagated
+// to the server on the wire, letting it skip requests whose caller has
+// already given up.
+//
+// Close semantics: Close is idempotent and safe to call concurrently with
+// operations. It closes every pooled connection; operations blocked on a
+// response fail promptly, and every entry point called after Close —
+// including ones racing with it — returns an error matching
+// ErrClientClosed. A closed client never redials; create a new Client with
+// Dial to reconnect.
 //
 //	c, err := client.Dial("127.0.0.1:7070")
 //	defer c.Close()
@@ -32,17 +52,58 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"net"
 	"sync"
 	"time"
 
 	"dytis/internal/proto"
 )
 
-// ErrClosed is returned by operations on a Client after Close.
-var ErrClosed = errors.New("client: closed")
+// ErrClientClosed is returned by every entry point invoked after Close
+// (match with errors.Is).
+var ErrClientClosed = errors.New("client: closed")
+
+// ErrClosed is a deprecated alias for ErrClientClosed.
+//
+// Deprecated: use ErrClientClosed.
+var ErrClosed = ErrClientClosed
+
+// ErrOverload matches (via errors.Is) the error of an operation the server
+// shed under admission control; errors.As with *OverloadError recovers the
+// retry-after hint.
+var ErrOverload = errors.New("client: server overloaded")
+
+// ErrCircuitOpen matches (via errors.Is) operations failed fast by the
+// circuit breaker while it is open: the server has produced enough
+// consecutive connection failures or overloads that the client backs off
+// entirely until the breaker's cooldown lets a probe through.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// OverloadError is the typed error of a request shed by the server.
+type OverloadError struct {
+	// RetryAfter is the server's hint for when to try again (zero when the
+	// server sent none or it did not parse).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: server overloaded; retry after %s", e.RetryAfter)
+	}
+	return "client: server overloaded"
+}
+
+// Is makes errors.Is(err, ErrOverload) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverload }
 
 // Option configures a Client at Dial time.
 type Option func(*options)
+
+// Dialer opens the client's transport connections; the default is a plain
+// TCP dial. Replace it with WithDialer to route through a proxy or a
+// fault-injected conn (internal/fault) in chaos tests.
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 
 type options struct {
 	poolSize    int
@@ -52,6 +113,9 @@ type options struct {
 	redials     int
 	backoffMin  time.Duration
 	backoffMax  time.Duration
+	breakTrips  int           // consecutive failures that open the breaker; 0 = disabled
+	breakCool   time.Duration // open-state cooldown before a half-open probe
+	dialer      Dialer
 }
 
 func defaultOptions() options {
@@ -63,6 +127,8 @@ func defaultOptions() options {
 		redials:     4,
 		backoffMin:  25 * time.Millisecond,
 		backoffMax:  1 * time.Second,
+		breakTrips:  16,
+		breakCool:   500 * time.Millisecond,
 	}
 }
 
@@ -107,8 +173,10 @@ func WithRequestTimeout(d time.Duration) Option {
 }
 
 // WithReconnect bounds transparent redialing of a broken pool slot:
-// attempts tries per operation, with exponential backoff from min to max
-// between consecutive failures of that slot (defaults: 4 tries, 25ms–1s).
+// attempts tries per operation, with jittered exponential backoff from min
+// to max between consecutive failures of that slot (defaults: 4 tries,
+// 25ms–1s). Jitter (±25%) keeps a fleet of clients from re-dialing a
+// recovering server in lockstep.
 func WithReconnect(attempts int, min, max time.Duration) Option {
 	return func(o *options) {
 		if attempts > 0 {
@@ -123,16 +191,117 @@ func WithReconnect(attempts int, min, max time.Duration) Option {
 	}
 }
 
+// WithCircuitBreaker tunes the client's circuit breaker: after trips
+// consecutive connection failures or overloads the breaker opens and
+// operations fail fast with ErrCircuitOpen; after cooldown one probe is
+// let through (half-open) and its success closes the breaker. Defaults:
+// 16 trips, 500ms cooldown. trips <= 0 disables the breaker.
+func WithCircuitBreaker(trips int, cooldown time.Duration) Option {
+	return func(o *options) {
+		o.breakTrips = trips
+		if cooldown > 0 {
+			o.breakCool = cooldown
+		}
+	}
+}
+
+// WithDialer replaces the transport dialer (default: TCP). The chaos test
+// suite routes connections through internal/fault with this.
+func WithDialer(d Dialer) Option {
+	return func(o *options) {
+		if d != nil {
+			o.dialer = d
+		}
+	}
+}
+
 // Client is a pooled, pipelining dytis-server client. Create with Dial; all
 // methods are safe for concurrent use.
 type Client struct {
 	addr string
 	o    options
+	br   *breaker // nil when the breaker is disabled
 
 	mu     sync.Mutex
-	slots  []*slot
-	rr     uint64
-	closed bool
+	slots  []*slot // guarded-by: mu (slice header; slots have their own locks)
+	rr     uint64  // guarded-by: mu
+	closed bool    // guarded-by: mu
+}
+
+// breaker is the client's circuit breaker. States: closed (normal), open
+// (fail fast until cooldown), half-open (one probe in flight). Connection
+// failures and overloads count; responses received from the server — even
+// error responses — and caller-side context expiries do not.
+type breaker struct {
+	trips    int
+	cooldown time.Duration
+
+	mu       sync.Mutex
+	fails    int       // guarded-by: mu — consecutive trip-class failures
+	openedAt time.Time // guarded-by: mu — zero when closed
+	probing  bool      // guarded-by: mu — a half-open probe is in flight
+}
+
+// allow gates an operation: nil to proceed, ErrCircuitOpen to fail fast.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return nil
+	}
+	if time.Since(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true // half-open: exactly one probe
+	return nil
+}
+
+// record books an operation's outcome. verdict trips the breaker on
+// breakerTrip, closes it on breakerOK, and leaves it untouched otherwise.
+func (b *breaker) record(v breakerVerdict) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch v {
+	case breakerOK:
+		b.fails = 0
+		b.openedAt = time.Time{}
+		b.probing = false
+	case breakerTrip:
+		b.fails++
+		b.probing = false
+		if b.fails >= b.trips {
+			b.openedAt = time.Now()
+		}
+	default: // breakerNeutral: a probe slot must still be released
+		b.probing = false
+	}
+}
+
+type breakerVerdict int
+
+const (
+	breakerNeutral breakerVerdict = iota // ctx expiry, client closed
+	breakerOK                            // a response arrived (even an error response)
+	breakerTrip                          // connection failure or overload
+)
+
+// classify maps an operation error to its breaker verdict.
+func classify(err error, gotResponse bool) breakerVerdict {
+	switch {
+	case err == nil:
+		return breakerOK
+	case errors.Is(err, ErrOverload):
+		return breakerTrip
+	case errors.Is(err, ErrClientClosed),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return breakerNeutral
+	case gotResponse:
+		// The server answered (e.g. StatusBadRequest): the link is healthy.
+		return breakerOK
+	default:
+		return breakerTrip // dial, write, or read failure
+	}
 }
 
 // slot is one pool position: a live connection, or a cooldown record from
@@ -153,6 +322,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		apply(&o)
 	}
 	c := &Client{addr: addr, o: o, slots: make([]*slot, o.poolSize)}
+	if o.breakTrips > 0 {
+		c.br = &breaker{trips: o.breakTrips, cooldown: o.breakCool}
+	}
 	for i := range c.slots {
 		c.slots[i] = &slot{}
 	}
@@ -164,8 +336,10 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// Close shuts the client down: all pooled connections close and their
-// in-flight requests fail. Close is idempotent.
+// Close shuts the client down: all pooled connections close, their
+// in-flight requests fail, and every later operation returns an error
+// matching ErrClientClosed. Close is idempotent and safe to call
+// concurrently with operations.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -178,7 +352,7 @@ func (c *Client) Close() error {
 	for _, s := range slots {
 		s.mu.Lock()
 		if s.cc != nil {
-			s.cc.fail(ErrClosed)
+			s.cc.fail(ErrClientClosed)
 			s.cc = nil
 		}
 		s.mu.Unlock()
@@ -193,7 +367,7 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, ErrClientClosed
 	}
 	c.rr++
 	s := c.slots[c.rr%uint64(len(c.slots))]
@@ -232,7 +406,10 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	return nil, fmt.Errorf("client: reconnect to %s failed after %d attempts: %w", c.addr, c.o.redials, lastErr)
 }
 
-// backoff returns how long the slot's cooldown still has to run.
+// backoff returns how long the slot's cooldown still has to run. The
+// exponential base is jittered ±25% so a client fleet whose server just
+// restarted does not redial in lockstep (a thundering herd re-creates the
+// overload that killed the server).
 func (c *Client) backoff(s *slot) time.Duration {
 	if s.failures == 0 {
 		return 0
@@ -241,6 +418,7 @@ func (c *Client) backoff(s *slot) time.Duration {
 	if d > c.o.backoffMax || d <= 0 {
 		d = c.o.backoffMax
 	}
+	d = time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
 	if elapsed := time.Since(s.lastFail); elapsed < d {
 		return d - elapsed
 	}
@@ -258,7 +436,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do sends req on a pooled connection and waits for its response.
+// do sends req on a pooled connection and waits for its response, gated by
+// the circuit breaker and with the ctx deadline budget propagated on the
+// wire.
 func (c *Client) do(ctx context.Context, req *proto.Request) (*proto.Response, error) {
 	if c.o.reqTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -267,6 +447,25 @@ func (c *Client) do(ctx context.Context, req *proto.Request) (*proto.Response, e
 			defer cancel()
 		}
 	}
+	if c.br != nil {
+		if err := c.br.allow(); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.doOnce(ctx, req)
+	if c.br != nil {
+		c.br.record(classify(err, resp != nil))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// doOnce is one attempt: pick (or redial) a connection, send, wait, and
+// map error statuses to typed errors. A non-nil response alongside a
+// non-nil error means the server answered — the link itself is healthy.
+func (c *Client) doOnce(ctx context.Context, req *proto.Request) (*proto.Response, error) {
 	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, err
@@ -275,8 +474,12 @@ func (c *Client) do(ctx context.Context, req *proto.Request) (*proto.Response, e
 	if err != nil {
 		return nil, err
 	}
+	if resp.Status == proto.StatusOverload {
+		ra, _ := resp.RetryAfter()
+		return resp, &OverloadError{RetryAfter: ra}
+	}
 	if err := resp.Err(); err != nil {
-		return nil, err
+		return resp, err
 	}
 	return resp, nil
 }

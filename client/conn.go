@@ -39,7 +39,13 @@ type result struct {
 }
 
 func dialConn(addr string, o options) (*clientConn, error) {
-	nc, err := net.DialTimeout("tcp", addr, o.dialTimeout)
+	dial := o.dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, o.dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +121,21 @@ func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Respon
 	defer func() { <-cc.inflight }()
 
 	req.ID = cc.nextID.Add(1)
+	// Propagate the caller's remaining deadline budget on the wire so the
+	// server can skip executing a request whose caller has already given
+	// up (it answers StatusDeadlineExceeded, which nobody is waiting for).
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			ms := int64(rem / time.Millisecond)
+			if ms < 1 {
+				ms = 1
+			}
+			if ms > int64(^uint32(0)) {
+				ms = int64(^uint32(0))
+			}
+			req.TimeoutMS = uint32(ms)
+		}
+	}
 	frame, err := proto.AppendRequest(nil, req)
 	if err != nil {
 		return nil, err

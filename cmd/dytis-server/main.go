@@ -12,14 +12,22 @@
 // With -metrics, an HTTP endpoint serves the index observer's histograms
 // and structure-event counters together with the server-side request
 // latency metrics on one /metrics page (Prometheus text format; expvar
-// JSON at /debug/vars).
+// JSON at /debug/vars), plus a /healthz readiness probe that answers 200
+// while the server accepts work and 503 once it is draining.
 //
 //	-mode optimistic   concurrent index, lock-free Get / snapshot Scan (default)
 //	-mode locked       concurrent index, fully locked §3.4 read path
 //
+// Overload hardening is flag-controlled: -idle-timeout, -read-timeout, and
+// -write-timeout bound slow or stalled peers (the read timeout is the
+// slow-loris defense), and -max-inflight with -retry-after turns on
+// admission control — excess requests are shed with a typed overload answer
+// carrying the retry-after hint instead of queueing without bound.
+//
 // On SIGINT/SIGTERM the server stops accepting, finishes every request it
 // has read, flushes the responses, shuts the metrics endpoint down, closes
-// the index, and exits 0; -drain-timeout bounds the wait.
+// the index, and exits 0; -shutdown-timeout bounds the wait, and any
+// connection still open when it expires is closed forcibly and logged.
 package main
 
 import (
@@ -44,8 +52,28 @@ var (
 	modeFlag    = flag.String("mode", "optimistic", "concurrency mode: optimistic|locked")
 	maxConns    = flag.Int("max-conns", 256, "simultaneous connection cap (excess clients wait in the accept backlog)")
 	pipeline    = flag.Int("pipeline", 128, "per-connection response queue depth")
-	drainFlag   = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
+
+	shutdownFlag = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
+	drainFlag    = flag.Duration("drain-timeout", 10*time.Second, "deprecated alias for -shutdown-timeout")
+
+	idleTimeout  = flag.Duration("idle-timeout", 0, "max time a connection may sit between requests (0 = unlimited)")
+	readTimeout  = flag.Duration("read-timeout", 0, "max time to receive one request frame after its header arrives — slow-loris defense (0 = unlimited)")
+	writeTimeout = flag.Duration("write-timeout", 0, "max time for one write of response bytes to a connection (0 = unlimited)")
+	maxInflight  = flag.Int("max-inflight", 0, "cap on requests executing at once; excess is shed with an overload answer (0 = no admission control)")
+	retryAfter   = flag.Duration("retry-after", 100*time.Millisecond, "retry hint sent with overload answers, and the slot wait for requests without a deadline")
 )
+
+// shutdownBudget resolves -shutdown-timeout against its deprecated alias:
+// an explicitly set -drain-timeout still works, -shutdown-timeout wins when
+// both are given.
+func shutdownBudget() time.Duration {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["shutdown-timeout"] && set["drain-timeout"] {
+		return *drainFlag
+	}
+	return *shutdownFlag
+}
 
 func main() {
 	flag.Parse()
@@ -64,10 +92,15 @@ func main() {
 
 	sm := &server.Metrics{}
 	srv := server.New(server.Config{
-		Index:    idx,
-		MaxConns: *maxConns,
-		Pipeline: *pipeline,
-		Metrics:  sm,
+		Index:        idx,
+		MaxConns:     *maxConns,
+		Pipeline:     *pipeline,
+		Metrics:      sm,
+		IdleTimeout:  *idleTimeout,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxInflight:  *maxInflight,
+		RetryAfter:   *retryAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -81,7 +114,7 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsFlag != "" {
-		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm)}
+		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm, srv)}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "metrics:", err)
@@ -106,10 +139,10 @@ func main() {
 	}
 
 	fmt.Println("signal received; draining...")
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownBudget())
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "drain incomplete:", err)
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v (%d connection(s) force-closed)\n", err, sm.ForcedCloses())
 	}
 	<-serveErr // Serve has returned ErrServerClosed
 	if metricsSrv != nil {
@@ -123,14 +156,24 @@ func main() {
 
 // metricsHandler serves the index observer's endpoints with the server-side
 // metrics appended to /metrics, so index-op latency, structure events, and
-// server request latency read as one page.
-func metricsHandler(ob *obs.Observer, sm *server.Metrics) http.Handler {
+// server request latency read as one page, plus the /healthz readiness
+// probe backed by srv.Ready.
+func metricsHandler(ob *obs.Observer, sm *server.Metrics, srv *server.Server) http.Handler {
 	obH := ob.Handler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		ob.WritePrometheus(w)
 		sm.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if srv.Ready() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
 	})
 	mux.Handle("/debug/vars", obH)
 	mux.Handle("/vars", obH)

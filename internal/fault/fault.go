@@ -1,0 +1,326 @@
+// Package fault is a deterministic, seedable fault-injection framework for
+// the serving stack. It wraps net.Conn so a test (or a chaos run of
+// cmd/dytis-server) can make the network misbehave on purpose — delaying
+// bytes, splitting writes at byte granularity, flipping bits, duplicating
+// payload bytes, and dropping connections mid-stream — while every fault
+// drawn from one seed replays identically on the next run.
+//
+// The pieces compose bottom-up:
+//
+//   - Plan says which faults may fire and how often (probabilities are
+//     per I/O operation, not per byte, so rates stay workload-independent).
+//   - Injector owns the seed and derives an independent, deterministic
+//     random stream per wrapped connection; it also counts every fault it
+//     fires (Stats) so a test can assert the run actually was hostile.
+//   - Conn is the chaos net.Conn: faults fire on the write path (where a
+//     proxy forwards bytes) and delays also fire on reads.
+//   - Proxy is an in-process TCP proxy: client → proxy → server, with both
+//     directions forwarded through injected conns. This is how the chaos
+//     e2e suite attacks the real client and the real server without either
+//     needing test hooks in its hot path.
+//
+// The serving stack's own injection points (server.Config.WrapConn,
+// client.WithDialer, the dytisfault-gated frame hook in internal/proto)
+// accept the wrappers built here and cost nothing when unused: nil-checked
+// function fields on the slow accept/dial paths, and a build tag for the
+// per-frame hook.
+//
+// Fail-closed is the contract under test: a faulted byte stream may surface
+// as an error anywhere, but never as a wrong answer — the length-prefixed
+// framing plus decoder validation turn flips, splits, and truncations into
+// connection-fatal protocol errors, and the chaos suite's oracle asserts
+// exactly that.
+package fault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan configures which faults an Injector may fire. All probabilities are
+// in [0, 1] and are evaluated independently per I/O operation on each
+// wrapped connection. The zero Plan injects nothing (wrapped conns forward
+// bytes unchanged).
+type Plan struct {
+	// DelayProb delays an I/O operation (read or write) by a uniform
+	// duration in [DelayMin, DelayMax].
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+
+	// SplitProb splits one Write into several smaller writes at random byte
+	// offsets (2–4 pieces), each flushed to the socket separately — the
+	// wire-level shape of a peer whose frames straddle packet boundaries.
+	SplitProb float64
+
+	// FlipProb flips one random bit of the payload before it is written.
+	// The caller's buffer is never modified; the corruption happens in a
+	// private copy.
+	FlipProb float64
+
+	// DupProb duplicates a random span of the payload (writes it twice),
+	// desynchronizing the stream the way a buggy retransmit layer would.
+	DupProb float64
+
+	// DropProb abandons a Write mid-payload: a random prefix reaches the
+	// peer, the rest vanishes, and the connection closes — the classic
+	// half-written frame of a crashing peer.
+	DropProb float64
+
+	// CloseProb closes the connection before the Write (and closes it
+	// again — a duplicate close must be harmless to the stack under test).
+	CloseProb float64
+}
+
+// active reports whether the plan can fire any fault at all.
+func (p Plan) active() bool {
+	return p.DelayProb > 0 || p.SplitProb > 0 || p.FlipProb > 0 ||
+		p.DupProb > 0 || p.DropProb > 0 || p.CloseProb > 0
+}
+
+// Stats counts the faults an Injector has fired, for assertions and chaos
+// run logs. All fields are read with the corresponding getters; the counts
+// are monotone.
+type Stats struct {
+	delays atomic.Int64
+	splits atomic.Int64
+	flips  atomic.Int64
+	dups   atomic.Int64
+	drops  atomic.Int64
+	closes atomic.Int64
+}
+
+// Delays returns how many I/O operations were delayed.
+func (s *Stats) Delays() int64 { return s.delays.Load() }
+
+// Splits returns how many writes were split.
+func (s *Stats) Splits() int64 { return s.splits.Load() }
+
+// Flips returns how many writes had a bit flipped.
+func (s *Stats) Flips() int64 { return s.flips.Load() }
+
+// Dups returns how many writes had a span duplicated.
+func (s *Stats) Dups() int64 { return s.dups.Load() }
+
+// Drops returns how many writes were abandoned mid-payload.
+func (s *Stats) Drops() int64 { return s.drops.Load() }
+
+// Closes returns how many connections were fault-closed.
+func (s *Stats) Closes() int64 { return s.closes.Load() }
+
+// Total returns the total number of faults fired.
+func (s *Stats) Total() int64 {
+	return s.Delays() + s.Splits() + s.Flips() + s.Dups() + s.Drops() + s.Closes()
+}
+
+// Injector derives deterministic fault schedules for wrapped connections.
+// Safe for concurrent use: each wrapped conn gets its own random stream,
+// seeded from the injector seed and the conn's serial number, so the fault
+// schedule of connection k is a pure function of (seed, k) regardless of
+// how other connections interleave.
+type Injector struct {
+	plan  Plan
+	seed  int64
+	stats Stats
+
+	serial atomic.Int64
+}
+
+// New returns an Injector firing plan's faults from the given seed.
+func New(seed int64, plan Plan) *Injector {
+	return &Injector{plan: plan, seed: seed}
+}
+
+// Stats exposes the injector's fault counters.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Wrap returns nc with the injector's faults applied to its I/O. With an
+// inactive plan it returns nc unchanged (zero cost when disabled).
+func (in *Injector) Wrap(nc net.Conn) net.Conn {
+	if in == nil || !in.plan.active() {
+		return nc
+	}
+	k := in.serial.Add(1)
+	// splitmix-style seed derivation keeps per-conn streams independent:
+	// adjacent serials must not produce correlated rand sequences.
+	z := uint64(in.seed) + uint64(k)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Conn{
+		Conn: nc,
+		inj:  in,
+		rng:  rand.New(rand.NewSource(int64(z ^ (z >> 31)))),
+	}
+}
+
+// Conn is a net.Conn whose I/O misbehaves according to its Injector's Plan.
+// Concurrent Reads, Writes, and Closes are safe (the stack under test uses
+// one writer and one reader per conn, plus asynchronous Close); the fault
+// schedule is deterministic per conn given serialized writes.
+type Conn struct {
+	net.Conn
+	inj *Injector
+
+	mu  sync.Mutex // serializes rng draws and fault decisions
+	rng *rand.Rand // guarded-by: mu
+
+	closed atomic.Bool
+}
+
+// decision is one write's drawn fault set, decided under mu in one batch so
+// the rng stream stays deterministic even if delays reorder the actual I/O.
+type decision struct {
+	delay  time.Duration
+	kill   bool   // close the conn (twice) instead of writing
+	drop   int    // bytes to forward before abandoning; -1 = no drop
+	flip   int    // bit index to flip; -1 = none
+	dup    [2]int // [start, end) span to duplicate; start == -1 = none
+	splits []int  // ascending cut offsets; nil = no split
+}
+
+// decide draws every fault for one write of n bytes.
+func (c *Conn) decide(n int) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.inj.plan
+	d := decision{drop: -1, flip: -1, dup: [2]int{-1, -1}}
+	if p.DelayProb > 0 && c.rng.Float64() < p.DelayProb {
+		d.delay = p.DelayMin
+		if span := p.DelayMax - p.DelayMin; span > 0 {
+			d.delay += time.Duration(c.rng.Int63n(int64(span)))
+		}
+	}
+	if p.CloseProb > 0 && c.rng.Float64() < p.CloseProb {
+		d.kill = true
+		return d // nothing after a close matters
+	}
+	if n == 0 {
+		return d
+	}
+	if p.DropProb > 0 && c.rng.Float64() < p.DropProb {
+		d.drop = c.rng.Intn(n) // 0..n-1 bytes make it out
+	}
+	if p.FlipProb > 0 && c.rng.Float64() < p.FlipProb {
+		d.flip = c.rng.Intn(n * 8)
+	}
+	if p.DupProb > 0 && c.rng.Float64() < p.DupProb {
+		start := c.rng.Intn(n)
+		end := start + 1 + c.rng.Intn(n-start)
+		d.dup = [2]int{start, end}
+	}
+	if p.SplitProb > 0 && n > 1 && c.rng.Float64() < p.SplitProb {
+		pieces := 2 + c.rng.Intn(3)
+		cuts := make(map[int]bool, pieces-1)
+		for i := 0; i < pieces-1; i++ {
+			cuts[1+c.rng.Intn(n-1)] = true
+		}
+		for cut := range cuts {
+			d.splits = append(d.splits, cut)
+		}
+		sortInts(d.splits)
+	}
+	return d
+}
+
+// Write forwards p through the fault plan. It always reports len(p)
+// consumed on success-so-far semantics matching net.Conn (an error means
+// the stream is dead anyway), and never modifies p.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.decide(len(p))
+	st := c.inj.Stats()
+	if d.delay > 0 {
+		st.delays.Add(1)
+		time.Sleep(d.delay)
+	}
+	if d.kill {
+		st.closes.Add(1)
+		c.Close()
+		c.Conn.Close() // duplicate close on purpose: must be harmless
+		return 0, net.ErrClosed
+	}
+	buf := p
+	if d.flip >= 0 || d.dup[0] >= 0 {
+		buf = append([]byte(nil), p...)
+		if d.flip >= 0 {
+			st.flips.Add(1)
+			buf[d.flip/8] ^= 1 << (d.flip % 8)
+		}
+		if s, e := d.dup[0], d.dup[1]; s >= 0 {
+			st.dups.Add(1)
+			dup := append([]byte(nil), buf[s:e]...)
+			buf = append(buf[:e:e], append(dup, buf[e:]...)...)
+		}
+	}
+	if d.drop >= 0 {
+		st.drops.Add(1)
+		if d.drop > len(buf) {
+			d.drop = len(buf)
+		}
+		if _, err := c.Conn.Write(buf[:d.drop]); err != nil {
+			return 0, err
+		}
+		c.Close()
+		return 0, net.ErrClosed
+	}
+	if d.splits != nil {
+		st.splits.Add(1)
+		prev := 0
+		for _, cut := range append(d.splits, len(buf)) {
+			if cut <= prev || cut > len(buf) {
+				continue
+			}
+			if _, err := c.Conn.Write(buf[prev:cut]); err != nil {
+				return 0, err
+			}
+			prev = cut
+		}
+		return len(p), nil
+	}
+	if _, err := c.Conn.Write(buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read forwards to the wrapped conn, applying only delays (payload faults
+// fire on the write side, where the bytes are chosen).
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	var delay time.Duration
+	pl := c.inj.plan
+	if pl.DelayProb > 0 && c.rng.Float64() < pl.DelayProb {
+		delay = pl.DelayMin
+		if span := pl.DelayMax - pl.DelayMin; span > 0 {
+			delay += time.Duration(c.rng.Int63n(int64(span)))
+		}
+	}
+	c.mu.Unlock()
+	if delay > 0 {
+		c.inj.Stats().delays.Add(1)
+		time.Sleep(delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// Close closes the wrapped conn; duplicate closes are counted but harmless.
+func (c *Conn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return c.Conn.Close()
+}
+
+// sortInts is a tiny insertion sort (split offset lists have ≤ 3 entries).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

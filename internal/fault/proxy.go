@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is an in-process TCP proxy that forwards every accepted connection
+// to an upstream address through the Injector's chaos conns, in both
+// directions. Pointing a real client at Proxy.Addr() subjects the whole
+// serving stack — client encoder, server decoder, and both framing layers —
+// to the fault plan without either end needing test hooks.
+//
+// Each proxied connection uses two injected conns (one per direction), so a
+// fault on the client→server path is independent of the server→client path,
+// exactly like asymmetric real-world packet damage.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	inj      *Injector
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // guarded-by: mu
+	closed bool                  // guarded-by: mu
+
+	wg sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port and forwards to upstream
+// through inj's faults. Close releases the listener and every live link.
+func NewProxy(upstream string, inj *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, inj: inj, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		if !p.track(down, up) {
+			down.Close()
+			up.Close()
+			return
+		}
+		p.wg.Add(2)
+		// Writes carry the faults: wrap each direction's destination.
+		go p.pipe(p.inj.Wrap(up), down)
+		go p.pipe(p.inj.Wrap(down), up)
+	}
+}
+
+// pipe copies src into dst until either side dies, then closes both so the
+// peer goroutine unblocks too.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 16<<10)
+	io.CopyBuffer(dst, src, buf)
+	dst.Close()
+	src.Close()
+}
+
+// track registers a proxied pair, refusing when the proxy is closed.
+func (p *Proxy) track(cs ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+// Close stops accepting, severs every proxied link, and waits for the
+// forwarding goroutines to end. Idempotent.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,11 @@
+//go:build !dytisfault
+
+package proto
+
+// hookFrame is the fault-injection seam on every frame body read off the
+// wire. In normal builds it is this empty function, which the compiler
+// inlines away — the hot read path pays nothing for the seam. Building with
+// -tags dytisfault swaps in the settable hook (fault_on.go) so chaos tests
+// can corrupt frames after framing but before decoding, attacking the
+// decoders in-process without a network.
+func hookFrame([]byte) {}

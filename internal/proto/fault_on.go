@@ -1,0 +1,31 @@
+//go:build dytisfault
+
+package proto
+
+import "sync/atomic"
+
+// FrameFault, when non-nil under the dytisfault build tag, is invoked with
+// every frame body read by ReadBody/ReadFrame, after framing and before
+// decoding. The hook may corrupt the body in place; it must not grow it.
+// Set it with SetFrameFault.
+//
+// This is the internal/proto injection point of the fault framework: it
+// models memory- or middlebox-level corruption that slips past TCP
+// checksums, and proves the decoders (not just the framer) fail closed on
+// damaged-but-well-delimited input.
+var frameFault atomic.Pointer[func(body []byte)]
+
+// SetFrameFault installs (or with nil, clears) the frame corruption hook.
+func SetFrameFault(fn func(body []byte)) {
+	if fn == nil {
+		frameFault.Store(nil)
+		return
+	}
+	frameFault.Store(&fn)
+}
+
+func hookFrame(body []byte) {
+	if fn := frameFault.Load(); fn != nil {
+		(*fn)(body)
+	}
+}

@@ -1,0 +1,47 @@
+//go:build dytisfault
+
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFrameFaultHook (dytisfault builds only): the injection seam fires on
+// every frame body read and corruption surfaces as a decode error — the
+// decoder, not just the framer, fails closed.
+func TestFrameFaultHook(t *testing.T) {
+	defer SetFrameFault(nil)
+
+	frame, err := AppendRequest(nil, &Request{ID: 5, Op: OpGet, Key: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	SetFrameFault(func(body []byte) {
+		fired++
+		body[8] = 0xEE // opcode byte → garbage
+	})
+	body, _, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+	var req Request
+	if err := DecodeRequest(body, &req); err == nil {
+		t.Fatal("corrupted frame decoded")
+	}
+
+	// Cleared hook: the same frame reads and decodes cleanly again.
+	SetFrameFault(nil)
+	body, _, err = ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequest(body, &req); err != nil || req.Key != 77 {
+		t.Fatalf("clean frame failed after hook cleared: %+v, %v", req, err)
+	}
+}

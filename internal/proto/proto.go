@@ -11,7 +11,11 @@
 //	uint32  body length (big endian), at most MaxFrame-4
 //	uint64  request id  — echoed verbatim in the response so a pipelining
 //	                      client can match out-of-order completions
-//	uint8   opcode
+//	uint8   opcode      — requests may OR in FlagDeadline (0x80), followed
+//	                      by uint32 timeout-millis before the payload: the
+//	                      caller's remaining deadline budget, which the
+//	                      server uses to shed requests that have already
+//	                      expired in its queue
 //	...     opcode-specific payload (requests) / status + payload (responses)
 //
 // Integers are big endian. Request payloads:
@@ -49,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Opcode identifies a request kind. Zero is deliberately invalid so an
@@ -99,6 +104,12 @@ func (o Opcode) String() string {
 // Valid reports whether o is a defined request opcode.
 func (o Opcode) Valid() bool { return o > OpInvalid && o < NumOpcodes }
 
+// FlagDeadline, OR-ed into a request's opcode byte, announces a uint32
+// timeout-millis field between the opcode and the payload. The encoding is
+// canonical: the flag appears iff the budget is nonzero, and a decoder
+// rejects a zero budget carried under the flag.
+const FlagDeadline = 0x80
+
 // Status is the first payload byte of every response.
 type Status uint8
 
@@ -111,6 +122,16 @@ const (
 	StatusShuttingDown
 	// StatusErr: any other server-side failure.
 	StatusErr
+	// StatusOverload: the server shed the request under admission control.
+	// The message is a retry-after hint in time.Duration syntax; the client
+	// surfaces it as a typed overload error.
+	StatusOverload
+	// StatusDeadlineExceeded: the request's propagated deadline budget had
+	// already expired when the server was about to execute it, so the work
+	// was skipped. The caller has necessarily timed out already; this
+	// status exists so a late-reading pipelined client sees "shed", never a
+	// stale answer.
+	StatusDeadlineExceeded
 )
 
 // Wire limits. A decoder rejects anything beyond them before allocating, so
@@ -143,6 +164,12 @@ type Request struct {
 	ID uint64
 	Op Opcode
 
+	// TimeoutMS, when nonzero, is the caller's remaining deadline budget in
+	// milliseconds (FlagDeadline on the wire). A server may skip executing
+	// the request once the budget has elapsed since arrival and answer
+	// StatusDeadlineExceeded instead.
+	TimeoutMS uint32
+
 	Key uint64 // Get/Insert/Delete key, Scan start
 	Val uint64 // Insert value
 	Max uint32 // Scan pair budget
@@ -174,6 +201,19 @@ func (r *Response) Err() error {
 	return fmt.Errorf("proto: server status %d: %s", r.Status, r.Msg)
 }
 
+// RetryAfter parses the retry-after hint of a StatusOverload response. It
+// reports false for other statuses or an unparseable hint.
+func (r *Response) RetryAfter() (time.Duration, bool) {
+	if r.Status != StatusOverload {
+		return 0, false
+	}
+	d, err := time.ParseDuration(r.Msg)
+	if err != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
 // --- encoding ---------------------------------------------------------------
 
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
@@ -187,7 +227,12 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	lenAt := len(dst)
 	dst = appendU32(dst, 0) // frame length, patched below
 	dst = appendU64(dst, r.ID)
-	dst = append(dst, byte(r.Op))
+	if r.TimeoutMS != 0 {
+		dst = append(dst, byte(r.Op)|FlagDeadline)
+		dst = appendU32(dst, r.TimeoutMS)
+	} else {
+		dst = append(dst, byte(r.Op))
+	}
 	switch r.Op {
 	case OpPing, OpLen:
 	case OpGet, OpDelete:
@@ -373,11 +418,22 @@ func DecodeRequest(body []byte, req *Request) error {
 	if err != nil {
 		return err
 	}
-	op := Opcode(opb)
+	op := Opcode(opb &^ FlagDeadline)
 	if !op.Valid() {
 		return fmt.Errorf("%w: %d", ErrBadOpcode, opb)
 	}
-	*req = Request{ID: id, Op: op, Keys: req.Keys[:0], Vals: req.Vals[:0]}
+	var timeoutMS uint32
+	if opb&FlagDeadline != 0 {
+		if timeoutMS, err = rd.u32(); err != nil {
+			return err
+		}
+		if timeoutMS == 0 {
+			// Zero budget under the flag is non-canonical (the encoder omits
+			// the flag instead); rejecting it keeps one-encoding-per-request.
+			return fmt.Errorf("proto: deadline flag with zero budget")
+		}
+	}
+	*req = Request{ID: id, Op: op, TimeoutMS: timeoutMS, Keys: req.Keys[:0], Vals: req.Vals[:0]}
 	switch op {
 	case OpPing, OpLen:
 	case OpGet, OpDelete:
@@ -527,23 +583,33 @@ func growBools(s []bool, n int) []bool {
 
 // --- framing ----------------------------------------------------------------
 
-// ReadFrame reads one length-prefixed frame body from r into buf (grown as
-// needed) and returns the body slice, which aliases buf. It validates the
-// length prefix against MaxFrame before reading — a hostile peer cannot make
-// the caller allocate more than MaxFrame — and requires the body to contain
-// at least the id+opcode prefix.
-func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+// ReadHeader reads and validates one frame's 4-byte length prefix from r,
+// returning the body length. It rejects lengths beyond MaxFrame before any
+// allocation — a hostile peer cannot make the caller reserve more — and
+// lengths too small to hold the id+opcode prefix every body carries.
+//
+// Splitting header from body lets a server apply two different read
+// deadlines: a long idle deadline while waiting for a request to start, and
+// a short per-frame deadline once the header has arrived, which is what
+// reaps a slow-loris peer trickling a frame byte by byte.
+func ReadHeader(r io.Reader) (int, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, buf, err
+		return 0, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxBody {
-		return nil, buf, fmt.Errorf("%w: body of %d", ErrFrameTooLarge, n)
+		return 0, fmt.Errorf("%w: body of %d", ErrFrameTooLarge, n)
 	}
 	if n < prefixLen {
-		return nil, buf, fmt.Errorf("%w: body of %d bytes", ErrTruncated, n)
+		return 0, fmt.Errorf("%w: body of %d bytes", ErrTruncated, n)
 	}
+	return n, nil
+}
+
+// ReadBody reads an n-byte frame body (n from ReadHeader) into buf, grown
+// as needed, and returns the body slice, which aliases buf.
+func ReadBody(r io.Reader, n int, buf []byte) ([]byte, []byte, error) {
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
@@ -554,5 +620,17 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 		}
 		return nil, buf, err
 	}
+	hookFrame(body)
 	return body, buf, nil
+}
+
+// ReadFrame reads one length-prefixed frame body from r into buf (grown as
+// needed) and returns the body slice, which aliases buf. It is
+// ReadHeader followed by ReadBody.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	n, err := ReadHeader(r)
+	if err != nil {
+		return nil, buf, err
+	}
+	return ReadBody(r, n, buf)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"dytis/internal/kv"
@@ -15,9 +16,10 @@ import (
 // write loop over the bounded out channel. See the package comment for the
 // backpressure chain.
 type conn struct {
-	srv *Server
-	nc  netConn
-	out chan []byte
+	srv   *Server
+	nc    netConn
+	raddr string // remote address, for force-close logs
+	out   chan []byte
 
 	// Read-loop scratch, reused across requests so the steady state of a
 	// connection allocates only the response frames it sends.
@@ -32,6 +34,23 @@ type conn struct {
 type netConn interface {
 	io.ReadWriteCloser
 	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// armReadDeadline sets the next read deadline: now+d normally, cleared
+// when d is zero (so a stale per-frame deadline cannot reap an idling
+// connection), and "now" once the server is draining, so the loop cannot
+// re-arm past Shutdown's pulled deadline.
+func (c *conn) armReadDeadline(d time.Duration) {
+	if c.srv.Draining() {
+		c.nc.SetReadDeadline(time.Now())
+		return
+	}
+	if d > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(d))
+	} else {
+		c.nc.SetReadDeadline(time.Time{})
+	}
 }
 
 func (c *conn) serve() {
@@ -40,22 +59,38 @@ func (c *conn) serve() {
 	writerDone := make(chan struct{})
 	go c.writeLoop(writerDone)
 
+	cfg := &c.srv.cfg
 	br := bufio.NewReaderSize(c.nc, 32<<10)
 	for {
-		body, buf, err := proto.ReadFrame(br, c.readBuf)
-		c.readBuf = buf
+		// Two deadline regimes per frame: a (long) idle deadline while
+		// waiting for the next request to start, then a (short) per-frame
+		// deadline once its header has arrived. A slow-loris peer that
+		// trickles a frame byte by byte trips the second one and is reaped
+		// without affecting any other connection.
+		if cfg.IdleTimeout > 0 || cfg.ReadTimeout > 0 || c.srv.Draining() {
+			c.armReadDeadline(cfg.IdleTimeout)
+		}
+		n, err := proto.ReadHeader(br)
 		if err != nil {
-			if err != io.EOF && !clientGone(err) {
-				c.srv.logf("server: conn read: %v", err)
-			}
+			c.reportReadErr(err, "idle")
 			break
 		}
+		if cfg.ReadTimeout > 0 {
+			c.armReadDeadline(cfg.ReadTimeout)
+		}
+		body, buf, err := proto.ReadBody(br, n, c.readBuf)
+		c.readBuf = buf
+		if err != nil {
+			c.reportReadErr(err, "frame")
+			break
+		}
+		arrival := time.Now()
 		if err := proto.DecodeRequest(body, &c.req); err != nil {
 			// The frame was well-delimited but its body is malformed. Answer
 			// with the request id if one was present, then drop the
 			// connection: a peer that emits garbage cannot be assumed to
 			// agree on stream alignment from here on.
-			if m := c.srv.cfg.Metrics; m != nil {
+			if m := cfg.Metrics; m != nil {
 				m.protoError()
 			}
 			var id uint64
@@ -67,7 +102,7 @@ func (c *conn) serve() {
 			})
 			break
 		}
-		if !c.handle() {
+		if !c.handle(arrival) {
 			break
 		}
 	}
@@ -76,16 +111,134 @@ func (c *conn) serve() {
 	c.nc.Close()
 }
 
+// reportReadErr books and logs one read-loop failure. Timeouts outside a
+// drain are reaped connections (idle or slow-loris), which are counted and
+// logged; drain deadlines and a departing peer are normal ends.
+func (c *conn) reportReadErr(err error, stage string) {
+	if err == io.EOF {
+		return
+	}
+	if isTimeout(err) {
+		if c.srv.Draining() {
+			return // Shutdown pulled the deadline; normal end
+		}
+		if m := c.srv.cfg.Metrics; m != nil {
+			m.connTimeout()
+		}
+		c.srv.logf("server: conn %s: %s read timed out; reaping", c.raddr, stage)
+		return
+	}
+	if !clientGone(err) {
+		c.srv.logf("server: conn read: %v", err)
+	}
+}
+
 // handle executes c.req against the index, books the server-side latency,
 // and queues the response; it reports whether the connection should go on.
-func (c *conn) handle() bool {
-	idx := c.srv.cfg.Index
+// arrival is when the request's frame finished arriving, the reference
+// point for its propagated deadline budget.
+func (c *conn) handle(arrival time.Time) bool {
+	cfg := &c.srv.cfg
 	req, resp := &c.req, &c.resp
 	*resp = proto.Response{
 		ID: req.ID, Op: req.Op,
 		Keys: resp.Keys[:0], Vals: resp.Vals[:0], Founds: resp.Founds[:0],
 	}
+
+	// budget is the request's propagated deadline, zero when none.
+	var budget time.Duration
+	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	// Admission control: acquire an execution slot, waiting at most the
+	// retry-after window — or the request's own remaining deadline budget,
+	// whichever ends first — then shed instead of queueing unboundedly.
+	// The shed status says why: StatusOverload ("back off and retry") when
+	// the window ran out, StatusDeadlineExceeded when the caller's budget
+	// did (nobody is waiting for that answer anymore).
+	if g := c.srv.inflight; g != nil {
+		select {
+		case g <- struct{}{}:
+		default:
+			wait := cfg.RetryAfter
+			overload := true
+			if budget > 0 {
+				if rem := budget - time.Since(arrival); rem < wait {
+					wait, overload = rem, false
+				}
+			}
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case g <- struct{}{}:
+					t.Stop()
+					goto admitted
+				case <-t.C:
+				}
+			}
+			if !overload {
+				return c.shedDeadline(req, resp)
+			}
+			if m := cfg.Metrics; m != nil {
+				m.overload()
+			}
+			resp.Status = proto.StatusOverload
+			resp.Msg = cfg.RetryAfter.String()
+			return c.send(resp)
+		}
+	admitted:
+		defer func() { <-g }()
+	}
+
+	// A request whose budget expired before execution is shed, not served:
+	// its caller has already timed out, and answering late with real data
+	// would only burn index work nobody can use.
+	if budget > 0 && time.Since(arrival) > budget {
+		return c.shedDeadline(req, resp)
+	}
+
 	t0 := time.Now()
+	panicked := c.execute(req, resp)
+	if m := cfg.Metrics; m != nil && !panicked {
+		m.recordOp(req.Op, c.shard, batchSize(req), time.Since(t0))
+	}
+	ok := c.send(resp)
+	if panicked {
+		// The response (ERR) is queued; close this one connection. The
+		// process, the index, and every other connection keep going.
+		return false
+	}
+	return ok
+}
+
+// shedDeadline answers a request whose propagated deadline already expired.
+func (c *conn) shedDeadline(req *proto.Request, resp *proto.Response) bool {
+	if m := c.srv.cfg.Metrics; m != nil {
+		m.deadlineShed()
+	}
+	resp.Status = proto.StatusDeadlineExceeded
+	resp.Msg = "deadline budget expired before execution"
+	return c.send(resp)
+}
+
+// execute runs one decoded request against the index, converting a panic
+// anywhere below (index bug, corrupted state) into an ERR response for this
+// request — the panic takes down one connection, never the process.
+func (c *conn) execute(req *proto.Request, resp *proto.Response) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			if m := c.srv.cfg.Metrics; m != nil {
+				m.panicRecovered()
+			}
+			c.srv.logf("server: panic serving %s from %s: %v\n%s", req.Op, c.raddr, r, debug.Stack())
+			*resp = proto.Response{
+				ID: req.ID, Op: req.Op, Status: proto.StatusErr, Msg: "internal error",
+			}
+		}
+	}()
+	idx := c.srv.cfg.Index
 	switch req.Op {
 	case proto.OpPing:
 	case proto.OpGet:
@@ -109,10 +262,7 @@ func (c *conn) handle() bool {
 	case proto.OpLen:
 		resp.Val = uint64(idx.Len())
 	}
-	if m := c.srv.cfg.Metrics; m != nil {
-		m.recordOp(req.Op, c.shard, batchSize(req), time.Since(t0))
-	}
-	return c.send(resp)
+	return false
 }
 
 // batchSize is the operation count a request represents, for metrics.
@@ -141,10 +291,13 @@ func (c *conn) send(resp *proto.Response) bool {
 // writeLoop drains the out channel into the socket through one buffered
 // writer, flushing whenever the queue momentarily empties, so pipelined
 // responses coalesce into large writes but the last response of a burst is
-// never withheld.
+// never withheld. With a WriteTimeout configured, every socket write is
+// armed with it, so a peer that stops reading cannot pin this goroutine
+// past the deadline.
 func (c *conn) writeLoop(done chan<- struct{}) {
 	defer close(done)
-	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	wt := c.srv.cfg.WriteTimeout
+	bw := bufio.NewWriterSize(writeDeadlineWriter{c.nc, wt}, 32<<10)
 	for frame := range c.out {
 		if _, err := bw.Write(frame); err != nil {
 			c.nc.Close() // unwedge the read loop too
@@ -160,6 +313,20 @@ func (c *conn) writeLoop(done chan<- struct{}) {
 		}
 	}
 	bw.Flush()
+}
+
+// writeDeadlineWriter arms the connection's write deadline before every
+// underlying write (bufio flushes included).
+type writeDeadlineWriter struct {
+	nc netConn
+	d  time.Duration
+}
+
+func (w writeDeadlineWriter) Write(p []byte) (int, error) {
+	if w.d > 0 {
+		w.nc.SetWriteDeadline(time.Now().Add(w.d))
+	}
+	return w.nc.Write(p)
 }
 
 // drainOut keeps a failed writer from wedging the read loop on a full

@@ -34,6 +34,13 @@ type Metrics struct {
 	connsTotal  atomic.Int64
 	connsActive atomic.Int64
 	protoErrors atomic.Int64
+
+	// Robustness counters (overload hardening + fault handling).
+	overloads     atomic.Int64 // requests shed by admission control
+	deadlineSheds atomic.Int64 // requests skipped: propagated deadline expired
+	panics        atomic.Int64 // panics recovered (one connection closed each)
+	connTimeouts  atomic.Int64 // connections reaped by idle/read deadline
+	forcedCloses  atomic.Int64 // connections force-closed at drain timeout
 }
 
 func (m *Metrics) connAccepted() {
@@ -44,6 +51,16 @@ func (m *Metrics) connAccepted() {
 func (m *Metrics) connClosed() { m.connsActive.Add(-1) }
 
 func (m *Metrics) protoError() { m.protoErrors.Add(1) }
+
+func (m *Metrics) overload() { m.overloads.Add(1) }
+
+func (m *Metrics) deadlineShed() { m.deadlineSheds.Add(1) }
+
+func (m *Metrics) panicRecovered() { m.panics.Add(1) }
+
+func (m *Metrics) connTimeout() { m.connTimeouts.Add(1) }
+
+func (m *Metrics) forceClosed() { m.forcedCloses.Add(1) }
 
 // recordOp books one request of the given opcode covering n index
 // operations, served in d.
@@ -86,6 +103,24 @@ func (m *Metrics) ConnsTotal() int64 { return m.connsTotal.Load() }
 // ProtoErrors returns the number of malformed requests received.
 func (m *Metrics) ProtoErrors() int64 { return m.protoErrors.Load() }
 
+// Overloads returns the number of requests shed by admission control.
+func (m *Metrics) Overloads() int64 { return m.overloads.Load() }
+
+// DeadlineSheds returns the number of requests skipped because their
+// propagated deadline budget had expired before execution.
+func (m *Metrics) DeadlineSheds() int64 { return m.deadlineSheds.Load() }
+
+// Panics returns the number of recovered per-connection panics.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// ConnTimeouts returns the number of connections reaped by the idle or
+// per-frame read deadline (slow-loris defense).
+func (m *Metrics) ConnTimeouts() int64 { return m.connTimeouts.Load() }
+
+// ForcedCloses returns the number of connections force-closed because the
+// drain timeout expired.
+func (m *Metrics) ForcedCloses() int64 { return m.forcedCloses.Load() }
+
 var promQuantiles = []float64{0.5, 0.9, 0.99, 0.9999}
 
 // WritePrometheus writes the server metrics in the Prometheus text
@@ -120,6 +155,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"dytis_server_connections_active", "Currently served connections.", m.ConnsActive()},
 		{"dytis_server_connections_total", "Connections accepted since start.", m.ConnsTotal()},
 		{"dytis_server_protocol_errors_total", "Malformed requests received.", m.ProtoErrors()},
+		{"dytis_server_overloads_total", "Requests shed by admission control.", m.Overloads()},
+		{"dytis_server_deadline_sheds_total", "Requests skipped because their propagated deadline expired.", m.DeadlineSheds()},
+		{"dytis_server_panics_recovered_total", "Recovered per-connection panics.", m.Panics()},
+		{"dytis_server_connection_timeouts_total", "Connections reaped by idle/read deadlines.", m.ConnTimeouts()},
+		{"dytis_server_forced_closes_total", "Connections force-closed at drain timeout.", m.ForcedCloses()},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)

@@ -36,6 +36,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dytis/internal/kv"
@@ -70,7 +71,43 @@ type Config struct {
 	Metrics *Metrics
 	// Logf, when non-nil, receives one line per abnormal connection end.
 	Logf func(format string, args ...any)
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (measured to the arrival of the next frame header). Zero disables it.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one frame's body once its header has
+	// arrived — the slow-loris defense: a peer trickling a frame byte by
+	// byte is reaped after ReadTimeout while other connections keep
+	// serving. Zero disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write of queued response bytes to the
+	// socket. Zero disables it.
+	WriteTimeout time.Duration
+
+	// MaxInflight caps requests executing concurrently across all
+	// connections — admission control. At the cap an arriving request
+	// waits for a slot only as long as its own propagated deadline budget
+	// (or RetryAfter, if it carried none) allows, then is shed with
+	// StatusOverload and a retry-after hint instead of queueing
+	// unboundedly. Zero disables shedding (connection backpressure still
+	// bounds memory).
+	MaxInflight int
+	// RetryAfter is the hint sent with StatusOverload responses and the
+	// slot-wait bound for requests without a deadline budget (default
+	// 100ms when MaxInflight is set).
+	RetryAfter time.Duration
+
+	// WrapConn, when non-nil, wraps every accepted connection before it is
+	// served — the fault-injection seam (internal/fault.Injector.Wrap).
+	// Nil costs nothing.
+	WrapConn func(net.Conn) net.Conn
 }
+
+// ErrOverload is the server-side name for an admission-control shed; it is
+// what a rejected request's StatusOverload response means. (The client
+// package surfaces its own typed overload error with the parsed
+// retry-after hint.)
+var ErrOverload = errors.New("server: overloaded")
 
 // ErrServerClosed is returned by Serve after Shutdown, mirroring net/http.
 var ErrServerClosed = errors.New("server: closed")
@@ -81,12 +118,34 @@ type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[*conn]struct{}
-	draining bool
+	ln       net.Listener          // guarded-by: mu
+	conns    map[*conn]struct{}    // guarded-by: mu
+	draining bool                  // guarded-by: mu
+	serving  atomic.Bool           // set once Serve has a listener
+
+	// inflight is the admission-control semaphore (nil when MaxInflight is
+	// 0): a slot is held for the duration of one request's index work.
+	inflight chan struct{}
 
 	closed chan struct{} // closed when Shutdown begins
 	wg     sync.WaitGroup
+}
+
+// Ready reports whether the server is accepting and serving requests: true
+// between Serve acquiring its listener and Shutdown beginning. It is the
+// readiness-probe answer (/healthz in cmd/dytis-server).
+func (s *Server) Ready() bool {
+	return s.serving.Load() && !s.Draining()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // New returns an unstarted server.
@@ -100,11 +159,18 @@ func New(cfg Config) *Server {
 	if cfg.Pipeline <= 0 {
 		cfg.Pipeline = 128
 	}
-	return &Server{
+	if cfg.MaxInflight > 0 && cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 100 * time.Millisecond
+	}
+	s := &Server{
 		cfg:    cfg,
 		conns:  make(map[*conn]struct{}),
 		closed: make(chan struct{}),
 	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Shutdown (returning ErrServerClosed)
@@ -118,6 +184,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.serving.Store(true)
 	defer ln.Close()
 
 	sem := make(chan struct{}, s.cfg.MaxConns)
@@ -139,7 +206,11 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
-		c := &conn{srv: s, nc: nc}
+		raddr := nc.RemoteAddr().String()
+		if s.cfg.WrapConn != nil {
+			nc = s.cfg.WrapConn(nc)
+		}
+		c := &conn{srv: s, nc: nc, raddr: raddr}
 		if !s.track(c) { // lost the race with Shutdown
 			nc.Close()
 			<-sem
@@ -225,10 +296,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		forced := make([]*conn, 0, len(s.conns))
 		for c := range s.conns {
-			c.nc.Close()
+			forced = append(forced, c)
 		}
 		s.mu.Unlock()
+		for _, c := range forced {
+			s.logf("server: drain timeout: force-closing connection from %s", c.raddr)
+			if m := s.cfg.Metrics; m != nil {
+				m.forceClosed()
+			}
+			c.nc.Close()
+		}
+		if len(forced) > 0 {
+			s.logf("server: drain timeout: %d connection(s) force-closed", len(forced))
+		}
 		<-done
 		return ctx.Err()
 	}
@@ -243,12 +325,15 @@ func (s *Server) logf(format string, args ...any) {
 // connSerial numbers connections for metric sharding.
 var connSerial atomic.Uint64
 
-// errClientGone matches the errors a closing or resetting peer produces,
+// isTimeout reports whether err is a deadline expiry (drain pull, idle
+// reap, or slow-loris reap — the read loop tells them apart by context).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// clientGone matches the errors a closing or resetting peer produces,
 // which are normal ends, not log-worthy failures.
 func clientGone(err error) bool {
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		return true // drain deadline
-	}
-	return errors.Is(err, net.ErrClosed)
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET)
 }
