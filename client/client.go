@@ -55,6 +55,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dytis/internal/proto"
@@ -79,6 +80,13 @@ var ErrOverload = errors.New("client: server overloaded")
 // consecutive connection failures or overloads that the client backs off
 // entirely until the breaker's cooldown lets a probe through.
 var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// ErrFrameCorrupt matches (via errors.Is) operations that failed because a
+// frame flunked CRC32C verification with protocol v2 negotiated — either a
+// server frame the client caught, or a client frame the server answered
+// with StatusChecksum. The connection is retired in both cases: a stream
+// that has carried corruption cannot be trusted to stay aligned.
+var ErrFrameCorrupt = errors.New("client: frame failed checksum verification")
 
 // OverloadError is the typed error of a request shed by the server.
 type OverloadError struct {
@@ -116,6 +124,10 @@ type options struct {
 	breakTrips  int           // consecutive failures that open the breaker; 0 = disabled
 	breakCool   time.Duration // open-state cooldown before a half-open probe
 	dialer      Dialer
+	forceV1     bool // never attempt the v2 handshake
+	requireV2   bool // fail the dial unless v2 with checksums is negotiated
+	scanChunk   int  // streaming-scan per-chunk pair bound (and fallback page size)
+	scanWindow  int  // streaming-scan credit window
 }
 
 func defaultOptions() options {
@@ -129,6 +141,8 @@ func defaultOptions() options {
 		backoffMax:  1 * time.Second,
 		breakTrips:  16,
 		breakCool:   500 * time.Millisecond,
+		scanChunk:   1024,
+		scanWindow:  8,
 	}
 }
 
@@ -215,12 +229,52 @@ func WithDialer(d Dialer) Option {
 	}
 }
 
+// WithV1Protocol pins the client to protocol v1: no HELLO handshake is ever
+// sent, so the wire traffic is byte-identical to a pre-v2 client. Use it
+// against servers that predate the handshake, or to rule the upgrade path
+// out when debugging.
+func WithV1Protocol() Option {
+	return func(o *options) { o.forceV1 = true }
+}
+
+// WithRequireV2 refuses to operate below protocol v2 with checksums: a dial
+// (or redial) whose handshake does not negotiate FeatCRC fails instead of
+// falling back to plain v1. Without it the client upgrades opportunistically
+// — which keeps old servers working but means an attacker (or a fault) that
+// can corrupt the HELLO exchange can hold the session at v1. Set this when
+// the link is untrusted enough that silent downgrade matters.
+func WithRequireV2() Option {
+	return func(o *options) { o.requireV2 = true }
+}
+
+// WithScanStream tunes streaming scans: chunk is the per-chunk pair bound
+// (default 1024, capped at proto.MaxScan) and doubles as the page size of
+// the v1 pagination fallback; window is the credit window — how many chunks
+// the server may run ahead of consumption (default 8, capped at
+// proto.MaxScanCredits). Bigger values trade client memory for throughput.
+func WithScanStream(chunk, window int) Option {
+	return func(o *options) {
+		if chunk > 0 {
+			o.scanChunk = min(chunk, proto.MaxScan)
+		}
+		if window > 0 {
+			o.scanWindow = min(window, proto.MaxScanCredits)
+		}
+	}
+}
+
 // Client is a pooled, pipelining dytis-server client. Create with Dial; all
 // methods are safe for concurrent use.
 type Client struct {
 	addr string
 	o    options
 	br   *breaker // nil when the breaker is disabled
+
+	// serverV1 memoizes an explicit v1 refusal (StatusBadRequest to HELLO)
+	// so later dials to the same address skip the doomed probe. Only that
+	// explicit signal sets it — an ambiguous handshake failure falls back
+	// for one connection but probes again on the next dial.
+	serverV1 atomic.Bool
 
 	mu     sync.Mutex
 	slots  []*slot // guarded-by: mu (slice header; slots have their own locks)
@@ -321,6 +375,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for _, apply := range opts {
 		apply(&o)
 	}
+	if o.forceV1 && o.requireV2 {
+		return nil, errors.New("client: WithV1Protocol and WithRequireV2 conflict")
+	}
 	c := &Client{addr: addr, o: o, slots: make([]*slot, o.poolSize)}
 	if o.breakTrips > 0 {
 		c.br = &breaker{trips: o.breakTrips, cooldown: o.breakCool}
@@ -328,12 +385,23 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for i := range c.slots {
 		c.slots[i] = &slot{}
 	}
-	cc, err := dialConn(addr, o)
+	cc, err := c.dialConn()
 	if err != nil {
 		return nil, err
 	}
 	c.slots[0].cc = cc
 	return c, nil
+}
+
+// Protocol returns the negotiated protocol version and feature bits of a
+// live pooled connection (proto.Version1 with no features when the server
+// predates the handshake or the client is pinned with WithV1Protocol).
+func (c *Client) Protocol(ctx context.Context) (version uint8, features uint32, err error) {
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cc.ver, cc.feats, nil
 }
 
 // Close shuts the client down: all pooled connections close, their
@@ -392,7 +460,7 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 				return s.cc, nil
 			}
 		}
-		cc, err := dialConn(c.addr, c.o)
+		cc, err := c.dialConn()
 		if err != nil {
 			lastErr = err
 			s.failures++
@@ -478,6 +546,13 @@ func (c *Client) doOnce(ctx context.Context, req *proto.Request) (*proto.Respons
 		ra, _ := resp.RetryAfter()
 		return resp, &OverloadError{RetryAfter: ra}
 	}
+	if resp.Status == proto.StatusChecksum {
+		// The server detected corruption in a frame we sent and is about to
+		// quarantine the connection; retire it on this side too.
+		err := fmt.Errorf("%w (detected server-side)", ErrFrameCorrupt)
+		cc.fail(err)
+		return resp, err
+	}
 	if err := resp.Err(); err != nil {
 		return resp, err
 	}
@@ -519,18 +594,27 @@ func (c *Client) Delete(ctx context.Context, key uint64) (bool, error) {
 // Scan returns up to max pairs with key >= start in ascending key order, as
 // parallel key/value slices. max is capped by the protocol at proto.MaxScan
 // (65536); page with the last key + 1 to go further.
+//
+// Deprecated: Scan materializes the whole result before returning. Use
+// ScanStream, which streams the pairs in bounded chunks with no size cap;
+// Scan is now a thin wrapper over it.
 func (c *Client) Scan(ctx context.Context, start uint64, max int) (keys, vals []uint64, err error) {
-	if max < 0 {
-		max = 0
+	if max <= 0 {
+		return nil, nil, nil
 	}
 	if max > proto.MaxScan {
 		max = proto.MaxScan
 	}
-	resp, err := c.do(ctx, &proto.Request{Op: proto.OpScan, Key: start, Max: uint32(max)})
-	if err != nil {
+	s := c.ScanStream(ctx, start, max)
+	defer s.Close()
+	for s.Next() {
+		keys = append(keys, s.Key())
+		vals = append(vals, s.Value())
+	}
+	if err := s.Err(); err != nil {
 		return nil, nil, err
 	}
-	return resp.Keys, resp.Vals, nil
+	return keys, vals, nil
 }
 
 // GetBatch looks up every key of keys in one round trip, returning parallel

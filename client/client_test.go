@@ -165,7 +165,7 @@ func TestInFlightErrorPropagation(t *testing.T) {
 		}
 	}()
 
-	c, err := client.Dial(ln.Addr().String(), client.WithPoolSize(1))
+	c, err := client.Dial(ln.Addr().String(), client.WithPoolSize(1), client.WithV1Protocol())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestContextTimeout(t *testing.T) {
 		}
 	}()
 
-	c, err := client.Dial(ln.Addr().String(), client.WithPoolSize(1))
+	c, err := client.Dial(ln.Addr().String(), client.WithPoolSize(1), client.WithV1Protocol())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,15 +13,28 @@ import (
 	"dytis/internal/proto"
 )
 
+// errServerV1 marks a handshake the server explicitly refused (an old server
+// answering the unknown OpHello with StatusBadRequest): the address speaks
+// plain v1, which the Client memoizes so later dials skip the probe.
+var errServerV1 = errors.New("client: server speaks protocol v1")
+
 // clientConn is one pooled connection. Requests from any number of
 // goroutines interleave on it: each registers a waiter keyed by its request
 // id, appends its frame under the write lock, and blocks on its own channel;
 // the single read loop routes responses by id, so pipelined completions can
-// arrive in any order. When the connection dies every waiter fails with the
+// arrive in any order. Streaming scans register a stream channel instead of
+// a waiter: every OpScanChunk/OpScanEnd carrying the stream's id routes
+// there. When the connection dies every waiter and stream fails with the
 // sticky error and the conn is left for the pool to replace.
 type clientConn struct {
 	nc     net.Conn
+	br     *bufio.Reader // shared by handshake and read loop
 	nextID atomic.Uint64
+
+	// Negotiated protocol state, written by the handshake before the read
+	// loop starts (plain v1 when no handshake ran).
+	ver   uint8
+	feats uint32
 
 	// inflight bounds pipelining: a slot is taken before writing and
 	// released when the response (or failure) arrives.
@@ -30,7 +44,8 @@ type clientConn struct {
 
 	mu      sync.Mutex
 	waiters map[uint64]chan result
-	err     error // sticky; non-nil once the conn is dead
+	streams map[uint64]chan result // scan streams, keyed by ScanStart id
+	err     error                  // sticky; non-nil once the conn is dead
 }
 
 type result struct {
@@ -38,7 +53,44 @@ type result struct {
 	err  error
 }
 
-func dialConn(addr string, o options) (*clientConn, error) {
+// dialConn opens one connection for the client: dial, then — unless the
+// client is pinned to v1 or the address is memoized as v1 — a synchronous
+// HELLO exchange before the read loop starts. A server that explicitly
+// refuses the handshake (StatusBadRequest from a pre-v2 build) sets the memo
+// and the connection is redialed speaking plain v1; any more ambiguous
+// handshake failure falls back to plain v1 for this connection only. With
+// WithRequireV2 there is no fallback: a failed negotiation fails the dial.
+func (c *Client) dialConn() (*clientConn, error) {
+	o := &c.o
+	tryV2 := !o.forceV1 && (o.requireV2 || !c.serverV1.Load())
+	cc, err := dialRaw(c.addr, o)
+	if err != nil {
+		return nil, err
+	}
+	if tryV2 {
+		if herr := cc.handshake(o); herr != nil {
+			cc.nc.Close()
+			if o.requireV2 {
+				return nil, herr
+			}
+			if errors.Is(herr, errServerV1) {
+				c.serverV1.Store(true)
+			}
+			if cc, err = dialRaw(c.addr, o); err != nil {
+				return nil, err
+			}
+		} else if o.requireV2 && (cc.ver < proto.Version2 || cc.feats&proto.FeatCRC == 0) {
+			cc.nc.Close()
+			return nil, fmt.Errorf("client: server did not grant protocol v2 with checksums (version %d, features %#x)", cc.ver, cc.feats)
+		}
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// dialRaw opens the transport and builds an un-negotiated (v1) conn without
+// starting its read loop.
+func dialRaw(addr string, o *options) (*clientConn, error) {
 	dial := o.dialer
 	if dial == nil {
 		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -49,13 +101,55 @@ func dialConn(addr string, o options) (*clientConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	cc := &clientConn{
+	return &clientConn{
 		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 32<<10),
+		ver:      proto.Version1,
 		inflight: make(chan struct{}, o.pipeline),
 		waiters:  make(map[uint64]chan result),
+	}, nil
+}
+
+// handshake runs the HELLO exchange synchronously on the freshly dialed
+// connection (the read loop is not running yet). Both directions travel as
+// plain v1 frames; the negotiated state applies from the next frame on.
+func (cc *clientConn) handshake(o *options) error {
+	cc.nextID.Store(1) // HELLO consumes id 1
+	frame, err := proto.AppendRequest(nil, &proto.Request{
+		ID: 1, Op: proto.OpHello, Ver: proto.MaxVersion, Feats: proto.AllFeatures,
+	})
+	if err != nil {
+		return err
 	}
-	go cc.readLoop()
-	return cc, nil
+	if o.dialTimeout > 0 {
+		cc.nc.SetDeadline(time.Now().Add(o.dialTimeout))
+		defer cc.nc.SetDeadline(time.Time{})
+	}
+	if _, err := cc.nc.Write(frame); err != nil {
+		return fmt.Errorf("client: hello write: %w", err)
+	}
+	body, _, err := proto.ReadFrame(cc.br, nil)
+	if err != nil {
+		return fmt.Errorf("client: hello read: %w", err)
+	}
+	var resp proto.Response
+	if err := proto.DecodeResponse(body, &resp); err != nil {
+		return fmt.Errorf("client: hello decode: %w", err)
+	}
+	if resp.ID != 1 {
+		return fmt.Errorf("client: hello answered with id %d", resp.ID)
+	}
+	if resp.Status == proto.StatusBadRequest {
+		return errServerV1
+	}
+	if resp.Status != proto.StatusOK || resp.Op != proto.OpHello {
+		return fmt.Errorf("client: hello refused: op %v status %d: %s", resp.Op, resp.Status, resp.Msg)
+	}
+	if resp.Ver >= proto.Version2 {
+		cc.ver = proto.Version2
+		cc.feats = resp.Feats & proto.AllFeatures
+	}
+	return nil
 }
 
 // broken reports whether the connection has failed and must be replaced.
@@ -66,7 +160,7 @@ func (cc *clientConn) broken() bool {
 }
 
 // fail marks the connection dead, closes the socket, and delivers err to
-// every waiter. Idempotent; the first error wins.
+// every waiter and stream. Idempotent; the first error wins.
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.err != nil {
@@ -75,29 +169,94 @@ func (cc *clientConn) fail(err error) {
 	}
 	cc.err = err
 	waiters := cc.waiters
+	streams := cc.streams
 	cc.waiters = nil
+	cc.streams = nil
 	cc.mu.Unlock()
 	cc.nc.Close()
 	for _, ch := range waiters {
 		ch <- result{err: err}
 	}
+	for _, ch := range streams {
+		// Stream channels reserve one slot beyond the flow-control window,
+		// so this send can never block (see registerStream).
+		ch <- result{err: err}
+	}
 }
 
-// readLoop routes response frames to waiters until the connection dies.
+// registerStream routes future chunk/end frames with the given id to ch.
+// ch must have capacity for the stream's full credit window plus the end
+// frame plus one failure slot, so the read loop and fail never block on it.
+func (cc *clientConn) registerStream(id uint64, ch chan result) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	if cc.streams == nil {
+		cc.streams = make(map[uint64]chan result)
+	}
+	cc.streams[id] = ch
+	return nil
+}
+
+// dropStream deregisters a stream; late frames for it are dropped.
+func (cc *clientConn) dropStream(id uint64) {
+	cc.mu.Lock()
+	if cc.streams != nil {
+		delete(cc.streams, id)
+	}
+	cc.mu.Unlock()
+}
+
+// readLoop routes response frames to waiters and streams until the
+// connection dies, verifying CRC32C trailers when negotiated.
 func (cc *clientConn) readLoop() {
-	br := bufio.NewReaderSize(cc.nc, 32<<10)
 	var buf []byte
+	sealed := cc.feats&proto.FeatCRC != 0
 	for {
-		body, nbuf, err := proto.ReadFrame(br, buf)
-		buf = nbuf
+		var body []byte
+		var err error
+		if sealed {
+			body, buf, err = proto.ReadFrameCRC(cc.br, buf)
+		} else {
+			body, buf, err = proto.ReadFrame(cc.br, buf)
+		}
 		if err != nil {
+			if errors.Is(err, proto.ErrChecksum) {
+				// The server's frame arrived corrupt. The stream can no
+				// longer be trusted to be aligned; surface the typed error
+				// and retire the connection.
+				cc.fail(fmt.Errorf("%w: %v", ErrFrameCorrupt, err))
+				return
+			}
 			cc.fail(fmt.Errorf("client: connection lost: %w", err))
 			return
 		}
 		resp := new(proto.Response) // escapes to the waiter; no reuse
-		if err := proto.DecodeResponse(body, resp); err != nil {
+		if err := proto.DecodeResponseV(body, resp, cc.ver); err != nil {
 			cc.fail(fmt.Errorf("client: protocol error: %w", err))
 			return
+		}
+		if resp.Op == proto.OpScanChunk || resp.Op == proto.OpScanEnd {
+			cc.mu.Lock()
+			ch := cc.streams[resp.ID]
+			if resp.Op == proto.OpScanEnd && ch != nil {
+				delete(cc.streams, resp.ID)
+			}
+			cc.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- result{resp: resp}:
+				default:
+					// The server pushed past the credit window we granted:
+					// a flow-control violation, not a transient condition.
+					cc.fail(fmt.Errorf("client: scan stream %d overran its credit window", resp.ID))
+					return
+				}
+			}
+			// A chunk with no stream belongs to a cancelled scan; drop it.
+			continue
 		}
 		cc.mu.Lock()
 		ch := cc.waiters[resp.ID]
@@ -108,6 +267,47 @@ func (cc *clientConn) readLoop() {
 		}
 		// A response with no waiter is one whose caller timed out; drop it.
 	}
+}
+
+// encodeFrame frames req, sealing it when FeatCRC is negotiated.
+func (cc *clientConn) encodeFrame(req *proto.Request) ([]byte, error) {
+	frame, err := proto.AppendRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	if cc.feats&proto.FeatCRC != 0 {
+		frame = proto.SealFrame(frame, 0)
+	}
+	return frame, nil
+}
+
+// writeFrame encodes req — sealing it when FeatCRC is negotiated — and
+// writes it under the write lock, honoring ctx's deadline for the write. A
+// write error fails the whole connection (a partial frame desynchronizes
+// the stream for every user).
+func (cc *clientConn) writeFrame(ctx context.Context, req *proto.Request) error {
+	frame, err := cc.encodeFrame(req)
+	if err != nil {
+		return err
+	}
+	return cc.writeBytes(ctx, frame)
+}
+
+// writeBytes writes one encoded frame under the write lock.
+func (cc *clientConn) writeBytes(ctx context.Context, frame []byte) error {
+	cc.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		cc.nc.SetWriteDeadline(dl)
+	} else {
+		cc.nc.SetWriteDeadline(time.Time{})
+	}
+	_, werr := cc.nc.Write(frame)
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail(fmt.Errorf("client: write: %w", werr))
+		return fmt.Errorf("client: write: %w", werr)
+	}
+	return nil
 }
 
 // do sends req and waits for its response, honoring ctx for the queueing,
@@ -136,7 +336,7 @@ func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Respon
 			req.TimeoutMS = uint32(ms)
 		}
 	}
-	frame, err := proto.AppendRequest(nil, req)
+	frame, err := cc.encodeFrame(req)
 	if err != nil {
 		return nil, err
 	}
@@ -150,20 +350,9 @@ func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Respon
 	cc.waiters[req.ID] = ch
 	cc.mu.Unlock()
 
-	cc.wmu.Lock()
-	if dl, ok := ctx.Deadline(); ok {
-		cc.nc.SetWriteDeadline(dl)
-	} else {
-		cc.nc.SetWriteDeadline(time.Time{})
-	}
-	_, werr := cc.nc.Write(frame)
-	cc.wmu.Unlock()
-	if werr != nil {
-		// A write error poisons the framing for every user of the conn
-		// (partial frames desynchronize the stream), so the whole conn fails.
-		cc.fail(fmt.Errorf("client: write: %w", werr))
+	if werr := cc.writeBytes(ctx, frame); werr != nil {
 		<-ch // fail delivered to our waiter (or routed response raced it)
-		return nil, fmt.Errorf("client: write: %w", werr)
+		return nil, werr
 	}
 
 	select {

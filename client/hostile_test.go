@@ -94,6 +94,7 @@ func okResponse(t *testing.T, req *proto.Request) []byte {
 func hostileOpts() []client.Option {
 	return []client.Option{
 		client.WithPoolSize(1),
+		client.WithV1Protocol(), // fake servers speak raw v1, no handshake
 		client.WithReconnect(2, time.Millisecond, 2*time.Millisecond),
 		client.WithCircuitBreaker(0, 0),
 	}
@@ -219,6 +220,7 @@ func TestHostileFrameNoMisroute(t *testing.T) {
 
 	c, err := client.Dial(fs.addr(),
 		client.WithPoolSize(1),
+		client.WithV1Protocol(),
 		client.WithPipeline(workers),
 		client.WithReconnect(4, time.Millisecond, 2*time.Millisecond),
 		client.WithCircuitBreaker(0, 0))
@@ -258,7 +260,7 @@ func TestClientClosedTyped(t *testing.T) {
 	fs := newFakeServer(t, func(nc net.Conn) {
 		io.Copy(io.Discard, nc)
 	})
-	c, err := client.Dial(fs.addr(), client.WithPoolSize(1))
+	c, err := client.Dial(fs.addr(), client.WithPoolSize(1), client.WithV1Protocol())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,215 @@
+package client_test
+
+// Tests for the redesigned scan API: the Scanner must behave identically
+// over its two transports — the v2 chunk stream and the v1 pagination
+// fallback — and the deprecated Scan wrapper must keep its old contract on
+// top of it.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dytis/client"
+	"dytis/internal/server"
+)
+
+// serveCfg is serveOn with a caller-supplied config (for DisableV2).
+func serveCfg(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// collectStream drains a Scanner, checking order, and returns its pairs.
+func collectStream(t *testing.T, s *client.Scanner) (keys, vals []uint64) {
+	t.Helper()
+	defer s.Close()
+	for s.Next() {
+		if n := len(keys); n > 0 && keys[n-1] >= s.Key() {
+			t.Fatalf("scan out of order: %#x then %#x", keys[n-1], s.Key())
+		}
+		keys = append(keys, s.Key())
+		vals = append(vals, s.Value())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return keys, vals
+}
+
+// eachTransport runs f against a v2 server (chunk stream) and a v1 server
+// (pagination fallback): the Scanner's observable behavior must not depend
+// on which transport carried it.
+func eachTransport(t *testing.T, f func(t *testing.T, c *client.Client)) {
+	for _, tc := range []struct {
+		name      string
+		disableV2 bool
+	}{
+		{"v2-stream", false},
+		{"v1-fallback", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			idx := newIndex()
+			addr := serveCfg(t, server.Config{Index: idx, DisableV2: tc.disableV2})
+			c, err := client.Dial(addr,
+				client.WithPoolSize(1),
+				client.WithScanStream(256, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			f(t, c)
+			requireSound(t, idx)
+		})
+	}
+}
+
+func TestScanStreamBothTransports(t *testing.T) {
+	eachTransport(t, func(t *testing.T, c *client.Client) {
+		ctx := context.Background()
+		const n = 3000 // ~12 chunks of 256: several credit grants / pages
+		for k := uint64(0); k < n; k++ {
+			if err := c.Insert(ctx, k*2, k*2+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Full scan.
+		keys, vals := collectStream(t, c.ScanStream(ctx, 0, 0))
+		if len(keys) != n {
+			t.Fatalf("full scan delivered %d pairs, want %d", len(keys), n)
+		}
+		for i, k := range keys {
+			if k != uint64(i)*2 || vals[i] != k+1 {
+				t.Fatalf("pair %d: %d/%d", i, k, vals[i])
+			}
+		}
+
+		// Offset start and a budget that ends mid-chunk.
+		s := c.ScanStream(ctx, 101, 333)
+		keys, _ = collectStream(t, s)
+		if len(keys) != 333 || keys[0] != 102 {
+			t.Fatalf("bounded scan: %d pairs from %d, want 333 from 102", len(keys), keys[0])
+		}
+		if s.Total() != 333 {
+			t.Fatalf("Total = %d, want 333", s.Total())
+		}
+
+		// Start past every key.
+		if keys, _ := collectStream(t, c.ScanStream(ctx, n*2, 0)); len(keys) != 0 {
+			t.Fatalf("scan past the end delivered %d pairs", len(keys))
+		}
+	})
+}
+
+func TestScanStreamEmptyIndex(t *testing.T) {
+	eachTransport(t, func(t *testing.T, c *client.Client) {
+		s := c.ScanStream(context.Background(), 0, 0)
+		defer s.Close()
+		if s.Next() {
+			t.Fatal("Next on an empty index returned true")
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Total() != 0 {
+			t.Fatalf("Total = %d, want 0", s.Total())
+		}
+	})
+}
+
+// TestScanStreamTopOfKeyspace: a scan reaching the maximum key must include
+// it and terminate (the naive last+1 resume would wrap to 0 and loop).
+func TestScanStreamTopOfKeyspace(t *testing.T) {
+	eachTransport(t, func(t *testing.T, c *client.Client) {
+		ctx := context.Background()
+		top := ^uint64(0)
+		for _, k := range []uint64{5, top - 1, top} {
+			if err := c.Insert(ctx, k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := make(chan struct{})
+		var keys []uint64
+		go func() {
+			defer close(done)
+			keys, _ = collectStream(t, c.ScanStream(ctx, top-1, 0))
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("scan over the top of the keyspace did not terminate")
+		}
+		if len(keys) != 2 || keys[0] != top-1 || keys[1] != top {
+			t.Fatalf("scan from top-1 = %#x, want [top-1, top]", keys)
+		}
+	})
+}
+
+// TestScanWrapperEquivalence: the deprecated Scan must return exactly what
+// the Scanner yields, on both transports, including its legacy edge cases.
+func TestScanWrapperEquivalence(t *testing.T) {
+	eachTransport(t, func(t *testing.T, c *client.Client) {
+		ctx := context.Background()
+		for k := uint64(0); k < 1000; k++ {
+			if err := c.Insert(ctx, k, k+5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keys, vals, err := c.Scan(ctx, 10, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sKeys, sVals := collectStream(t, c.ScanStream(ctx, 10, 600))
+		if len(keys) != len(sKeys) || len(keys) != 600 {
+			t.Fatalf("Scan %d pairs vs ScanStream %d, want 600", len(keys), len(sKeys))
+		}
+		for i := range keys {
+			if keys[i] != sKeys[i] || vals[i] != sVals[i] {
+				t.Fatalf("pair %d: Scan %d/%d vs ScanStream %d/%d", i, keys[i], vals[i], sKeys[i], sVals[i])
+			}
+		}
+		// max <= 0 keeps its historical "no pairs" meaning on the wrapper.
+		if keys, vals, err := c.Scan(ctx, 0, 0); err != nil || keys != nil || vals != nil {
+			t.Fatalf("Scan(max=0) = %v,%v,%v, want nils", keys, vals, err)
+		}
+	})
+}
+
+// TestScannerCloseWithoutNext: a Scanner abandoned before its first Next
+// must not leak or wedge anything.
+func TestScannerCloseWithoutNext(t *testing.T) {
+	eachTransport(t, func(t *testing.T, c *client.Client) {
+		ctx := context.Background()
+		if err := c.Insert(ctx, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		s := c.ScanStream(ctx, 0, 0)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Next() {
+			t.Fatal("Next after Close returned true")
+		}
+		// The client is untouched.
+		if v, ok, err := c.Get(ctx, 1); err != nil || !ok || v != 1 {
+			t.Fatalf("Get after abandoned scan = %d,%v,%v", v, ok, err)
+		}
+	})
+}

@@ -65,7 +65,7 @@ func main() {
 		"table1": table1, "fig8": fig8, "fig9": fig9, "fig10": fig10,
 		"fig11": fig11, "fig12": fig12, "table2": table2, "mem": memExp,
 		"params": params, "breakdown": breakdown, "ablation": ablation,
-		"pgmcmp": pgmcmp, "net": netExp,
+		"pgmcmp": pgmcmp, "net": netExp, "netscan": netScanExp,
 	}
 	if *expFlag == "all" {
 		for _, name := range []string{"table1", "fig8", "fig9", "fig10", "fig11",

@@ -61,6 +61,8 @@ var (
 	writeTimeout = flag.Duration("write-timeout", 0, "max time for one write of response bytes to a connection (0 = unlimited)")
 	maxInflight  = flag.Int("max-inflight", 0, "cap on requests executing at once; excess is shed with an overload answer (0 = no admission control)")
 	retryAfter   = flag.Duration("retry-after", 100*time.Millisecond, "retry hint sent with overload answers, and the slot wait for requests without a deadline")
+
+	disableV2 = flag.Bool("disable-v2", false, "reject the protocol v2 handshake, emulating a pre-v2 server (escape hatch; v2 clients fall back to plain v1)")
 )
 
 // shutdownBudget resolves -shutdown-timeout against its deprecated alias:
@@ -101,6 +103,7 @@ func main() {
 		WriteTimeout: *writeTimeout,
 		MaxInflight:  *maxInflight,
 		RetryAfter:   *retryAfter,
+		DisableV2:    *disableV2,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

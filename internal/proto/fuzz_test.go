@@ -27,6 +27,10 @@ func FuzzDecodeRequest(f *testing.F) {
 	seed(&Request{ID: 5, Op: OpGetBatch, Keys: []uint64{1, 2, 3}})
 	seed(&Request{ID: 6, Op: OpInsertBatch, Keys: []uint64{7}, Vals: []uint64{8}})
 	seed(&Request{ID: 7, Op: OpDeleteBatch, Keys: []uint64{0, ^uint64(0)}})
+	seed(&Request{ID: 8, Op: OpHello, Ver: MaxVersion, Feats: AllFeatures})
+	seed(&Request{ID: 9, Op: OpScanStart, Key: 42, ScanMax: 1 << 20, Max: 512, Credits: 8})
+	seed(&Request{ID: 10, Op: OpScanCredit, Credits: 1})
+	seed(&Request{ID: 11, Op: OpScanCancel})
 	f.Add([]byte{})
 	f.Add(make([]byte, 9))
 
@@ -69,6 +73,10 @@ func FuzzDecodeResponse(f *testing.F) {
 	seed(&Response{ID: 5, Op: OpDeleteBatch, Founds: []bool{false, true}})
 	seed(&Response{ID: 6, Op: OpLen, Val: 99})
 	seed(&Response{ID: 7, Op: OpGet, Status: StatusErr, Msg: "boom"})
+	seed(&Response{ID: 8, Op: OpHello, Ver: Version2, Feats: AllFeatures})
+	seed(&Response{ID: 9, Op: OpScanChunk, Keys: []uint64{1, 2}, Vals: []uint64{3, 4}})
+	seed(&Response{ID: 10, Op: OpScanEnd, Val: 1 << 20})
+	seed(&Response{ID: 11, Op: OpScanEnd, Status: StatusShuttingDown, Msg: "draining"})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -83,6 +91,93 @@ func FuzzDecodeResponse(f *testing.F) {
 		var again Response
 		if err := DecodeResponse(frame[4:], &again); err != nil {
 			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResponseV2 is FuzzDecodeResponse at the negotiated v2 encoding,
+// where a StatusOverload response carries a typed retry-after field.
+// Like the v1 fuzzer it asserts re-encode/re-decode stability rather than
+// byte-canonicality: found-flag bytes are deliberately permissive (any
+// nonzero is true), so the byte-level property holds only for the flag-free
+// frame kinds.
+func FuzzDecodeResponseV2(f *testing.F) {
+	seed := func(r *Response) {
+		frame, err := AppendResponseV(nil, r, Version2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	seed(&Response{ID: 1, Op: OpHello, Ver: Version2, Feats: AllFeatures})
+	seed(&Response{ID: 2, Op: OpGet, Status: StatusOverload, RetryAfterMS: 50, Msg: "50ms"})
+	seed(&Response{ID: 3, Op: OpScanChunk, Keys: []uint64{1, 2}, Vals: []uint64{3, 4}})
+	seed(&Response{ID: 4, Op: OpScanEnd, Val: 7})
+	seed(&Response{ID: 5, Op: OpScanStart, Status: StatusBadRequest, Msg: "no stream"})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var resp Response
+		if err := DecodeResponseV(body, &resp, Version2); err != nil {
+			return
+		}
+		frame, err := AppendResponseV(nil, &resp, Version2)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %+v: %v", resp, err)
+		}
+		var again Response
+		if err := DecodeResponseV(frame[4:], &again, Version2); err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzFrameCRC is the checksum-canonicality property from the issue: seal an
+// arbitrary frame, flip any one bit the fuzzer picks, and the sealed read
+// must fail — a corrupted-but-parseable frame can no longer reach a decoder
+// once FeatCRC is negotiated.
+func FuzzFrameCRC(f *testing.F) {
+	seedBody := func(r *Request) {
+		frame, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:], uint32(0))
+	}
+	seedBody(&Request{ID: 1, Op: OpPing})
+	seedBody(&Request{ID: 2, Op: OpInsert, Key: 1, Val: 2})
+	seedBody(&Request{ID: 3, Op: OpScanStart, Key: 9, ScanMax: 100, Max: 64, Credits: 4})
+	f.Add([]byte("arbitrary, not even a valid body"), uint32(71))
+
+	f.Fuzz(func(t *testing.T, body []byte, flipBit uint32) {
+		if len(body) > maxBody {
+			return
+		}
+		var sealed []byte
+		sealed = appendU32(sealed, uint32(len(body)))
+		sealed = append(sealed, body...)
+		sealed = SealFrame(sealed, 0)
+
+		// The untouched sealed frame must verify (when long enough to frame).
+		got, _, err := ReadFrameCRC(bytes.NewReader(sealed), nil)
+		if len(body) >= prefixLen {
+			if err != nil {
+				t.Fatalf("sealed frame does not verify: %v", err)
+			}
+			if !bytes.Equal(got, body) {
+				t.Fatalf("sealed frame read back wrong body")
+			}
+		} else if err == nil {
+			t.Fatalf("undersized body %d framed", len(body))
+		}
+
+		// Flip exactly one bit anywhere in the sealed frame: it must not read
+		// back clean. Framing errors are fine; success is the only failure.
+		mut := append([]byte(nil), sealed...)
+		bit := int(flipBit) % (len(mut) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if got, _, err := ReadFrameCRC(bytes.NewReader(mut), nil); err == nil {
+			t.Fatalf("bit flip %d accepted: body %x", bit, got)
 		}
 	})
 }

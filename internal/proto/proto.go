@@ -46,6 +46,47 @@
 // The per-op byte cost makes the batching amortization concrete: a pipelined
 // single-key GET costs 25 bytes of request framing for 8 bytes of key; a
 // 128-key GetBatch costs 17+4 bytes of framing for 1024 bytes of keys.
+//
+// # Protocol v2 (negotiated)
+//
+// Everything above is protocol v1 and stays byte-identical forever. A peer
+// may upgrade by sending OpHello as the very first request on a connection:
+//
+//	Hello (request)   maxVersion(1) features(4)
+//	Hello (response)  version(1) features(4)       — the negotiated subset
+//
+// A v1 server answers the unknown opcode with StatusBadRequest and drops
+// the connection; the client then redials and speaks plain v1, so old
+// servers keep working unmodified (and a v1 client never sends HELLO, so
+// it is unaffected either way). The HELLO exchange itself is always
+// unsealed v1 framing. Version2 negotiates two independent features:
+//
+//   - FeatCRC: every frame after the HELLO exchange, in both directions,
+//     carries a 4-byte CRC32C (Castagnoli) trailer covering the length
+//     prefix and the body (see crc.go). The trailer is not counted in the
+//     length prefix.
+//   - FeatScanStream: the streaming scan opcode family. A scan becomes a
+//     server-push stream with client credit-based flow control:
+//
+//	ScanStart  (request)   start(8) max(8) chunk(4) credits(4)
+//	                       max is the total pair budget (0 = unbounded),
+//	                       chunk the per-frame pair bound (<= MaxScan),
+//	                       credits the initial window (<= MaxScanCredits)
+//	ScanCredit (request)   credits(4) — id = the scan's id; never answered
+//	ScanCancel (request)   — id = the scan's id; never answered
+//	ScanChunk  (response)  n(4) [key(8) val(8)]*n — one chunk, costs one credit
+//	ScanEnd    (response)  total(8) — stream end (status != OK on abort)
+//
+// Every frame of a stream (the chunks and the end) echoes the ScanStart's
+// request id. The server sends at most `credits` chunks ahead of the
+// client's consumption; the client grants one credit back per chunk it has
+// consumed, so a million-key scan flows in bounded chunks interleaved with
+// the connection's other pipelined traffic instead of marshaling one huge
+// response.
+//
+// Responses also fork on one point at v2: a StatusOverload response carries
+// a typed retryAfterMillis(4) before the message, so clients no longer
+// parse the human-readable hint out of Msg (v1 keeps the Msg-only form).
 package proto
 
 import (
@@ -72,6 +113,14 @@ const (
 	OpDeleteBatch
 	OpLen
 
+	// Protocol v2 opcodes (negotiated via OpHello; see the package comment).
+	OpHello      // feature negotiation; only valid as a connection's first request
+	OpScanStart  // open a streaming scan
+	OpScanCredit // grant chunk credits to a running scan (never answered)
+	OpScanCancel // abandon a running scan (never answered)
+	OpScanChunk  // response-only: one chunk of scan pairs
+	OpScanEnd    // response-only: end of a scan stream
+
 	// NumOpcodes bounds the opcode space; valid opcodes are 1..NumOpcodes-1,
 	// so it can size per-opcode metric arrays.
 	NumOpcodes
@@ -97,18 +146,60 @@ func (o Opcode) String() string {
 		return "delete-batch"
 	case OpLen:
 		return "len"
+	case OpHello:
+		return "hello"
+	case OpScanStart:
+		return "scan-start"
+	case OpScanCredit:
+		return "scan-credit"
+	case OpScanCancel:
+		return "scan-cancel"
+	case OpScanChunk:
+		return "scan-chunk"
+	case OpScanEnd:
+		return "scan-end"
 	}
 	return fmt.Sprintf("opcode(%d)", uint8(o))
 }
 
-// Valid reports whether o is a defined request opcode.
-func (o Opcode) Valid() bool { return o > OpInvalid && o < NumOpcodes }
+// Valid reports whether o is a defined request opcode. The response-only
+// stream opcodes are excluded: a request decoder must reject them.
+func (o Opcode) Valid() bool {
+	return o > OpInvalid && o < NumOpcodes && o != OpScanChunk && o != OpScanEnd
+}
+
+// ValidResponse reports whether o may appear in a response.
+func (o Opcode) ValidResponse() bool { return o > OpInvalid && o < NumOpcodes }
 
 // FlagDeadline, OR-ed into a request's opcode byte, announces a uint32
 // timeout-millis field between the opcode and the payload. The encoding is
 // canonical: the flag appears iff the budget is nonzero, and a decoder
 // rejects a zero budget carried under the flag.
 const FlagDeadline = 0x80
+
+// Protocol versions, negotiated via OpHello (see the package comment).
+const (
+	// Version1 is the original protocol: no handshake, no checksums,
+	// slurped scans. A connection that never negotiates is Version1.
+	Version1 uint8 = 1
+	// Version2 adds per-frame CRC32C trailers, the streaming scan opcode
+	// family, and a typed retry-after field on overload responses.
+	Version2 uint8 = 2
+	// MaxVersion is the highest version this package implements.
+	MaxVersion = Version2
+)
+
+// Feature bits carried in the OpHello exchange. The server grants the
+// intersection of what the client requested and what it supports.
+const (
+	// FeatCRC seals every post-handshake frame with a CRC32C trailer.
+	FeatCRC uint32 = 1 << 0
+	// FeatScanStream enables OpScanStart/OpScanCredit/OpScanCancel and the
+	// OpScanChunk/OpScanEnd response stream.
+	FeatScanStream uint32 = 1 << 1
+	// AllFeatures is every feature bit this package implements.
+	AllFeatures = FeatCRC | FeatScanStream
+)
 
 // Status is the first payload byte of every response.
 type Status uint8
@@ -132,6 +223,11 @@ const (
 	// status exists so a late-reading pipelined client sees "shed", never a
 	// stale answer.
 	StatusDeadlineExceeded
+	// StatusChecksum: a frame failed CRC32C verification (FeatCRC). The
+	// answer is best-effort — the id is salvaged from the corrupt body's
+	// prefix — and the connection closes right after: a stream that has
+	// carried one corrupt frame cannot be trusted to stay aligned.
+	StatusChecksum
 )
 
 // Wire limits. A decoder rejects anything beyond them before allocating, so
@@ -142,8 +238,12 @@ const (
 	MaxFrame = 1 << 21
 	// MaxBatch bounds the entry count of one batched request.
 	MaxBatch = 1 << 16
-	// MaxScan bounds the pair count one Scan may request.
+	// MaxScan bounds the pair count one Scan may request; it also bounds a
+	// streaming scan's per-chunk budget.
 	MaxScan = 1 << 16
+	// MaxScanCredits bounds the outstanding chunk credits of one streaming
+	// scan, so a hostile peer cannot bank an unbounded window.
+	MaxScanCredits = 1 << 10
 
 	headerLen = 4     // length prefix
 	prefixLen = 8 + 1 // request id + opcode, present in every body
@@ -170,12 +270,18 @@ type Request struct {
 	// StatusDeadlineExceeded instead.
 	TimeoutMS uint32
 
-	Key uint64 // Get/Insert/Delete key, Scan start
+	Key uint64 // Get/Insert/Delete key, Scan/ScanStart start
 	Val uint64 // Insert value
-	Max uint32 // Scan pair budget
+	Max uint32 // Scan pair budget, ScanStart per-chunk pair budget
 
 	Keys []uint64 // GetBatch/DeleteBatch keys, InsertBatch keys
 	Vals []uint64 // InsertBatch values (len == len(Keys))
+
+	// Protocol v2 fields.
+	Ver     uint8  // Hello: highest version the client speaks
+	Feats   uint32 // Hello: requested feature bits
+	ScanMax uint64 // ScanStart: total pair budget (0 = unbounded)
+	Credits uint32 // ScanStart: initial credit window; ScanCredit: credits granted
 }
 
 // Response is one decoded server response.
@@ -186,11 +292,19 @@ type Response struct {
 	Msg    string // error message when Status != StatusOK
 
 	Found bool   // Get/Delete
-	Val   uint64 // Get value, Len count
+	Val   uint64 // Get value, Len count, ScanEnd total pairs delivered
 
-	Keys   []uint64 // Scan result keys
-	Vals   []uint64 // Scan result values, GetBatch values
+	Keys   []uint64 // Scan/ScanChunk result keys
+	Vals   []uint64 // Scan/ScanChunk result values, GetBatch values
 	Founds []bool   // GetBatch/DeleteBatch per-entry found flags
+
+	// Protocol v2 fields.
+	Ver   uint8  // Hello: negotiated version
+	Feats uint32 // Hello: granted feature bits
+	// RetryAfterMS is the typed retry-after hint of a StatusOverload
+	// response. Protocol v2 carries it on the wire; on v1 it stays zero
+	// and RetryAfter falls back to parsing Msg.
+	RetryAfterMS uint32
 }
 
 // Err returns the response's error, nil for StatusOK.
@@ -201,11 +315,15 @@ func (r *Response) Err() error {
 	return fmt.Errorf("proto: server status %d: %s", r.Status, r.Msg)
 }
 
-// RetryAfter parses the retry-after hint of a StatusOverload response. It
-// reports false for other statuses or an unparseable hint.
+// RetryAfter returns the retry-after hint of a StatusOverload response: the
+// typed v2 field when present, otherwise parsed out of Msg (the v1 form).
+// It reports false for other statuses or an absent/unparseable hint.
 func (r *Response) RetryAfter() (time.Duration, bool) {
 	if r.Status != StatusOverload {
 		return 0, false
+	}
+	if r.RetryAfterMS > 0 {
+		return time.Duration(r.RetryAfterMS) * time.Millisecond, true
 	}
 	d, err := time.ParseDuration(r.Msg)
 	if err != nil || d < 0 {
@@ -266,20 +384,51 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			dst = appendU64(dst, k)
 			dst = appendU64(dst, r.Vals[i])
 		}
+	case OpHello:
+		dst = append(dst, r.Ver)
+		dst = appendU32(dst, r.Feats)
+	case OpScanStart:
+		if r.Max == 0 || r.Max > MaxScan {
+			return dst, fmt.Errorf("%w: scan chunk %d", ErrLimit, r.Max)
+		}
+		if r.Credits == 0 || r.Credits > MaxScanCredits {
+			return dst, fmt.Errorf("%w: scan credits %d", ErrLimit, r.Credits)
+		}
+		dst = appendU64(dst, r.Key)
+		dst = appendU64(dst, r.ScanMax)
+		dst = appendU32(dst, r.Max)
+		dst = appendU32(dst, r.Credits)
+	case OpScanCredit:
+		if r.Credits == 0 || r.Credits > MaxScanCredits {
+			return dst, fmt.Errorf("%w: scan credits %d", ErrLimit, r.Credits)
+		}
+		dst = appendU32(dst, r.Credits)
+	case OpScanCancel:
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
 	}
 	return patchLen(dst, lenAt)
 }
 
-// AppendResponse appends r as one framed response to dst.
+// AppendResponse appends r as one framed protocol-v1 response to dst.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	return AppendResponseV(dst, r, Version1)
+}
+
+// AppendResponseV appends r as one framed response to dst, encoded for the
+// connection's negotiated protocol version. The versions differ on exactly
+// one point: at Version2 a StatusOverload response carries a typed
+// retryAfterMillis field before the message.
+func AppendResponseV(dst []byte, r *Response, ver uint8) ([]byte, error) {
 	lenAt := len(dst)
 	dst = appendU32(dst, 0)
 	dst = appendU64(dst, r.ID)
 	dst = append(dst, byte(r.Op))
 	dst = append(dst, byte(r.Status))
 	if r.Status != StatusOK {
+		if r.Status == StatusOverload && ver >= Version2 {
+			dst = appendU32(dst, r.RetryAfterMS)
+		}
 		dst = append(dst, r.Msg...)
 		return patchLen(dst, lenAt)
 	}
@@ -317,6 +466,23 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			dst = append(dst, boolByte(f))
 		}
 	case OpLen:
+		dst = appendU64(dst, r.Val)
+	case OpHello:
+		dst = append(dst, r.Ver)
+		dst = appendU32(dst, r.Feats)
+	case OpScanStart, OpScanCredit, OpScanCancel:
+		// No OK payload: a successful ScanStart answers with chunk/end
+		// frames, and credit/cancel are never answered at all.
+	case OpScanChunk:
+		if len(r.Keys) > MaxScan || len(r.Keys) != len(r.Vals) {
+			return dst, fmt.Errorf("%w: scan chunk of %d/%d", ErrLimit, len(r.Keys), len(r.Vals))
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for i, k := range r.Keys {
+			dst = appendU64(dst, k)
+			dst = appendU64(dst, r.Vals[i])
+		}
+	case OpScanEnd:
 		dst = appendU64(dst, r.Val)
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
@@ -477,13 +643,53 @@ func DecodeRequest(body []byte, req *Request) error {
 			req.Keys[i], _ = rd.u64()
 			req.Vals[i], _ = rd.u64()
 		}
+	case OpHello:
+		if req.Ver, err = rd.u8(); err != nil {
+			return err
+		}
+		if req.Feats, err = rd.u32(); err != nil {
+			return err
+		}
+	case OpScanStart:
+		if req.Key, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.ScanMax, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Max, err = rd.u32(); err != nil {
+			return err
+		}
+		if req.Max == 0 || req.Max > MaxScan {
+			return fmt.Errorf("%w: scan chunk %d", ErrLimit, req.Max)
+		}
+		if req.Credits, err = rd.u32(); err != nil {
+			return err
+		}
+		if req.Credits == 0 || req.Credits > MaxScanCredits {
+			return fmt.Errorf("%w: scan credits %d", ErrLimit, req.Credits)
+		}
+	case OpScanCredit:
+		if req.Credits, err = rd.u32(); err != nil {
+			return err
+		}
+		if req.Credits == 0 || req.Credits > MaxScanCredits {
+			return fmt.Errorf("%w: scan credits %d", ErrLimit, req.Credits)
+		}
+	case OpScanCancel:
 	}
 	return rd.done()
 }
 
-// DecodeResponse decodes one response from a frame body into resp, which is
-// overwritten; slices are reused when capacity suffices.
+// DecodeResponse decodes one protocol-v1 response from a frame body into
+// resp, which is overwritten; slices are reused when capacity suffices.
 func DecodeResponse(body []byte, resp *Response) error {
+	return DecodeResponseV(body, resp, Version1)
+}
+
+// DecodeResponseV decodes one response encoded at the given negotiated
+// protocol version (see AppendResponseV for the difference).
+func DecodeResponseV(body []byte, resp *Response, ver uint8) error {
 	rd := reader{b: body}
 	id, err := rd.u64()
 	if err != nil {
@@ -494,7 +700,7 @@ func DecodeResponse(body []byte, resp *Response) error {
 		return err
 	}
 	op := Opcode(opb)
-	if !op.Valid() {
+	if !op.ValidResponse() {
 		return fmt.Errorf("%w: %d", ErrBadOpcode, opb)
 	}
 	st, err := rd.u8()
@@ -506,6 +712,11 @@ func DecodeResponse(body []byte, resp *Response) error {
 		Keys: resp.Keys[:0], Vals: resp.Vals[:0], Founds: resp.Founds[:0],
 	}
 	if resp.Status != StatusOK {
+		if resp.Status == StatusOverload && ver >= Version2 {
+			if resp.RetryAfterMS, err = rd.u32(); err != nil {
+				return err
+			}
+		}
 		resp.Msg = string(rd.b[rd.off:])
 		return nil
 	}
@@ -560,6 +771,29 @@ func DecodeResponse(body []byte, resp *Response) error {
 			resp.Founds[i] = f != 0
 		}
 	case OpLen:
+		if resp.Val, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpHello:
+		if resp.Ver, err = rd.u8(); err != nil {
+			return err
+		}
+		if resp.Feats, err = rd.u32(); err != nil {
+			return err
+		}
+	case OpScanStart, OpScanCredit, OpScanCancel:
+	case OpScanChunk:
+		n, err := rd.count(MaxScan, 16)
+		if err != nil {
+			return err
+		}
+		resp.Keys = growTo(resp.Keys, n)
+		resp.Vals = growTo(resp.Vals, n)
+		for i := 0; i < n; i++ {
+			resp.Keys[i], _ = rd.u64()
+			resp.Vals[i], _ = rd.u64()
+		}
+	case OpScanEnd:
 		if resp.Val, err = rd.u64(); err != nil {
 			return err
 		}

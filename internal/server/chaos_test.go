@@ -175,13 +175,12 @@ func (o *chaosOracle) observe(k uint64, got pstate) string {
 
 // chaosPlan is the fault mix for the oracle-checked run: faults that
 // delay, fragment, truncate, or kill the byte stream but never corrupt
-// bytes in flight. FlipProb and DupProb stay zero here on purpose: the
-// protocol carries no checksum (it trusts the transport's integrity, as
-// TCP/TLS provide), so a flipped bit or a duplicated span that still
-// parses is indistinguishable from legitimate traffic — a duplicated span
-// on the request stream can even re-align into a forged insert of a key
-// nobody wrote, which no checksum-free protocol can tell apart from a real
-// one. Corrupting faults get the structural test, TestChaosCorruption.
+// bytes in flight. FlipProb and DupProb stay zero here on purpose — not
+// because corruption is undetectable (protocol v2's per-frame CRC32C
+// catches it) but because the HELLO exchange travels before the checksum
+// is negotiated, so a flip there surfaces as a failed dial rather than an
+// oracle-checkable op outcome. Corrupting faults get their own run,
+// TestChaosCorruption, which pins the client to v2 and asserts detection.
 func chaosPlan() fault.Plan {
 	return fault.Plan{
 		DelayProb: 0.05, DelayMin: 100 * time.Microsecond, DelayMax: 2 * time.Millisecond,
@@ -473,13 +472,20 @@ func verifyChaosReadback(t *testing.T, addr string, nclients int, oracles []*cha
 }
 
 // TestChaosCorruption runs a corrupting plan — bit flips and duplicated
-// spans — with no oracle value checks: a checksum-free protocol cannot
-// detect payload corruption that still parses, so the assertion here is
-// the structural half of fail-closed — no panic, no hang, no protocol
-// desync that outlives the connection, and a sound index afterwards.
+// spans — against a client pinned to protocol v2 (WithRequireV2: no silent
+// downgrade to the checksum-free v1 wire). With per-frame CRC32C on both
+// directions the contract is stronger than structural survival: corruption
+// must be *detected* — the server's checksum-error counter moves or the
+// client reports ErrFrameCorrupt — the corrupt connection is quarantined,
+// and no acknowledged op ever returns a wrong answer. Each key is written
+// with exactly one value, so the clean readback can hold every present key
+// to it: under a 2^-32 CRC collision this run would forge a value, and the
+// fixed seed keeps that out of the test's luck budget.
 func TestChaosCorruption(t *testing.T) {
 	idx := core.New(smallOpts())
+	m := &server.Metrics{}
 	addr, _ := start(t, idx, server.Config{
+		Metrics:     m,
 		IdleTimeout: 30 * time.Second,
 		ReadTimeout: 2 * time.Second,
 	})
@@ -490,33 +496,77 @@ func TestChaosCorruption(t *testing.T) {
 	}
 	defer px.Close()
 
-	c, err := client.Dial(px.Addr(),
-		client.WithReconnect(8, time.Millisecond, 10*time.Millisecond),
-		client.WithCircuitBreaker(0, 0),
-		client.WithDialTimeout(time.Second))
-	if err != nil {
-		t.Fatal(err)
+	// Dial's own handshake runs through the flip proxy too and may be the
+	// corruption's first victim (RequireV2 fails closed rather than
+	// downgrading); retry until a clean one lands.
+	var c *client.Client
+	for attempt := 0; ; attempt++ {
+		c, err = client.Dial(px.Addr(),
+			client.WithRequireV2(),
+			client.WithReconnect(8, time.Millisecond, 10*time.Millisecond),
+			client.WithCircuitBreaker(0, 0),
+			client.WithDialTimeout(time.Second))
+		if err == nil {
+			break
+		}
+		if attempt == 20 {
+			t.Fatalf("handshake through the flip proxy never succeeded: %v", err)
+		}
 	}
 	defer c.Close()
 	ops := 120
 	if testing.Short() {
 		ops = 40
 	}
-	var acked int
+	val := func(i int) uint64 { return uint64(i)*0x9E3779B97F4A7C15 + 1 }
+	acked := make(map[uint64]uint64)
+	var corrupt int
 	for i := 0; i < ops; i++ {
-		// The op timeout is deliberately tight: a flipped length prefix can
-		// desynchronize a connection into consuming later responses as one
-		// bogus frame, and until a decode error breaks the conn every op on
-		// it burns its full budget.
+		// The op timeout is deliberately tight: until a corrupt frame is
+		// detected and the conn quarantined, every op on it burns its budget.
 		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
-		if err := c.Insert(ctx, uint64(i), uint64(i)); err == nil {
-			acked++
+		k := uint64(i)
+		err := c.Insert(ctx, k, val(i))
+		if err == nil {
+			acked[k] = val(i)
+		} else if errors.Is(err, client.ErrFrameCorrupt) {
+			corrupt++
 		}
 		cancel()
 	}
-	t.Logf("bit-flip run: %d/%d inserts acknowledged, %d flips fired", acked, ops, inj.Stats().Flips())
+	t.Logf("bit-flip run: %d/%d inserts acknowledged; %d flips fired, %d server-side checksum errors, %d client-side corrupt frames",
+		len(acked), ops, inj.Stats().Flips(), m.FrameChecksumErrors(), corrupt)
 	if inj.Stats().Flips() == 0 {
 		t.Fatal("no flip fired; the run tested nothing")
+	}
+	if m.FrameChecksumErrors() == 0 && corrupt == 0 {
+		t.Fatal("corruption was injected but never detected on either side")
+	}
+
+	// Clean readback, bypassing the proxy: an acknowledged insert must be
+	// present with its value (the sealed ack is trustworthy), and any other
+	// key of ours that landed (a zombie of an unacknowledged insert) must
+	// still carry the one value ever written for it — anything else means a
+	// corrupt frame was executed as a real request.
+	cv, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cv.Close()
+	ctx := context.Background()
+	for i := 0; i < ops; i++ {
+		k := uint64(i)
+		v, ok, err := cv.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("clean readback Get(%d): %v", k, err)
+		}
+		if want, wasAcked := acked[k]; wasAcked {
+			if !ok || v != want {
+				t.Errorf("acked key %d reads back %d,%v, want %d,true", k, v, ok, want)
+			}
+		} else if ok && v != val(i) {
+			t.Errorf("key %d present with forged value %d (only %d was ever written)", k, v, val(i))
+		}
 	}
 }
 

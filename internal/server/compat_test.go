@@ -1,0 +1,370 @@
+package server_test
+
+// Backward-compatibility matrix for protocol v2. The handshake is opt-in, so
+// two directions must keep working unchanged:
+//
+//   - a v1 client (no HELLO) against a v2-capable server — the wire must be
+//     byte-identical to the pre-v2 protocol, trailer-free;
+//   - a v2 client against a v1 server (emulated with Config.DisableV2) — the
+//     rejected HELLO must downgrade the client to plain v1 transparently.
+//
+// Both directions also run through the fault-injection proxy with
+// byte-stream-preserving faults (delays, fragmentation), since negotiation
+// must survive an adversarial transport schedule, not just loopback luck.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dytis/client"
+	"dytis/internal/core"
+	"dytis/internal/fault"
+	"dytis/internal/proto"
+	"dytis/internal/server"
+)
+
+// rawRoundTrip writes req as a plain v1 frame and requires the response off
+// the wire to be byte-for-byte the v1 encoding of want. Responses are read
+// back-to-back with ReadFrame, so a stray CRC trailer (4 bytes the v1 framing
+// does not expect) would desynchronize the stream and fail loudly here.
+func rawRoundTrip(t *testing.T, nc net.Conn, buf []byte, req *proto.Request, want *proto.Response) []byte {
+	t.Helper()
+	out, err := proto.AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	body, buf, err := proto.ReadFrame(nc, buf)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", req.Op, err)
+	}
+	wantFrame, err := proto.AppendResponse(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, wantFrame[4:]) {
+		t.Fatalf("%s response differs from the v1 wire encoding:\n got %x\nwant %x", req.Op, body, wantFrame[4:])
+	}
+	return buf
+}
+
+// driveV1 runs a representative op mix over a raw v1 socket to addr, holding
+// every response to the exact pre-v2 byte encoding.
+func driveV1(t *testing.T, addr string) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	var buf []byte
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 1, Op: proto.OpPing},
+		&proto.Response{ID: 1, Op: proto.OpPing, Status: proto.StatusOK})
+	for i := uint64(0); i < 16; i++ {
+		buf = rawRoundTrip(t, nc, buf,
+			&proto.Request{ID: 10 + i, Op: proto.OpInsert, Key: i, Val: i * 3},
+			&proto.Response{ID: 10 + i, Op: proto.OpInsert, Status: proto.StatusOK})
+	}
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 40, Op: proto.OpGet, Key: 5},
+		&proto.Response{ID: 40, Op: proto.OpGet, Status: proto.StatusOK, Val: 15, Found: true})
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 41, Op: proto.OpGet, Key: 999},
+		&proto.Response{ID: 41, Op: proto.OpGet, Status: proto.StatusOK})
+	scanWant := &proto.Response{ID: 42, Op: proto.OpScan, Status: proto.StatusOK}
+	for i := uint64(2); i < 6; i++ {
+		scanWant.Keys = append(scanWant.Keys, i)
+		scanWant.Vals = append(scanWant.Vals, i*3)
+	}
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 42, Op: proto.OpScan, Key: 2, Max: 4}, scanWant)
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 43, Op: proto.OpGetBatch, Keys: []uint64{1, 99, 3}},
+		&proto.Response{ID: 43, Op: proto.OpGetBatch, Status: proto.StatusOK,
+			Vals: []uint64{3, 0, 9}, Founds: []bool{true, false, true}})
+	buf = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 44, Op: proto.OpDelete, Key: 7},
+		&proto.Response{ID: 44, Op: proto.OpDelete, Status: proto.StatusOK, Found: true})
+	_ = rawRoundTrip(t, nc, buf,
+		&proto.Request{ID: 45, Op: proto.OpLen},
+		&proto.Response{ID: 45, Op: proto.OpLen, Status: proto.StatusOK, Val: 15})
+}
+
+// TestV1ClientByteIdentical: a client that never sends HELLO gets the exact
+// pre-v2 wire protocol from a v2-capable server — directly, and through a
+// proxy injecting delays and fragmentation.
+func TestV1ClientByteIdentical(t *testing.T) {
+	t.Run("direct", func(t *testing.T) {
+		idx := core.New(smallOpts())
+		addr, _ := start(t, idx, server.Config{})
+		driveV1(t, addr)
+	})
+	t.Run("fault-proxy", func(t *testing.T) {
+		idx := core.New(smallOpts())
+		addr, _ := start(t, idx, server.Config{})
+		inj := fault.New(7, fault.Plan{
+			SplitProb: 0.4,
+			DelayProb: 0.1, DelayMin: 50 * time.Microsecond, DelayMax: 500 * time.Microsecond,
+		})
+		px, err := fault.NewProxy(addr, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Close()
+		driveV1(t, px.Addr())
+		if inj.Stats().Total() == 0 {
+			t.Fatal("no fault fired; the proxied run tested nothing")
+		}
+	})
+}
+
+// TestV2ClientAgainstV1Server: the server rejects HELLO the way a pre-v2
+// binary did (unknown opcode, connection dropped); the client must downgrade
+// to plain v1 and serve the full API, again including through the fault
+// proxy.
+func TestV2ClientAgainstV1Server(t *testing.T) {
+	run := func(t *testing.T, proxied bool) {
+		idx := core.New(smallOpts())
+		addr, _ := start(t, idx, server.Config{DisableV2: true})
+		if proxied {
+			inj := fault.New(11, fault.Plan{
+				SplitProb: 0.3,
+				DelayProb: 0.1, DelayMin: 50 * time.Microsecond, DelayMax: 500 * time.Microsecond,
+			})
+			px, err := fault.NewProxy(addr, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer px.Close()
+			addr = px.Addr()
+		}
+		c, err := client.Dial(addr,
+			client.WithReconnect(4, time.Millisecond, 10*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ctx := context.Background()
+
+		ver, feats, err := c.Protocol(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != proto.Version1 || feats != 0 {
+			t.Fatalf("Protocol = v%d feats %#x, want v1 with no features", ver, feats)
+		}
+		for k := uint64(0); k < 200; k++ {
+			if err := c.Insert(ctx, k, k+7); err != nil {
+				t.Fatalf("Insert(%d): %v", k, err)
+			}
+		}
+		if v, ok, err := c.Get(ctx, 100); err != nil || !ok || v != 107 {
+			t.Fatalf("Get = %d,%v,%v want 107,true,nil", v, ok, err)
+		}
+		// The redesigned scan API transparently paginates over v1.
+		s := c.ScanStream(ctx, 0, 0)
+		defer s.Close()
+		var n uint64
+		for s.Next() {
+			if s.Key() != n || s.Value() != n+7 {
+				t.Fatalf("scan pair %d: %d/%d", n, s.Key(), s.Value())
+			}
+			n++
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 200 {
+			t.Fatalf("scan delivered %d pairs, want 200", n)
+		}
+	}
+	t.Run("direct", func(t *testing.T) { run(t, false) })
+	t.Run("fault-proxy", func(t *testing.T) { run(t, true) })
+}
+
+// TestHelloNegotiation: a default client against a default server lands on
+// v2 with both features, and the sealed session works end to end with zero
+// checksum errors.
+func TestHelloNegotiation(t *testing.T) {
+	idx := core.New(smallOpts())
+	m := &server.Metrics{}
+	addr, _ := start(t, idx, server.Config{Metrics: m})
+	c, err := client.Dial(addr, client.WithPoolSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	ver, feats, err := c.Protocol(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != proto.Version2 || feats != proto.FeatCRC|proto.FeatScanStream {
+		t.Fatalf("Protocol = v%d feats %#x, want v2 with CRC+scan-stream", ver, feats)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := c.Insert(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok, err := c.Get(ctx, 42); err != nil || !ok || v != 42 {
+		t.Fatalf("Get = %d,%v,%v", v, ok, err)
+	}
+	if n := m.FrameChecksumErrors(); n != 0 {
+		t.Fatalf("FrameChecksumErrors = %d on a clean link, want 0", n)
+	}
+}
+
+// TestHelloMidStreamRejected: HELLO is only valid as a connection's first
+// request; later it is a protocol error that drops the connection (otherwise
+// a peer could flip framing mid-flight under pipelined traffic).
+func TestHelloMidStreamRejected(t *testing.T) {
+	idx := core.New(smallOpts())
+	addr, _ := start(t, idx, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	buf := rawRoundTrip(t, nc, nil,
+		&proto.Request{ID: 1, Op: proto.OpPing},
+		&proto.Response{ID: 1, Op: proto.OpPing, Status: proto.StatusOK})
+	out, err := proto.AppendRequest(nil, &proto.Request{
+		ID: 2, Op: proto.OpHello, Ver: proto.MaxVersion, Feats: proto.AllFeatures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	body, _, err := proto.ReadFrame(nc, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := proto.DecodeResponse(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 2 || resp.Status != proto.StatusBadRequest {
+		t.Fatalf("mid-stream HELLO answered %+v, want id 2 bad-request", resp)
+	}
+	if _, _, err := proto.ReadFrame(nc, nil); err == nil {
+		t.Fatal("connection stayed open after mid-stream HELLO")
+	}
+}
+
+// rawHello performs the handshake on a raw socket and returns the grant.
+func rawHello(t *testing.T, nc net.Conn) (uint8, uint32) {
+	t.Helper()
+	out, err := proto.AppendRequest(nil, &proto.Request{
+		ID: 1, Op: proto.OpHello, Ver: proto.MaxVersion, Feats: proto.AllFeatures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	body, _, err := proto.ReadFrame(nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := proto.DecodeResponse(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 || resp.Op != proto.OpHello || resp.Status != proto.StatusOK {
+		t.Fatalf("HELLO answered %+v", resp)
+	}
+	return resp.Ver, resp.Feats
+}
+
+// TestOverloadRetryAfterWire pins the two retry-after encodings: the typed
+// v2 field on the sealed wire, and the legacy v1 message that older clients
+// parse. Both must carry the configured window.
+func TestOverloadRetryAfterWire(t *testing.T) {
+	const magic = ^uint64(0)
+	d := core.New(smallOpts())
+	gi := &gateIndex{Index: d, gate: make(chan struct{}), magic: magic}
+	addr, _ := startIndex(t, gi, d, server.Config{
+		MaxInflight: 1,
+		RetryAfter:  50 * time.Millisecond,
+	})
+
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	blocked := make(chan error, 1)
+	go func() {
+		_, _, err := c1.Get(context.Background(), magic)
+		blocked <- err
+	}()
+	gi.waitEntered(t, 1)
+
+	// v2, raw: the sealed overload response carries the typed field.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	ver, feats := rawHello(t, nc)
+	if ver != proto.Version2 || feats&proto.FeatCRC == 0 {
+		t.Fatalf("handshake granted v%d feats %#x", ver, feats)
+	}
+	frame, err := proto.AppendRequest(nil, &proto.Request{ID: 2, Op: proto.OpGet, Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(proto.SealFrame(frame, 0)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	body, _, err := proto.ReadFrameCRC(nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := proto.DecodeResponseV(body, &resp, proto.Version2); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != proto.StatusOverload || resp.RetryAfterMS != 50 {
+		t.Fatalf("overload response = %+v, want typed retry-after of 50ms", resp)
+	}
+	if d, ok := resp.RetryAfter(); !ok || d != 50*time.Millisecond {
+		t.Fatalf("RetryAfter() = %v,%v, want 50ms", d, ok)
+	}
+
+	// v1 client: same hint, recovered from the legacy message encoding.
+	cv1, err := client.Dial(addr, client.WithV1Protocol(), client.WithCircuitBreaker(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cv1.Close()
+	_, _, err = cv1.Get(context.Background(), 1)
+	var oe *client.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("v1 Get under overload = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("v1 RetryAfter = %v, want 50ms", oe.RetryAfter)
+	}
+
+	close(gi.gate)
+	if err := <-blocked; err != nil {
+		t.Fatalf("gated Get after release: %v", err)
+	}
+}

@@ -3,8 +3,12 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"io"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dytis/internal/kv"
@@ -28,6 +32,26 @@ type conn struct {
 	resp    proto.Response
 	kvBuf   []kv.KV
 	shard   int
+
+	// Negotiated protocol state. Written only by the read loop (at the HELLO
+	// exchange, before any scan goroutine exists), read by the read loop and
+	// by scan goroutines it starts afterwards, so plain fields suffice.
+	ver     uint8
+	feats   uint32
+	nframes uint64 // frames decoded so far; HELLO is valid only as frame 1
+
+	// Streaming-scan state (scan.go). scanStop is closed when the read loop
+	// exits; every scan goroutine joins through scanWg before the out
+	// channel closes, so a stream can always complete its pending send.
+	scanMu   sync.Mutex
+	scans    map[uint64]*scanStream // guarded-by: scanMu
+	scanWg   sync.WaitGroup
+	scanStop chan struct{}
+
+	// queued tracks the bytes sitting in the out channel (enqueue adds,
+	// write loop subtracts), feeding the out-queue peak metric that bounds a
+	// streamed scan's server-side buffering.
+	queued atomic.Int64
 }
 
 // netConn is the subset of net.Conn the conn uses (test seam).
@@ -56,6 +80,8 @@ func (c *conn) armReadDeadline(d time.Duration) {
 func (c *conn) serve() {
 	c.shard = int(connSerial.Add(1))
 	c.out = make(chan []byte, c.srv.cfg.Pipeline)
+	c.ver = proto.Version1
+	c.scanStop = make(chan struct{})
 	writerDone := make(chan struct{})
 	go c.writeLoop(writerDone)
 
@@ -84,6 +110,29 @@ func (c *conn) serve() {
 			c.reportReadErr(err, "frame")
 			break
 		}
+		if c.feats&proto.FeatCRC != 0 {
+			// FeatCRC negotiated: every frame carries a CRC32C trailer over
+			// its length prefix and body. A mismatch means the stream has
+			// carried corruption — answer best-effort with the (possibly
+			// corrupt) id so a pipelined caller fails fast rather than
+			// timing out, then quarantine the connection: nothing after a
+			// corrupt frame can be trusted to be aligned.
+			if err := proto.ReadTrailer(br, n, body); err != nil {
+				if !errors.Is(err, proto.ErrChecksum) {
+					c.reportReadErr(err, "frame")
+					break
+				}
+				if m := cfg.Metrics; m != nil {
+					m.frameChecksum()
+				}
+				c.srv.logf("server: conn %s: %v; quarantining connection", c.raddr, err)
+				c.send(&proto.Response{
+					ID: binary.BigEndian.Uint64(body), Op: proto.OpPing,
+					Status: proto.StatusChecksum, Msg: "frame checksum mismatch",
+				})
+				break
+			}
+		}
 		arrival := time.Now()
 		if err := proto.DecodeRequest(body, &c.req); err != nil {
 			// The frame was well-delimited but its body is malformed. Answer
@@ -102,13 +151,88 @@ func (c *conn) serve() {
 			})
 			break
 		}
-		if !c.handle(arrival) {
+		c.nframes++
+		if !c.dispatch(arrival) {
 			break
 		}
 	}
+	// Exit order matters: stop the scan streams and join them before closing
+	// the out channel (a stream blocked sending a chunk is absorbed because
+	// the write loop keeps draining until the channel closes), then join the
+	// writer so every queued response flushes before the socket closes.
+	close(c.scanStop)
+	c.scanWg.Wait()
 	close(c.out)
 	<-writerDone
 	c.nc.Close()
+}
+
+// dispatch routes one decoded request: the v2 opcodes to the negotiation and
+// scan-stream handlers, everything else to handle. It reports whether the
+// connection should go on.
+func (c *conn) dispatch(arrival time.Time) bool {
+	cfg := &c.srv.cfg
+	req := &c.req
+	switch req.Op {
+	case proto.OpHello, proto.OpScanStart, proto.OpScanCredit, proto.OpScanCancel:
+		if cfg.DisableV2 {
+			// Emulate a pre-v2 server byte for byte: before the handshake
+			// existed these opcodes failed request decoding, which answered
+			// StatusBadRequest with the decoder's message and dropped the
+			// connection. A v2 client takes that as "speak plain v1".
+			if m := cfg.Metrics; m != nil {
+				m.protoError()
+			}
+			opb := byte(req.Op)
+			if req.TimeoutMS != 0 {
+				opb |= proto.FlagDeadline
+			}
+			c.send(&proto.Response{
+				ID: req.ID, Op: proto.OpPing, Status: proto.StatusBadRequest,
+				Msg: fmt.Sprintf("proto: unknown opcode: %d", opb),
+			})
+			return false
+		}
+	}
+	switch req.Op {
+	case proto.OpHello:
+		return c.handleHello(arrival)
+	case proto.OpScanStart:
+		return c.handleScanStart(arrival)
+	case proto.OpScanCredit:
+		c.handleScanCredit()
+		return true
+	case proto.OpScanCancel:
+		c.handleScanCancel()
+		return true
+	}
+	return c.handle(arrival)
+}
+
+// handleHello performs the v2 feature negotiation. The reply is encoded and
+// queued before the negotiated state takes effect, so the HELLO exchange
+// itself always travels as plain v1 frames in both directions.
+func (c *conn) handleHello(arrival time.Time) bool {
+	req, resp := &c.req, &c.resp
+	*resp = proto.Response{ID: req.ID, Op: proto.OpHello}
+	if c.nframes != 1 {
+		resp.Status = proto.StatusBadRequest
+		resp.Msg = "hello: must be the first request on a connection"
+		c.send(resp)
+		return false
+	}
+	ver, feats := proto.Version1, uint32(0)
+	if req.Ver >= proto.Version2 {
+		ver = proto.Version2
+		feats = req.Feats & proto.AllFeatures
+	}
+	resp.Ver, resp.Feats = ver, feats
+	if m := c.srv.cfg.Metrics; m != nil {
+		m.recordOp(proto.OpHello, c.shard, 1, time.Since(arrival))
+	}
+	ok := c.send(resp)
+	c.ver, c.feats = ver, feats
+	return ok
 }
 
 // reportReadErr books and logs one read-loop failure. Timeouts outside a
@@ -185,6 +309,9 @@ func (c *conn) handle(arrival time.Time) bool {
 			}
 			resp.Status = proto.StatusOverload
 			resp.Msg = cfg.RetryAfter.String()
+			// Typed hint for v2 peers; AppendResponseV only encodes it at
+			// Version2, so the v1 wire stays byte-identical.
+			resp.RetryAfterMS = uint32(cfg.RetryAfter.Milliseconds())
 			return c.send(resp)
 		}
 	admitted:
@@ -274,15 +401,24 @@ func batchSize(req *proto.Request) int {
 	return 1
 }
 
-// send encodes resp and queues it on the out channel, blocking when the
-// write loop is backed up (the read side of the backpressure chain).
+// send encodes resp for the connection's negotiated version — sealing it
+// with a CRC32C trailer when FeatCRC is on — and queues it on the out
+// channel, blocking when the write loop is backed up (the read side of the
+// backpressure chain). It is called by the read loop and by scan-stream
+// goroutines; each caller passes its own Response.
 func (c *conn) send(resp *proto.Response) bool {
-	frame, err := proto.AppendResponse(nil, resp)
+	frame, err := proto.AppendResponseV(nil, resp, c.ver)
 	if err != nil {
 		// Only reachable if the index returned an over-limit result, which
 		// the request validation rules out; treat as a connection-fatal bug.
 		c.srv.logf("server: encode response: %v", err)
 		return false
+	}
+	if c.feats&proto.FeatCRC != 0 {
+		frame = proto.SealFrame(frame, 0)
+	}
+	if n := c.queued.Add(int64(len(frame))); c.srv.cfg.Metrics != nil {
+		c.srv.cfg.Metrics.noteOutQueue(n)
 	}
 	c.out <- frame
 	return true
@@ -304,6 +440,7 @@ func (c *conn) writeLoop(done chan<- struct{}) {
 			drainOut(c.out)
 			return
 		}
+		c.queued.Add(-int64(len(frame)))
 		if len(c.out) == 0 {
 			if err := bw.Flush(); err != nil {
 				c.nc.Close()

@@ -41,6 +41,12 @@ type Metrics struct {
 	panics        atomic.Int64 // panics recovered (one connection closed each)
 	connTimeouts  atomic.Int64 // connections reaped by idle/read deadline
 	forcedCloses  atomic.Int64 // connections force-closed at drain timeout
+
+	// Protocol v2 counters.
+	frameChecksums atomic.Int64 // frames failing CRC32C verification (conn quarantined each)
+	scanStreams    atomic.Int64 // streaming scans started
+	scanChunks     atomic.Int64 // scan chunks produced (empty final pages included)
+	outQueuePeak   atomic.Int64 // peak bytes queued on any one conn's out channel
 }
 
 func (m *Metrics) connAccepted() {
@@ -61,6 +67,22 @@ func (m *Metrics) panicRecovered() { m.panics.Add(1) }
 func (m *Metrics) connTimeout() { m.connTimeouts.Add(1) }
 
 func (m *Metrics) forceClosed() { m.forcedCloses.Add(1) }
+
+func (m *Metrics) frameChecksum() { m.frameChecksums.Add(1) }
+
+func (m *Metrics) scanStream() { m.scanStreams.Add(1) }
+
+func (m *Metrics) scanChunk() { m.scanChunks.Add(1) }
+
+// noteOutQueue folds one observed out-channel byte depth into the peak.
+func (m *Metrics) noteOutQueue(n int64) {
+	for {
+		cur := m.outQueuePeak.Load()
+		if n <= cur || m.outQueuePeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // recordOp books one request of the given opcode covering n index
 // operations, served in d.
@@ -121,6 +143,22 @@ func (m *Metrics) ConnTimeouts() int64 { return m.connTimeouts.Load() }
 // drain timeout expired.
 func (m *Metrics) ForcedCloses() int64 { return m.forcedCloses.Load() }
 
+// FrameChecksumErrors returns the number of frames that failed CRC32C
+// verification (each quarantines its connection).
+func (m *Metrics) FrameChecksumErrors() int64 { return m.frameChecksums.Load() }
+
+// ScanStreams returns the number of streaming scans started.
+func (m *Metrics) ScanStreams() int64 { return m.scanStreams.Load() }
+
+// ScanChunks returns the number of scan chunks produced.
+func (m *Metrics) ScanChunks() int64 { return m.scanChunks.Load() }
+
+// OutQueuePeakBytes returns the peak byte depth observed on any single
+// connection's outbound response queue — the number that proves a streamed
+// scan's server-side buffering stays bounded by the credit window instead of
+// marshaling the whole result.
+func (m *Metrics) OutQueuePeakBytes() int64 { return m.outQueuePeak.Load() }
+
 var promQuantiles = []float64{0.5, 0.9, 0.99, 0.9999}
 
 // WritePrometheus writes the server metrics in the Prometheus text
@@ -160,6 +198,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"dytis_server_panics_recovered_total", "Recovered per-connection panics.", m.Panics()},
 		{"dytis_server_connection_timeouts_total", "Connections reaped by idle/read deadlines.", m.ConnTimeouts()},
 		{"dytis_server_forced_closes_total", "Connections force-closed at drain timeout.", m.ForcedCloses()},
+		{"dytis_server_frame_checksum_errors", "Frames failing CRC32C verification (connection quarantined each).", m.FrameChecksumErrors()},
+		{"dytis_server_scan_streams_total", "Streaming scans started.", m.ScanStreams()},
+		{"dytis_server_scan_chunks_total", "Scan chunks produced.", m.ScanChunks()},
+		{"dytis_server_out_queue_peak_bytes", "Peak bytes queued on any one connection's outbound response queue.", m.OutQueuePeakBytes()},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
