@@ -61,6 +61,11 @@ import (
 	"dytis/internal/proto"
 )
 
+// The client promises that every caller-facing wait respects the caller's
+// context; ctxcheck (tools/analyzers) enforces it package-wide.
+//
+//dytis:ctxcheck
+
 // ErrClientClosed is returned by every entry point invoked after Close
 // (match with errors.Is).
 var ErrClientClosed = errors.New("client: closed")
@@ -362,9 +367,9 @@ func classify(err error, gotResponse bool) breakerVerdict {
 // its last failure that the next user must respect before redialing.
 type slot struct {
 	mu       sync.Mutex
-	cc       *clientConn
-	failures int       // consecutive dial/IO failures
-	lastFail time.Time // when the last one happened
+	cc       *clientConn // guarded-by: mu
+	failures int         // guarded-by: mu — consecutive dial/IO failures
+	lastFail time.Time   // guarded-by: mu — when the last one happened
 }
 
 // Dial connects to a dytis-server at addr. The first connection is
@@ -478,6 +483,8 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 // exponential base is jittered ±25% so a client fleet whose server just
 // restarted does not redial in lockstep (a thundering herd re-creates the
 // overload that killed the server).
+//
+//dytis:locked s.mu
 func (c *Client) backoff(s *slot) time.Duration {
 	if s.failures == 0 {
 		return 0
@@ -542,21 +549,37 @@ func (c *Client) doOnce(ctx context.Context, req *proto.Request) (*proto.Respons
 	if err != nil {
 		return nil, err
 	}
-	if resp.Status == proto.StatusOverload {
-		ra, _ := resp.RetryAfter()
-		return resp, &OverloadError{RetryAfter: ra}
-	}
-	if resp.Status == proto.StatusChecksum {
-		// The server detected corruption in a frame we sent and is about to
-		// quarantine the connection; retire it on this side too.
-		err := fmt.Errorf("%w (detected server-side)", ErrFrameCorrupt)
-		cc.fail(err)
-		return resp, err
-	}
-	if err := resp.Err(); err != nil {
-		return resp, err
+	if serr, retire := statusErr(resp); serr != nil {
+		if retire {
+			cc.fail(serr)
+		}
+		return resp, serr
 	}
 	return resp, nil
+}
+
+// statusErr maps a response's status to the client's typed error surface;
+// retire reports that the connection can no longer be trusted and must be
+// failed. Every status the protocol defines must be mapped here — a new one
+// falling silently into the generic branch would lose its typed meaning —
+// so the switch is exhaustive (protocheck enforces it).
+func statusErr(resp *proto.Response) (err error, retire bool) {
+	//dytis:opswitch statuses
+	switch resp.Status {
+	case proto.StatusOK:
+		return nil, false
+	case proto.StatusOverload:
+		ra, _ := resp.RetryAfter()
+		return &OverloadError{RetryAfter: ra}, false
+	case proto.StatusChecksum:
+		// The server detected corruption in a frame we sent and is about to
+		// quarantine the connection; retire it on this side too.
+		return fmt.Errorf("%w (detected server-side)", ErrFrameCorrupt), true
+	case proto.StatusBadRequest, proto.StatusShuttingDown,
+		proto.StatusErr, proto.StatusDeadlineExceeded:
+		return resp.Err(), false
+	}
+	return resp.Err(), false
 }
 
 // --- operations -------------------------------------------------------------

@@ -43,9 +43,9 @@ type clientConn struct {
 	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
-	waiters map[uint64]chan result
-	streams map[uint64]chan result // scan streams, keyed by ScanStart id
-	err     error                  // sticky; non-nil once the conn is dead
+	waiters map[uint64]chan result // guarded-by: mu
+	streams map[uint64]chan result // guarded-by: mu — scan streams, keyed by ScanStart id
+	err     error                  // guarded-by: mu — sticky; non-nil once the conn is dead
 }
 
 type result struct {
@@ -238,10 +238,20 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("client: protocol error: %w", err))
 			return
 		}
-		if resp.Op == proto.OpScanChunk || resp.Op == proto.OpScanEnd {
+		// Routing is deliberately exhaustive over the response opcodes
+		// (protocheck enforces it): an opcode added to the protocol must
+		// decide here whether it belongs to a stream or a waiter.
+		//dytis:opswitch responses
+		switch resp.Op {
+		case proto.OpScanChunk, proto.OpScanEnd, proto.OpScanStart:
+			// Stream-routed: chunks and the end frame, but also an OpScanStart
+			// error response (bad request, overload) — the scan registered in
+			// streams, not waiters, so that answer must land there too or the
+			// Scanner would block until its ctx expired. Chunks keep the
+			// stream; end and start-refusal frames are terminal.
 			cc.mu.Lock()
 			ch := cc.streams[resp.ID]
-			if resp.Op == proto.OpScanEnd && ch != nil {
+			if resp.Op != proto.OpScanChunk && ch != nil {
 				delete(cc.streams, resp.ID)
 			}
 			cc.mu.Unlock()
@@ -256,16 +266,19 @@ func (cc *clientConn) readLoop() {
 				}
 			}
 			// A chunk with no stream belongs to a cancelled scan; drop it.
-			continue
+		case proto.OpPing, proto.OpGet, proto.OpInsert, proto.OpDelete,
+			proto.OpScan, proto.OpGetBatch, proto.OpInsertBatch,
+			proto.OpDeleteBatch, proto.OpLen, proto.OpHello,
+			proto.OpScanCredit, proto.OpScanCancel:
+			cc.mu.Lock()
+			ch := cc.waiters[resp.ID]
+			delete(cc.waiters, resp.ID)
+			cc.mu.Unlock()
+			if ch != nil {
+				ch <- result{resp: resp}
+			}
+			// A response with no waiter is one whose caller timed out; drop it.
 		}
-		cc.mu.Lock()
-		ch := cc.waiters[resp.ID]
-		delete(cc.waiters, resp.ID)
-		cc.mu.Unlock()
-		if ch != nil {
-			ch <- result{resp: resp}
-		}
-		// A response with no waiter is one whose caller timed out; drop it.
 	}
 }
 
@@ -318,6 +331,7 @@ func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Respon
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	//dytis:blocking-ok releasing the slot acquired above from a buffered channel never blocks
 	defer func() { <-cc.inflight }()
 
 	req.ID = cc.nextID.Add(1)
@@ -351,7 +365,7 @@ func (cc *clientConn) do(ctx context.Context, req *proto.Request) (*proto.Respon
 	cc.mu.Unlock()
 
 	if werr := cc.writeBytes(ctx, frame); werr != nil {
-		<-ch // fail delivered to our waiter (or routed response raced it)
+		<-ch //dytis:blocking-ok a write error fails the conn, which delivers to every waiter (or a routed response raced it)
 		return nil, werr
 	}
 

@@ -210,6 +210,19 @@ func (s *Scanner) nextStream() bool {
 				return false
 			}
 			resp := r.resp
+			if resp.Op == proto.OpScanStart {
+				// The server refused to start the stream (feature not
+				// negotiated, duplicate id, or its concurrent-scan cap).
+				// That answer carries OpScanStart, so the read loop routes
+				// it here — to the stream, not a waiter — and it is
+				// terminal for the stream.
+				serr, _ := statusErr(resp)
+				if serr == nil {
+					serr = fmt.Errorf("proto: server status %d: %s", resp.Status, resp.Msg)
+				}
+				s.fail(fmt.Errorf("client: scan refused by server: %w", serr), true)
+				return false
+			}
 			if resp.Op == proto.OpScanEnd {
 				if resp.Status != proto.StatusOK {
 					s.fail(fmt.Errorf("client: scan aborted by server: %w", resp.Err()), true)

@@ -7,6 +7,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -190,6 +191,66 @@ func TestScanWrapperEquivalence(t *testing.T) {
 			t.Fatalf("Scan(max=0) = %v,%v,%v, want nils", keys, vals, err)
 		}
 	})
+}
+
+// TestScanStreamRefusedPromptly: a server refusal of OpScanStart (here the
+// per-connection concurrent-stream cap) must surface on the Scanner as a
+// typed error promptly — the refusal frame carries Op: OpScanStart, and a
+// read loop that only routes chunk/end frames to streams would drop it,
+// leaving Next blocked until the caller's deadline.
+func TestScanStreamRefusedPromptly(t *testing.T) {
+	idx := newIndex()
+	addr := serveCfg(t, server.Config{Index: idx})
+	c, err := client.Dial(addr,
+		client.WithPoolSize(1),
+		client.WithScanStream(1, 1)) // 1-pair chunks: streams stay open
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for k := uint64(0); k < 64; k++ {
+		if err := c.Insert(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pin 16 live streams on the one pooled connection (the server-side
+	// per-conn cap). Pulling a single pair leaves each stream parked
+	// waiting for credit, so it stays registered.
+	const cap = 16
+	for i := 0; i < cap; i++ {
+		s := c.ScanStream(ctx, 0, 0)
+		defer s.Close()
+		if !s.Next() {
+			t.Fatalf("stream %d: first Next = false, err %v", i, s.Err())
+		}
+	}
+
+	// The 17th start must be refused — and the refusal must reach us even
+	// with no deadline on the context.
+	s := c.ScanStream(ctx, 0, 0)
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if s.Next() {
+			t.Error("Next on a refused stream returned true")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("refused scan did not fail promptly (refusal frame dropped?)")
+	}
+	if err := s.Err(); !errors.Is(err, client.ErrOverload) {
+		t.Fatalf("refused scan Err = %v, want ErrOverload in the chain", err)
+	}
+	var oe *client.OverloadError
+	if !errors.As(s.Err(), &oe) {
+		t.Fatalf("refused scan Err = %v, want *OverloadError", s.Err())
+	}
+	requireSound(t, idx)
 }
 
 // TestScannerCloseWithoutNext: a Scanner abandoned before its first Next

@@ -144,18 +144,18 @@ func runNetWorkload(addr string, kind workload.Kind, keys []uint64) (netCell, er
 	}
 	defer c0.Close()
 	const chunk = 4096
-	for start := uint64(0); ; {
-		ks, _, err := c0.Scan(ctx, start, chunk)
-		if err != nil {
+	s := c0.ScanStream(ctx, 0, 0)
+	var live []uint64
+	for s.Next() {
+		live = append(live, s.Key())
+	}
+	if err := s.Err(); err != nil {
+		return netCell{}, err
+	}
+	for i := 0; i < len(live); i += chunk {
+		if _, err := c0.DeleteBatch(ctx, live[i:min(i+chunk, len(live))]); err != nil {
 			return netCell{}, err
 		}
-		if len(ks) == 0 {
-			break
-		}
-		if _, err := c0.DeleteBatch(ctx, ks); err != nil {
-			return netCell{}, err
-		}
-		start = ks[len(ks)-1] + 1
 	}
 	pre := keys[:plan.PreloadCount]
 	for i := 0; i < len(pre); i += chunk {
@@ -334,7 +334,11 @@ func replayStripe(ctx context.Context, addr string, stripe []workload.Op, h *lat
 		case workload.OpRead:
 			_, _, err = c.Get(ctx, op.Key)
 		case workload.OpScan:
-			_, _, err = c.Scan(ctx, op.Key, workload.ScanLen)
+			s := c.ScanStream(ctx, op.Key, workload.ScanLen)
+			for s.Next() {
+			}
+			err = s.Err()
+			s.Close()
 		case workload.OpRMW:
 			if _, _, err = c.Get(ctx, op.Key); err == nil {
 				err = c.Insert(ctx, op.Key, op.Val)

@@ -1,17 +1,32 @@
 // vet-dytis is the driver for the project's custom analyzers (lockcheck,
-// atomiccheck), speaking the `go vet -vettool` protocol:
+// atomiccheck, protocheck, ctxcheck, metriccheck), speaking the
+// `go vet -vettool` protocol:
 //
 //	go build -o /tmp/vet-dytis ./cmd/vet-dytis
-//	go vet -vettool=/tmp/vet-dytis ./internal/core/...
+//	go vet -vettool=/tmp/vet-dytis ./...
 //
 // The protocol (normally provided by golang.org/x/tools' unitchecker, which
 // this stdlib-only module reimplements): the go command probes the tool with
 // -V=full for a version fingerprint and -flags for its flag set, then
 // invokes it once per package with a single *.cfg argument describing the
 // parsed unit — file lists, the import map, and compiled export data for
-// every dependency. Diagnostics go to stderr as "pos: message" and a
-// non-zero exit marks the package failed. Select a subset of analyzers with
-// -lockcheck / -atomiccheck; with neither flag set, all run.
+// every dependency. Diagnostics go to stderr as "pos: message" followed by a
+// one-line per-package summary; a non-zero exit marks the package failed
+// (1 = diagnostics, 2 = the tool itself failed). Select a subset of
+// analyzers with -lockcheck / -atomiccheck / -protocheck / -ctxcheck /
+// -metriccheck; with none set, all run.
+//
+// Package facts (protocheck's opcode tables, ctxcheck's blocking-function
+// sets, metriccheck's registered-series sets) ride the protocol's .vetx
+// files: dependency units of this module are analyzed facts-only (VetxOnly)
+// and their exports are served to dependent packages' passes, so a switch in
+// client can be checked against the constants internal/proto defines.
+//
+// Machine-readable output for CI: the -json flag (or VET_DYTIS_JSON=1)
+// prints the unit's diagnostics as a sorted JSON array on stdout, and
+// VET_DYTIS_JSONFILE=<path> appends them as JSON lines to that file —
+// the env forms exist because `go vet` runs the tool once per package, in
+// parallel, where a shared artifact file is the practical collection point.
 package main
 
 import (
@@ -59,6 +74,7 @@ func main() {
 	}
 	printVersion := flag.String("V", "", "print version and exit (-V=full for a fingerprint)")
 	flagsJSON := flag.Bool("flags", false, "print flags in JSON and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	if *printVersion != "" {
@@ -71,7 +87,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		fmt.Fprintln(os.Stderr, "usage: vet-dytis [-lockcheck] [-atomiccheck] <unit.cfg>")
+		fmt.Fprintln(os.Stderr, "usage: vet-dytis [-lockcheck] [-atomiccheck] [-protocheck] [-ctxcheck] [-metriccheck] [-json] <unit.cfg>")
 		fmt.Fprintln(os.Stderr, "run via: go vet -vettool=$(command -v vet-dytis) ./...")
 		os.Exit(2)
 	}
@@ -85,7 +101,7 @@ func main() {
 	if len(run) == 0 {
 		run = analyzers.All()
 	}
-	os.Exit(checkUnit(args[0], run))
+	os.Exit(checkUnit(args[0], run, *jsonOut || os.Getenv("VET_DYTIS_JSON") == "1"))
 }
 
 // version prints the fingerprint line the go command caches vet results by.
@@ -96,13 +112,13 @@ func version() {
 	f, err := os.Open(os.Args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	fmt.Printf("vet-dytis version devel comments-go-here buildID=%02x\n", h.Sum(nil))
 }
@@ -126,32 +142,65 @@ func printFlags() {
 	data, err := json.Marshal(out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	os.Stdout.Write(data)
 }
 
-func checkUnit(cfgPath string, run []*analyzers.Analyzer) int {
+// jsonDiag is one diagnostic in the -json / VET_DYTIS_JSONFILE output.
+type jsonDiag struct {
+	Package  string `json:"package"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// vetxFacts is the on-disk schema of a unit's .vetx file: one opaque blob
+// per analyzer that exported facts for the package.
+type vetxFacts map[string][]byte
+
+// inModule reports whether the import path belongs to this module (test
+// variants like "dytis/internal/proto.test" included). Only module packages
+// are re-typechecked for facts — running the analyzers over the standard
+// library would be slow and pointless, since nothing in it carries dytis
+// annotations.
+func inModule(importPath string) bool {
+	return importPath == "dytis" || strings.HasPrefix(importPath, "dytis/")
+}
+
+func checkUnit(cfgPath string, run []*analyzers.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return 2
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "vet-dytis: parsing %s: %v\n", cfgPath, err)
-		return 1
+		return 2
 	}
-	// The go command expects a facts file for every unit, even dependency
-	// units analyzed only for export (VetxOnly). These analyzers are
-	// fact-free, so the file is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+
+	// writeVetx persists this unit's facts; the go command expects the file
+	// to exist for every unit, even an empty one.
+	facts := vetxFacts{}
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		blob, err := json.Marshal(facts)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, blob, 0o666)
 	}
-	if cfg.VetxOnly {
+
+	if cfg.VetxOnly && !inModule(cfg.ImportPath) {
+		if err := writeVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 		return 0
 	}
 
@@ -161,7 +210,7 @@ func checkUnit(cfgPath string, run []*analyzers.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return 2
 		}
 		files = append(files, f)
 	}
@@ -191,28 +240,128 @@ func checkUnit(cfgPath string, run []*analyzers.Analyzer) int {
 	tconf := types.Config{Importer: imp, Error: func(error) {}}
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			// A facts-only unit that fails to typecheck exports no facts;
+			// dependents report the gap where it matters.
+			writeVetx()
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "vet-dytis: typechecking %s: %v\n", cfg.ImportPath, err)
-		return 1
+		return 2
 	}
 
+	// Dependency facts, lazily loaded and parsed from the .vetx files the go
+	// command threads through PackageVetx.
+	depCache := map[string]vetxFacts{}
+	depFacts := func(path string) vetxFacts {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			if _, direct := cfg.PackageVetx[path]; !direct {
+				path = mapped
+			}
+		}
+		if f, ok := depCache[path]; ok {
+			return f
+		}
+		f := vetxFacts{}
+		if file, ok := cfg.PackageVetx[path]; ok {
+			if blob, err := os.ReadFile(file); err == nil {
+				json.Unmarshal(blob, &f)
+			}
+		}
+		depCache[path] = f
+		return f
+	}
+
+	var diags []jsonDiag
 	exit := 0
 	for _, a := range run {
+		a := a
 		pass := &analyzers.Pass{
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report: func(d analyzers.Diagnostic) {
-				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+				if cfg.VetxOnly {
+					return // facts-only pass: dependents get the diagnostics
+				}
+				p := fset.Position(d.Pos)
+				diags = append(diags, jsonDiag{
+					Package: cfg.ImportPath, Analyzer: a.Name,
+					File: p.Filename, Line: p.Line, Col: p.Column,
+					Message: d.Message,
+				})
 				exit = 1
+			},
+			ReadFacts: func(path string) []byte {
+				return depFacts(path)[a.Name]
+			},
+			WriteFacts: func(data []byte) {
+				facts[a.Name] = data
+			},
+			DepFacts: func() map[string][]byte {
+				all := map[string][]byte{}
+				for path := range cfg.PackageVetx {
+					if blob, ok := depFacts(path)[a.Name]; ok {
+						all[path] = blob
+					}
+				}
+				return all
 			},
 		}
 		if err := a.Run(pass); err != nil {
 			fmt.Fprintf(os.Stderr, "vet-dytis: %s: %v\n", a.Name, err)
-			exit = 1
+			exit = 2
+		}
+	}
+	if err := writeVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.File, d.Line, d.Col, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vet-dytis: %s: %d diagnostic(s)\n", cfg.ImportPath, len(diags))
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []jsonDiag{}
+		}
+		enc.Encode(diags)
+	}
+	if path := os.Getenv("VET_DYTIS_JSONFILE"); path != "" && len(diags) > 0 {
+		// One JSON object per line, appended: `go vet` runs one process per
+		// package in parallel, and O_APPEND line writes this small are atomic
+		// enough to interleave whole.
+		if f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666); err == nil {
+			for _, d := range diags {
+				line, _ := json.Marshal(d)
+				f.Write(append(line, '\n'))
+			}
+			f.Close()
 		}
 	}
 	return exit

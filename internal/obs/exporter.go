@@ -68,9 +68,22 @@ func (o *Observer) Vars() map[string]any {
 	return vars
 }
 
+// Every series this exporter registers must appear in the metric tables of
+// the listed docs; metriccheck enforces it.
+//
+//dytis:metric-docs ../../README.md ../../DESIGN.md
+
 // WritePrometheus writes the observer's state in the Prometheus text
 // exposition format: one summary per operation, counters per structure-event
-// kind, and gauges for the attached index's shape and memory.
+// kind, and gauges for the attached index's shape and memory. Every series
+// is declared here rather than on fields: the summaries aggregate sharded
+// histograms and the gauges are computed from the index's own Stats
+// snapshot, so there is no single backing counter field to watch.
+//
+//dytis:series dytis_op_latency_nanoseconds dytis_structure_events_total
+//dytis:series dytis_structure_event_nanoseconds_total dytis_maintenance_total
+//dytis:series dytis_keys dytis_memory_bytes dytis_segments dytis_buckets
+//dytis:series dytis_directory_entries dytis_adaptive_ehs
 func (o *Observer) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP dytis_op_latency_nanoseconds Per-operation latency (merged across shards).")
 	fmt.Fprintln(w, "# TYPE dytis_op_latency_nanoseconds summary")

@@ -48,6 +48,8 @@ func SealFrame(dst []byte, start int) []byte {
 // body obtained via ReadHeader+ReadBody. The length prefix is reconstructed
 // from n, so the server's two-deadline header/body read split needs no
 // change to be checksummed.
+//
+//dytis:blocks
 func ReadTrailer(r io.Reader, n int, body []byte) error {
 	var tr [TrailerLen]byte
 	if _, err := io.ReadFull(r, tr[:]); err != nil {
@@ -68,6 +70,8 @@ func ReadTrailer(r io.Reader, n int, body []byte) error {
 // ReadFrameCRC reads one sealed frame from r into buf (grown as needed),
 // verifying its trailer, and returns the body slice, which aliases buf. It
 // is ReadHeader, ReadBody, ReadTrailer.
+//
+//dytis:blocks
 func ReadFrameCRC(r io.Reader, buf []byte) ([]byte, []byte, error) {
 	n, err := ReadHeader(r)
 	if err != nil {

@@ -65,17 +65,18 @@
 //     carries a 4-byte CRC32C (Castagnoli) trailer covering the length
 //     prefix and the body (see crc.go). The trailer is not counted in the
 //     length prefix.
+//
 //   - FeatScanStream: the streaming scan opcode family. A scan becomes a
 //     server-push stream with client credit-based flow control:
 //
-//	ScanStart  (request)   start(8) max(8) chunk(4) credits(4)
-//	                       max is the total pair budget (0 = unbounded),
-//	                       chunk the per-frame pair bound (<= MaxScan),
-//	                       credits the initial window (<= MaxScanCredits)
-//	ScanCredit (request)   credits(4) — id = the scan's id; never answered
-//	ScanCancel (request)   — id = the scan's id; never answered
-//	ScanChunk  (response)  n(4) [key(8) val(8)]*n — one chunk, costs one credit
-//	ScanEnd    (response)  total(8) — stream end (status != OK on abort)
+//     ScanStart  (request)   start(8) max(8) chunk(4) credits(4)
+//     max is the total pair budget (0 = unbounded),
+//     chunk the per-frame pair bound (<= MaxScan),
+//     credits the initial window (<= MaxScanCredits)
+//     ScanCredit (request)   credits(4) — id = the scan's id; never answered
+//     ScanCancel (request)   — id = the scan's id; never answered
+//     ScanChunk  (response)  n(4) [key(8) val(8)]*n — one chunk, costs one credit
+//     ScanEnd    (response)  total(8) — stream end (status != OK on abort)
 //
 // Every frame of a stream (the chunks and the end) echoes the ScanStart's
 // request id. The server sends at most `credits` chunks ahead of the
@@ -118,8 +119,8 @@ const (
 	OpScanStart  // open a streaming scan
 	OpScanCredit // grant chunk credits to a running scan (never answered)
 	OpScanCancel // abandon a running scan (never answered)
-	OpScanChunk  // response-only: one chunk of scan pairs
-	OpScanEnd    // response-only: end of a scan stream
+	OpScanChunk  //dytis:response-only one chunk of scan pairs
+	OpScanEnd    //dytis:response-only end of a scan stream
 
 	// NumOpcodes bounds the opcode space; valid opcodes are 1..NumOpcodes-1,
 	// so it can size per-opcode metric arrays.
@@ -127,6 +128,7 @@ const (
 )
 
 func (o Opcode) String() string {
+	//dytis:opswitch opcodes
 	switch o {
 	case OpPing:
 		return "ping"
@@ -351,6 +353,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	} else {
 		dst = append(dst, byte(r.Op))
 	}
+	//dytis:opswitch requests
 	switch r.Op {
 	case OpPing, OpLen:
 	case OpGet, OpDelete:
@@ -432,6 +435,7 @@ func AppendResponseV(dst []byte, r *Response, ver uint8) ([]byte, error) {
 		dst = append(dst, r.Msg...)
 		return patchLen(dst, lenAt)
 	}
+	//dytis:opswitch responses
 	switch r.Op {
 	case OpPing, OpInsert, OpInsertBatch:
 	case OpGet:
@@ -600,6 +604,7 @@ func DecodeRequest(body []byte, req *Request) error {
 		}
 	}
 	*req = Request{ID: id, Op: op, TimeoutMS: timeoutMS, Keys: req.Keys[:0], Vals: req.Vals[:0]}
+	//dytis:opswitch requests
 	switch op {
 	case OpPing, OpLen:
 	case OpGet, OpDelete:
@@ -720,6 +725,7 @@ func DecodeResponseV(body []byte, resp *Response, ver uint8) error {
 		resp.Msg = string(rd.b[rd.off:])
 		return nil
 	}
+	//dytis:opswitch responses
 	switch op {
 	case OpPing, OpInsert, OpInsertBatch:
 	case OpGet:
@@ -826,6 +832,8 @@ func growBools(s []bool, n int) []bool {
 // deadlines: a long idle deadline while waiting for a request to start, and
 // a short per-frame deadline once the header has arrived, which is what
 // reaps a slow-loris peer trickling a frame byte by byte.
+//
+//dytis:blocks
 func ReadHeader(r io.Reader) (int, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -843,6 +851,8 @@ func ReadHeader(r io.Reader) (int, error) {
 
 // ReadBody reads an n-byte frame body (n from ReadHeader) into buf, grown
 // as needed, and returns the body slice, which aliases buf.
+//
+//dytis:blocks
 func ReadBody(r io.Reader, n int, buf []byte) ([]byte, []byte, error) {
 	if cap(buf) < n {
 		buf = make([]byte, n)
@@ -861,6 +871,8 @@ func ReadBody(r io.Reader, n int, buf []byte) ([]byte, []byte, error) {
 // ReadFrame reads one length-prefixed frame body from r into buf (grown as
 // needed) and returns the body slice, which aliases buf. It is
 // ReadHeader followed by ReadBody.
+//
+//dytis:blocks
 func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 	n, err := ReadHeader(r)
 	if err != nil {

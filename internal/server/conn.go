@@ -194,6 +194,7 @@ func (c *conn) dispatch(arrival time.Time) bool {
 			return false
 		}
 	}
+	//dytis:opswitch requests group=serve
 	switch req.Op {
 	case proto.OpHello:
 		return c.handleHello(arrival)
@@ -366,6 +367,7 @@ func (c *conn) execute(req *proto.Request, resp *proto.Response) (panicked bool)
 		}
 	}()
 	idx := c.srv.cfg.Index
+	//dytis:opswitch requests group=serve
 	switch req.Op {
 	case proto.OpPing:
 	case proto.OpGet:

@@ -26,27 +26,43 @@ const metricsShards = 8
 // latency sits next to the index's own numbers with distinct metric names
 // (dytis_server_* vs dytis_*).
 type Metrics struct {
+	//dytis:series dytis_server_request_latency_nanoseconds
 	ops [proto.NumOpcodes][metricsShards]lathist.AtomicHist
 	// opCount counts index operations (batch entries count individually),
 	// while the histograms count requests.
+	//dytis:series dytis_server_ops_total
 	opCount [proto.NumOpcodes]atomic.Int64
 
-	connsTotal  atomic.Int64
+	//dytis:series dytis_server_connections_total
+	connsTotal atomic.Int64
+	//dytis:series dytis_server_connections_active
 	connsActive atomic.Int64
+	//dytis:series dytis_server_protocol_errors_total
 	protoErrors atomic.Int64
 
 	// Robustness counters (overload hardening + fault handling).
-	overloads     atomic.Int64 // requests shed by admission control
+
+	//dytis:series dytis_server_overloads_total
+	overloads atomic.Int64 // requests shed by admission control
+	//dytis:series dytis_server_deadline_sheds_total
 	deadlineSheds atomic.Int64 // requests skipped: propagated deadline expired
-	panics        atomic.Int64 // panics recovered (one connection closed each)
-	connTimeouts  atomic.Int64 // connections reaped by idle/read deadline
-	forcedCloses  atomic.Int64 // connections force-closed at drain timeout
+	//dytis:series dytis_server_panics_recovered_total
+	panics atomic.Int64 // panics recovered (one connection closed each)
+	//dytis:series dytis_server_connection_timeouts_total
+	connTimeouts atomic.Int64 // connections reaped by idle/read deadline
+	//dytis:series dytis_server_forced_closes_total
+	forcedCloses atomic.Int64 // connections force-closed at drain timeout
 
 	// Protocol v2 counters.
+
+	//dytis:series dytis_server_frame_checksum_errors
 	frameChecksums atomic.Int64 // frames failing CRC32C verification (conn quarantined each)
-	scanStreams    atomic.Int64 // streaming scans started
-	scanChunks     atomic.Int64 // scan chunks produced (empty final pages included)
-	outQueuePeak   atomic.Int64 // peak bytes queued on any one conn's out channel
+	//dytis:series dytis_server_scan_streams_total
+	scanStreams atomic.Int64 // streaming scans started
+	//dytis:series dytis_server_scan_chunks_total
+	scanChunks atomic.Int64 // scan chunks produced (empty final pages included)
+	//dytis:series dytis_server_out_queue_peak_bytes
+	outQueuePeak atomic.Int64 // peak bytes queued on any one conn's out channel
 }
 
 func (m *Metrics) connAccepted() {
@@ -160,6 +176,11 @@ func (m *Metrics) ScanChunks() int64 { return m.scanChunks.Load() }
 func (m *Metrics) OutQueuePeakBytes() int64 { return m.outQueuePeak.Load() }
 
 var promQuantiles = []float64{0.5, 0.9, 0.99, 0.9999}
+
+// Every series this exporter registers must appear in the metric tables of
+// the listed docs; metriccheck enforces it.
+//
+//dytis:metric-docs ../../README.md ../../DESIGN.md
 
 // WritePrometheus writes the server metrics in the Prometheus text
 // exposition format. cmd/dytis-server appends it to the index observer's

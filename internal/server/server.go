@@ -42,6 +42,11 @@ import (
 	"dytis/internal/kv"
 )
 
+// The serving stack promises deadline propagation end to end; ctxcheck
+// (tools/analyzers) enforces it package-wide.
+//
+//dytis:ctxcheck
+
 // Index is the index surface the server serves; *core.DyTIS (and therefore
 // the public dytis.Index) implements it. The index must be in Concurrent
 // mode: every connection drives it from its own goroutine.
@@ -126,10 +131,10 @@ type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
-	ln       net.Listener          // guarded-by: mu
-	conns    map[*conn]struct{}    // guarded-by: mu
-	draining bool                  // guarded-by: mu
-	serving  atomic.Bool           // set once Serve has a listener
+	ln       net.Listener       // guarded-by: mu
+	conns    map[*conn]struct{} // guarded-by: mu
+	draining bool               // guarded-by: mu
+	serving  atomic.Bool        // set once Serve has a listener
 
 	// inflight is the admission-control semaphore (nil when MaxInflight is
 	// 0): a slot is held for the duration of one request's index work.
@@ -296,7 +301,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
-		s.wg.Wait()
+		s.wg.Wait() //dytis:blocking-ok bounded by the force-close below: ctx expiry closes every socket, which unblocks each conn
 		close(done)
 	}()
 	select {
@@ -319,7 +324,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if len(forced) > 0 {
 			s.logf("server: drain timeout: %d connection(s) force-closed", len(forced))
 		}
-		<-done
+		<-done //dytis:blocking-ok every socket is now closed, so each conn's serve loop exits promptly
 		return ctx.Err()
 	}
 }

@@ -1,9 +1,14 @@
 // Package analyzers holds the project's custom static-analysis passes and
 // the minimal framework they run on. The framework mirrors the shape of
-// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
-// self-contained — the module is stdlib-only — and supports exactly what the
-// two passes need: a parsed, type-checked single package and a diagnostic
-// sink. cmd/vet-dytis adapts it to the `go vet -vettool` protocol.
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic, plus
+// package-level facts) but is self-contained — the module is stdlib-only —
+// and supports exactly what the five passes need: a parsed, type-checked
+// single package, a diagnostic sink, and an opaque per-package fact blob so
+// contracts cross package boundaries (protocheck's opcode tables, ctxcheck's
+// blocking-function sets, metriccheck's registered-series sets).
+// cmd/vet-dytis adapts it to the `go vet -vettool` protocol, storing the
+// fact blobs in the .vetx files that protocol already threads from each
+// package to its dependents.
 package analyzers
 
 import (
@@ -11,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -32,6 +38,42 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// ReadFacts returns the fact blob the current analyzer exported for the
+	// dependency package at the given import path, nil when the package
+	// exported none. Nil when the driver provides no fact store.
+	ReadFacts func(path string) []byte
+	// WriteFacts records the current analyzer's fact blob for this package,
+	// to be served to dependent packages' passes. Nil when the driver
+	// provides no fact store.
+	WriteFacts func(data []byte)
+	// DepFacts returns every dependency's fact blob for the current
+	// analyzer, keyed by import path. Nil when the driver provides no fact
+	// store.
+	DepFacts func() map[string][]byte
+}
+
+// readFacts is ReadFacts with nil-safety.
+func (p *Pass) readFacts(path string) []byte {
+	if p.ReadFacts == nil {
+		return nil
+	}
+	return p.ReadFacts(path)
+}
+
+// writeFacts is WriteFacts with nil-safety.
+func (p *Pass) writeFacts(data []byte) {
+	if p.WriteFacts != nil {
+		p.WriteFacts(data)
+	}
+}
+
+// depFacts is DepFacts with nil-safety.
+func (p *Pass) depFacts() map[string][]byte {
+	if p.DepFacts == nil {
+		return nil
+	}
+	return p.DepFacts()
 }
 
 // Diagnostic is one finding at a source position.
@@ -46,4 +88,54 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All returns every registered analyzer, in stable order.
-func All() []*Analyzer { return []*Analyzer{LockCheck, AtomicCheck} }
+func All() []*Analyzer {
+	return []*Analyzer{LockCheck, AtomicCheck, ProtoCheck, CtxCheck, MetricCheck}
+}
+
+// markerLines collects the source lines bearing the given standalone marker
+// comment (e.g. "//dytis:blocking-ok reason"), per file, so checks can be
+// suppressed by an annotation on the flagged line or the line above it.
+func markerLines(pass *Pass, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			if commentIs(cm.Text, marker) {
+				lines[pass.Fset.Position(cm.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// commentIs reports whether the raw comment text is the given //dytis:
+// marker, optionally followed by free-form text after a space.
+func commentIs(text, marker string) bool {
+	rest, ok := cutComment(text, marker)
+	return ok && (rest == "" || rest[0] == ' ')
+}
+
+// stripInlineComment cuts an embedded "//" and what follows from a marker's
+// payload, so a trailing comment after the arguments (e.g. the test
+// harness's `// want` expectations) is not parsed as arguments.
+func stripInlineComment(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// cutComment strips "//" and leading spaces, then the marker prefix,
+// returning what follows it.
+func cutComment(text, marker string) (string, bool) {
+	t := text
+	if len(t) >= 2 && t[0] == '/' && t[1] == '/' {
+		t = t[2:]
+	}
+	for len(t) > 0 && (t[0] == ' ' || t[0] == '\t') {
+		t = t[1:]
+	}
+	if len(t) < len(marker) || t[:len(marker)] != marker {
+		return "", false
+	}
+	return t[len(marker):], true
+}

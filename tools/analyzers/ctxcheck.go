@@ -1,0 +1,401 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CtxCheck flags blocking operations in context-aware code that ignore the
+// context: the deadline-propagation discipline (client ctx → wire budget →
+// server shed) only works if no step on the path can stall forever first.
+//
+// A package opts in with a `//dytis:ctxcheck` comment in any of its files.
+// Within an opted-in package, a function is in scope when it takes a
+// context.Context parameter or its body uses a context.Context value
+// (closures inherit their enclosing function's scope). In-scope functions
+// are checked, flow-lite and in source order, for:
+//
+//   - channel sends and receives outside a select — they can block forever
+//   - a select with neither a default case nor a case receiving from a
+//     ctx.Done() or timer channel
+//   - calls to functions annotated `//dytis:blocks` (exported as package
+//     facts, so proto.ReadFrame is known to block inside client/server)
+//     and Read/Write calls on deadline-capable connections, unless a
+//     Set{,Read,Write}Deadline call appears earlier in the function
+//   - time.Sleep, sync.WaitGroup.Wait, and sync.Cond.Wait
+//
+// A finding is suppressed by `//dytis:blocking-ok <why>` on the same or the
+// preceding line (the why is required reading for the next editor), or on
+// the function's doc comment to exempt the whole function. Test files are
+// skipped.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "flag blocking operations that ignore a propagated context/deadline",
+	Run:  runCtxCheck,
+}
+
+const (
+	ctxcheckMarker   = "dytis:ctxcheck"
+	blocksMarker     = "dytis:blocks"
+	blockingOKMarker = "dytis:blocking-ok"
+)
+
+// ctxFacts is the fact blob a package exports: the names of its functions
+// annotated //dytis:blocks ("Func" or "Recv.Method").
+type ctxFacts struct {
+	Blocks []string `json:"blocks,omitempty"`
+}
+
+func runCtxCheck(pass *Pass) error {
+	localBlocks := map[string]bool{}
+	optedIn := false
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if commentIs(cm.Text, ctxcheckMarker) {
+					optedIn = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasMarker(fd.Doc, blocksMarker) {
+				localBlocks[funcKey(fd)] = true
+			}
+		}
+	}
+	if len(localBlocks) > 0 {
+		names := make([]string, 0, len(localBlocks))
+		for n := range localBlocks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if blob, err := json.Marshal(&ctxFacts{Blocks: names}); err == nil {
+			pass.writeFacts(blob)
+		}
+	}
+	if !optedIn {
+		return nil
+	}
+
+	// depBlocks resolves //dytis:blocks annotations of imported packages.
+	depCache := map[string]map[string]bool{}
+	depBlocks := func(path string) map[string]bool {
+		if m, ok := depCache[path]; ok {
+			return m
+		}
+		m := map[string]bool{}
+		if blob := pass.readFacts(path); blob != nil {
+			var f ctxFacts
+			if json.Unmarshal(blob, &f) == nil {
+				for _, n := range f.Blocks {
+					m[n] = true
+				}
+			}
+		}
+		depCache[path] = m
+		return m
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ok := markerLines(pass, f, blockingOKMarker)
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil || hasMarker(fd.Doc, blockingOKMarker) {
+				continue
+			}
+			if !ctxScoped(pass, fd) {
+				continue
+			}
+			checkCtxFunc(pass, fd, ok, localBlocks, depBlocks)
+		}
+	}
+	return nil
+}
+
+// funcKey names a function the way ctxFacts records it.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// calleeKey names a resolved callee the same way, with its package path.
+func calleeKey(fn *types.Func) (pkgPath, key string) {
+	if fn.Pkg() == nil {
+		return "", ""
+	}
+	key = fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			key = named.Obj().Name() + "." + key
+		}
+	}
+	return fn.Pkg().Path(), key
+}
+
+// ctxScoped reports whether fd takes or uses a context.Context.
+func ctxScoped(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			if tv, ok := pass.TypesInfo.Types[p.Type]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxFunc walks one in-scope function.
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl, okLines map[int]bool, localBlocks map[string]bool, depBlocks func(string) map[string]bool) {
+	suppressed := func(pos token.Pos) bool {
+		line := pass.Fset.Position(pos).Line
+		return okLines[line] || okLines[line-1]
+	}
+
+	// selectComms records the send/receive expressions that are select comm
+	// clauses — those block only as long as the select does.
+	selectComms := map[ast.Node]bool{}
+	// armedAt records positions of Set*Deadline calls; a blocking I/O call is
+	// excused when one appears earlier in the function (flow-lite: source
+	// order stands in for control flow, as in lockcheck).
+	var armedAt []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CommClause:
+			switch comm := n.Comm.(type) {
+			case *ast.SendStmt:
+				selectComms[comm] = true
+			case *ast.ExprStmt:
+				selectComms[comm.X] = true
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					selectComms[rhs] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+					armedAt = append(armedAt, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	armed := func(pos token.Pos) bool {
+		for _, p := range armedAt {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !selectComms[n] && !suppressed(n.Pos()) {
+				pass.Reportf(n.Pos(), "channel send may block without a ctx/deadline guard (select on ctx.Done() or annotate //dytis:blocking-ok)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !selectComms[n] && !suppressed(n.Pos()) {
+				pass.Reportf(n.Pos(), "channel receive may block without a ctx/deadline guard (select on ctx.Done() or annotate //dytis:blocking-ok)")
+			}
+		case *ast.SelectStmt:
+			if !selectGuarded(pass, n) && !suppressed(n.Pos()) {
+				pass.Reportf(n.Pos(), "select has neither a default case nor a ctx.Done()/timer case and may block forever")
+			}
+		case *ast.CallExpr:
+			checkCtxCall(pass, n, suppressed, armed, localBlocks, depBlocks)
+		}
+		return true
+	})
+}
+
+// selectGuarded reports whether the select cannot stall unboundedly: it has
+// a default case, or some case receives from a ctx.Done() or timer channel.
+func selectGuarded(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, stmt := range sel.Body.List {
+		cc, ok := stmt.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case: the select never blocks
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				recv = comm.Rhs[0]
+			}
+		}
+		ue, ok := recv.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if doneOrTimerChan(pass, ue.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// doneOrTimerChan reports whether e is ctx.Done(), time.After(...), or a
+// time.Timer/time.Ticker channel — a receive that a deadline bounds.
+func doneOrTimerChan(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name == "Done" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" && (fn.Name() == "After" || fn.Name() == "Tick") {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e.X]
+		if !ok {
+			return false
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+				(obj.Name() == "Timer" || obj.Name() == "Ticker")
+		}
+	}
+	return false
+}
+
+// checkCtxCall applies the call-site rules: annotated blockers and raw I/O
+// need an armed deadline; sleeps and waits need a justification.
+func checkCtxCall(pass *Pass, call *ast.CallExpr, suppressed func(token.Pos) bool, armed func(token.Pos) bool, localBlocks map[string]bool, depBlocks func(string) map[string]bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || suppressed(call.Pos()) {
+		return
+	}
+	pkgPath, key := calleeKey(fn)
+	if pkgPath == "" {
+		return
+	}
+
+	// time.Sleep and bare synchronization waits are deaf to any deadline.
+	if pkgPath == "time" && key == "Sleep" {
+		pass.Reportf(call.Pos(), "time.Sleep in context-aware code ignores the ctx (use a timer select or annotate //dytis:blocking-ok)")
+		return
+	}
+	if pkgPath == "sync" && (key == "WaitGroup.Wait" || key == "Cond.Wait") {
+		pass.Reportf(call.Pos(), "%s may block without a ctx/deadline guard (annotate //dytis:blocking-ok if bounded)", key)
+		return
+	}
+
+	// Functions annotated //dytis:blocks, here or in a dependency.
+	annotated := false
+	if fn.Pkg() == pass.Pkg {
+		annotated = localBlocks[key]
+	} else {
+		annotated = depBlocks(pkgPath)[key]
+	}
+	if annotated {
+		if !armed(call.Pos()) {
+			pass.Reportf(call.Pos(), "call to %s blocks on I/O without an armed deadline (call SetDeadline first or annotate //dytis:blocking-ok)", key)
+		}
+		return
+	}
+
+	// Raw reads/writes on a deadline-capable value (net.Conn and friends).
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !hasDeadlineMethod(tv.Type) {
+		return
+	}
+	if !armed(call.Pos()) {
+		pass.Reportf(call.Pos(), "%s on a deadline-capable connection without an armed deadline (call SetDeadline first or annotate //dytis:blocking-ok)", sel.Sel.Name)
+	}
+}
+
+// hasDeadlineMethod reports whether t (or *t) has a Set*Deadline method.
+func hasDeadlineMethod(t types.Type) bool {
+	for _, name := range []string{"SetDeadline", "SetReadDeadline", "SetWriteDeadline"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

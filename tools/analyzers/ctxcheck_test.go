@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestCtxCheckClean(t *testing.T) {
+	runAnalyzerTest(t, CtxCheck, "ctxgood")
+}
+
+func TestCtxCheckViolations(t *testing.T) {
+	runAnalyzerTest(t, CtxCheck, "ctxbad")
+}

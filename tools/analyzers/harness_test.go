@@ -5,6 +5,12 @@ package analyzers
 // and compare its diagnostics against `// want "regexp"` comments. Every
 // want must be matched by a diagnostic on its line, and every diagnostic
 // must be claimed by a want.
+//
+// Imports of sibling testdata packages (import "protodef" from protouse)
+// resolve by loading that directory first and running the analyzer over it
+// facts-only, so package facts flow exactly as they do under the go vet
+// protocol's .vetx threading — dependency diagnostics are discarded, its
+// exported facts are served to the package under test.
 
 import (
 	"go/ast"
@@ -27,55 +33,112 @@ type wantLine struct {
 	hit  bool
 }
 
-func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
-	t.Helper()
-	src := filepath.Join("testdata", "src", dir)
+// testEnv is one analyzer test's world: a shared fileset/type info, the
+// packages loaded so far, and the per-package fact store the passes share.
+type testEnv struct {
+	t     *testing.T
+	a     *Analyzer
+	fset  *token.FileSet
+	info  *types.Info
+	src   types.Importer
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	facts map[string][]byte
+	diags []Diagnostic
+}
+
+type testImporter func(string) (*types.Package, error)
+
+func (f testImporter) Import(path string) (*types.Package, error) { return f(path) }
+
+// load parses, typechecks, and analyzer-runs testdata/src/<path>. Only the
+// top-level package under test reports diagnostics; packages pulled in as
+// dependencies run facts-only.
+func (e *testEnv) load(path string, report bool) *types.Package {
+	if p, ok := e.pkgs[path]; ok {
+		return p
+	}
+	src := filepath.Join("testdata", "src", path)
 	entries, err := os.ReadDir(src)
 	if err != nil {
-		t.Fatal(err)
+		e.t.Fatal(err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".go") {
+	for _, entry := range entries {
+		if !strings.HasSuffix(entry.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(e.fset, filepath.Join(src, entry.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatal(err)
+			e.t.Fatal(err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", src)
+		e.t.Fatalf("no Go files in %s", src)
 	}
 
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(dir, fset, files, info)
+	conf := types.Config{Importer: testImporter(func(ip string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join("testdata", "src", ip)); err == nil {
+			return e.load(ip, false), nil
+		}
+		return e.src.Import(ip)
+	})}
+	pkg, err := conf.Check(path, e.fset, files, e.info)
 	if err != nil {
-		t.Fatalf("typecheck: %v", err)
+		e.t.Fatalf("typecheck %s: %v", path, err)
 	}
+	e.pkgs[path] = pkg
+	e.files[path] = files
 
-	wants := collectWants(t, fset, files)
-	var diags []Diagnostic
 	pass := &Pass{
-		Fset:      fset,
+		Fset:      e.fset,
 		Files:     files,
 		Pkg:       pkg,
-		TypesInfo: info,
-		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		TypesInfo: e.info,
+		Report: func(d Diagnostic) {
+			if report {
+				e.diags = append(e.diags, d)
+			}
+		},
+		ReadFacts:  func(p string) []byte { return e.facts[p] },
+		WriteFacts: func(b []byte) { e.facts[path] = b },
+		DepFacts: func() map[string][]byte {
+			all := map[string][]byte{}
+			for p, b := range e.facts {
+				if p != path {
+					all[p] = b
+				}
+			}
+			return all
+		},
 	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	if err := e.a.Run(pass); err != nil {
+		e.t.Fatalf("%s on %s: %v", e.a.Name, path, err)
 	}
+	return pkg
+}
 
-	for _, d := range diags {
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	env := &testEnv{
+		t: t, a: a, fset: fset,
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+		src:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  map[string]*types.Package{},
+		files: map[string][]*ast.File{},
+		facts: map[string][]byte{},
+	}
+	env.load(dir, true)
+
+	wants := collectWants(t, fset, env.files[dir])
+	for _, d := range env.diags {
 		pos := fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {

@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricCheck keeps the `dytis_*` Prometheus series honest: every series a
+// package exposes must be declared, written by exactly one exporter, backed
+// by something that actually changes, and documented.
+//
+// Series are declared with a `//dytis:series <name> [<name>...]` comment:
+//
+//   - on a struct field — the field backs those series, and MetricCheck
+//     verifies the field is mutated (Add/Record/Store/…) somewhere outside
+//     the exporter, so a counter that nothing increments is flagged;
+//   - on a func declaration — for series derived on the fly (gauges computed
+//     from a Stats snapshot), which have no backing field to watch.
+//
+// The exporter is any function named WritePrometheus; every `dytis_*` name
+// in its string literals counts as registered (`_sum`/`_count` forms fold
+// into their summary's base name). MetricCheck reports:
+//
+//   - a declared series no WritePrometheus in the package registers
+//   - a registered series never declared with //dytis:series
+//   - a field-backed series whose field nothing increments
+//   - a series registered by two packages (via package facts — flagged in
+//     any package that imports both exporters)
+//   - a registered series missing from a documentation file listed by a
+//     `//dytis:metric-docs <path>...` comment (paths relative to the file
+//     carrying the marker)
+var MetricCheck = &Analyzer{
+	Name: "metriccheck",
+	Doc:  "verify dytis_* metric series are declared, registered once, incremented, and documented",
+	Run:  runMetricCheck,
+}
+
+const (
+	seriesMarker     = "dytis:series"
+	metricDocsMarker = "dytis:metric-docs"
+)
+
+// metricFacts is the fact blob a package exports: the series its exporters
+// register, canonicalized and sorted.
+type metricFacts struct {
+	Registered []string `json:"registered,omitempty"`
+}
+
+var seriesNameRE = regexp.MustCompile(`dytis_[a-zA-Z0-9_]+`)
+
+// incrementVerbs are the method names that count as mutating a metric field.
+var incrementVerbs = map[string]bool{
+	"Add": true, "Record": true, "RecordN": true, "Store": true,
+	"Inc": true, "Dec": true, "CompareAndSwap": true, "Swap": true,
+	"Observe": true,
+}
+
+func runMetricCheck(pass *Pass) error {
+	type decl struct {
+		pos   token.Pos
+		field types.Object // non-nil for field-backed series
+	}
+	declared := map[string]decl{}        // series name -> declaration
+	registered := map[string]token.Pos{} // canonical series name -> first literal
+	mutated := map[types.Object]bool{}   // fields mutated outside exporters
+	type docsRef struct {
+		path string // resolved docs file path
+		pos  token.Pos
+	}
+	var docs []docsRef
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		fileDir := filepath.Dir(pass.Fset.Position(f.Pos()).Filename)
+
+		// Declarations on struct fields and func decls; docs markers on any
+		// comment in the file.
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if rest, ok := cutComment(cm.Text, metricDocsMarker); ok {
+					for _, rel := range strings.Fields(stripInlineComment(rest)) {
+						docs = append(docs, docsRef{path: filepath.Join(fileDir, rel), pos: cm.Pos()})
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					names := seriesAnnotation(field.Doc, field.Comment)
+					if len(names) == 0 || len(field.Names) == 0 {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[field.Names[0]]
+					for _, s := range names {
+						declared[s] = decl{pos: field.Pos(), field: obj}
+					}
+				}
+			case *ast.FuncDecl:
+				for _, s := range seriesAnnotation(n.Doc, nil) {
+					declared[s] = decl{pos: n.Pos()}
+				}
+			}
+			return true
+		})
+
+		// Registrations and field mutations.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "WritePrometheus" {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					lit, ok := n.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					s, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						return true
+					}
+					for _, name := range seriesNameRE.FindAllString(s, -1) {
+						if _, seen := registered[name]; !seen {
+							registered[name] = lit.Pos()
+						}
+					}
+					return true
+				})
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || !incrementVerbs[sel.Sel.Name] {
+						return true
+					}
+					if obj := selectedField(pass, sel.X); obj != nil {
+						mutated[obj] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if obj := selectedField(pass, lhs); obj != nil {
+							mutated[obj] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if obj := selectedField(pass, n.X); obj != nil {
+						mutated[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Fold _sum/_count variants into their summary's base series.
+	for name := range registered {
+		for _, suffix := range []string{"_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok {
+				if _, has := registered[base]; has {
+					delete(registered, name)
+				}
+			}
+		}
+	}
+
+	regNames := make([]string, 0, len(registered))
+	for n := range registered {
+		regNames = append(regNames, n)
+	}
+	sort.Strings(regNames)
+	if len(regNames) > 0 {
+		if blob, err := json.Marshal(&metricFacts{Registered: regNames}); err == nil {
+			pass.writeFacts(blob)
+		}
+	}
+
+	declNames := make([]string, 0, len(declared))
+	for n := range declared {
+		declNames = append(declNames, n)
+	}
+	sort.Strings(declNames)
+	for _, name := range declNames {
+		d := declared[name]
+		if _, ok := registered[name]; !ok {
+			pass.Reportf(d.pos, "series %s is declared but no WritePrometheus in this package registers it", name)
+			continue
+		}
+		if d.field != nil && !mutated[d.field] {
+			pass.Reportf(d.pos, "series %s is backed by field %s, which nothing increments", name, d.field.Name())
+		}
+	}
+	for _, name := range regNames {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(registered[name], "series %s is registered but not declared with //dytis:series", name)
+		}
+	}
+
+	// Documentation coverage.
+	for _, ref := range docs {
+		data, err := os.ReadFile(ref.path)
+		if err != nil {
+			pass.Reportf(ref.pos, "metric docs file %s is not readable: %v", ref.path, err)
+			continue
+		}
+		text := string(data)
+		for _, name := range regNames {
+			if !strings.Contains(text, name) {
+				pass.Reportf(registered[name], "series %s is not documented in %s", name, ref.path)
+			}
+		}
+	}
+
+	// Cross-package double registration, via facts: flagged in any package
+	// whose dependency set (plus itself) registers a series twice.
+	owners := map[string][]string{}
+	for _, n := range regNames {
+		owners[n] = append(owners[n], pass.Pkg.Path())
+	}
+	depPaths := make([]string, 0)
+	for path := range pass.depFacts() {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	deps := pass.depFacts()
+	for _, path := range depPaths {
+		var f metricFacts
+		if json.Unmarshal(deps[path], &f) != nil {
+			continue
+		}
+		for _, n := range f.Registered {
+			owners[n] = append(owners[n], path)
+		}
+	}
+	dupNames := make([]string, 0)
+	for n, pkgs := range owners {
+		if len(pkgs) > 1 {
+			dupNames = append(dupNames, n)
+		}
+	}
+	sort.Strings(dupNames)
+	for _, n := range dupNames {
+		pos := registered[n]
+		if pos == token.NoPos && len(pass.Files) > 0 {
+			pos = pass.Files[0].Name.Pos()
+		}
+		pass.Reportf(pos, "series %s is registered by more than one package: %s", n, strings.Join(owners[n], ", "))
+	}
+	return nil
+}
+
+// seriesAnnotation extracts the names of a //dytis:series comment in either
+// comment group.
+func seriesAnnotation(groups ...*ast.CommentGroup) []string {
+	var names []string
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if rest, ok := cutComment(cm.Text, seriesMarker); ok {
+				names = append(names, strings.Fields(stripInlineComment(rest))...)
+			}
+		}
+	}
+	return names
+}
+
+// selectedField resolves the struct field an expression ultimately selects,
+// looking through index expressions (m.ops[op][shard] -> field ops).
+func selectedField(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package analyzers
+
+import "testing"
+
+func TestMetricCheckClean(t *testing.T) {
+	runAnalyzerTest(t, MetricCheck, "metricgood")
+}
+
+func TestMetricCheckViolations(t *testing.T) {
+	runAnalyzerTest(t, MetricCheck, "metricbad")
+}
+
+func TestMetricCheckCrossPackageDuplicate(t *testing.T) {
+	runAnalyzerTest(t, MetricCheck, "metricdup")
+}

@@ -1,0 +1,15 @@
+package analyzers
+
+import "testing"
+
+func TestProtoCheckClean(t *testing.T) {
+	runAnalyzerTest(t, ProtoCheck, "protodef")
+}
+
+func TestProtoCheckViolations(t *testing.T) {
+	runAnalyzerTest(t, ProtoCheck, "protobad")
+}
+
+func TestProtoCheckCrossPackage(t *testing.T) {
+	runAnalyzerTest(t, ProtoCheck, "protouse")
+}

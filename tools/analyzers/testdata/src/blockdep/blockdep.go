@@ -1,0 +1,20 @@
+// Package blockdep stands in for internal/proto: it exports a blocking
+// reader annotated //dytis:blocks, which ctxcheck serves to dependents as a
+// package fact. The package itself does not opt into ctxcheck.
+package blockdep
+
+import "net"
+
+// ReadFull fills b from the connection.
+//
+//dytis:blocks
+func ReadFull(nc net.Conn, b []byte) error {
+	for len(b) > 0 {
+		n, err := nc.Read(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}

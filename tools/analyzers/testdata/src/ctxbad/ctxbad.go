@@ -1,0 +1,87 @@
+// Package ctxbad holds one violation of every ctxcheck rule.
+package ctxbad
+
+//dytis:ctxcheck
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"blockdep"
+)
+
+func send(ctx context.Context, ch chan int) {
+	_ = ctx
+	ch <- 1 // want `channel send may block without a ctx/deadline guard`
+}
+
+func recv(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch // want `channel receive may block without a ctx/deadline guard`
+}
+
+func badSelect(ctx context.Context, a, b chan int) {
+	_ = ctx
+	select { // want `select has neither a default case nor a ctx.Done\(\)/timer case`
+	case <-a:
+	case <-b:
+	}
+}
+
+func sleepy(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Second) // want `time.Sleep in context-aware code ignores the ctx`
+}
+
+func wgWait(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	wg.Wait() // want `WaitGroup.Wait may block without a ctx/deadline guard`
+}
+
+func unarmedWrite(ctx context.Context, nc net.Conn, b []byte) {
+	_ = ctx
+	nc.Write(b) // want `Write on a deadline-capable connection without an armed deadline`
+}
+
+// readFrame is a local annotated blocker; calling it without an armed
+// deadline in ctx-scoped code is flagged.
+//
+//dytis:blocks
+func readFrame(nc net.Conn, b []byte) error {
+	_, err := nc.Read(b)
+	return err
+}
+
+func callLocalBlocker(ctx context.Context, nc net.Conn, b []byte) {
+	_ = ctx
+	readFrame(nc, b) // want `call to readFrame blocks on I/O without an armed deadline`
+}
+
+// Cross-package: blockdep.ReadFull carries //dytis:blocks in its facts.
+func callDepBlocker(ctx context.Context, nc net.Conn, b []byte) {
+	_ = ctx
+	blockdep.ReadFull(nc, b) // want `call to ReadFull blocks on I/O without an armed deadline`
+}
+
+// armedFirst shows the same calls pass once a deadline is armed earlier in
+// the function.
+func armedFirst(ctx context.Context, nc net.Conn, b []byte) {
+	_ = ctx
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	readFrame(nc, b)
+	blockdep.ReadFull(nc, b)
+}
+
+var (
+	_ = send
+	_ = recv
+	_ = badSelect
+	_ = sleepy
+	_ = wgWait
+	_ = unarmedWrite
+	_ = callLocalBlocker
+	_ = callDepBlocker
+	_ = armedFirst
+)

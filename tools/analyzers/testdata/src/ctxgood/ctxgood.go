@@ -1,0 +1,75 @@
+// Package ctxgood is context-aware code that always bounds its waits:
+// ctxcheck must accept it without diagnostics.
+package ctxgood
+
+//dytis:ctxcheck
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// waitGuarded blocks only as long as the ctx allows.
+func waitGuarded(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// sleepCtx sleeps via a timer select instead of time.Sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// trySend never blocks: the select has a default case.
+func trySend(ctx context.Context, ch chan int) bool {
+	_ = ctx
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// annotated waives the check with a reason.
+func annotated(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch //dytis:blocking-ok the channel is buffered and pre-filled by the caller
+}
+
+// writeArmed arms a write deadline before touching the socket.
+func writeArmed(ctx context.Context, nc net.Conn, b []byte) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Now().Add(time.Second)
+	}
+	nc.SetWriteDeadline(dl)
+	_, err := nc.Write(b)
+	return err
+}
+
+// plain has no context in scope, so it may block freely.
+func plain(ch chan int) int {
+	return <-ch
+}
+
+var (
+	_ = waitGuarded
+	_ = sleepCtx
+	_ = trySend
+	_ = annotated
+	_ = writeArmed
+	_ = plain
+)

@@ -1,0 +1,38 @@
+// Package metricbad violates every metriccheck rule once.
+package metricbad
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+//dytis:metric-docs docs.md
+
+//dytis:metric-docs missing.md // want `metric docs file .*missing\.md is not readable`
+
+// Metrics carries one counter no exporter registers and one counter
+// nothing increments.
+type Metrics struct {
+	//dytis:series dytis_bad_orphan_total
+	orphan atomic.Int64 // want `series dytis_bad_orphan_total is declared but no WritePrometheus in this package registers it`
+	//dytis:series dytis_bad_stuck_total
+	stuck atomic.Int64 // want `series dytis_bad_stuck_total is backed by field stuck, which nothing increments`
+}
+
+func (m *Metrics) touchOrphan() {
+	// orphan is mutated — its problem is the missing registration, not a
+	// dead counter.
+	m.orphan.Add(1)
+}
+
+// WritePrometheus registers one undeclared series and one undocumented one.
+//
+//dytis:series dytis_bad_undoc_total
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "dytis_bad_stuck_total %d\n", m.stuck.Load())
+	fmt.Fprintf(w, "dytis_bad_undeclared_total 1\n") // want `series dytis_bad_undeclared_total is registered but not declared with //dytis:series`
+	fmt.Fprintf(w, "dytis_bad_undoc_total %d\n", 0)  // want `series dytis_bad_undoc_total is not documented in .*docs\.md`
+}
+
+var _ = (*Metrics).touchOrphan

@@ -1,0 +1,17 @@
+// Package metricdup re-registers a series its dependency already exports:
+// scrape output would carry the name twice, so metriccheck flags it.
+package metricdup
+
+import (
+	"io"
+
+	"metricdupdep"
+)
+
+// WritePrometheus registers a series metricdupdep also registers.
+//
+//dytis:series dytis_dup_requests_total
+func WritePrometheus(w io.Writer) {
+	io.WriteString(w, "dytis_dup_requests_total 1\n") // want `series dytis_dup_requests_total is registered by more than one package: metricdup, metricdupdep`
+	metricdupdep.WritePrometheus(w)
+}

@@ -1,0 +1,15 @@
+// Package metricdupdep registers dytis_dup_requests_total; a dependent
+// package registering the same name must be flagged via package facts.
+package metricdupdep
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus registers the series this package owns.
+//
+//dytis:series dytis_dup_requests_total
+func WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "dytis_dup_requests_total %d\n", 0)
+}

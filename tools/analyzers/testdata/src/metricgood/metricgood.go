@@ -1,0 +1,44 @@
+// Package metricgood exposes a small, fully-honest metric surface:
+// metriccheck must accept it without diagnostics.
+package metricgood
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Every registered series must appear in the local docs file.
+//
+//dytis:metric-docs docs.md
+
+// Metrics carries the field-backed counters.
+type Metrics struct {
+	//dytis:series dytis_good_requests_total
+	requests atomic.Int64
+	//dytis:series dytis_good_latency
+	latency [4]atomic.Int64
+}
+
+func (m *Metrics) bump(shard int) {
+	m.requests.Add(1)
+	m.latency[shard].Add(2)
+}
+
+// WritePrometheus registers the field-backed series and one derived gauge
+// (declared on the exporter itself, so no mutation check applies).
+//
+//dytis:series dytis_good_depth
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "dytis_good_requests_total %d\n", m.requests.Load())
+	var sum int64
+	for i := range m.latency {
+		sum += m.latency[i].Load()
+	}
+	fmt.Fprintf(w, "dytis_good_latency_sum %d\n", sum)
+	fmt.Fprintf(w, "dytis_good_latency_count %d\n", 4)
+	fmt.Fprintf(w, "dytis_good_latency{q=\"0.5\"} %d\n", sum/4)
+	fmt.Fprintf(w, "dytis_good_depth %d\n", 0)
+}
+
+var _ = (*Metrics).bump

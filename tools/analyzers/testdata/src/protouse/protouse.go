@@ -1,0 +1,58 @@
+// Package protouse consumes protodef's protocol: its switches are checked
+// against the constant tables protodef exports as package facts, the way
+// client and internal/server switches are checked against internal/proto.
+package protouse
+
+import "protodef"
+
+// route misses the response-only opcode, which the responses set requires.
+func route(op protodef.Opcode) int {
+	//dytis:opswitch responses
+	switch op { // want `protocol switch \(responses\) does not handle OpScanChunk`
+	case protodef.OpPing:
+		return 1
+	case protodef.OpGet:
+		return 2
+	}
+	return 0
+}
+
+// dispatch covers the requests set exactly; response-only opcodes are not
+// required.
+func dispatch(op protodef.Opcode) int {
+	//dytis:opswitch requests
+	switch op {
+	case protodef.OpPing:
+		return 1
+	case protodef.OpGet:
+		return 2
+	}
+	return 0
+}
+
+// Grouped switches union their coverage: between them, serveControl and
+// serveData handle every request opcode, so neither is flagged alone.
+func serveControl(op protodef.Opcode) int {
+	//dytis:opswitch requests group=serve
+	switch op {
+	case protodef.OpPing:
+		return 1
+	}
+	return 0
+}
+
+func serveData(op protodef.Opcode) int {
+	//dytis:opswitch requests group=serve
+	switch op {
+	case protodef.OpGet:
+		return 2
+	}
+	return 0
+}
+
+var (
+	_ = route
+	_ = dispatch
+	_ = serveControl
+	_ = serveData
+)
