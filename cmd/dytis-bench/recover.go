@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dytis/internal/core"
+	"dytis/internal/wal"
+)
+
+// The -exp recover experiment measures durable-store recovery (internal/wal):
+// it builds a WAL directory holding a checkpoint of -recover-keys keys plus a
+// -recover-tail record log tail, then times a cold wal.Open — checkpoint
+// snapshot load plus record-by-record replay — and reports the recovery rate
+// the DESIGN.md durability section quotes.
+
+var (
+	recKeys  = flag.Int("recover-keys", 1_000_000, "keys in the checkpoint snapshot for -exp recover")
+	recTail  = flag.Int("recover-tail", 200_000, "WAL records past the checkpoint for -exp recover")
+	recJSON  = flag.String("recover-json", "", "also write the -exp recover results as JSON to this file")
+	recFsync = flag.String("recover-fsync", "off", "fsync policy while building the directory (off|interval|always); recovery itself is read-only")
+)
+
+// recoverResult is the JSON shape of one recovery measurement.
+type recoverResult struct {
+	CheckpointKeys  int     `json:"checkpoint_keys"`
+	TailRecords     int64   `json:"tail_records"`
+	CheckpointMB    float64 `json:"checkpoint_mb"`
+	LogMB           float64 `json:"log_mb"`
+	BuildMillis     int64   `json:"build_ms"`
+	RecoverMillis   int64   `json:"recover_ms"`
+	ReplayRecPerSec float64 `json:"replayed_records_per_sec"`
+	KeysPerSec      float64 `json:"recovered_keys_per_sec"`
+	RecoveredKeys   int     `json:"recovered_keys"`
+	TornTail        bool    `json:"torn_tail"`
+}
+
+// recoverIndexOpts sizes the index for the key count so recovery time is not
+// dominated by directory doublings from a cold start.
+func recoverIndexOpts() core.Options {
+	return core.Options{FirstLevelBits: 9, StartDepth: 6}
+}
+
+func recoverExp() {
+	policy, err := wal.ParseFsyncPolicy(*recFsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dir, err := os.MkdirTemp("", "dytis-recover-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("Recovery benchmark: checkpoint of %d keys + %d-record log tail (fsync %s while building)\n",
+		*recKeys, *recTail, policy)
+
+	// Build phase: bulk-load the checkpoint contents, checkpoint, then lay
+	// down the log tail the recovery will have to replay record by record.
+	const golden = 0x9E3779B97F4A7C15 // odd multiplier: bijective key spread
+	buildStart := time.Now()
+	s, err := wal.Open(dir, wal.Options{Index: recoverIndexOpts(), Fsync: policy, CheckpointBytes: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	const chunk = 1 << 14
+	keys := make([]uint64, 0, chunk)
+	vals := make([]uint64, 0, chunk)
+	for base := 0; base < *recKeys; base += chunk {
+		keys, vals = keys[:0], vals[:0]
+		for i := base; i < base+chunk && i < *recKeys; i++ {
+			k := uint64(i) * golden
+			keys, vals = append(keys, k), append(vals, k^1)
+		}
+		if err := s.InsertBatch(keys, vals); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 0; i < *recTail; i++ {
+		k := uint64(*recKeys+i) * golden
+		if err := s.Insert(k, k^1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	build := time.Since(buildStart)
+
+	var ckptBytes, logBytes int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".snap":
+			ckptBytes += fi.Size()
+		case ".log":
+			logBytes += fi.Size()
+		}
+	}
+
+	// Measured phase: one cold open against the directory.
+	recStart := time.Now()
+	s2, err := wal.Open(dir, wal.Options{Index: recoverIndexOpts()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	recover := time.Since(recStart)
+	info := s2.Recovery()
+	got := s2.Len()
+	s2.Close()
+
+	if want := *recKeys + *recTail; got != want {
+		fmt.Fprintf(os.Stderr, "recovered %d keys, want %d\n", got, want)
+		os.Exit(1)
+	}
+	r := recoverResult{
+		CheckpointKeys:  *recKeys,
+		TailRecords:     info.Records,
+		CheckpointMB:    float64(ckptBytes) / 1e6,
+		LogMB:           float64(logBytes) / 1e6,
+		BuildMillis:     build.Milliseconds(),
+		RecoverMillis:   recover.Milliseconds(),
+		ReplayRecPerSec: float64(info.Records) / recover.Seconds(),
+		KeysPerSec:      float64(got) / recover.Seconds(),
+		RecoveredKeys:   got,
+		TornTail:        info.TornTail,
+	}
+	fmt.Printf("%-24s %12s\n", "quantity", "value")
+	fmt.Printf("%-24s %12.1f\n", "checkpoint MB", r.CheckpointMB)
+	fmt.Printf("%-24s %12.1f\n", "log MB", r.LogMB)
+	fmt.Printf("%-24s %12d\n", "build ms", r.BuildMillis)
+	fmt.Printf("%-24s %12d\n", "recover ms", r.RecoverMillis)
+	fmt.Printf("%-24s %12d\n", "records replayed", r.TailRecords)
+	fmt.Printf("%-24s %12.0f\n", "replayed records/s", r.ReplayRecPerSec)
+	fmt.Printf("%-24s %12.0f\n", "recovered keys/s", r.KeysPerSec)
+
+	if *recJSON != "" {
+		data, _ := json.MarshalIndent(r, "", "  ")
+		if err := os.WriteFile(*recJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "recover-json:", err)
+		}
+	}
+}

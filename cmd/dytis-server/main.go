@@ -8,6 +8,13 @@
 // Usage:
 //
 //	dytis-server -addr :7070 -metrics :8080 -mode optimistic
+//	dytis-server -addr :7070 -wal-dir /var/lib/dytis -fsync always
+//
+// With -wal-dir the server is durable: every mutation is write-ahead
+// logged before it is acknowledged, checkpoints compact the log in the
+// background, and startup recovers the index from the directory —
+// surviving kill -9 (-fsync always guarantees no acked write is lost;
+// interval bounds loss to -fsync-interval; off leaves flushing to the OS).
 //
 // With -metrics, an HTTP endpoint serves the index observer's histograms
 // and structure-event counters together with the server-side request
@@ -63,6 +70,11 @@ var (
 	retryAfter   = flag.Duration("retry-after", 100*time.Millisecond, "retry hint sent with overload answers, and the slot wait for requests without a deadline")
 
 	disableV2 = flag.Bool("disable-v2", false, "reject the protocol v2 handshake, emulating a pre-v2 server (escape hatch; v2 clients fall back to plain v1)")
+
+	walDir     = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints; the index recovers from it at startup (empty = in-memory only, no durability)")
+	fsyncFlag  = flag.String("fsync", "interval", "WAL fsync policy with -wal-dir: off|interval|always (always = every acked write is on stable storage before the response)")
+	fsyncEvery = flag.Duration("fsync-interval", 50*time.Millisecond, "background WAL sync cadence under -fsync interval")
+	ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence with -wal-dir, in addition to the 64 MiB size trigger (0 = size-triggered only)")
 )
 
 // shutdownBudget resolves -shutdown-timeout against its deprecated alias:
@@ -90,7 +102,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -mode %q (want optimistic or locked)\n", *modeFlag)
 		os.Exit(2)
 	}
-	idx := dytis.New(idxOpts...)
+	// With -wal-dir the served index is a durable store: mutations are
+	// write-ahead logged (batch failures answer StatusErr; a single-op log
+	// failure fail-stops its connection), and startup recovers whatever the
+	// directory holds. Without it, the index lives and dies in memory.
+	var idx server.Index
+	var wm *dytis.WALMetrics
+	var closeIndex func() error
+	if *walDir != "" {
+		policy, err := dytis.ParseFsyncPolicy(*fsyncFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wm = &dytis.WALMetrics{}
+		store, err := dytis.OpenDurable(*walDir, dytis.DurableConfig{
+			Fsync:              policy,
+			FsyncInterval:      *fsyncEvery,
+			CheckpointInterval: *ckptEvery,
+			Metrics:            wm,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}, idxOpts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		info := store.Recovery()
+		fmt.Printf("wal: recovered %d keys from %s (checkpoint %d: %d keys; %d records replayed; torn tail: %v) in %s\n",
+			store.Len(), *walDir, info.CheckpointSeq, info.CheckpointKeys, info.Records, info.TornTail, info.Elapsed)
+		idx = store.Serving()
+		closeIndex = store.Close
+	} else {
+		mem := dytis.New(idxOpts...)
+		idx = mem
+		closeIndex = mem.Close
+	}
 
 	sm := &server.Metrics{}
 	srv := server.New(server.Config{
@@ -117,7 +165,7 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsFlag != "" {
-		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm, srv)}
+		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm, wm, srv)}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "metrics:", err)
@@ -153,21 +201,30 @@ func main() {
 		metricsSrv.Shutdown(shCtx)
 		cancel()
 	}
-	idx.Close()
+	// Closing last: with a WAL this seals the log (flush + fsync), so a
+	// clean shutdown replays nothing beyond the last checkpoint on restart.
+	if err := closeIndex(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
 	fmt.Println("dytis-server: clean shutdown")
 }
 
 // metricsHandler serves the index observer's endpoints with the server-side
-// metrics appended to /metrics, so index-op latency, structure events, and
-// server request latency read as one page, plus the /healthz readiness
-// probe backed by srv.Ready.
-func metricsHandler(ob *obs.Observer, sm *server.Metrics, srv *server.Server) http.Handler {
+// (and, with -wal-dir, the durability-side) metrics appended to /metrics,
+// so index-op latency, structure events, server request latency, and WAL
+// activity read as one page, plus the /healthz readiness probe backed by
+// srv.Ready.
+func metricsHandler(ob *obs.Observer, sm *server.Metrics, wm *dytis.WALMetrics, srv *server.Server) http.Handler {
 	obH := ob.Handler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		ob.WritePrometheus(w)
 		sm.WritePrometheus(w)
+		if wm != nil {
+			wm.WritePrometheus(w)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

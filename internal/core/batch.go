@@ -1,6 +1,17 @@
 package core
 
-import "time"
+import (
+	"errors"
+	"time"
+)
+
+// ErrClosed is returned (batch mutation paths) or carried by the panic
+// (legacy single-op mutation paths) when an operation that would mutate the
+// index arrives after Close. Reads of a closed index remain valid — the
+// in-memory structure survives Close — but a mutation accepted after Close
+// would silently diverge any write-ahead log attached in front of the index
+// from the index itself, so mutations fail loudly instead.
+var ErrClosed = errors.New("dytis: index is closed")
 
 // Batch entry points. A networked or otherwise batching caller that already
 // holds many operations amortizes two per-op costs by using these: the
@@ -41,45 +52,54 @@ func (d *DyTIS) GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, 
 }
 
 // InsertBatch stores or updates vals[i] under keys[i] for every i. It panics
-// if the slices differ in length.
-func (d *DyTIS) InsertBatch(keys, vals []uint64) {
+// if the slices differ in length, and returns ErrClosed (applying nothing)
+// once Close has been called.
+func (d *DyTIS) InsertBatch(keys, vals []uint64) error {
 	if len(keys) != len(vals) {
 		panic("dytis: InsertBatch slice length mismatch")
 	}
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if len(keys) == 0 {
-		return
+		return nil
 	}
 	if d.obs == nil {
 		for i, k := range keys {
 			d.ehOf(k).insert(k, vals[i])
 		}
-		return
+		return nil
 	}
 	t0 := time.Now()
 	for i, k := range keys {
 		d.ehOf(k).insert(k, vals[i])
 	}
 	d.recordBatch(OpInsert, d.ehOf(keys[0]).idx, len(keys), time.Since(t0))
+	return nil
 }
 
 // DeleteBatch removes every key of keys, appending to found whether each was
-// present, and returns the extended slice.
-func (d *DyTIS) DeleteBatch(keys []uint64, found []bool) []bool {
+// present, and returns the extended slice. After Close it returns found
+// unextended and ErrClosed, applying nothing.
+func (d *DyTIS) DeleteBatch(keys []uint64, found []bool) ([]bool, error) {
+	if d.closed.Load() {
+		return found, ErrClosed
+	}
 	if len(keys) == 0 {
-		return found
+		return found, nil
 	}
 	if d.obs == nil {
 		for _, k := range keys {
 			found = append(found, d.ehOf(k).delete(k))
 		}
-		return found
+		return found, nil
 	}
 	t0 := time.Now()
 	for _, k := range keys {
 		found = append(found, d.ehOf(k).delete(k))
 	}
 	d.recordBatch(OpDelete, d.ehOf(keys[0]).idx, len(keys), time.Since(t0))
-	return found
+	return found, nil
 }
 
 // recordBatch books n operations taking total altogether, through the
@@ -100,6 +120,11 @@ func (d *DyTIS) recordBatch(op Op, shard, n int, total time.Duration) {
 // can be collected) and drops the observer reference so no further latencies
 // or structure events are recorded. The in-memory structure itself needs no
 // flushing and remains readable; Close is idempotent and always returns nil.
+//
+// After Close, mutations fail loudly instead of silently diverging the
+// index from any write-ahead log in front of it: the batch entry points
+// return ErrClosed, and the legacy error-less paths (Insert, Delete,
+// LoadSorted) panic with a message wrapping the same condition.
 //
 // Close must not race with in-flight operations: quiesce callers first (a
 // server drains its connections before closing the index it serves).

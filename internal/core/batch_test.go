@@ -44,7 +44,11 @@ func TestBatchMatchesSingleOps(t *testing.T) {
 				}
 			}
 		case 2:
-			found = db.DeleteBatch(keys, found[:0])
+			var err error
+			found, err = db.DeleteBatch(keys, found[:0])
+			if err != nil {
+				t.Fatalf("round %d: DeleteBatch: %v", round, err)
+			}
 			for i, k := range keys {
 				if ok := ds.Delete(k); found[i] != ok {
 					t.Fatalf("round %d: DeleteBatch[%d] key %d = %v; single = %v",
@@ -77,9 +81,11 @@ func TestBatchEdgeCases(t *testing.T) {
 	if vals != nil || found != nil {
 		t.Fatal("empty GetBatch grew its slices")
 	}
-	d.InsertBatch(nil, nil)
-	if f := d.DeleteBatch(nil, nil); f != nil {
-		t.Fatal("empty DeleteBatch grew its slice")
+	if err := d.InsertBatch(nil, nil); err != nil {
+		t.Fatalf("empty InsertBatch: %v", err)
+	}
+	if f, err := d.DeleteBatch(nil, nil); f != nil || err != nil {
+		t.Fatalf("empty DeleteBatch = %v, %v; want nil, nil", f, err)
 	}
 	// Mismatched InsertBatch lengths panic loudly.
 	defer func() {
@@ -176,12 +182,15 @@ func TestCloseDetachesAndStopsObserving(t *testing.T) {
 	if len(spy.detached) != 1 {
 		t.Fatalf("second Close detached again: %v", spy.detached)
 	}
-	// The structure stays readable, but nothing is recorded anymore.
+	// The structure stays readable, but mutations now fail loudly instead
+	// of silently applying unlogged (see TestClosedMutations for the full
+	// post-Close contract).
 	if v, ok := d.Get(1); !ok || v != 2 {
 		t.Fatalf("Get after Close = %d,%v", v, ok)
 	}
-	d.Insert(3, 4)
-	d.InsertBatch([]uint64{5}, []uint64{6})
+	if err := d.InsertBatch([]uint64{5}, []uint64{6}); err == nil {
+		t.Fatal("InsertBatch after Close succeeded")
+	}
 	if spy.recordOps != before {
 		t.Fatalf("observer recorded %d ops after Close (had %d)", spy.recordOps, before)
 	}

@@ -13,6 +13,7 @@ import "sort"
 // the observed per-sub-range key counts. Must not be called concurrently
 // with other operations.
 func (d *DyTIS) LoadSorted(keys, values []uint64) {
+	d.mustOpen("LoadSorted")
 	if len(keys) != len(values) {
 		panic("core: mismatched LoadSorted slices")
 	}

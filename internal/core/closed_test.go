@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dytis/internal/core"
+)
+
+// TestClosedMutations pins the post-Close contract: reads keep working on
+// the surviving in-memory structure, batch mutations return ErrClosed
+// without applying anything, and the legacy error-less mutation paths
+// (Insert, Delete, LoadSorted) panic with a message carrying ErrClosed's
+// text. With a write-ahead log attached in front of the index, a silently
+// accepted post-Close mutation would diverge log from index — hence loud.
+func TestClosedMutations(t *testing.T) {
+	d := core.New(core.Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+	for k := uint64(0); k < 100; k++ {
+		d.Insert(k<<40, k)
+	}
+	lenBefore := d.Len()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads survive.
+	if v, ok := d.Get(1 << 40); !ok || v != 1 {
+		t.Fatalf("Get after Close = %d,%v want 1,true", v, ok)
+	}
+	if got := len(d.Scan(0, 1000, nil)); got != lenBefore {
+		t.Fatalf("Scan after Close returned %d pairs, want %d", got, lenBefore)
+	}
+	if vals, found := d.GetBatch([]uint64{1 << 40}, nil, nil); !found[0] || vals[0] != 1 {
+		t.Fatalf("GetBatch after Close = %v,%v", vals, found)
+	}
+
+	// Batch mutations fail typed and apply nothing.
+	if err := d.InsertBatch([]uint64{42}, []uint64{42}); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("InsertBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := d.Get(42); ok {
+		t.Fatal("InsertBatch after Close applied its insert")
+	}
+	found, err := d.DeleteBatch([]uint64{1 << 40}, nil)
+	if !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("DeleteBatch after Close = %v, want ErrClosed", err)
+	}
+	if len(found) != 0 {
+		t.Fatalf("DeleteBatch after Close extended found: %v", found)
+	}
+	if _, ok := d.Get(1 << 40); !ok {
+		t.Fatal("DeleteBatch after Close applied its delete")
+	}
+
+	// Legacy paths panic, naming the operation and the closed condition.
+	for _, tc := range []struct {
+		name string
+		op   func()
+	}{
+		{"Insert", func() { d.Insert(7, 7) }},
+		{"Delete", func() { d.Delete(1 << 40) }},
+		{"LoadSorted", func() { d.LoadSorted([]uint64{1, 2}, []uint64{1, 2}) }},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s after Close did not panic", tc.name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, tc.name) || !strings.Contains(msg, core.ErrClosed.Error()) {
+					t.Fatalf("%s after Close panicked with %v, want the op name and ErrClosed text", tc.name, r)
+				}
+			}()
+			tc.op()
+		}()
+	}
+	if d.Len() != lenBefore {
+		t.Fatalf("Len changed across post-Close mutations: %d -> %d", lenBefore, d.Len())
+	}
+
+	// ReadSnapshot would replace the contents — it is a mutation and errors.
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil { // snapshotting a closed index is a read
+		t.Fatalf("WriteSnapshot after Close: %v", err)
+	}
+	if err := d.ReadSnapshot(&buf); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("ReadSnapshot after Close = %v, want ErrClosed", err)
+	}
+}

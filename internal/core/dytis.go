@@ -49,8 +49,21 @@ func NewDefault() *DyTIS { return New(Options{}) }
 
 func (d *DyTIS) ehOf(k uint64) *eh { return d.ehs[k>>d.suffixBits] }
 
-// Insert stores or updates the value for key.
+// mustOpen panics when the index is closed: the legacy mutation paths have
+// no error return, and silently applying (or dropping) a post-Close
+// mutation would diverge the index from a write-ahead log in front of it.
+// The panic message carries ErrClosed's text; batch paths return the error
+// instead.
+func (d *DyTIS) mustOpen(op string) {
+	if d.closed.Load() {
+		panic("dytis: " + op + ": " + ErrClosed.Error())
+	}
+}
+
+// Insert stores or updates the value for key. It panics if the index has
+// been closed (see Close; InsertBatch returns ErrClosed instead).
 func (d *DyTIS) Insert(key, value uint64) {
+	d.mustOpen("Insert")
 	e := d.ehOf(key)
 	if d.obs == nil {
 		e.insert(key, value)
@@ -73,8 +86,10 @@ func (d *DyTIS) Get(key uint64) (uint64, bool) {
 	return v, ok
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. It panics if the
+// index has been closed (see Close; DeleteBatch returns ErrClosed instead).
 func (d *DyTIS) Delete(key uint64) bool {
+	d.mustOpen("Delete")
 	e := d.ehOf(key)
 	if d.obs == nil {
 		return e.delete(key)

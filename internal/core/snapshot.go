@@ -3,8 +3,11 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Snapshot format: a little-endian header (magic, version, count) followed
@@ -13,28 +16,73 @@ import (
 const (
 	snapshotMagic   = 0x5359_5444 // "DTYS"
 	snapshotVersion = 1
+
+	// snapshotHeaderLen and snapshotPairLen fix the on-disk geometry; the
+	// WAL checkpoint path and the recovery-size validation depend on them.
+	snapshotHeaderLen = 16
+	snapshotPairLen   = 16
+
+	// snapshotChunkPairs bounds how many pairs ReadSnapshot allocates ahead
+	// of what it has actually read: a corrupt header promising 2^40 pairs
+	// costs one chunk (1 MiB of keys+values), not 16 TiB, before the first
+	// missing pair surfaces as ErrSnapshotCorrupt.
+	snapshotChunkPairs = 1 << 16
+)
+
+var (
+	// ErrSnapshotCorrupt is wrapped by every ReadSnapshot failure caused by
+	// the input bytes (bad magic, implausible or lying count, keys out of
+	// order, torn tail). Match with errors.Is. I/O errors from the reader
+	// itself are returned unwrapped.
+	ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
+
+	// ErrSnapshotRaced is wrapped by WriteSnapshot when the index was
+	// mutated while the snapshot streamed, so the bytes written so far are
+	// torn and must be discarded by the caller. WriteSnapshotFile does that
+	// discarding itself and never commits a raced snapshot.
+	ErrSnapshotRaced = errors.New("core: snapshot raced with writers")
 )
 
 // WriteSnapshot streams the index contents to w in ascending key order.
 // Must not run concurrently with writers (readers are fine in concurrent
 // mode, but the snapshot is only point-in-time when the index is quiescent).
+//
+// Contract on error: the bytes already written to w are a torn prefix and
+// must be discarded — WriteSnapshot detects a concurrent writer as soon as
+// the cursor yields an out-of-order or surplus pair and stops streaming,
+// but it cannot unwrite what w already received. Callers persisting
+// snapshots should use WriteSnapshotFile, which stages the stream in a
+// temporary file and only commits (renames) it after a fully validated
+// write, so a raced or failed snapshot is never visible at the target path.
 func (d *DyTIS) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	var hdr [16]byte
+	expect := uint64(d.Len())
+	var hdr [snapshotHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(d.Len()))
+	binary.LittleEndian.PutUint64(hdr[8:16], expect)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var rec [16]byte
-	written := 0
+	var rec [snapshotPairLen]byte
+	var written uint64
+	var prev uint64
 	c := d.NewCursor(0)
 	for {
 		p, ok := c.Next()
 		if !ok {
 			break
 		}
+		// Fail at the first symptom of a concurrent writer instead of
+		// streaming the whole torn file: a cursor that emits out-of-order
+		// keys, or more pairs than the header promised, has already raced.
+		if written > 0 && p.Key <= prev {
+			return fmt.Errorf("%w: keys out of order at pair %d", ErrSnapshotRaced, written)
+		}
+		if written == expect {
+			return fmt.Errorf("%w: more than the %d pairs in the header", ErrSnapshotRaced, expect)
+		}
+		prev = p.Key
 		binary.LittleEndian.PutUint64(rec[0:8], p.Key)
 		binary.LittleEndian.PutUint64(rec[8:16], p.Value)
 		if _, err := bw.Write(rec[:]); err != nil {
@@ -42,47 +90,142 @@ func (d *DyTIS) WriteSnapshot(w io.Writer) error {
 		}
 		written++
 	}
-	if written != int(binary.LittleEndian.Uint64(hdr[8:16])) {
-		return fmt.Errorf("core: snapshot raced with writers: wrote %d of %d pairs",
-			written, binary.LittleEndian.Uint64(hdr[8:16]))
+	if written != expect {
+		return fmt.Errorf("%w: wrote %d of %d pairs", ErrSnapshotRaced, written, expect)
 	}
 	return bw.Flush()
 }
 
+// WriteSnapshotFile atomically persists a snapshot at path: the stream is
+// staged in a temporary file in path's directory, flushed and fsynced, and
+// only then renamed over path, with the directory fsynced so the rename
+// itself is durable. On any error — a writer race (ErrSnapshotRaced)
+// included — the temporary file is removed and path is untouched: a reader
+// of path sees either the previous complete snapshot or the new one, never
+// a torn intermediate. Like WriteSnapshot it must not run concurrently with
+// writers to the index.
+func (d *DyTIS) WriteSnapshotFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = d.WriteSnapshot(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding create/rename in it survives a
+// crash. On platforms where directories cannot be fsynced the error is
+// ignored — the rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := df.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
 // ReadSnapshot replaces the index contents with a snapshot written by
-// WriteSnapshot. Must not run concurrently with any other operation.
+// WriteSnapshot. Must not run concurrently with any other operation, and
+// returns ErrClosed once Close has been called.
+//
+// Input-caused failures wrap ErrSnapshotCorrupt. The header's pair count is
+// treated as a claim, not a promise: pairs are read and validated in
+// bounded chunks, so a crafted or corrupt header demanding billions of
+// pairs fails at the first missing byte after at most one chunk of
+// allocation instead of preallocating the claimed size. When the reader
+// exposes its size (bytes.Reader, strings.Reader, an os.File via Stat), a
+// count larger than the remaining bytes could hold is rejected before any
+// pair is read.
 func (d *DyTIS) ReadSnapshot(r io.Reader) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	br := bufio.NewReader(r)
-	var hdr [16]byte
+	var hdr [snapshotHeaderLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return fmt.Errorf("core: snapshot header: %w", err)
+		return fmt.Errorf("%w: header: %v", ErrSnapshotCorrupt, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != snapshotMagic {
-		return fmt.Errorf("core: not a DyTIS snapshot")
+		return fmt.Errorf("%w: not a DyTIS snapshot", ErrSnapshotCorrupt)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVersion {
-		return fmt.Errorf("core: unsupported snapshot version %d", v)
+		return fmt.Errorf("%w: unsupported snapshot version %d", ErrSnapshotCorrupt, v)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:16])
 	if n > 1<<40 {
-		return fmt.Errorf("core: implausible snapshot size %d", n)
+		return fmt.Errorf("%w: implausible pair count %d", ErrSnapshotCorrupt, n)
 	}
-	keys := make([]uint64, n)
-	vals := make([]uint64, n)
-	var rec [16]byte
+	if size, ok := readerSize(r); ok {
+		if need := int64(n) * snapshotPairLen; need > size {
+			return fmt.Errorf("%w: header promises %d pairs (%d bytes) but input holds at most %d bytes",
+				ErrSnapshotCorrupt, n, need, size)
+		}
+	}
+	cap0 := min(n, snapshotChunkPairs)
+	keys := make([]uint64, 0, cap0)
+	vals := make([]uint64, 0, cap0)
+	var rec [snapshotPairLen]byte
 	var prev uint64
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return fmt.Errorf("core: snapshot pair %d: %w", i, err)
+			return fmt.Errorf("%w: pair %d of %d: %v", ErrSnapshotCorrupt, i, n, err)
 		}
 		k := binary.LittleEndian.Uint64(rec[0:8])
 		if i > 0 && k <= prev {
-			return fmt.Errorf("core: snapshot keys not ascending at %d", i)
+			return fmt.Errorf("%w: keys not ascending at pair %d", ErrSnapshotCorrupt, i)
 		}
 		prev = k
-		keys[i] = k
-		vals[i] = binary.LittleEndian.Uint64(rec[8:16])
+		keys = append(keys, k)
+		vals = append(vals, binary.LittleEndian.Uint64(rec[8:16]))
 	}
 	d.LoadSorted(keys, vals)
 	return nil
+}
+
+// ReadSnapshotFile loads the snapshot at path via ReadSnapshot, giving it
+// the file's size for up-front count validation.
+func (d *DyTIS) ReadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.ReadSnapshot(f)
+}
+
+// readerSize reports the total byte size of readers that expose it. Sized
+// readers at a nonzero offset only over-report, which keeps the size check
+// conservative (it can miss, never falsely reject).
+func readerSize(r io.Reader) (int64, bool) {
+	switch s := r.(type) {
+	case interface{ Size() int64 }:
+		return s.Size(), true
+	case *os.File:
+		if fi, err := s.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size(), true
+		}
+	}
+	return 0, false
 }

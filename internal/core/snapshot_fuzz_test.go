@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// snapBytes assembles a snapshot image: a header claiming count pairs and
+// whatever pair bytes follow. Used to seed the fuzzer with the interesting
+// corrupt shapes.
+func snapBytes(count uint64, pairs ...uint64) []byte {
+	if len(pairs)%2 != 0 {
+		panic("snapBytes wants key/value pairs")
+	}
+	b := make([]byte, snapshotHeaderLen, snapshotHeaderLen+8*len(pairs))
+	binary.LittleEndian.PutUint32(b[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(b[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(b[8:16], count)
+	for _, x := range pairs {
+		b = binary.LittleEndian.AppendUint64(b, x)
+	}
+	return b
+}
+
+// FuzzReadSnapshot holds ReadSnapshot to its hardening contract: arbitrary
+// bytes produce either a rebuilt index or a typed error — never a panic,
+// and never an allocation proportional to a lying header count. The seeds
+// are the shapes the recovery path meets in practice: a truncated header, a
+// huge-count header over no data (the 16 TiB preallocation bug), descending
+// keys, and a torn final pair.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add([]byte{})                                          // empty
+	f.Add(snapBytes(0))                                      // valid empty snapshot
+	f.Add(snapBytes(2, 1, 10, 2, 20))                        // valid two-pair snapshot
+	f.Add(snapBytes(0)[:10])                                 // truncated header
+	f.Add(snapBytes(1<<39, 1, 10))                           // huge count, near-empty body
+	f.Add(snapBytes(math.MaxUint64))                         // count over the plausibility cap
+	f.Add(snapBytes(2, 9, 90, 3, 30))                        // descending keys
+	f.Add(snapBytes(2, 5, 50, 5, 51))                        // duplicate key
+	f.Add(snapBytes(2, 1, 10, 2, 20)[:snapshotHeaderLen+20]) // torn tail mid-pair
+	f.Add(append(snapBytes(1, 7, 70), 0xAA))                 // trailing garbage (ignored by contract)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := New(Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+		if err := d.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Accepted input must have rebuilt a structurally sound index.
+		if err := d.checkInvariants(); err != nil {
+			t.Fatalf("accepted snapshot built unsound index: %v", err)
+		}
+	})
+}
+
+// TestReadSnapshotHugeCountBounded is the directed regression for the
+// preallocation bug: a crafted header under the 1<<40 plausibility cap but
+// with no pairs behind it must fail with ErrSnapshotCorrupt after at most
+// one chunk of allocation — under the old up-front make([]uint64, n) this
+// test dies to the OOM killer long before the error.
+func TestReadSnapshotHugeCountBounded(t *testing.T) {
+	d := New(Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+	crafted := snapBytes(1<<40-1, 1, 10) // ~16 TiB claimed, 16 bytes present
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := d.ReadSnapshot(bytes.NewReader(crafted)); err == nil {
+				b.Fatal("crafted huge-count snapshot accepted")
+			}
+		}
+	})
+	// One chunk of pairs is 2 slices * 8 bytes * snapshotChunkPairs = 1 MiB;
+	// allow generous slack for bufio and error formatting.
+	if per := res.AllocedBytesPerOp(); per > 4<<20 {
+		t.Fatalf("ReadSnapshot of crafted header allocated %d bytes/op, want bounded by the chunk size", per)
+	}
+	// A sized reader rejects the lying count before reading any pair.
+	if err := d.ReadSnapshot(bytes.NewReader(crafted)); err == nil {
+		t.Fatal("crafted huge-count snapshot accepted")
+	}
+}
+
+// TestSnapshotRoundTripCorpus is the property test over the differential
+// fuzzer's adversarial key shapes: extremes of the key space, dense runs,
+// first-level EH boundaries, and single keys all survive
+// WriteSnapshot → ReadSnapshot and WriteSnapshotFile → ReadSnapshotFile
+// bit-exactly.
+func TestSnapshotRoundTripCorpus(t *testing.T) {
+	denseLow := make([]uint64, 3000)
+	for i := range denseLow {
+		denseLow[i] = uint64(i)
+	}
+	denseHigh := make([]uint64, 3000)
+	for i := range denseHigh {
+		denseHigh[i] = math.MaxUint64 - uint64(len(denseHigh)) + 1 + uint64(i)
+	}
+	straddle := make([]uint64, 0, 2048)
+	for eh := uint64(0); eh < 8; eh++ { // a dense run at every first-level EH base (R=3)
+		for i := 0; i < 256; i++ {
+			straddle = append(straddle, eh<<61+uint64(i))
+		}
+	}
+	cases := map[string][]uint64{
+		"empty":        {},
+		"zero":         {0},
+		"max":          {math.MaxUint64},
+		"extremes":     {0, 1, math.MaxUint64 - 1, math.MaxUint64},
+		"dense-low":    denseLow,
+		"dense-high":   denseHigh,
+		"eh-straddle":  straddle,
+		"powers-of-2":  {1, 2, 4, 8, 1 << 20, 1 << 40, 1 << 60},
+		"single-large": {0xDEADBEEFCAFEF00D},
+	}
+	for name, keys := range cases {
+		t.Run(name, func(t *testing.T) {
+			sorted := append([]uint64(nil), keys...)
+			vals := make([]uint64, len(sorted))
+			for i := range sorted {
+				vals[i] = sorted[i]*0x9E3779B97F4A7C15 + 1
+			}
+			d := New(Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+			d.LoadSorted(sorted, vals)
+
+			var buf bytes.Buffer
+			if err := d.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			d2 := New(Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+			if err := d2.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			requireSame(t, d2, sorted, vals)
+
+			path := filepath.Join(t.TempDir(), "snap")
+			if err := d.WriteSnapshotFile(path); err != nil {
+				t.Fatal(err)
+			}
+			d3 := New(Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2})
+			if err := d3.ReadSnapshotFile(path); err != nil {
+				t.Fatal(err)
+			}
+			requireSame(t, d3, sorted, vals)
+		})
+	}
+}
+
+func requireSame(t *testing.T, d *DyTIS, keys, vals []uint64) {
+	t.Helper()
+	if d.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if v, ok := d.Get(k); !ok || v != vals[i] {
+			t.Fatalf("Get(%#x) = %d,%v want %d,true", k, v, ok, vals[i])
+		}
+	}
+	if err := d.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,17 @@ var ErrChecksum = errors.New("proto: frame checksum mismatch")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// CRC32C computes the Castagnoli CRC of data — the same polynomial (and
+// therefore the same SSE4.2/ARMv8 fast path) the frame trailers use. It is
+// exported for the other on-disk/on-wire integrity checks in this module
+// (the WAL's per-record checksums), so every checksum in the system agrees
+// on one algorithm.
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// CRC32CUpdate extends an existing CRC32C with more data, for checksums
+// computed over discontiguous spans (header ‖ payload).
+func CRC32CUpdate(crc uint32, data []byte) uint32 { return crc32.Update(crc, castagnoli, data) }
+
 // SealFrame appends the CRC32C trailer to the frame occupying dst[start:]
 // (one complete frame as produced by AppendRequest/AppendResponseV) and
 // returns the extended slice.

@@ -385,9 +385,15 @@ func (c *conn) execute(req *proto.Request, resp *proto.Response) (panicked bool)
 	case proto.OpGetBatch:
 		resp.Vals, resp.Founds = idx.GetBatch(req.Keys, resp.Vals, resp.Founds)
 	case proto.OpInsertBatch:
-		idx.InsertBatch(req.Keys, req.Vals)
+		if err := idx.InsertBatch(req.Keys, req.Vals); err != nil {
+			resp.Status, resp.Msg = proto.StatusErr, err.Error()
+		}
 	case proto.OpDeleteBatch:
-		resp.Founds = idx.DeleteBatch(req.Keys, resp.Founds)
+		var err error
+		resp.Founds, err = idx.DeleteBatch(req.Keys, resp.Founds)
+		if err != nil {
+			resp.Status, resp.Msg = proto.StatusErr, err.Error()
+		}
 	case proto.OpLen:
 		resp.Val = uint64(idx.Len())
 	}

@@ -48,16 +48,19 @@ import (
 //dytis:ctxcheck
 
 // Index is the index surface the server serves; *core.DyTIS (and therefore
-// the public dytis.Index) implements it. The index must be in Concurrent
-// mode: every connection drives it from its own goroutine.
+// the public dytis.Index) implements it, as does the durable wal.Store
+// adapter. The index must be safe for concurrent use: every connection
+// drives it from its own goroutine. The batch mutation paths may fail
+// (closed index, write-ahead-log append failure); a non-nil error is
+// answered as StatusErr on that request, nothing is retried server-side.
 type Index interface {
 	Get(key uint64) (uint64, bool)
 	Insert(key, value uint64)
 	Delete(key uint64) bool
 	Scan(start uint64, max int, dst []kv.KV) []kv.KV
 	GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool)
-	InsertBatch(keys, vals []uint64)
-	DeleteBatch(keys []uint64, found []bool) []bool
+	InsertBatch(keys, vals []uint64) error
+	DeleteBatch(keys []uint64, found []bool) ([]bool, error)
 	Len() int
 }
 

@@ -1,0 +1,484 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dytis/internal/core"
+)
+
+func testOpts() Options {
+	return Options{
+		Index: core.Options{FirstLevelBits: 3, BucketEntries: 16, StartDepth: 2},
+		Fsync: FsyncOff, // unit tests exercise logic, not the disk; crash tests use always
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// requireState asserts the store holds exactly the given key->val pairs.
+func requireState(t *testing.T, s *Store, want map[uint64]uint64) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for k, v := range want {
+		if got, ok := s.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+// TestReplayWithoutCheckpoint: close and reopen with nothing but log
+// segments; every mutation kind replays.
+func TestReplayWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	want := map[uint64]uint64{}
+	for k := uint64(0); k < 500; k++ {
+		if err := s.Insert(k<<40, k+1); err != nil {
+			t.Fatal(err)
+		}
+		want[k<<40] = k + 1
+	}
+	if ok, err := s.Delete(3 << 40); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	delete(want, 3<<40)
+	if ok, err := s.Delete(999 << 40); ok || err != nil { // absent key: logged no-op
+		t.Fatalf("Delete(absent) = %v, %v", ok, err)
+	}
+	if err := s.InsertBatch([]uint64{1, 2, 3}, []uint64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	want[1], want[2], want[3] = 10, 20, 30
+	found, err := s.DeleteBatch([]uint64{2, 777}, nil)
+	if err != nil || !found[0] || found[1] {
+		t.Fatalf("DeleteBatch = %v, %v", found, err)
+	}
+	delete(want, 2)
+	requireState(t, s, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	requireState(t, s2, want)
+	info := s2.Recovery()
+	if info.CheckpointSeq != 0 || info.TornTail || info.Records == 0 {
+		t.Fatalf("unexpected recovery info: %+v", info)
+	}
+}
+
+// TestCheckpointTruncatesLog: a checkpoint leaves exactly one checkpoint
+// and the fresh active segment; recovery loads it plus the tail.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	want := map[uint64]uint64{}
+	for k := uint64(0); k < 1000; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = k + 1
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, ckpts, err := scanDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || len(ckpts) != 1 || segs[0] != 2 || ckpts[0] != 2 {
+		t.Fatalf("after checkpoint: segments %v checkpoints %v, want [2] [2]", segs, ckpts)
+	}
+	// Tail writes after the checkpoint.
+	for k := uint64(2000); k < 2100; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = k
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	requireState(t, s2, want)
+	info := s2.Recovery()
+	if info.CheckpointSeq != 2 || info.CheckpointKeys != 1000 || info.Records != 100 {
+		t.Fatalf("unexpected recovery info: %+v", info)
+	}
+	if got := s2.Metrics().ActiveSegment(); got != 3 {
+		t.Fatalf("active segment = %d, want 3", got)
+	}
+}
+
+// TestCorruptCheckpointFallsBack: a trashed newest checkpoint is skipped in
+// favor of an older valid one, and the skip is counted, not fatal.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	for k := uint64(0); k < 300; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a corrupt checkpoint newer than the real one: recovery must try
+	// it first (newest wins), reject it, and fall back to the valid seq-2
+	// checkpoint plus the logged tail.
+	segs, ckpts, err := scanDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 1 || len(segs) != 1 || ckpts[0] != 2 {
+		t.Fatalf("segments %v checkpoints %v, want [2] [2]", segs, ckpts)
+	}
+	bogus := filepath.Join(dir, checkpointName(ckpts[0]+1))
+	if err := os.WriteFile(bogus, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	info := s2.Recovery()
+	if info.CorruptCheckpoints != 1 || info.CheckpointSeq != 2 || info.Records != 1 {
+		t.Fatalf("unexpected recovery info: %+v", info)
+	}
+	if s2.Len() != 301 {
+		t.Fatalf("Len after fallback = %d, want 301", s2.Len())
+	}
+	if v, ok := s2.Get(1000); !ok || v != 1 {
+		t.Fatalf("Get(1000) = %d,%v", v, ok)
+	}
+}
+
+// TestTornTailTolerated: a partial record at the tail of the newest segment
+// is discarded, truncated away, and stays discarded across further reopens.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	for k := uint64(0); k < 100; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn record: a full header promising 17 bytes, 3 present.
+	seg := filepath.Join(dir, segmentName(1))
+	full := appendInsert(nil, 4242, 1)
+	torn := full[:recHeaderLen+3]
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	s2 := mustOpen(t, dir, testOpts())
+	info := s2.Recovery()
+	if !info.TornTail || info.Records != 100 {
+		t.Fatalf("unexpected recovery info: %+v", info)
+	}
+	if _, ok := s2.Get(4242); ok {
+		t.Fatal("torn record's insert applied")
+	}
+	if s2.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s2.Len())
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-int64(len(torn)) {
+		t.Fatalf("torn tail not truncated: %d -> %d", before.Size(), after.Size())
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen once more: segment 1 is no longer the newest, and must now be
+	// clean — the truncation is what keeps repeated crashes recoverable.
+	s3 := mustOpen(t, dir, testOpts())
+	defer s3.Close()
+	if info := s3.Recovery(); info.TornTail || s3.Len() != 100 {
+		t.Fatalf("second recovery: %+v, Len %d", info, s3.Len())
+	}
+}
+
+// TestCorruptMiddleSegmentRefuses: a flipped byte in a non-newest segment is
+// real corruption — Open fails with ErrCorrupt rather than serving wrong
+// answers.
+func TestCorruptMiddleSegmentRefuses(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentBytes = 1 << 10 // force several segments
+	opts.CheckpointBytes = -1   // no checkpoints: all segments replay
+	s := mustOpen(t, dir, opts)
+	for k := uint64(0); k < 2000; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("wanted several segments, got %v", segs)
+	}
+	// Flip a payload byte mid-way through the second segment.
+	path := filepath.Join(dir, segmentName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOpts()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt middle segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSegmentGapRefuses: a missing segment between checkpoint and tail is
+// lost acked data — typed refusal, not silence.
+func TestSegmentGapRefuses(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentBytes = 1 << 10
+	opts.CheckpointBytes = -1
+	s := mustOpen(t, dir, opts)
+	for k := uint64(0); k < 2000; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOpts()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over segment gap = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTmpSweep: an interrupted checkpoint's unrenamed snapshot is swept at
+// Open and never mistaken for a checkpoint.
+func TestTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, checkpointName(7)+".tmp123456")
+	if err := os.WriteFile(tmp, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp file not swept: %v", err)
+	}
+	if info := s.Recovery(); info.CheckpointSeq != 0 || info.CorruptCheckpoints != 0 {
+		t.Fatalf("tmp file influenced recovery: %+v", info)
+	}
+}
+
+// TestClosedStoreMutations: post-Close mutations fail typed; Close is
+// idempotent.
+func TestClosedStoreMutations(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	if err := s.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(3, 4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close = %v, want ErrClosed", err)
+	}
+	if err := s.InsertBatch([]uint64{9}, []uint64{9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("InsertBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.DeleteBatch([]uint64{1}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DeleteBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrClosed", err)
+	}
+	// Reads still serve the surviving in-memory structure.
+	if v, ok := s.Get(1); !ok || v != 2 {
+		t.Fatalf("Get after Close = %d,%v", v, ok)
+	}
+}
+
+// TestFsyncAlwaysCounts: under FsyncAlways every mutation syncs before
+// acking; under FsyncInterval the background loop syncs on its cadence.
+func TestFsyncAlwaysCounts(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.Fsync = FsyncAlways
+	s := mustOpen(t, dir, opts)
+	for k := uint64(0); k < 10; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Metrics().Fsyncs(); got < 10 {
+		t.Fatalf("FsyncAlways issued %d fsyncs for 10 mutations", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts = testOpts()
+	opts.Fsync = FsyncInterval
+	opts.FsyncInterval = time.Millisecond
+	s2 := mustOpen(t, t.TempDir(), opts)
+	defer s2.Close()
+	if err := s2.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s2.Metrics().Fsyncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval fsync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchSplitsReplay: a batch larger than maxBatchPairs splits into
+// several records and still replays completely.
+func TestBatchSplitsReplay(t *testing.T) {
+	dir := t.TempDir()
+	n := maxBatchPairs + 100
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i) + 1
+	}
+	s := mustOpen(t, dir, testOpts())
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().Appends(); got != 2 {
+		t.Fatalf("split batch appended %d records, want 2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("Len = %d, want %d", s2.Len(), n)
+	}
+	if v, ok := s2.Get(uint64(n - 1)); !ok || v != uint64(n) {
+		t.Fatalf("Get(last) = %d,%v", v, ok)
+	}
+}
+
+// TestParseFsyncPolicy covers the flag surface.
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{"off": FsyncOff, "interval": FsyncInterval, "always": FsyncAlways} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestRecordRoundTrip pins the record codec against itself and against a
+// deliberately flipped length bit (the checksum-covers-length argument).
+func TestRecordRoundTrip(t *testing.T) {
+	var log []byte
+	log = appendInsert(log, 1, 2)
+	log = appendDelete(log, 3)
+	log = appendInsertBatch(log, []uint64{4, 5}, []uint64{40, 50})
+	log = appendDeleteBatch(log, []uint64{6})
+
+	type op struct {
+		ins  bool
+		k, v uint64
+	}
+	var got []op
+	r := bytes.NewReader(log)
+	var buf []byte
+	for {
+		payload, b, err := readRecord(r, buf)
+		buf = b
+		if err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		if err := replayPayload(payload,
+			func(k, v uint64) { got = append(got, op{true, k, v}) },
+			func(k uint64) { got = append(got, op{false, k, 0}) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []op{{true, 1, 2}, {false, 3, 0}, {true, 4, 40}, {true, 5, 50}, {false, 6, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+
+	// Flip a bit in the first record's length field: the checksum must
+	// catch the re-delimiting rather than reading a garbage record.
+	bad := append([]byte(nil), log...)
+	binary.LittleEndian.PutUint32(bad[0:4], binary.LittleEndian.Uint32(bad[0:4])^8)
+	if _, _, err := readRecord(bytes.NewReader(bad), nil); !errors.Is(err, errTorn) {
+		t.Fatalf("flipped length read = %v, want errTorn", err)
+	}
+}
