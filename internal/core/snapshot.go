@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"dytis/internal/fsutil"
 )
 
 // Snapshot format: a little-endian header (magic, version, count) followed
@@ -128,22 +130,7 @@ func (d *DyTIS) WriteSnapshotFile(path string) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a preceding create/rename in it survives a
-// crash. On platforms where directories cannot be fsynced the error is
-// ignored — the rename is still atomic, just not yet durable.
-func syncDir(dir string) error {
-	df, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer df.Close()
-	if err := df.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
-		return err
-	}
-	return nil
+	return fsutil.SyncDir(dir)
 }
 
 // ReadSnapshot replaces the index contents with a snapshot written by

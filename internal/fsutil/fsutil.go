@@ -1,0 +1,31 @@
+// Package fsutil holds the one filesystem-durability helper shared by the
+// snapshot and WAL paths, so the two cannot drift apart in how they treat
+// filesystems that refuse directory fsync.
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// SyncDir fsyncs a directory so a preceding create, rename, or remove in it
+// survives a crash. Filesystems that do not support fsync on directories
+// report EINVAL or ENOTSUP; that is tolerated — the metadata operation is
+// still atomic, just not yet durable, and there is nothing more we can do.
+// (EINVAL must be matched as syscall.EINVAL: Errno.Is maps ENOTSUP to
+// errors.ErrUnsupported but maps EINVAL to nothing, and os.ErrInvalid never
+// matches it.) Any other failure is returned: callers on the durability
+// path must treat it as a failed commit.
+func SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}

@@ -18,8 +18,8 @@ import (
 // RecoveryInfo reports what Open had to do: which checkpoint it started
 // from, how much log it replayed, and whether it discarded a torn tail.
 type RecoveryInfo struct {
-	// CheckpointSeq is the checkpoint recovery started from; 0 means none
-	// (fresh directory, or every checkpoint was corrupt).
+	// CheckpointSeq is the checkpoint recovery started from; 0 means the
+	// directory never checkpointed (recovery was pure log replay).
 	CheckpointSeq uint64
 	// CheckpointKeys is how many keys that checkpoint loaded.
 	CheckpointKeys int
@@ -39,9 +39,12 @@ type RecoveryInfo struct {
 // Open recovers a Store from dir, creating it if needed.
 //
 // Recovery: load the newest checkpoint that reads back valid (falling back
-// past corrupt ones — each costs a CorruptCheckpoints tick, never the
-// store), then replay the segments at and after its sequence number in
-// order. A torn record at the tail of the newest segment is tolerated:
+// past corrupt ones — each costs a CorruptCheckpoints tick), then replay
+// the segments at and after its sequence number in order. If checkpoints
+// exist but none reads back, Open fails with ErrCorrupt: the log before the
+// oldest checkpoint was truncated when it was taken, so a fresh index plus
+// the surviving tail would be silent data loss, not recovery. A torn
+// record at the tail of the newest segment is tolerated:
 // everything after the last valid record is discarded and truncated away,
 // so the invariant "torn tails only ever appear in the newest segment"
 // survives repeated crashes. A bad record anywhere else — or a gap in the
@@ -85,6 +88,16 @@ func Open(dir string, o Options) (*Store, error) {
 		break
 	}
 	if s.idx == nil {
+		// No checkpoint loaded. If checkpoints existed but none read back,
+		// the data they subsumed is gone — the segments before the oldest
+		// checkpoint were truncated away when it was taken, so starting
+		// fresh and replaying the surviving tail would silently drop every
+		// acked write the checkpoints held. Errors are acceptable, silent
+		// loss is not.
+		if s.info.CorruptCheckpoints > 0 {
+			return nil, fmt.Errorf("%w: all %d checkpoints unreadable, newest %d — refusing to recover from the log tail alone",
+				ErrCorrupt, s.info.CorruptCheckpoints, ckpts[0])
+		}
 		s.idx = core.New(opts.Index)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dytis/internal/core"
+	"dytis/internal/fsutil"
 	"dytis/internal/kv"
 )
 
@@ -283,11 +284,14 @@ func (s *Store) Sync() error {
 }
 
 // Checkpoint snapshots the index and truncates the log it subsumes:
-// rotate to a fresh segment n, write ckpt-n via the temp+rename snapshot
-// path, then delete segments and checkpoints older than n. Mutations stall
-// for the duration; reads do not. A snapshot-write failure leaves the store
-// serving (the log is intact, the previous checkpoint still stands); a
-// rotation failure poisons it like any log failure.
+// rotate to a fresh segment n (reusing the current one when it is still
+// empty, as after a failed attempt), write ckpt-n via the temp+rename
+// snapshot path, then delete segments and checkpoints older than n.
+// Mutations stall for the duration; reads do not. A snapshot-write failure
+// leaves the store serving (the log is intact, the previous checkpoint
+// still stands) and resets the size trigger so retries are paced by fresh
+// write volume rather than storming; a rotation failure poisons the store
+// like any log failure.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -304,9 +308,16 @@ func (s *Store) checkpointLocked() error {
 	if hook != nil {
 		hook("begin")
 	}
-	if err := s.log.rotate(); err != nil {
-		s.m.checkpointFails.Add(1)
-		return s.failLocked("checkpoint rotate", err)
+	// Rotate so the snapshot's sequence names a segment boundary — unless
+	// the active segment is still empty (typically because a previous
+	// attempt rotated and then failed to write its snapshot), in which case
+	// that boundary is reused: retrying must not mint a fresh near-empty
+	// segment per attempt.
+	if s.log.size > 0 {
+		if err := s.log.rotate(); err != nil {
+			s.m.checkpointFails.Add(1)
+			return s.failLocked("checkpoint rotate", err)
+		}
 	}
 	seq := s.log.seq
 	if hook != nil {
@@ -314,6 +325,11 @@ func (s *Store) checkpointLocked() error {
 	}
 	if err := s.idx.WriteSnapshotFile(filepath.Join(s.dir, checkpointName(seq))); err != nil {
 		s.m.checkpointFails.Add(1)
+		// Pace the retry: leaving sinceCkpt over the trigger would re-kick a
+		// checkpoint on every subsequent append — a failure storm exactly
+		// when the disk is already struggling (ENOSPC, typically). Another
+		// CheckpointBytes of writes, or the interval timer, tries again.
+		s.sinceCkpt = 0
 		s.logf("wal: checkpoint %d failed (store keeps serving): %v", seq, err)
 		return fmt.Errorf("wal: checkpoint %d: %w", seq, err)
 	}
@@ -354,7 +370,7 @@ func (s *Store) truncateLocked(seq uint64) {
 			}
 		}
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := fsutil.SyncDir(s.dir); err != nil {
 		s.logf("wal: truncate dir sync: %v", err)
 	}
 }

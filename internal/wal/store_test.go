@@ -177,6 +177,106 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	}
 }
 
+// TestAllCheckpointsCorruptRefuses: when checkpoints exist but none reads
+// back, Open must fail with ErrCorrupt — the segments the checkpoints
+// subsumed were truncated away, so "recovering" from the surviving tail
+// alone would silently drop every acked write the checkpoints held.
+func TestAllCheckpointsCorruptRefuses(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	for k := uint64(0); k < 1000; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail: the only records still in the log.
+	for k := uint64(5000); k < 5100; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ckpts, err := scanDir(dir, nil)
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("checkpoints %v (err %v), want exactly one", ckpts, err)
+	}
+	path := filepath.Join(dir, checkpointName(ckpts[0]))
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOpts()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with every checkpoint unreadable = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFailedCheckpointPacedRetry: a checkpoint whose snapshot write fails
+// must not churn — the next attempt reuses the already-rotated empty
+// segment instead of minting another, and the size trigger resets so
+// appends stop re-kicking a doomed checkpoint on every write.
+func TestFailedCheckpointPacedRetry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+	for k := uint64(0); k < 200; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make WriteSnapshotFile's rename fail deterministically: a directory
+	// squatting on the checkpoint path (rotation goes 1 -> 2, so ckpt-2).
+	blocker := filepath.Join(dir, checkpointName(2))
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := s.Checkpoint(); err == nil {
+			t.Fatal("checkpoint succeeded over blocked rename")
+		}
+	}
+	s.mu.Lock()
+	sinceCkpt, seq := s.sinceCkpt, s.log.seq
+	s.mu.Unlock()
+	if sinceCkpt != 0 {
+		t.Fatalf("sinceCkpt = %d after failed checkpoint, want 0 (paced retry)", sinceCkpt)
+	}
+	if seq != 2 {
+		t.Fatalf("active segment = %d after 3 failed checkpoints, want 2 (no rotation churn)", seq)
+	}
+	segs, _, err := scanDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("segments %v after 3 failed checkpoints, want [1 2]", segs)
+	}
+	if got := s.Metrics().CheckpointFailures(); got != 3 {
+		t.Fatalf("checkpoint failures = %d, want 3", got)
+	}
+	// The store kept serving, and unblocking lets the retry land at the
+	// same boundary.
+	if err := s.Insert(9999, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, ckpts, err := scanDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 1 || len(segs) != 1 || ckpts[0] != segs[0] {
+		t.Fatalf("after recovery checkpoint: segments %v checkpoints %v", segs, ckpts)
+	}
+}
+
 // TestTornTailTolerated: a partial record at the tail of the newest segment
 // is discarded, truncated away, and stays discarded across further reopens.
 func TestTornTailTolerated(t *testing.T) {

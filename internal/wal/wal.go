@@ -31,6 +31,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"dytis/internal/fsutil"
 )
 
 // FsyncPolicy says when appended records are forced to stable storage.
@@ -123,7 +125,7 @@ func openLog(dir string, seq uint64, policy FsyncPolicy, m *Metrics) (*walLog, e
 	if err != nil {
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsutil.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -187,7 +189,7 @@ func (l *walLog) rotate() error {
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := fsutil.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -204,21 +206,4 @@ func (l *walLog) close() error {
 		return err
 	}
 	return l.f.Close()
-}
-
-// syncDir fsyncs a directory so renames and creates within it are durable.
-// Filesystems that refuse fsync on directories (returning EINVAL) are let
-// through — there is nothing more we can do there.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !os.IsNotExist(err) {
-		if pe, ok := err.(*os.PathError); !ok || pe.Err.Error() != "invalid argument" {
-			return err
-		}
-	}
-	return nil
 }
