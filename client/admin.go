@@ -1,0 +1,131 @@
+package client
+
+// Cluster admin operations (protocol FeatCluster): shard introspection, map
+// installation, and the handover opcode family. dytis-ctl drives the first
+// two against operators' fingers; the import/mirror trio is what one shard
+// server speaks to another during a live handover (cluster.Peer), with
+// Client as the transport.
+
+import (
+	"context"
+	"errors"
+
+	"dytis/internal/proto"
+)
+
+// ShardInfo is a shard server's self-description.
+type ShardInfo struct {
+	// Lo, Hi is the owned key range (inclusive); Lo > Hi means the server
+	// owns nothing (a fresh node awaiting a handover).
+	Lo, Hi uint64
+	// Epoch is the server's current shard-map epoch, 0 before any map.
+	Epoch uint64
+	// State is the server's handover state (cluster.Handover* constants).
+	State uint8
+}
+
+// HandoverProgress is a handover's progress as reported by the source.
+type HandoverProgress struct {
+	// State is a cluster.Handover* constant.
+	State uint8
+	// Copied counts pairs bulk-copied to the target so far.
+	Copied uint64
+	// Mirrored counts writes double-written to the target so far.
+	Mirrored uint64
+}
+
+// ShardInfo asks the server for its owned range, epoch, and handover state.
+func (c *Client) ShardInfo(ctx context.Context) (ShardInfo, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpShardInfo})
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return ShardInfo{Lo: resp.Lo, Hi: resp.Hi, Epoch: resp.Epoch, State: resp.State}, nil
+}
+
+// ShardMap fetches the server's current encoded shard map
+// (cluster.DecodeMap parses it).
+func (c *Client) ShardMap(ctx context.Context) ([]byte, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpMapGet})
+	if err != nil {
+		return nil, err
+	}
+	return resp.MapBlob, nil
+}
+
+// SetShardMap installs an encoded shard map on the server and declares its
+// owned range to be [selfLo, selfHi] (selfLo > selfHi = owns nothing). The
+// server refuses maps whose epoch does not move forward, and refuses to
+// de-own any range no completed handover covers — this call is the cutover
+// step of a handover, in owner order: de-own on the old owner first, then
+// grant on the new one.
+func (c *Client) SetShardMap(ctx context.Context, selfLo, selfHi uint64, blob []byte) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpMapSet, Lo: selfLo, Hi: selfHi, MapBlob: blob})
+	return err
+}
+
+// HandoverStart tells the server to begin migrating its owned subrange
+// [lo, hi] to the shard server at addr: bulk copy plus double-written
+// writes until a SetShardMap cuts the range over. Poll with HandoverStatus.
+func (c *Client) HandoverStart(ctx context.Context, lo, hi uint64, addr string) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpHandoverStart, Lo: lo, Hi: hi, Addr: addr})
+	return err
+}
+
+// HandoverStatus polls the server's current (or last) handover.
+func (c *Client) HandoverStatus(ctx context.Context) (HandoverProgress, error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpHandoverStatus})
+	if err != nil {
+		return HandoverProgress{}, err
+	}
+	return HandoverProgress{State: resp.State, Copied: resp.Copied, Mirrored: resp.Mirrored}, nil
+}
+
+// ImportStart opens an import session for [lo, hi] on the server — the
+// target half of a handover. Server-to-server use.
+func (c *Client) ImportStart(ctx context.Context, lo, hi uint64) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpImportStart, Lo: lo, Hi: hi})
+	return err
+}
+
+// ImportBatch streams one bulk-copy page into the open import session,
+// returning how many pairs the server actually applied (pairs already
+// superseded by mirrored writes are skipped). Server-to-server use.
+func (c *Client) ImportBatch(ctx context.Context, keys, vals []uint64) (applied uint64, err error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpImportBatch, Keys: keys, Vals: vals})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}
+
+// ImportEnd closes the import session: commit keeps the imported range
+// (the cutover is granting it), abort scrubs it. Server-to-server use.
+func (c *Client) ImportEnd(ctx context.Context, commit bool) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpImportEnd, Commit: commit})
+	return err
+}
+
+// Mirror applies one double-written operation on the handover target: a
+// write (or delete, when del) of key that the source has already applied
+// locally and must see acknowledged before acking its own client.
+// Server-to-server use.
+func (c *Client) Mirror(ctx context.Context, del bool, key, val uint64) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpMirror, Del: del, Key: key, Val: val})
+	return err
+}
+
+// RequireCluster verifies the connection negotiated the cluster opcode
+// family, failing with a descriptive error otherwise. Callers about to
+// drive admin opcodes use it to fail fast with a better message than the
+// server's quarantine.
+func (c *Client) RequireCluster(ctx context.Context) error {
+	ver, feats, err := c.Protocol(ctx)
+	if err != nil {
+		return err
+	}
+	if ver < proto.Version2 || feats&proto.FeatCluster == 0 {
+		return errors.New("client: server did not grant the cluster feature (not started with -shard?)")
+	}
+	return nil
+}

@@ -110,6 +110,31 @@ func (e *OverloadError) Error() string {
 // Is makes errors.Is(err, ErrOverload) match.
 func (e *OverloadError) Is(target error) bool { return target == ErrOverload }
 
+// ErrWrongShard matches (via errors.Is) operations a shard server answered
+// with StatusWrongShard: the key (or scan epoch) no longer belongs to it.
+// errors.As with *WrongShardError recovers the server's current shard map.
+// Cluster handles these transparently; it surfaces only from Client used
+// directly against a shard server.
+var ErrWrongShard = errors.New("client: wrong shard")
+
+// WrongShardError is the typed error of a request redirected by a shard
+// server.
+type WrongShardError struct {
+	// MapBlob is the server's current encoded shard map (cluster.DecodeMap
+	// parses it). Empty when the server has none installed or the
+	// connection speaks protocol v1, which cannot carry it.
+	MapBlob []byte
+	// Msg is the server's diagnostic.
+	Msg string
+}
+
+func (e *WrongShardError) Error() string {
+	return "client: wrong shard: " + e.Msg
+}
+
+// Is makes errors.Is(err, ErrWrongShard) match.
+func (e *WrongShardError) Is(target error) bool { return target == ErrWrongShard }
+
 // Option configures a Client at Dial time.
 type Option func(*options)
 
@@ -575,6 +600,10 @@ func statusErr(resp *proto.Response) (err error, retire bool) {
 		// The server detected corruption in a frame we sent and is about to
 		// quarantine the connection; retire it on this side too.
 		return fmt.Errorf("%w (detected server-side)", ErrFrameCorrupt), true
+	case proto.StatusWrongShard:
+		// The key (or scan epoch) does not belong to the server anymore; the
+		// attached map, when present, is the one to re-route from.
+		return &WrongShardError{MapBlob: resp.MapBlob, Msg: resp.Msg}, false
 	case proto.StatusBadRequest, proto.StatusShuttingDown,
 		proto.StatusErr, proto.StatusDeadlineExceeded:
 		return resp.Err(), false

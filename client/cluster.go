@@ -1,0 +1,639 @@
+package client
+
+// Cluster is the routed client for a sharded dytis deployment: it holds the
+// latest shard map it has seen, routes every operation to the owner of its
+// key (splitting batches per shard), scatter-gathers scans across all
+// shards through a k-way merge, and transparently follows StatusWrongShard
+// redirects — including through the brief fail-closed window of a live
+// handover cutover, which it retries with backoff instead of surfacing.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dytis/internal/cluster"
+	"dytis/internal/proto"
+)
+
+const (
+	// clusterAttempts bounds redirect-retry loops: a cutover re-routes in
+	// one or two redirects, so running out means the map is churning faster
+	// than this client can follow (or the cluster is misconfigured).
+	clusterAttempts = 8
+	// clusterBackoffMin/Max pace retries through a cutover's fail-closed
+	// window (source de-owned, target not yet granted).
+	clusterBackoffMin = 2 * time.Millisecond
+	clusterBackoffMax = 100 * time.Millisecond
+)
+
+// ErrNoShardMap is returned by DialCluster when no seed server could
+// provide a shard map.
+var ErrNoShardMap = errors.New("client: no seed server has a shard map installed")
+
+// Cluster routes operations across a sharded dytis deployment. Create with
+// DialCluster; all methods are safe for concurrent use. Close closes every
+// per-shard client.
+type Cluster struct {
+	opts []Option
+
+	mu      sync.RWMutex
+	m       *cluster.Map       // guarded-by: mu — latest adopted map
+	blob    []byte             // guarded-by: mu — its encoded form
+	clients map[string]*Client // guarded-by: mu — per-address pooled clients
+	closed  bool               // guarded-by: mu
+}
+
+// DialCluster connects to a sharded deployment: it dials seeds in order
+// until one provides a shard map, then routes by it. opts configure every
+// per-shard Client the router opens (WithV1Protocol is rejected: routing
+// needs the v2 cluster feature).
+func DialCluster(seeds []string, opts ...Option) (*Cluster, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("client: DialCluster needs at least one seed address")
+	}
+	o := defaultOptions()
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if o.forceV1 {
+		return nil, errors.New("client: WithV1Protocol conflicts with cluster routing (FeatCluster is v2)")
+	}
+	cl := &Cluster{opts: opts, clients: make(map[string]*Client)}
+	var lastErr error = ErrNoShardMap
+	for _, addr := range seeds {
+		c, err := cl.client(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), o.dialTimeout)
+		blob, err := c.ShardMap(ctx)
+		cancel()
+		if err != nil {
+			lastErr = fmt.Errorf("client: shard map from seed %s: %w", addr, err)
+			continue
+		}
+		m, err := cluster.DecodeMap(blob)
+		if err != nil {
+			lastErr = fmt.Errorf("client: shard map from seed %s: %w", addr, err)
+			continue
+		}
+		cl.m, cl.blob = m, blob
+		return cl, nil
+	}
+	cl.Close()
+	return nil, lastErr
+}
+
+// Close closes every per-shard client. Idempotent.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	clients := cl.clients
+	cl.clients = nil
+	cl.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	return nil
+}
+
+// Map returns the router's current shard map.
+func (cl *Cluster) Map() *cluster.Map {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.m
+}
+
+// Epoch returns the epoch of the router's current shard map.
+func (cl *Cluster) Epoch() uint64 {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	if cl.m == nil {
+		return 0
+	}
+	return cl.m.Epoch
+}
+
+// client returns (opening if needed) the pooled client for addr.
+func (cl *Cluster) client(addr string) (*Client, error) {
+	cl.mu.RLock()
+	c, closed := cl.clients[addr], cl.closed
+	cl.mu.RUnlock()
+	if closed {
+		return nil, ErrClientClosed
+	}
+	if c != nil {
+		return c, nil
+	}
+	c, err := Dial(addr, cl.opts...)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		c.Close()
+		return nil, ErrClientClosed
+	}
+	if prev := cl.clients[addr]; prev != nil { // another goroutine won the race
+		cl.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	cl.clients[addr] = c
+	cl.mu.Unlock()
+	return c, nil
+}
+
+// snapshot returns the current map, failing when none is installed.
+func (cl *Cluster) snapshot() (*cluster.Map, error) {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	if cl.closed {
+		return nil, ErrClientClosed
+	}
+	if cl.m == nil {
+		return nil, ErrNoShardMap
+	}
+	return cl.m, nil
+}
+
+// adopt installs the map encoded in blob if it is newer than the current
+// one. A nil, unparseable, or stale blob is ignored — the redirect itself
+// already says "refresh", and the retry loop's backoff covers the case
+// where the server had nothing better to offer.
+func (cl *Cluster) adopt(blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	m, err := cluster.DecodeMap(blob)
+	if err != nil {
+		return
+	}
+	cl.mu.Lock()
+	if !cl.closed && (cl.m == nil || m.Epoch > cl.m.Epoch) {
+		cl.m, cl.blob = m, blob
+	}
+	cl.mu.Unlock()
+}
+
+// Refresh re-pulls the shard map from the current owners (any shard will
+// do), adopting it if newer. Routing self-heals off redirects without it;
+// Refresh exists for callers that want an up-to-date Map() view.
+func (cl *Cluster) Refresh(ctx context.Context) error {
+	m, err := cl.snapshot()
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, s := range m.Shards {
+		c, err := cl.client(s.Addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		blob, err := c.ShardMap(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.adopt(blob)
+		return nil
+	}
+	return fmt.Errorf("client: refreshing shard map: %w", lastErr)
+}
+
+// withKey routes one point operation to key's owner, following redirects.
+func (cl *Cluster) withKey(ctx context.Context, key uint64, op func(c *Client) error) error {
+	backoff := clusterBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < clusterAttempts; attempt++ {
+		m, err := cl.snapshot()
+		if err != nil {
+			return err
+		}
+		c, err := cl.client(m.Owner(key).Addr)
+		if err != nil {
+			return err
+		}
+		err = op(c)
+		var ws *WrongShardError
+		if !errors.As(err, &ws) {
+			return err
+		}
+		// Redirected: adopt the attached map (when newer) and retry. The
+		// backoff rides out a cutover's fail-closed window, where for a
+		// moment no server owns the key.
+		lastErr = err
+		cl.adopt(ws.MapBlob)
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return serr
+		}
+		if backoff *= 2; backoff > clusterBackoffMax {
+			backoff = clusterBackoffMax
+		}
+	}
+	return fmt.Errorf("client: still redirected after %d attempts: %w", clusterAttempts, lastErr)
+}
+
+// Ping round-trips on every shard's owner, failing on the first dead one.
+func (cl *Cluster) Ping(ctx context.Context) error {
+	m, err := cl.snapshot()
+	if err != nil {
+		return err
+	}
+	for _, addr := range shardAddrs(m) {
+		c, err := cl.client(addr)
+		if err != nil {
+			return err
+		}
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value stored under key and whether it exists.
+func (cl *Cluster) Get(ctx context.Context, key uint64) (val uint64, found bool, err error) {
+	err = cl.withKey(ctx, key, func(c *Client) error {
+		var err error
+		val, found, err = c.Get(ctx, key)
+		return err
+	})
+	return val, found, err
+}
+
+// Insert stores or updates value under key on its owning shard.
+func (cl *Cluster) Insert(ctx context.Context, key, value uint64) error {
+	return cl.withKey(ctx, key, func(c *Client) error {
+		return c.Insert(ctx, key, value)
+	})
+}
+
+// Delete removes key from its owning shard, reporting whether it was
+// present.
+func (cl *Cluster) Delete(ctx context.Context, key uint64) (found bool, err error) {
+	err = cl.withKey(ctx, key, func(c *Client) error {
+		var err error
+		found, err = c.Delete(ctx, key)
+		return err
+	})
+	return found, err
+}
+
+// Len returns the total number of live keys across all shards. During a
+// live handover the moving range exists on both source and target, so the
+// sum can transiently over-count.
+func (cl *Cluster) Len(ctx context.Context) (int, error) {
+	m, err := cl.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, addr := range shardAddrs(m) {
+		c, err := cl.client(addr)
+		if err != nil {
+			return 0, err
+		}
+		n, err := c.Len(ctx)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// shardAddrs returns the map's addresses, deduplicated, in shard order.
+func shardAddrs(m *cluster.Map) []string {
+	seen := make(map[string]bool, len(m.Shards))
+	addrs := make([]string, 0, len(m.Shards))
+	for _, s := range m.Shards {
+		if !seen[s.Addr] {
+			seen[s.Addr] = true
+			addrs = append(addrs, s.Addr)
+		}
+	}
+	return addrs
+}
+
+// doSharded runs one batched operation over keys, split per owning shard
+// and issued concurrently; op receives each group's client, the indexes of
+// its keys in the original slice, and the keys themselves. Groups answered
+// with StatusWrongShard are re-split against the refreshed map and retried;
+// any other failure fails the whole call (sub-batches already applied stay
+// applied — batches are amortization, not transactions, same as Client).
+func (cl *Cluster) doSharded(ctx context.Context, keys []uint64, op func(c *Client, idxs []int, keys []uint64) error) error {
+	pend := make([]int, len(keys))
+	for i := range pend {
+		pend[i] = i
+	}
+	backoff := clusterBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < clusterAttempts && len(pend) > 0; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > clusterBackoffMax {
+				backoff = clusterBackoffMax
+			}
+		}
+		m, err := cl.snapshot()
+		if err != nil {
+			return err
+		}
+		groups := make(map[string][]int)
+		for _, i := range pend {
+			addr := m.Owner(keys[i]).Addr
+			groups[addr] = append(groups[addr], i)
+		}
+		var (
+			wg         sync.WaitGroup
+			mu         sync.Mutex
+			redirected []int
+			failErr    error
+		)
+		for addr, idxs := range groups {
+			c, err := cl.client(addr)
+			if err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func(c *Client, idxs []int) {
+				defer wg.Done()
+				gk := make([]uint64, len(idxs))
+				for j, i := range idxs {
+					gk[j] = keys[i]
+				}
+				err := op(c, idxs, gk)
+				var ws *WrongShardError
+				switch {
+				case err == nil:
+				case errors.As(err, &ws):
+					cl.adopt(ws.MapBlob)
+					mu.Lock()
+					redirected = append(redirected, idxs...)
+					lastErr = err
+					mu.Unlock()
+				default:
+					mu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					mu.Unlock()
+				}
+			}(c, idxs)
+		}
+		wg.Wait() //dytis:blocking-ok each group's op runs under the caller's ctx, so the join is bounded by it
+		if failErr != nil {
+			return failErr
+		}
+		pend = redirected
+	}
+	if len(pend) > 0 {
+		return fmt.Errorf("client: %d keys still redirected after %d attempts: %w", len(pend), clusterAttempts, lastErr)
+	}
+	return nil
+}
+
+// GetBatch looks up every key of keys across the cluster in one round trip
+// per shard, returning parallel result slices in the input's order.
+func (cl *Cluster) GetBatch(ctx context.Context, keys []uint64) (vals []uint64, found []bool, err error) {
+	vals = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	err = cl.doSharded(ctx, keys, func(c *Client, idxs []int, gk []uint64) error {
+		gv, gf, err := c.GetBatch(ctx, gk)
+		if err != nil {
+			return err
+		}
+		if len(gv) != len(idxs) || len(gf) != len(idxs) {
+			return fmt.Errorf("client: shard answered %d/%d results for %d keys", len(gv), len(gf), len(idxs))
+		}
+		for j, i := range idxs {
+			vals[i], found[i] = gv[j], gf[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}
+
+// InsertBatch stores vals[i] under keys[i] across the cluster, one batch
+// per owning shard, issued concurrently.
+func (cl *Cluster) InsertBatch(ctx context.Context, keys, vals []uint64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("client: InsertBatch keys/vals length mismatch (%d vs %d)", len(keys), len(vals))
+	}
+	return cl.doSharded(ctx, keys, func(c *Client, idxs []int, gk []uint64) error {
+		gv := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			gv[j] = vals[i]
+		}
+		return c.InsertBatch(ctx, gk, gv)
+	})
+}
+
+// DeleteBatch removes every key of keys across the cluster, returning
+// whether each was present, in the input's order.
+func (cl *Cluster) DeleteBatch(ctx context.Context, keys []uint64) ([]bool, error) {
+	found := make([]bool, len(keys))
+	err := cl.doSharded(ctx, keys, func(c *Client, idxs []int, gk []uint64) error {
+		gf, err := c.DeleteBatch(ctx, gk)
+		if err != nil {
+			return err
+		}
+		if len(gf) != len(idxs) {
+			return fmt.Errorf("client: shard answered %d results for %d keys", len(gf), len(idxs))
+		}
+		for j, i := range idxs {
+			found[i] = gf[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// ScanStream begins a scatter-gather scan: one pinned Scanner per shard
+// whose range reaches start, merged in ascending key order (max <= 0 scans
+// everything). Every per-shard stream is pinned to the map epoch the scan
+// started under — if a handover cuts a range over mid-scan, the affected
+// stream fails with ErrWrongShard instead of silently truncating, and the
+// whole merge surfaces that error; re-issue the scan to retry against the
+// new map (Scan does this automatically).
+func (cl *Cluster) ScanStream(ctx context.Context, start uint64, max int) *MergeScanner {
+	m, err := cl.snapshot()
+	if err != nil {
+		return failedMergeScanner(err)
+	}
+	var srcs []kvStream
+	for _, s := range m.Shards {
+		if s.Hi < start {
+			continue
+		}
+		c, err := cl.client(s.Addr)
+		if err != nil {
+			for _, src := range srcs {
+				src.Close()
+			}
+			return failedMergeScanner(err)
+		}
+		from := start
+		if s.Lo > from {
+			from = s.Lo
+		}
+		// Per-shard streams are unbounded; the merge applies the global max
+		// and Close releases whatever the early stop left running.
+		srcs = append(srcs, c.ScanStreamAt(ctx, from, 0, m.Epoch))
+	}
+	var budget uint64
+	if max > 0 {
+		budget = uint64(max)
+	}
+	return newMergeScanner(srcs, budget)
+}
+
+// Scan returns up to max pairs with key >= start across the whole cluster
+// in ascending key order (max <= 0 scans everything), as parallel
+// key/value slices. A scan interrupted by a shard-map change is retried
+// from scratch against the new map.
+func (cl *Cluster) Scan(ctx context.Context, start uint64, max int) (keys, vals []uint64, err error) {
+	backoff := clusterBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < clusterAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, nil, err
+			}
+			if backoff *= 2; backoff > clusterBackoffMax {
+				backoff = clusterBackoffMax
+			}
+			if err := cl.Refresh(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		keys, vals = keys[:0], vals[:0]
+		s := cl.ScanStream(ctx, start, max)
+		for s.Next() {
+			keys = append(keys, s.Key())
+			vals = append(vals, s.Value())
+		}
+		err := s.Err()
+		s.Close()
+		if err == nil {
+			return keys, vals, nil
+		}
+		if !errors.Is(err, ErrWrongShard) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("client: scan still redirected after %d attempts: %w", clusterAttempts, lastErr)
+}
+
+// Rebalance live-moves [lo, hi] (which must lie within one current shard)
+// to the server at target, orchestrating the whole handover: start the
+// copy on the source, poll it to completion, then install the successor
+// map in cutover order — source first (de-own; fail closed), target next
+// (grant), every other shard after (route). The moved range may extend a
+// neighboring shard or populate a fresh, empty server.
+func (cl *Cluster) Rebalance(ctx context.Context, lo, hi uint64, target string) error {
+	m, err := cl.snapshot()
+	if err != nil {
+		return err
+	}
+	src := m.Owner(lo)
+	if !src.Contains(hi) {
+		return fmt.Errorf("client: rebalance range [%#x, %#x] spans shards (owner of lo is [%#x, %#x])", lo, hi, src.Lo, src.Hi)
+	}
+	if src.Addr == target {
+		return fmt.Errorf("client: rebalance target %s already owns [%#x, %#x]", target, lo, hi)
+	}
+	next, err := m.Reassign(lo, hi, target)
+	if err != nil {
+		return err
+	}
+	blob := next.Encode()
+
+	srcClient, err := cl.client(src.Addr)
+	if err != nil {
+		return err
+	}
+	if err := srcClient.HandoverStart(ctx, lo, hi, target); err != nil {
+		return fmt.Errorf("client: starting handover on %s: %w", src.Addr, err)
+	}
+	for {
+		p, err := srcClient.HandoverStatus(ctx)
+		if err != nil {
+			return fmt.Errorf("client: polling handover on %s: %w", src.Addr, err)
+		}
+		if p.State == cluster.HandoverCopied {
+			break
+		}
+		if p.State != cluster.HandoverCopying {
+			return fmt.Errorf("client: handover on %s entered state %d before cutover", src.Addr, p.State)
+		}
+		if err := sleepCtx(ctx, 5*time.Millisecond); err != nil {
+			return err
+		}
+	}
+
+	// Cutover. Order is the lossless-by-construction one: the source
+	// de-owns first (its SetMap also commits the target's import session
+	// and scrubs locally), so there is never a moment with two owners —
+	// only a brief fail-closed window the routing retry rides out.
+	install := func(addr string) error {
+		selfLo, selfHi := uint64(1), uint64(0) // owns nothing unless the map says otherwise
+		for _, s := range next.Shards {
+			if s.Addr == addr {
+				selfLo, selfHi = s.Lo, s.Hi
+				break
+			}
+		}
+		c, err := cl.client(addr)
+		if err != nil {
+			return err
+		}
+		if err := c.SetShardMap(ctx, selfLo, selfHi, blob); err != nil {
+			return fmt.Errorf("client: installing map epoch %d on %s: %w", next.Epoch, addr, err)
+		}
+		return nil
+	}
+	if err := install(src.Addr); err != nil {
+		return err
+	}
+	if err := install(target); err != nil {
+		return err
+	}
+	for _, addr := range shardAddrs(next) {
+		if addr == src.Addr || addr == target {
+			continue
+		}
+		if err := install(addr); err != nil {
+			return err
+		}
+	}
+	cl.adopt(blob)
+	return nil
+}
+
+// Protocol sanity: the router requires the v2 cluster feature on every
+// connection it routes over; a shard server that stopped granting it would
+// quarantine admin opcodes. This compile-time reference keeps the proto
+// dependency explicit.
+var _ = proto.FeatCluster

@@ -269,7 +269,11 @@ func (cc *clientConn) readLoop() {
 		case proto.OpPing, proto.OpGet, proto.OpInsert, proto.OpDelete,
 			proto.OpScan, proto.OpGetBatch, proto.OpInsertBatch,
 			proto.OpDeleteBatch, proto.OpLen, proto.OpHello,
-			proto.OpScanCredit, proto.OpScanCancel:
+			proto.OpScanCredit, proto.OpScanCancel,
+			proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
+			proto.OpHandoverStart, proto.OpHandoverStatus,
+			proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd,
+			proto.OpMirror:
 			cc.mu.Lock()
 			ch := cc.waiters[resp.ID]
 			delete(cc.waiters, resp.ID)

@@ -1,0 +1,147 @@
+package client
+
+import "container/heap"
+
+// kvStream is the pull-iterator shape the k-way merge consumes; *Scanner is
+// the production implementation (one per shard in a scatter-gather scan),
+// and tests substitute fakes.
+type kvStream interface {
+	Next() bool
+	Key() uint64
+	Value() uint64
+	Err() error
+	Close() error
+}
+
+// MergeScanner merges several ascending kvStreams into one ascending
+// iterator — the gather half of Cluster.ScanStream. It has the same pull
+// surface as Scanner: Next/Key/Value, Err after Next returns false, Close
+// (idempotent) to release the underlying streams early.
+//
+// Keys equal across sources are emitted once per source, ordered by source
+// index; shards own disjoint ranges, so a production scatter-gather never
+// produces one. Any source error ends the merge with that error — a shard
+// dying mid-scan surfaces as a failed scan, never as a silently shorter
+// result.
+type MergeScanner struct {
+	srcs []kvStream
+	h    mergeHeap
+	max  uint64 // total pair budget, 0 = unbounded
+
+	started   bool
+	closed    bool
+	done      bool
+	err       error
+	key, val  uint64
+	delivered uint64
+}
+
+// newMergeScanner merges srcs; max bounds the total pairs (0 = unbounded).
+func newMergeScanner(srcs []kvStream, max uint64) *MergeScanner {
+	return &MergeScanner{srcs: srcs, max: max}
+}
+
+// failedMergeScanner is a merge that was dead on arrival (its setup failed
+// before any source existed); Next reports false and Err reports err.
+func failedMergeScanner(err error) *MergeScanner {
+	return &MergeScanner{err: err, done: true}
+}
+
+// Next advances to the next pair in ascending key order across all sources.
+func (m *MergeScanner) Next() bool {
+	if m.err != nil || m.closed || m.done {
+		return false
+	}
+	if !m.started {
+		m.started = true
+		for i := range m.srcs {
+			if !m.advance(i) {
+				return false
+			}
+		}
+	}
+	if len(m.h) == 0 || (m.max > 0 && m.delivered >= m.max) {
+		m.done = true
+		return false
+	}
+	e := m.h[0]
+	m.key, m.val = e.key, e.val
+	heap.Pop(&m.h)
+	m.delivered++
+	if !m.advance(e.idx) {
+		return false
+	}
+	return true
+}
+
+// advance pulls the next pair from source idx into the heap, reporting
+// false when the merge must stop because that source failed.
+func (m *MergeScanner) advance(idx int) bool {
+	s := m.srcs[idx]
+	if s.Next() {
+		heap.Push(&m.h, mergeEntry{key: s.Key(), val: s.Value(), idx: idx})
+		return true
+	}
+	if err := s.Err(); err != nil {
+		m.err = err
+		return false
+	}
+	return true // source cleanly exhausted
+}
+
+// Key returns the current pair's key. Valid after Next returned true.
+func (m *MergeScanner) Key() uint64 { return m.key }
+
+// Value returns the current pair's value. Valid after Next returned true.
+func (m *MergeScanner) Value() uint64 { return m.val }
+
+// Err returns the error that stopped the merge, nil after a complete one.
+func (m *MergeScanner) Err() error { return m.err }
+
+// Total returns how many pairs the merge delivered so far.
+func (m *MergeScanner) Total() uint64 { return m.delivered }
+
+// Close releases every underlying stream. Idempotent; the first source
+// close error (if any) is returned, but all sources are closed regardless.
+func (m *MergeScanner) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var first error
+	for _, s := range m.srcs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeEntry is one source's current head in the merge heap.
+type mergeEntry struct {
+	key, val uint64
+	idx      int
+}
+
+// mergeHeap orders entries by key, breaking ties by source index so equal
+// keys emit deterministically.
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeEntry)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,222 @@
+package client
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeStream is a scripted kvStream: it yields pairs in order, then ends
+// either cleanly or with failAfter pairs delivered and err set.
+type fakeStream struct {
+	keys, vals []uint64
+	failAfter  int // -1 = never fail
+	err        error
+
+	i        int
+	key, val uint64
+	serr     error
+	closed   int
+}
+
+func newFakeStream(pairs ...uint64) *fakeStream {
+	if len(pairs)%2 != 0 {
+		panic("pairs must be key,val,key,val,...")
+	}
+	f := &fakeStream{failAfter: -1}
+	for i := 0; i < len(pairs); i += 2 {
+		f.keys = append(f.keys, pairs[i])
+		f.vals = append(f.vals, pairs[i+1])
+	}
+	return f
+}
+
+func (f *fakeStream) Next() bool {
+	if f.serr != nil {
+		return false
+	}
+	if f.failAfter >= 0 && f.i >= f.failAfter {
+		f.serr = f.err
+		return false
+	}
+	if f.i >= len(f.keys) {
+		return false
+	}
+	f.key, f.val = f.keys[f.i], f.vals[f.i]
+	f.i++
+	return true
+}
+
+func (f *fakeStream) Key() uint64   { return f.key }
+func (f *fakeStream) Value() uint64 { return f.val }
+func (f *fakeStream) Err() error    { return f.serr }
+func (f *fakeStream) Close() error  { f.closed++; return nil }
+
+// drain pulls the merge dry, returning the delivered pairs.
+func drain(t *testing.T, m *MergeScanner) (keys, vals []uint64) {
+	t.Helper()
+	for m.Next() {
+		keys = append(keys, m.Key())
+		vals = append(vals, m.Value())
+	}
+	return keys, vals
+}
+
+func wantPairs(t *testing.T, keys, vals, wantK, wantV []uint64) {
+	t.Helper()
+	if len(keys) != len(wantK) {
+		t.Fatalf("got %d pairs %v, want %d %v", len(keys), keys, len(wantK), wantK)
+	}
+	for i := range wantK {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("pair %d = (%d, %d), want (%d, %d)", i, keys[i], vals[i], wantK[i], wantV[i])
+		}
+	}
+}
+
+func TestMergeOrdersAcrossSources(t *testing.T) {
+	a := newFakeStream(1, 10, 5, 50, 9, 90)
+	b := newFakeStream(2, 20, 3, 30, 8, 80)
+	c := newFakeStream(4, 40, 6, 60, 7, 70)
+	m := newMergeScanner([]kvStream{a, b, c}, 0)
+	keys, vals := drain(t, m)
+	if err := m.Err(); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	wantPairs(t, keys, vals,
+		[]uint64{1, 2, 3, 4, 5, 6, 7, 8, 9},
+		[]uint64{10, 20, 30, 40, 50, 60, 70, 80, 90})
+	if got := m.Total(); got != 9 {
+		t.Fatalf("Total() = %d, want 9", got)
+	}
+}
+
+func TestMergeDuplicateKeysAcrossSources(t *testing.T) {
+	// Shards own disjoint ranges in production, but the merge must still be
+	// well-defined on overlap: equal keys emit once per source, source order.
+	a := newFakeStream(1, 100, 5, 500)
+	b := newFakeStream(1, 101, 5, 501, 6, 601)
+	m := newMergeScanner([]kvStream{a, b}, 0)
+	keys, vals := drain(t, m)
+	if err := m.Err(); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	wantPairs(t, keys, vals,
+		[]uint64{1, 1, 5, 5, 6},
+		[]uint64{100, 101, 500, 501, 601})
+}
+
+func TestMergeEmptySource(t *testing.T) {
+	a := newFakeStream(2, 20, 4, 40)
+	empty := newFakeStream()
+	b := newFakeStream(1, 10, 3, 30)
+	m := newMergeScanner([]kvStream{a, empty, b}, 0)
+	keys, vals := drain(t, m)
+	if err := m.Err(); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	wantPairs(t, keys, vals, []uint64{1, 2, 3, 4}, []uint64{10, 20, 30, 40})
+}
+
+func TestMergeAllSourcesEmpty(t *testing.T) {
+	m := newMergeScanner([]kvStream{newFakeStream(), newFakeStream()}, 0)
+	if m.Next() {
+		t.Fatal("Next() = true on all-empty merge")
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err() = %v on all-empty merge", err)
+	}
+}
+
+func TestMergeNoSources(t *testing.T) {
+	m := newMergeScanner(nil, 0)
+	if m.Next() {
+		t.Fatal("Next() = true with no sources")
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err() = %v with no sources", err)
+	}
+}
+
+func TestMergeSourceErrorSurfaces(t *testing.T) {
+	// One source dies mid-stream: the merge must stop with that error, not
+	// quietly deliver the surviving sources' pairs as a complete result.
+	boom := errors.New("shard died")
+	a := newFakeStream(1, 10, 4, 40, 7, 70)
+	b := newFakeStream(2, 20, 5, 50, 8, 80)
+	b.failAfter, b.err = 1, boom
+	m := newMergeScanner([]kvStream{a, b}, 0)
+	keys, _ := drain(t, m)
+	if err := m.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want %v", err, boom)
+	}
+	// Pairs delivered before the failure stay valid, but nothing after the
+	// failing source's last good key may have been emitted as "complete".
+	for _, k := range keys {
+		if k > 2 {
+			t.Fatalf("pair %d delivered after source failure point", k)
+		}
+	}
+	if m.Next() {
+		t.Fatal("Next() = true after source error")
+	}
+}
+
+func TestMergeSourceErrorOnFirstPull(t *testing.T) {
+	boom := errors.New("dead on arrival")
+	a := newFakeStream(1, 10)
+	b := newFakeStream(2, 20)
+	b.failAfter, b.err = 0, boom
+	m := newMergeScanner([]kvStream{a, b}, 0)
+	if m.Next() {
+		t.Fatal("Next() = true when a source fails priming")
+	}
+	if err := m.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want %v", err, boom)
+	}
+}
+
+func TestMergeMaxBudget(t *testing.T) {
+	a := newFakeStream(1, 10, 3, 30, 5, 50)
+	b := newFakeStream(2, 20, 4, 40, 6, 60)
+	m := newMergeScanner([]kvStream{a, b}, 4)
+	keys, vals := drain(t, m)
+	if err := m.Err(); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	wantPairs(t, keys, vals, []uint64{1, 2, 3, 4}, []uint64{10, 20, 30, 40})
+	if got := m.Total(); got != 4 {
+		t.Fatalf("Total() = %d, want 4", got)
+	}
+}
+
+func TestMergeCloseClosesAllSources(t *testing.T) {
+	a, b := newFakeStream(1, 10), newFakeStream(2, 20)
+	m := newMergeScanner([]kvStream{a, b}, 0)
+	m.Next()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close() = %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close() = %v", err)
+	}
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatalf("sources closed (%d, %d) times, want exactly once each", a.closed, b.closed)
+	}
+	if m.Next() {
+		t.Fatal("Next() = true after Close")
+	}
+}
+
+func TestFailedMergeScanner(t *testing.T) {
+	boom := errors.New("setup failed")
+	m := failedMergeScanner(boom)
+	if m.Next() {
+		t.Fatal("Next() = true on failed merge")
+	}
+	if err := m.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want %v", err, boom)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close() = %v", err)
+	}
+}

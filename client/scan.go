@@ -33,7 +33,17 @@ import (
 // stream early; it must be called (directly or via defer) unless Next has
 // returned false.
 func (c *Client) ScanStream(ctx context.Context, start uint64, max int) *Scanner {
-	s := &Scanner{c: c, ctx: ctx, next: start}
+	return c.ScanStreamAt(ctx, start, max, 0)
+}
+
+// ScanStreamAt is ScanStream pinned to a shard-map epoch: every page or
+// chunk request carries epoch on the wire, and a shard server whose map has
+// moved past it fails the scan with ErrWrongShard instead of silently
+// truncating at the new shard boundary. epoch 0 means unpinned (the
+// single-server behavior). Cluster's scatter-gather scan uses this; direct
+// callers rarely need it.
+func (c *Client) ScanStreamAt(ctx context.Context, start uint64, max int, epoch uint64) *Scanner {
+	s := &Scanner{c: c, ctx: ctx, next: start, epoch: epoch}
 	if max > 0 {
 		s.max = uint64(max)
 	}
@@ -45,8 +55,9 @@ type Scanner struct {
 	c   *Client
 	ctx context.Context
 
-	next uint64 // stream: requested start; fallback: next page's start
-	max  uint64 // total pair budget, 0 = unbounded
+	next  uint64 // stream: requested start; fallback: next page's start
+	max   uint64 // total pair budget, 0 = unbounded
+	epoch uint64 // shard-map epoch the scan is pinned to, 0 = unpinned
 
 	started   bool
 	stream    bool // streaming path (vs pagination fallback)
@@ -183,7 +194,7 @@ func (s *Scanner) begin() {
 	}
 	err = cc.writeFrame(s.ctx, &proto.Request{
 		ID: s.id, Op: proto.OpScanStart,
-		Key: s.next, ScanMax: s.max,
+		Key: s.next, ScanMax: s.max, Epoch: s.epoch,
 		Max: uint32(c.o.scanChunk), Credits: uint32(c.o.scanWindow),
 	})
 	if err != nil {
@@ -225,7 +236,13 @@ func (s *Scanner) nextStream() bool {
 			}
 			if resp.Op == proto.OpScanEnd {
 				if resp.Status != proto.StatusOK {
-					s.fail(fmt.Errorf("client: scan aborted by server: %w", resp.Err()), true)
+					// statusErr keeps the abort typed (a wrong-shard end must
+					// stay matchable as ErrWrongShard for the cluster router).
+					serr, _ := statusErr(resp)
+					if serr == nil {
+						serr = resp.Err()
+					}
+					s.fail(fmt.Errorf("client: scan aborted by server: %w", serr), true)
 					return false
 				}
 				s.total = resp.Val
@@ -266,7 +283,7 @@ func (s *Scanner) nextFallback() bool {
 		s.done = true
 		return false
 	}
-	resp, err := s.c.do(s.ctx, &proto.Request{Op: proto.OpScan, Key: s.next, Max: uint32(page)})
+	resp, err := s.c.do(s.ctx, &proto.Request{Op: proto.OpScan, Key: s.next, Max: uint32(page), Epoch: s.epoch})
 	if err != nil {
 		s.err = err // c.do booked the breaker verdict for this page
 		return false

@@ -45,10 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"dytis"
+	"dytis/client"
+	"dytis/internal/cluster"
 	"dytis/internal/obs"
 	"dytis/internal/server"
 )
@@ -70,6 +74,8 @@ var (
 	retryAfter   = flag.Duration("retry-after", 100*time.Millisecond, "retry hint sent with overload answers, and the slot wait for requests without a deadline")
 
 	disableV2 = flag.Bool("disable-v2", false, "reject the protocol v2 handshake, emulating a pre-v2 server (escape hatch; v2 clients fall back to plain v1)")
+
+	shardFlag = flag.String("shard", "", `owned key range, making this a cluster shard server: "lo:hi" (inclusive, 0x-prefixed hex or decimal) or "i/n" (i-th of n uniform shards, 0-based); "none" owns nothing (a fresh node awaiting handover). Empty = single-server mode, whole key space, no cluster opcodes`)
 
 	walDir     = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints; the index recovers from it at startup (empty = in-memory only, no durability)")
 	fsyncFlag  = flag.String("fsync", "interval", "WAL fsync policy with -wal-dir: off|interval|always (always = every acked write is on stable storage before the response)")
@@ -140,9 +146,41 @@ func main() {
 		closeIndex = mem.Close
 	}
 
+	// With -shard the server is one member of a cluster: the node wraps
+	// every data op in ownership checks (StatusWrongShard redirects carry
+	// the current map) and the cluster opcode family unlocks behind the
+	// negotiated FeatCluster.
+	var node *cluster.Node
+	if *shardFlag != "" {
+		lo, hi, err := parseShard(*shardFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			Index: idx,
+			Lo:    lo,
+			Hi:    hi,
+			Dial:  dialPeer,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "cluster: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if lo > hi {
+			fmt.Println("shard: owning nothing (awaiting handover)")
+		} else {
+			fmt.Printf("shard: owning [%#x, %#x]\n", lo, hi)
+		}
+	}
+
 	sm := &server.Metrics{}
 	srv := server.New(server.Config{
 		Index:        idx,
+		Cluster:      node,
 		MaxConns:     *maxConns,
 		Pipeline:     *pipeline,
 		Metrics:      sm,
@@ -165,7 +203,7 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsFlag != "" {
-		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm, wm, srv)}
+		metricsSrv = &http.Server{Addr: *metricsFlag, Handler: metricsHandler(ob, sm, wm, srv, node)}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "metrics:", err)
@@ -201,6 +239,9 @@ func main() {
 		metricsSrv.Shutdown(shCtx)
 		cancel()
 	}
+	if node != nil {
+		node.Close() // abandons any in-flight handover and closes its peer
+	}
 	// Closing last: with a WAL this seals the log (flush + fsync), so a
 	// clean shutdown replays nothing beyond the last checkpoint on restart.
 	if err := closeIndex(); err != nil {
@@ -215,7 +256,7 @@ func main() {
 // so index-op latency, structure events, server request latency, and WAL
 // activity read as one page, plus the /healthz readiness probe backed by
 // srv.Ready.
-func metricsHandler(ob *obs.Observer, sm *server.Metrics, wm *dytis.WALMetrics, srv *server.Server) http.Handler {
+func metricsHandler(ob *obs.Observer, sm *server.Metrics, wm *dytis.WALMetrics, srv *server.Server, node *cluster.Node) http.Handler {
 	obH := ob.Handler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -226,17 +267,98 @@ func metricsHandler(ob *obs.Observer, sm *server.Metrics, wm *dytis.WALMetrics, 
 			wm.WritePrometheus(w)
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if srv.Ready() {
-			fmt.Fprintln(w, "ok")
-			return
-		}
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-	})
+	mux.Handle("/healthz", server.HealthHandler(srv, node))
 	mux.Handle("/debug/vars", obH)
 	mux.Handle("/vars", obH)
 	mux.Handle("/", obH)
 	return mux
+}
+
+// parseShard parses the -shard flag: "lo:hi" (inclusive bounds, any base
+// strconv accepts), "i/n" (the i-th of n uniform shards, matching
+// cluster.Uniform's split), or "none" (own nothing; awaiting a handover).
+func parseShard(s string) (lo, hi uint64, err error) {
+	if s == "none" {
+		return 1, 0, nil // lo > hi: owns nothing
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		idx, err1 := strconv.ParseUint(s[:i], 10, 64)
+		n, err2 := strconv.ParseUint(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil || n == 0 || idx >= n {
+			return 0, 0, fmt.Errorf(`-shard %q: want "i/n" with 0 <= i < n`, s)
+		}
+		width := ^uint64(0)/n + 1
+		lo = idx * width
+		hi = lo + width - 1
+		if idx == n-1 {
+			hi = ^uint64(0)
+		}
+		return lo, hi, nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf(`-shard %q: want "lo:hi", "i/n", or "none"`, s)
+	}
+	lo, err1 := strconv.ParseUint(s[:i], 0, 64)
+	hi, err2 := strconv.ParseUint(s[i+1:], 0, 64)
+	if err1 != nil || err2 != nil || lo > hi {
+		return 0, 0, fmt.Errorf(`-shard %q: want "lo:hi" with lo <= hi (0x-prefixed hex or decimal)`, s)
+	}
+	return lo, hi, nil
+}
+
+// peerOpTimeout bounds each server-to-server handover call. Mirror calls
+// sit on the write path of the moving range, so this is also the worst-case
+// stall a mirrored write can see before the handover is declared failed.
+const peerOpTimeout = 30 * time.Second
+
+// clientPeer adapts client.Client to cluster.Peer: the node's handover
+// engine is context-free (its calls happen under the node's handover lock),
+// so each call runs under its own deadline.
+type clientPeer struct{ c *client.Client }
+
+func (p clientPeer) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), peerOpTimeout)
+}
+
+func (p clientPeer) ImportStart(lo, hi uint64) error {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.ImportStart(ctx, lo, hi)
+}
+
+func (p clientPeer) ImportBatch(keys, vals []uint64) (uint64, error) {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.ImportBatch(ctx, keys, vals)
+}
+
+func (p clientPeer) ImportEnd(commit bool) error {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.ImportEnd(ctx, commit)
+}
+
+func (p clientPeer) Mirror(del bool, key, val uint64) error {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.Mirror(ctx, del, key, val)
+}
+
+func (p clientPeer) Close() error { return p.c.Close() }
+
+// dialPeer opens the server-to-server connection a handover streams over.
+func dialPeer(addr string) (cluster.Peer, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), peerOpTimeout)
+	err = c.RequireCluster(ctx)
+	cancel()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("handover target %s: %w", addr, err)
+	}
+	return clientPeer{c: c}, nil
 }

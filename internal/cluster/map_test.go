@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dytis/internal/proto"
+)
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 16} {
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = strings.Repeat("a", i+1)
+		}
+		m, err := Uniform(1, addrs)
+		if err != nil {
+			t.Fatalf("Uniform(%d): %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Uniform(%d) invalid: %v", n, err)
+		}
+		// Probe boundaries: every key has exactly one owner and adjacent
+		// shards meet with no gap.
+		for i, s := range m.Shards {
+			if got := m.Owner(s.Lo); got != s {
+				t.Errorf("n=%d: Owner(%#x) = %+v, want shard %d", n, s.Lo, got, i)
+			}
+			if got := m.Owner(s.Hi); got != s {
+				t.Errorf("n=%d: Owner(%#x) = %+v, want shard %d", n, s.Hi, got, i)
+			}
+		}
+		if m.Owner(0) != m.Shards[0] || m.Owner(math.MaxUint64) != m.Shards[n-1] {
+			t.Errorf("n=%d: extremes misrouted", n)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	if _, err := Uniform(1, nil); err == nil {
+		t.Error("Uniform with no addrs accepted")
+	}
+	if _, err := Uniform(0, []string{"a"}); err == nil {
+		t.Error("Uniform with epoch 0 accepted")
+	}
+	// One shard owns everything.
+	m, err := Uniform(1, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards[0].Lo != 0 || m.Shards[0].Hi != math.MaxUint64 {
+		t.Errorf("single shard range [%#x, %#x]", m.Shards[0].Lo, m.Shards[0].Hi)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	full := func() *Map {
+		m, _ := Uniform(1, []string{"a", "b"})
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  func(*Map)
+	}{
+		{"zero epoch", func(m *Map) { m.Epoch = 0 }},
+		{"no shards", func(m *Map) { m.Shards = nil }},
+		{"gap", func(m *Map) { m.Shards[1].Lo++ }},
+		{"overlap", func(m *Map) { m.Shards[1].Lo-- }},
+		{"uncovered tail", func(m *Map) { m.Shards[1].Hi-- }},
+		{"nonzero start", func(m *Map) { m.Shards[0].Lo = 1 }},
+		{"inverted", func(m *Map) { m.Shards[0].Lo, m.Shards[0].Hi = m.Shards[0].Hi, m.Shards[0].Lo }},
+		{"empty addr", func(m *Map) { m.Shards[0].Addr = "" }},
+		{"oversized addr", func(m *Map) { m.Shards[0].Addr = strings.Repeat("x", proto.MaxAddr+1) }},
+	}
+	for _, tc := range cases {
+		m := full()
+		tc.mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := full().Validate(); err != nil {
+		t.Fatalf("control map invalid: %v", err)
+	}
+}
+
+func TestMapEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := Uniform(7, []string{"127.0.0.1:7070", "127.0.0.1:7071", "127.0.0.1:7072"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeMap: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+	if len(m.Encode()) > proto.MaxMapBlob {
+		t.Fatalf("encoded map exceeds MaxMapBlob")
+	}
+}
+
+func TestDecodeMapHostileInput(t *testing.T) {
+	m, _ := Uniform(1, []string{"a", "b"})
+	blob := m.Encode()
+	cases := [][]byte{
+		nil,
+		blob[:4],
+		blob[:len(blob)-1],                    // truncated address
+		append(blob[:len(blob):len(blob)], 0), // trailing byte
+	}
+	for i, b := range cases {
+		if _, err := DecodeMap(b); err == nil {
+			t.Errorf("case %d: hostile blob accepted", i)
+		}
+	}
+	// A blob claiming absurd shard counts must not allocate.
+	huge := append([]byte(nil), blob[:12]...)
+	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeMap(huge); err == nil {
+		t.Error("absurd shard count accepted")
+	}
+	// Decoded maps are re-validated: a well-formed encoding of a bad map
+	// (gap) is rejected too.
+	bad, _ := Uniform(1, []string{"a", "b"})
+	bad.Shards[1].Lo++
+	if _, err := DecodeMap(bad.Encode()); err == nil {
+		t.Error("encoded gap map accepted")
+	}
+}
+
+func TestSubtractRange(t *testing.T) {
+	cases := []struct {
+		oldLo, oldHi, newLo, newHi uint64
+		want                       []keyRange
+	}{
+		{0, 99, 0, 99, nil},                            // unchanged
+		{0, 99, 0, 49, []keyRange{{50, 99}}},           // tail de-owned
+		{0, 99, 50, 99, []keyRange{{0, 49}}},           // head de-owned
+		{0, 99, 25, 74, []keyRange{{0, 24}, {75, 99}}}, // both ends
+		{0, 99, 1, 0, []keyRange{{0, 99}}},             // all de-owned (empty new)
+		{1, 0, 0, 99, nil},                             // empty old
+		{0, math.MaxUint64, 0, math.MaxUint64, nil},
+		{0, math.MaxUint64, 1, math.MaxUint64, []keyRange{{0, 0}}},
+		{0, math.MaxUint64, 0, math.MaxUint64 - 1, []keyRange{{math.MaxUint64, math.MaxUint64}}},
+	}
+	for _, tc := range cases {
+		got := subtractRange(tc.oldLo, tc.oldHi, tc.newLo, tc.newHi)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("subtract([%d,%d] - [%d,%d]) = %v, want %v", tc.oldLo, tc.oldHi, tc.newLo, tc.newHi, got, tc.want)
+		}
+	}
+}
+
+func TestOwnerMatchesLinearScan(t *testing.T) {
+	m, _ := Uniform(1, []string{"a", "b", "c", "d", "e"})
+	probe := []uint64{0, 1, 1 << 20, 1 << 62, 1<<63 - 1, 1 << 63, math.MaxUint64 - 1, math.MaxUint64}
+	for _, k := range probe {
+		want := Shard{}
+		for _, s := range m.Shards {
+			if s.Contains(k) {
+				want = s
+				break
+			}
+		}
+		if got := m.Owner(k); got != want {
+			t.Errorf("Owner(%#x) = %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+func TestValidateEncodedSizeBound(t *testing.T) {
+	// MaxShards entries with long addresses overflow proto.MaxMapBlob and
+	// must be rejected by Validate, since proto cannot transport them.
+	addrs := make([]string, MaxShards)
+	for i := range addrs {
+		addrs[i] = strings.Repeat("x", 100)
+	}
+	m, err := Uniform(1, addrs)
+	if err == nil {
+		err = m.Validate()
+	}
+	if err == nil {
+		t.Fatal("oversized encoded map accepted")
+	}
+	if !strings.Contains(err.Error(), "MaxMapBlob") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReassign(t *testing.T) {
+	base, err := Uniform(3, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLo, bHi := base.Shards[1].Lo, base.Shards[1].Hi
+
+	t.Run("whole shard to fresh addr", func(t *testing.T) {
+		next, err := base.Reassign(bLo, bHi, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Epoch != base.Epoch+1 {
+			t.Fatalf("epoch = %d, want %d", next.Epoch, base.Epoch+1)
+		}
+		if len(next.Shards) != 3 {
+			t.Fatalf("got %d shards, want 3: %+v", len(next.Shards), next.Shards)
+		}
+		if got := next.Owner(bLo).Addr; got != "d" {
+			t.Fatalf("owner of %#x = %s, want d", bLo, got)
+		}
+		for _, s := range next.Shards {
+			if s.Addr == "b" {
+				t.Fatalf("b still owns %+v after giving up its whole shard", s)
+			}
+		}
+	})
+
+	t.Run("prefix grows left neighbor", func(t *testing.T) {
+		mid := bLo + (bHi-bLo)/2
+		next, err := base.Reassign(bLo, mid, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next.Shards) != 3 {
+			t.Fatalf("got %d shards, want 3 (a's range and the prefix must merge): %+v", len(next.Shards), next.Shards)
+		}
+		if a := next.Shards[0]; a.Addr != "a" || a.Lo != 0 || a.Hi != mid {
+			t.Fatalf("shard 0 = %+v, want a owning [0, %#x]", a, mid)
+		}
+		if b := next.Shards[1]; b.Addr != "b" || b.Lo != mid+1 || b.Hi != bHi {
+			t.Fatalf("shard 1 = %+v, want b owning [%#x, %#x]", b, mid+1, bHi)
+		}
+	})
+
+	t.Run("suffix grows right neighbor", func(t *testing.T) {
+		mid := bLo + (bHi-bLo)/2
+		next, err := base.Reassign(mid, bHi, "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next.Shards) != 3 {
+			t.Fatalf("got %d shards, want 3: %+v", len(next.Shards), next.Shards)
+		}
+		if c := next.Shards[2]; c.Addr != "c" || c.Lo != mid || c.Hi != ^uint64(0) {
+			t.Fatalf("shard 2 = %+v, want c owning [%#x, %#x]", c, mid, ^uint64(0))
+		}
+	})
+
+	t.Run("middle cut rejected when donor keeps both sides", func(t *testing.T) {
+		if _, err := base.Reassign(bLo+10, bHi-10, "d"); err == nil {
+			t.Fatal("Reassign accepted a cut leaving b two disjoint ranges")
+		}
+	})
+
+	t.Run("full key space to one addr", func(t *testing.T) {
+		next, err := base.Reassign(0, ^uint64(0), "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next.Shards) != 1 || next.Shards[0].Addr != "d" {
+			t.Fatalf("got %+v, want single shard owned by d", next.Shards)
+		}
+	})
+
+	t.Run("inverted range rejected", func(t *testing.T) {
+		if _, err := base.Reassign(5, 4, "d"); err == nil {
+			t.Fatal("inverted range accepted")
+		}
+	})
+
+	t.Run("self reassign is identity layout", func(t *testing.T) {
+		next, err := base.Reassign(bLo, bHi, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next.Shards) != len(base.Shards) {
+			t.Fatalf("got %d shards, want %d", len(next.Shards), len(base.Shards))
+		}
+		for i, s := range next.Shards {
+			if s != base.Shards[i] {
+				t.Fatalf("shard %d = %+v, want %+v", i, s, base.Shards[i])
+			}
+		}
+	})
+
+	t.Run("max key edge", func(t *testing.T) {
+		cLo := base.Shards[2].Lo
+		next, err := base.Reassign(cLo, ^uint64(0), "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := next.Shards[len(next.Shards)-1]; last.Addr != "d" || last.Hi != ^uint64(0) {
+			t.Fatalf("last shard = %+v, want d ending at max", last)
+		}
+	})
+}

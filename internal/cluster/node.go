@@ -1,0 +1,787 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dytis/internal/kv"
+)
+
+// Index is the index surface a Node wraps — the same shape as
+// server.Index (the package is declared here to avoid an import cycle:
+// server imports cluster). It must be safe for concurrent use.
+type Index interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, value uint64)
+	Delete(key uint64) bool
+	Scan(start uint64, max int, dst []kv.KV) []kv.KV
+	GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool)
+	InsertBatch(keys, vals []uint64) error
+	DeleteBatch(keys []uint64, found []bool) ([]bool, error)
+	Len() int
+}
+
+// Peer is the slice of a remote shard server a handover drives: the
+// import session on the new owner plus the double-write mirror. The
+// production implementation adapts client.Client (cmd/dytis-server); tests
+// substitute fakes. Implementations must be safe for concurrent use — the
+// bulk-copy goroutine and mirroring writers overlap.
+type Peer interface {
+	ImportStart(lo, hi uint64) error
+	ImportBatch(keys, vals []uint64) (applied uint64, err error)
+	ImportEnd(commit bool) error
+	Mirror(del bool, key, val uint64) error
+	Close() error
+}
+
+// PeerDialer opens a Peer to the shard server at addr.
+type PeerDialer func(addr string) (Peer, error)
+
+// ErrWrongShard marks an operation on a key (or epoch) this node does not
+// own; the server answers it as StatusWrongShard with the current map
+// attached. Match with errors.Is.
+var ErrWrongShard = errors.New("cluster: wrong shard")
+
+// Handover states, as carried in HandoverStatus/ShardInfo responses.
+const (
+	HandoverNone    uint8 = iota // no handover has run
+	HandoverCopying              // bulk copy in progress, mirroring on
+	HandoverCopied               // bulk copy complete, mirroring on, safe to cut over
+	HandoverFailed               // copy or mirror failed; cutover is refused
+	HandoverDone                 // cutover complete, range de-owned
+)
+
+func handoverStateName(s uint8) string {
+	switch s {
+	case HandoverNone:
+		return "none"
+	case HandoverCopying:
+		return "copying"
+	case HandoverCopied:
+		return "copied"
+	case HandoverFailed:
+		return "failed"
+	case HandoverDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// copyPage is the bulk-copy and scrub page size: big enough to amortize
+// framing, small enough that one page never approaches frame limits.
+const copyPage = 4096
+
+// NodeConfig configures a Node.
+type NodeConfig struct {
+	Index Index
+	// Lo, Hi is the initially owned range (inclusive). Lo > Hi means the
+	// node starts owning nothing (a fresh node awaiting a handover).
+	Lo, Hi uint64
+	// Dial opens connections to handover targets. Required only on nodes
+	// that originate handovers.
+	Dial PeerDialer
+	// Logf, when non-nil, receives one line per abnormal handover event.
+	Logf func(format string, args ...any)
+}
+
+// Node is the per-server cluster brain: it wraps the local index with
+// ownership enforcement, holds the node's view of the shard map, and runs
+// both sides of live shard handover.
+//
+// Locking: mu guards the routing state (range, epoch, map, handover and
+// import-session pointers). hmu serializes everything that must see a
+// frozen handover/import state end to end: moving-range writes (apply +
+// synchronous mirror), import-session operations, handover transitions,
+// and map installs. Lock order is hmu before mu; mu is never held across
+// a network call, hmu is (that synchronous mirror under hmu is exactly
+// what makes double-writes ordered and cutover lossless).
+type Node struct {
+	idx  Index
+	dial PeerDialer
+	logf func(format string, args ...any)
+
+	hmu sync.Mutex // see above; acquired before mu
+
+	mu     sync.RWMutex
+	lo, hi uint64 // owned range; lo > hi = owns nothing
+	epoch  uint64 // current map epoch; 0 until a map is installed
+	blob   []byte // current encoded map; replaced wholesale, never mutated
+	ho     *handover
+	imp    *importSession
+}
+
+type handover struct {
+	lo, hi     uint64
+	addr       string
+	peer       Peer
+	state      uint8 // guarded by the node's mu
+	copied     atomic.Uint64
+	mirrored   atomic.Uint64
+	cancelOnce sync.Once
+	cancel     chan struct{}
+}
+
+func (h *handover) covers(key uint64) bool { return key >= h.lo && key <= h.hi }
+
+// importSession is the target side of a handover: bulk pages apply
+// insert-if-absent, and tombstones remember mirrored deletes so a late
+// bulk page cannot resurrect a key deleted during the copy.
+type importSession struct {
+	lo, hi  uint64
+	applied uint64
+	tombs   map[uint64]struct{}
+}
+
+// NewNode builds a node owning [cfg.Lo, cfg.Hi].
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("cluster: NodeConfig.Index is required")
+	}
+	n := &Node{idx: cfg.Index, dial: cfg.Dial, logf: cfg.Logf, lo: cfg.Lo, hi: cfg.Hi}
+	return n, nil
+}
+
+func (n *Node) logErr(format string, args ...any) {
+	if n.logf != nil {
+		n.logf(format, args...)
+	}
+}
+
+// ownsLocked reports whether key is in the owned range. Callers hold mu.
+func (n *Node) ownsLocked(key uint64) bool { return key >= n.lo && key <= n.hi }
+
+func (n *Node) wrongShardLocked(key uint64) error {
+	return fmt.Errorf("%w: key %#x outside owned [%#x, %#x] at epoch %d", ErrWrongShard, key, n.lo, n.hi, n.epoch)
+}
+
+// --- data path --------------------------------------------------------------
+
+// Get serves a point read, held under mu so a concurrent cutover's scrub
+// cannot interleave and serve a half-removed key.
+func (n *Node) Get(key uint64) (uint64, bool, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.ownsLocked(key) {
+		return 0, false, n.wrongShardLocked(key)
+	}
+	v, ok := n.idx.Get(key)
+	return v, ok, nil
+}
+
+// Insert applies a write. Writes inside a live handover's moving range
+// take the slow path: serialized under hmu, applied locally, then
+// synchronously mirrored to the new owner before the ack — the invariant
+// that makes cutover lossless.
+func (n *Node) Insert(key, val uint64) error {
+	n.mu.RLock()
+	if !n.ownsLocked(key) {
+		err := n.wrongShardLocked(key)
+		n.mu.RUnlock()
+		return err
+	}
+	if ho := n.ho; ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+		n.mu.RUnlock()
+		_, err := n.mirroredWrite(false, key, val)
+		return err
+	}
+	// Holding mu across the apply pins the ownership check: SetMap (which
+	// takes mu exclusively) cannot de-own and scrub between check and write,
+	// so an acked write can never land in a range another node now owns.
+	n.idx.Insert(key, val)
+	n.mu.RUnlock()
+	return nil
+}
+
+// Delete applies a delete; same slow-path rules as Insert.
+func (n *Node) Delete(key uint64) (bool, error) {
+	n.mu.RLock()
+	if !n.ownsLocked(key) {
+		err := n.wrongShardLocked(key)
+		n.mu.RUnlock()
+		return false, err
+	}
+	if ho := n.ho; ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+		n.mu.RUnlock()
+		return n.mirroredWrite(true, key, 0)
+	}
+	found := n.idx.Delete(key)
+	n.mu.RUnlock()
+	return found, nil
+}
+
+// mirroredWrite is the moving-range slow path: one write applied locally
+// and mirrored to the handover target before it is acknowledged. hmu
+// serializes these end to end, so mirrors arrive at the target in apply
+// order — concurrent same-key writes cannot invert on the wire.
+func (n *Node) mirroredWrite(del bool, key, val uint64) (bool, error) {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.RLock()
+	if !n.ownsLocked(key) {
+		err := n.wrongShardLocked(key)
+		n.mu.RUnlock()
+		return false, err
+	}
+	ho := n.ho
+	mirror := ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied)
+	n.mu.RUnlock()
+	var found bool
+	if del {
+		found = n.idx.Delete(key)
+	} else {
+		n.idx.Insert(key, val)
+	}
+	if !mirror {
+		return found, nil
+	}
+	if err := ho.peer.Mirror(del, key, val); err != nil {
+		// The local apply stands and the write is still acknowledged: failing
+		// the handover here guarantees this map can never cut the range over
+		// (SetMap refuses to de-own anything not covered by a Copied
+		// handover), so the unmirrored write cannot be lost.
+		n.failHandoverLocked(ho, fmt.Errorf("mirror to %s: %w", ho.addr, err))
+		return found, nil
+	}
+	ho.mirrored.Add(1)
+	return found, nil
+}
+
+// Scan serves one clipped page of the owned range starting at start. done
+// reports that the owned range is exhausted. epoch, when nonzero, must
+// match the node's current map epoch — a streaming scan spans many pages,
+// and a cutover between pages would otherwise silently truncate it.
+func (n *Node) Scan(epoch, start uint64, max int, dst []kv.KV) (_ []kv.KV, done bool, _ error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if epoch != 0 && n.epoch != 0 && epoch != n.epoch {
+		return dst[:0], false, fmt.Errorf("%w: scan epoch %d, node at %d", ErrWrongShard, epoch, n.epoch)
+	}
+	if n.lo > n.hi || start > n.hi {
+		return dst[:0], true, nil
+	}
+	if start < n.lo {
+		start = n.lo
+	}
+	dst = n.idx.Scan(start, max, dst[:0])
+	for i, p := range dst {
+		if p.Key > n.hi {
+			dst = dst[:i]
+			break
+		}
+	}
+	done = len(dst) < max || (len(dst) > 0 && dst[len(dst)-1].Key >= n.hi)
+	return dst, done, nil
+}
+
+// GetBatch serves a batched read; every key must be owned (the routing
+// client splits batches per shard, so a stray key means a stale map and
+// the whole batch redirects).
+func (n *Node) GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, k := range keys {
+		if !n.ownsLocked(k) {
+			return vals, found, n.wrongShardLocked(k)
+		}
+	}
+	vals, found = n.idx.GetBatch(keys, vals, found)
+	return vals, found, nil
+}
+
+// InsertBatch applies a batched write, falling to the serialized mirror
+// path when any key is inside a live handover's moving range.
+func (n *Node) InsertBatch(keys, vals []uint64) error {
+	n.mu.RLock()
+	slow := false
+	for _, k := range keys {
+		if !n.ownsLocked(k) {
+			err := n.wrongShardLocked(k)
+			n.mu.RUnlock()
+			return err
+		}
+		if ho := n.ho; ho != nil && ho.covers(k) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+			slow = true
+		}
+	}
+	if !slow {
+		err := n.idx.InsertBatch(keys, vals)
+		n.mu.RUnlock()
+		return err
+	}
+	n.mu.RUnlock()
+	for i, k := range keys {
+		if _, err := n.mirroredWrite(false, k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteBatch applies a batched delete; same slow-path rules as
+// InsertBatch.
+func (n *Node) DeleteBatch(keys []uint64, found []bool) ([]bool, error) {
+	n.mu.RLock()
+	slow := false
+	for _, k := range keys {
+		if !n.ownsLocked(k) {
+			err := n.wrongShardLocked(k)
+			n.mu.RUnlock()
+			return found, err
+		}
+		if ho := n.ho; ho != nil && ho.covers(k) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+			slow = true
+		}
+	}
+	if !slow {
+		var err error
+		found, err = n.idx.DeleteBatch(keys, found)
+		n.mu.RUnlock()
+		return found, err
+	}
+	n.mu.RUnlock()
+	found = found[:0]
+	for _, k := range keys {
+		f, err := n.mirroredWrite(true, k, 0)
+		if err != nil {
+			return found, err
+		}
+		found = append(found, f)
+	}
+	return found, nil
+}
+
+// --- map management ---------------------------------------------------------
+
+// Info returns the owned range, map epoch, and handover state.
+func (n *Node) Info() (lo, hi, epoch uint64, state uint8) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	state = HandoverNone
+	if n.ho != nil {
+		state = n.ho.state
+	}
+	return n.lo, n.hi, n.epoch, state
+}
+
+// MapBlob returns the node's current encoded map (nil before any map is
+// installed). The slice is never mutated after install, so callers may
+// retain it.
+func (n *Node) MapBlob() []byte {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blob
+}
+
+// SetMap installs an encoded shard map and adjusts the owned range to
+// [selfLo, selfHi] (selfLo > selfHi = owns nothing). The epoch must move
+// strictly forward (re-installing the identical blob is an idempotent
+// no-op). De-owning any key is only permitted when a handover in state
+// HandoverCopied covers the de-owned region — that is the cutover, which
+// this call finalizes: the import session commits on the target, the
+// peer closes, and the de-owned region is scrubbed from the local index.
+func (n *Node) SetMap(selfLo, selfHi uint64, blob []byte) error {
+	m, err := DecodeMap(blob)
+	if err != nil {
+		return err
+	}
+	if selfLo <= selfHi {
+		// The declared self range must be exactly one shard of the map:
+		// ownership and routing must agree or every client would loop.
+		ok := false
+		for _, s := range m.Shards {
+			if s.Lo == selfLo && s.Hi == selfHi {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("cluster: self range [%#x, %#x] is not a shard of the map", selfLo, selfHi)
+		}
+	}
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.Lock()
+	if m.Epoch < n.epoch {
+		cur := n.epoch
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: map epoch %d older than current %d", m.Epoch, cur)
+	}
+	if m.Epoch == n.epoch && n.epoch != 0 {
+		same := string(blob) == string(n.blob) && selfLo == n.lo && selfHi == n.hi
+		n.mu.Unlock()
+		if same {
+			return nil
+		}
+		return fmt.Errorf("cluster: conflicting map at same epoch %d", m.Epoch)
+	}
+	deowned := subtractRange(n.lo, n.hi, selfLo, selfHi)
+	var finalize *handover
+	if len(deowned) > 0 {
+		ho := n.ho
+		for _, r := range deowned {
+			if ho == nil || ho.state != HandoverCopied || r.lo < ho.lo || r.hi > ho.hi {
+				n.mu.Unlock()
+				return fmt.Errorf("cluster: map de-owns [%#x, %#x] with no completed handover covering it (state %s)",
+					r.lo, r.hi, handoverStateName(hoState(ho)))
+			}
+		}
+		ho.state = HandoverDone
+		finalize = ho
+	}
+	// A session for a range the new map gives us commits implicitly: the
+	// source finalizes with an explicit ImportEnd too, but adopting here
+	// makes the cutover robust to the source dying right after our install.
+	if imp := n.imp; imp != nil && selfLo <= selfHi && imp.lo >= selfLo && imp.hi <= selfHi {
+		n.imp = nil
+	}
+	n.lo, n.hi, n.epoch, n.blob = selfLo, selfHi, m.Epoch, blob
+	n.mu.Unlock()
+
+	if finalize != nil {
+		if err := finalize.peer.ImportEnd(true); err != nil {
+			n.logErr("cluster: import-end commit to %s: %v", finalize.addr, err)
+		}
+		if err := finalize.peer.Close(); err != nil {
+			n.logErr("cluster: closing peer %s: %v", finalize.addr, err)
+		}
+	}
+	// Scrub de-owned keys (still under hmu, after mu released: reads and
+	// writes of the region already answer WrongShard, so order is free).
+	for _, r := range deowned {
+		n.scrub(r.lo, r.hi)
+	}
+	return nil
+}
+
+func hoState(ho *handover) uint8 {
+	if ho == nil {
+		return HandoverNone
+	}
+	return ho.state
+}
+
+type keyRange struct{ lo, hi uint64 }
+
+// subtractRange returns old minus new as up to two inclusive ranges.
+// An empty old (lo > hi) yields nothing; an empty new de-owns all of old.
+func subtractRange(oldLo, oldHi, newLo, newHi uint64) []keyRange {
+	if oldLo > oldHi {
+		return nil
+	}
+	if newLo > newHi {
+		return []keyRange{{oldLo, oldHi}}
+	}
+	var out []keyRange
+	if newLo > oldLo {
+		hi := oldHi
+		if newLo-1 < hi {
+			hi = newLo - 1
+		}
+		out = append(out, keyRange{oldLo, hi})
+	}
+	if newHi < oldHi {
+		lo := oldLo
+		if newHi+1 > lo {
+			lo = newHi + 1
+		}
+		out = append(out, keyRange{lo, oldHi})
+	}
+	return out
+}
+
+// scrub deletes every key in [lo, hi] from the local index, paging via
+// Scan. Called under hmu with the region already de-owned.
+func (n *Node) scrub(lo, hi uint64) {
+	buf := make([]kv.KV, 0, copyPage)
+	next := lo
+	for {
+		buf = n.idx.Scan(next, copyPage, buf[:0])
+		if len(buf) == 0 {
+			return
+		}
+		for _, p := range buf {
+			if p.Key > hi {
+				return
+			}
+			n.idx.Delete(p.Key)
+		}
+		last := buf[len(buf)-1].Key
+		if len(buf) < copyPage || last >= hi || last == ^uint64(0) {
+			return
+		}
+		next = last + 1
+	}
+}
+
+// --- handover: source side --------------------------------------------------
+
+// StartHandover begins migrating the owned subrange [lo, hi] to the shard
+// server at addr: it opens an import session there, starts mirroring
+// moving-range writes, and kicks off the bulk copy. Progress is polled
+// with HandoverStatus; cutover happens when a new map de-owns the range
+// (SetMap).
+func (n *Node) StartHandover(lo, hi uint64, addr string) error {
+	if lo > hi {
+		return fmt.Errorf("cluster: handover range inverted [%#x, %#x]", lo, hi)
+	}
+	if n.dial == nil {
+		return errors.New("cluster: node has no peer dialer")
+	}
+	n.mu.RLock()
+	err := n.checkHandoverLocked(lo, hi)
+	n.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	peer, err := n.dial(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing handover target %s: %w", addr, err)
+	}
+	if err := peer.ImportStart(lo, hi); err != nil {
+		peer.Close()
+		return fmt.Errorf("cluster: opening import session on %s: %w", addr, err)
+	}
+	ho := &handover{lo: lo, hi: hi, addr: addr, peer: peer, state: HandoverCopying, cancel: make(chan struct{})}
+	n.hmu.Lock()
+	n.mu.Lock()
+	// Re-check under the lock: a map install may have raced the dial.
+	if err := n.checkHandoverLocked(lo, hi); err != nil {
+		n.mu.Unlock()
+		n.hmu.Unlock()
+		peer.ImportEnd(false)
+		peer.Close()
+		return err
+	}
+	n.ho = ho
+	n.mu.Unlock()
+	n.hmu.Unlock()
+	go n.runCopy(ho)
+	return nil
+}
+
+// checkHandoverLocked validates that [lo, hi] is fully owned and no
+// handover is live. Callers hold mu.
+func (n *Node) checkHandoverLocked(lo, hi uint64) error {
+	if !n.ownsLocked(lo) || !n.ownsLocked(hi) {
+		return fmt.Errorf("cluster: handover range [%#x, %#x] not fully owned ([%#x, %#x])", lo, hi, n.lo, n.hi)
+	}
+	if ho := n.ho; ho != nil && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+		return fmt.Errorf("cluster: handover of [%#x, %#x] already %s", ho.lo, ho.hi, handoverStateName(ho.state))
+	}
+	return nil
+}
+
+// HandoverStatus reports the live (or last) handover's progress.
+func (n *Node) HandoverStatus() (state uint8, copied, mirrored uint64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.ho == nil {
+		return HandoverNone, 0, 0
+	}
+	return n.ho.state, n.ho.copied.Load(), n.ho.mirrored.Load()
+}
+
+// runCopy is the bulk-copy goroutine: it pages the moving range out of the
+// local index and streams it to the target's import session. Writes that
+// land mid-copy are covered by the mirror, and the target's
+// insert-if-absent + tombstones make copy/mirror interleavings converge
+// (see importSession).
+func (n *Node) runCopy(ho *handover) {
+	buf := make([]kv.KV, 0, copyPage)
+	keys := make([]uint64, 0, copyPage)
+	vals := make([]uint64, 0, copyPage)
+	next := ho.lo
+	for {
+		select {
+		case <-ho.cancel:
+			return
+		default:
+		}
+		buf = n.idx.Scan(next, copyPage, buf[:0])
+		keys, vals = keys[:0], vals[:0]
+		for _, p := range buf {
+			if p.Key > ho.hi {
+				break
+			}
+			keys = append(keys, p.Key)
+			vals = append(vals, p.Value)
+		}
+		if len(keys) > 0 {
+			if _, err := ho.peer.ImportBatch(keys, vals); err != nil {
+				n.failHandover(ho, fmt.Errorf("bulk copy to %s: %w", ho.addr, err))
+				return
+			}
+			ho.copied.Add(uint64(len(keys)))
+		}
+		done := len(buf) < copyPage
+		if !done {
+			last := buf[len(buf)-1].Key
+			if last >= ho.hi || last == ^uint64(0) {
+				done = true
+			} else {
+				next = last + 1
+			}
+		}
+		if done {
+			break
+		}
+	}
+	n.hmu.Lock()
+	n.mu.Lock()
+	if ho.state == HandoverCopying {
+		ho.state = HandoverCopied
+	}
+	n.mu.Unlock()
+	n.hmu.Unlock()
+}
+
+// failHandover marks ho failed and tears down its target session.
+func (n *Node) failHandover(ho *handover, cause error) {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.failHandoverLocked(ho, cause)
+}
+
+// failHandoverLocked is failHandover for callers already holding hmu.
+func (n *Node) failHandoverLocked(ho *handover, cause error) {
+	n.mu.Lock()
+	if ho.state != HandoverCopying && ho.state != HandoverCopied {
+		n.mu.Unlock()
+		return
+	}
+	ho.state = HandoverFailed
+	n.mu.Unlock()
+	n.logErr("cluster: handover of [%#x, %#x] failed: %v", ho.lo, ho.hi, cause)
+	// Best effort: tell the target to scrub the partial import.
+	if err := ho.peer.ImportEnd(false); err != nil {
+		n.logErr("cluster: import-end abort to %s: %v", ho.addr, err)
+	}
+	if err := ho.peer.Close(); err != nil {
+		n.logErr("cluster: closing peer %s: %v", ho.addr, err)
+	}
+}
+
+// Close cancels any running copy and tears down the handover peer.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	ho := n.ho
+	n.mu.Unlock()
+	if ho != nil {
+		ho.cancelOnce.Do(func() { close(ho.cancel) })
+		n.failHandover(ho, errors.New("node closing"))
+	}
+	return nil
+}
+
+// --- handover: target side --------------------------------------------------
+
+// ImportStart opens an import session for [lo, hi], which must be disjoint
+// from the owned range (a handover moves keys this node does not have).
+func (n *Node) ImportStart(lo, hi uint64) error {
+	if lo > hi {
+		return fmt.Errorf("cluster: import range inverted [%#x, %#x]", lo, hi)
+	}
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.imp != nil {
+		return fmt.Errorf("cluster: import of [%#x, %#x] already in progress", n.imp.lo, n.imp.hi)
+	}
+	if n.lo <= n.hi && lo <= n.hi && hi >= n.lo {
+		return fmt.Errorf("cluster: import range [%#x, %#x] overlaps owned [%#x, %#x]", lo, hi, n.lo, n.hi)
+	}
+	n.imp = &importSession{lo: lo, hi: hi, tombs: make(map[uint64]struct{})}
+	return nil
+}
+
+// ImportBatch applies one bulk page: insert-if-absent, skipping
+// tombstoned keys, so pages racing mirrored writes can never clobber a
+// newer value or resurrect a deleted key.
+func (n *Node) ImportBatch(keys, vals []uint64) (uint64, error) {
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("cluster: import batch keys/vals length mismatch (%d vs %d)", len(keys), len(vals))
+	}
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.RLock()
+	imp := n.imp
+	n.mu.RUnlock()
+	if imp == nil {
+		return 0, errors.New("cluster: no import session")
+	}
+	var applied uint64
+	for i, k := range keys {
+		if k < imp.lo || k > imp.hi {
+			return applied, fmt.Errorf("cluster: import key %#x outside session [%#x, %#x]", k, imp.lo, imp.hi)
+		}
+		if _, dead := imp.tombs[k]; dead {
+			continue
+		}
+		if _, ok := n.idx.Get(k); ok {
+			continue
+		}
+		n.idx.Insert(k, vals[i])
+		applied++
+	}
+	imp.applied += applied
+	return applied, nil
+}
+
+// ImportEnd closes the import session. commit keeps the imported data
+// (the range is about to be owned via SetMap); abort scrubs it. A missing
+// session is a no-op: SetMap may already have adopted it.
+func (n *Node) ImportEnd(commit bool) error {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.Lock()
+	imp := n.imp
+	n.imp = nil
+	n.mu.Unlock()
+	if imp == nil {
+		return nil
+	}
+	if !commit {
+		n.scrub(imp.lo, imp.hi)
+	}
+	return nil
+}
+
+// MirrorApply applies one double-written op from a handover source: into
+// the import session when one covers the key (maintaining tombstones), or
+// directly when this node already owns the key (a mirror that raced the
+// cutover). Anything else is a protocol error.
+func (n *Node) MirrorApply(del bool, key, val uint64) error {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.RLock()
+	imp := n.imp
+	owned := n.ownsLocked(key)
+	n.mu.RUnlock()
+	if imp != nil && key >= imp.lo && key <= imp.hi {
+		if del {
+			n.idx.Delete(key)
+			imp.tombs[key] = struct{}{}
+		} else {
+			n.idx.Insert(key, val)
+			delete(imp.tombs, key)
+		}
+		return nil
+	}
+	if owned {
+		if del {
+			n.idx.Delete(key)
+		} else {
+			n.idx.Insert(key, val)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: mirrored key %#x has no import session and is not owned", ErrWrongShard, key)
+}
+
+// Len is the local index size. During a handover it double-counts the
+// moving range (present on source and target); Cluster.Len documents the
+// approximation.
+func (n *Node) Len() int { return n.idx.Len() }

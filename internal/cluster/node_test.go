@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dytis/internal/kv"
+)
+
+// fakeIndex is a mutex-guarded sorted-map Index — the oracle shape the
+// differential fuzzer uses, here standing in for the real core.
+type fakeIndex struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+func newFakeIndex() *fakeIndex { return &fakeIndex{m: make(map[uint64]uint64)} }
+
+func (f *fakeIndex) Get(key uint64) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.m[key]
+	return v, ok
+}
+
+func (f *fakeIndex) Insert(key, value uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m[key] = value
+}
+
+func (f *fakeIndex) Delete(key uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.m[key]
+	delete(f.m, key)
+	return ok
+}
+
+func (f *fakeIndex) Scan(start uint64, max int, dst []kv.KV) []kv.KV {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]uint64, 0, len(f.m))
+	for k := range f.m {
+		if k >= start {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if max >= 0 && len(dst) >= max {
+			break
+		}
+		dst = append(dst, kv.KV{Key: k, Value: f.m[k]})
+	}
+	return dst
+}
+
+func (f *fakeIndex) GetBatch(keys []uint64, vals []uint64, found []bool) ([]uint64, []bool) {
+	for _, k := range keys {
+		v, ok := f.Get(k)
+		vals = append(vals, v)
+		found = append(found, ok)
+	}
+	return vals, found
+}
+
+func (f *fakeIndex) InsertBatch(keys, vals []uint64) error {
+	for i, k := range keys {
+		f.Insert(k, vals[i])
+	}
+	return nil
+}
+
+func (f *fakeIndex) DeleteBatch(keys []uint64, found []bool) ([]bool, error) {
+	for _, k := range keys {
+		found = append(found, f.Delete(k))
+	}
+	return found, nil
+}
+
+func (f *fakeIndex) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+func (f *fakeIndex) snapshot() map[uint64]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[uint64]uint64, len(f.m))
+	for k, v := range f.m {
+		out[k] = v
+	}
+	return out
+}
+
+// loopPeer adapts a target *Node into a Peer — the in-process equivalent
+// of the client adapter cmd/dytis-server wires up.
+type loopPeer struct {
+	n         *Node
+	mirrorErr error // when non-nil, Mirror fails with it
+	mu        sync.Mutex
+	mirrors   int
+}
+
+func (p *loopPeer) ImportStart(lo, hi uint64) error { return p.n.ImportStart(lo, hi) }
+func (p *loopPeer) ImportBatch(keys, vals []uint64) (uint64, error) {
+	return p.n.ImportBatch(keys, vals)
+}
+func (p *loopPeer) ImportEnd(commit bool) error { return p.n.ImportEnd(commit) }
+func (p *loopPeer) Mirror(del bool, key, val uint64) error {
+	if p.mirrorErr != nil {
+		return p.mirrorErr
+	}
+	p.mu.Lock()
+	p.mirrors++
+	p.mu.Unlock()
+	return p.n.MirrorApply(del, key, val)
+}
+func (p *loopPeer) Close() error { return nil }
+
+func mustNode(t *testing.T, idx Index, lo, hi uint64, dial PeerDialer) *Node {
+	t.Helper()
+	n, err := NewNode(NodeConfig{Index: idx, Lo: lo, Hi: hi, Dial: dial, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func waitState(t *testing.T, n *Node, want uint8) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _, _ := n.HandoverStatus()
+		if st == want {
+			return
+		}
+		if st == HandoverFailed && want != HandoverFailed {
+			t.Fatalf("handover failed while waiting for %s", handoverStateName(want))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handover stuck in %s waiting for %s", handoverStateName(st), handoverStateName(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNodeOwnershipEnforced(t *testing.T) {
+	idx := newFakeIndex()
+	n := mustNode(t, idx, 100, 199, nil)
+	if err := n.Insert(150, 1); err != nil {
+		t.Fatalf("owned insert: %v", err)
+	}
+	if _, _, err := n.Get(150); err != nil {
+		t.Fatalf("owned get: %v", err)
+	}
+	if err := n.Insert(99, 1); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("insert below range: %v", err)
+	}
+	if _, _, err := n.Get(200); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("get above range: %v", err)
+	}
+	if _, err := n.Delete(0); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("delete outside range: %v", err)
+	}
+	if _, _, err := n.GetBatch([]uint64{150, 500}, nil, nil); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("batch with stray key: %v", err)
+	}
+	if err := n.InsertBatch([]uint64{150, 500}, []uint64{1, 2}); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("insert batch with stray key: %v", err)
+	}
+	if _, err := n.DeleteBatch([]uint64{500}, nil); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("delete batch with stray key: %v", err)
+	}
+	// The stray batch must not have been half-applied.
+	if _, ok := idx.Get(500); ok {
+		t.Error("stray key applied despite redirect")
+	}
+}
+
+func TestNodeScanClipsToRange(t *testing.T) {
+	idx := newFakeIndex()
+	for k := uint64(0); k < 300; k += 10 {
+		idx.Insert(k, k)
+	}
+	n := mustNode(t, idx, 100, 199, nil)
+	pairs, done, err := n.Scan(0, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("full-range page not done")
+	}
+	if len(pairs) != 10 || pairs[0].Key != 100 || pairs[len(pairs)-1].Key != 190 {
+		t.Fatalf("clipped scan got %d pairs [%v..%v]", len(pairs), pairs[0], pairs[len(pairs)-1])
+	}
+	// Paged: small max walks the range and reports done at the boundary.
+	var all []kv.KV
+	next, done := uint64(0), false
+	for !done {
+		var page []kv.KV
+		page, done, err = n.Scan(0, next, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, page...)
+		if len(page) > 0 {
+			next = page[len(page)-1].Key + 1
+		}
+	}
+	if len(all) != 10 {
+		t.Fatalf("paged scan got %d pairs, want 10", len(all))
+	}
+	// Start beyond the range is immediately done and empty.
+	if pairs, done, err = n.Scan(0, 200, 10, nil); err != nil || !done || len(pairs) != 0 {
+		t.Errorf("past-range scan: pairs=%d done=%v err=%v", len(pairs), done, err)
+	}
+}
+
+func TestNodeScanEpochMismatch(t *testing.T) {
+	idx := newFakeIndex()
+	n := mustNode(t, idx, 0, ^uint64(0), nil)
+	m, _ := Uniform(3, []string{"self"})
+	if err := n.SetMap(0, ^uint64(0), m.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Scan(2, 0, 10, nil); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("stale scan epoch: %v", err)
+	}
+	if _, _, err := n.Scan(3, 0, 10, nil); err != nil {
+		t.Errorf("current scan epoch: %v", err)
+	}
+	if _, _, err := n.Scan(0, 0, 10, nil); err != nil {
+		t.Errorf("epochless scan: %v", err)
+	}
+}
+
+func TestSetMapEpochRules(t *testing.T) {
+	n := mustNode(t, newFakeIndex(), 0, ^uint64(0), nil)
+	m3, _ := Uniform(3, []string{"self"})
+	if err := n.SetMap(0, ^uint64(0), m3.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-install of the identical map.
+	if err := n.SetMap(0, ^uint64(0), m3.Encode()); err != nil {
+		t.Errorf("idempotent re-install: %v", err)
+	}
+	// Stale epoch refused.
+	m2, _ := Uniform(2, []string{"self"})
+	if err := n.SetMap(0, ^uint64(0), m2.Encode()); err == nil {
+		t.Error("stale epoch accepted")
+	}
+	// Conflicting map at the same epoch refused.
+	c3, _ := Uniform(3, []string{"other"})
+	if err := n.SetMap(0, ^uint64(0), c3.Encode()); err == nil {
+		t.Error("conflicting same-epoch map accepted")
+	}
+	// Self range must be a shard of the map.
+	m4, _ := Uniform(4, []string{"a", "b"})
+	if err := n.SetMap(0, 1234, m4.Encode()); err == nil {
+		t.Error("self range not a shard accepted")
+	}
+	// De-owning with no handover refused.
+	if err := n.SetMap(m4.Shards[0].Lo, m4.Shards[0].Hi, m4.Encode()); err == nil {
+		t.Error("de-own without handover accepted")
+	}
+	lo, hi, epoch, _ := n.Info()
+	if lo != 0 || hi != ^uint64(0) || epoch != 3 {
+		t.Errorf("state mutated by refused installs: [%#x, %#x] epoch %d", lo, hi, epoch)
+	}
+}
+
+// TestHandoverFullCutover drives the whole state machine in-process: bulk
+// copy + mirrored writes + cutover via two SetMaps, asserting the moved
+// range lands complete on the target and is scrubbed from the source.
+func TestHandoverFullCutover(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil) // owns nothing yet
+	peer := &loopPeer{n: dst}
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		k := i * (1 << 53) // spread across both halves
+		if err := src.Insert(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	// Writes racing the copy: into the moving range (mirrored) and the
+	// keeper range (untouched path).
+	if err := src.Insert(mid+7, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Insert(42, 888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Delete(1 << 53); err != nil { // keeper half
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	// Post-copy, pre-cutover: moving-range writes still mirror.
+	if err := src.Insert(mid+9, 999); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Delete(1024 * (1 << 53)); err != nil { // moving half
+		t.Fatal(err)
+	}
+
+	// Cutover: source de-owns first (fail-closed gap), then target owns.
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatalf("source cutover: %v", err)
+	}
+	if err := dst.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatalf("target cutover: %v", err)
+	}
+
+	// The moved half must be byte-identical to what the source acked,
+	// including the mid-copy mirrored writes and deletes.
+	want := make(map[uint64]uint64)
+	for i := uint64(0); i < 2000; i++ {
+		k := i * (1 << 53)
+		if k >= mid {
+			want[k] = i
+		}
+	}
+	want[mid+7], want[mid+9] = 777, 999
+	delete(want, 1024*(1<<53))
+	got := dstIdx.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("target has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("target key %#x = %d,%v want %d", k, gv, ok, v)
+		}
+	}
+	// Source scrubbed the moved range and redirects for it.
+	for k := range srcIdx.snapshot() {
+		if k >= mid {
+			t.Fatalf("source still holds moved key %#x", k)
+		}
+	}
+	if _, _, err := src.Get(mid + 7); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("source serves moved key: %v", err)
+	}
+	if v, ok, err := dst.Get(mid + 7); err != nil || !ok || v != 777 {
+		t.Errorf("target Get(mid+7) = %d,%v,%v", v, ok, err)
+	}
+	if st, _, _ := src.HandoverStatus(); st != HandoverDone {
+		t.Errorf("source handover state %s, want done", handoverStateName(st))
+	}
+}
+
+// TestHandoverConcurrentTraffic hammers the moving range from many
+// goroutines through the whole copy window; every acked write must be on
+// the target after cutover.
+func TestHandoverConcurrentTraffic(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil)
+	peer := &loopPeer{n: dst}
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if err := src.Insert(mid+i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := mid + uint64(w*perWriter+i)*7 + 1
+				if err := src.Insert(k, uint64(w)); err != nil {
+					t.Errorf("concurrent insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitState(t, src, HandoverCopied)
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Every key the source ever acked in the moving range is on the target.
+	got := dstIdx.snapshot()
+	for i := uint64(0); i < 5000; i++ {
+		if _, ok := got[mid+i*3]; !ok {
+			t.Fatalf("preloaded key %#x lost", mid+i*3)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			k := mid + uint64(w*perWriter+i)*7 + 1
+			if v, ok := got[k]; !ok || v != uint64(w) {
+				t.Fatalf("acked concurrent write %#x lost (got %d,%v)", k, v, ok)
+			}
+		}
+	}
+}
+
+// TestImportTombstones pins the resurrection hazard: a mirrored delete
+// must survive a late bulk page carrying the key's old value.
+func TestImportTombstones(t *testing.T) {
+	idx := newFakeIndex()
+	n := mustNode(t, idx, 1, 0, nil)
+	if err := n.ImportStart(100, 199); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror order: insert 150=5, delete 150, then the stale bulk page.
+	if err := n.MirrorApply(false, 150, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MirrorApply(true, 150, 0); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := n.ImportBatch([]uint64{150, 160}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d, want 1 (tombstoned key skipped)", applied)
+	}
+	if _, ok := idx.Get(150); ok {
+		t.Fatal("tombstoned key resurrected by bulk page")
+	}
+	// A fresh mirror insert clears the tombstone.
+	if err := n.MirrorApply(false, 150, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ImportEnd(true); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := idx.Get(150); !ok || v != 9 {
+		t.Fatalf("post-commit key 150 = %d,%v want 9", v, ok)
+	}
+	if v, ok := idx.Get(160); !ok || v != 2 {
+		t.Fatalf("post-commit key 160 = %d,%v want 2", v, ok)
+	}
+}
+
+func TestImportAbortScrubs(t *testing.T) {
+	idx := newFakeIndex()
+	n := mustNode(t, idx, 1, 0, nil)
+	if err := n.ImportStart(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ImportBatch([]uint64{1, 2, 3}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ImportEnd(false); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("aborted import left %d keys", idx.Len())
+	}
+	// ImportEnd with no session is a no-op (cutover may have adopted it).
+	if err := n.ImportEnd(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	n := mustNode(t, newFakeIndex(), 0, 999, nil)
+	if err := n.ImportStart(500, 1500); err == nil {
+		t.Error("import overlapping owned range accepted")
+	}
+	if err := n.ImportStart(9, 5); err == nil {
+		t.Error("inverted import range accepted")
+	}
+	if _, err := n.ImportBatch([]uint64{1}, []uint64{1}); err == nil {
+		t.Error("import batch with no session accepted")
+	}
+	if err := n.ImportStart(2000, 2999); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ImportStart(3000, 3999); err == nil {
+		t.Error("second concurrent import session accepted")
+	}
+	if _, err := n.ImportBatch([]uint64{1}, []uint64{1}); err == nil {
+		t.Error("import key outside session range accepted")
+	}
+	if err := n.MirrorApply(false, 5000, 1); err == nil {
+		t.Error("mirror with no session and unowned key accepted")
+	}
+}
+
+// TestMirrorFailureFailsClosed: a mirror error mid-handover acks the local
+// write but fails the handover, and the failed handover refuses cutover —
+// the un-mirrored write can never be silently lost.
+func TestMirrorFailureFailsClosed(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx := newFakeIndex()
+	dst := mustNode(t, newFakeIndex(), 1, 0, nil)
+	peer := &loopPeer{n: dst, mirrorErr: fmt.Errorf("target unreachable")}
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	// The write is acked despite the mirror failure...
+	if err := src.Insert(mid+1, 7); err != nil {
+		t.Fatalf("write not acked on mirror failure: %v", err)
+	}
+	if v, ok, err := src.Get(mid + 1); err != nil || !ok || v != 7 {
+		t.Fatalf("acked write not readable: %d,%v,%v", v, ok, err)
+	}
+	// ...the handover is failed...
+	if st, _, _ := src.HandoverStatus(); st != HandoverFailed {
+		t.Fatalf("handover state %s, want failed", handoverStateName(st))
+	}
+	// ...and cutover is refused, so the map cannot orphan the write.
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err == nil {
+		t.Fatal("cutover accepted after failed handover")
+	}
+}
+
+func TestStartHandoverValidation(t *testing.T) {
+	peerless := mustNode(t, newFakeIndex(), 0, 999, nil)
+	if err := peerless.StartHandover(0, 10, "x"); err == nil {
+		t.Error("handover without dialer accepted")
+	}
+	dst := mustNode(t, newFakeIndex(), 1, 0, nil)
+	peer := &loopPeer{n: dst}
+	n := mustNode(t, newFakeIndex(), 0, 999, func(string) (Peer, error) { return peer, nil })
+	if err := n.StartHandover(500, 1500, "dst"); err == nil {
+		t.Error("handover of unowned range accepted")
+	}
+	if err := n.StartHandover(9, 5, "dst"); err == nil {
+		t.Error("inverted handover range accepted")
+	}
+	if err := n.StartHandover(500, 999, "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StartHandover(0, 10, "dst"); err == nil {
+		t.Error("second concurrent handover accepted")
+	}
+}

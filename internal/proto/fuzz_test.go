@@ -31,6 +31,17 @@ func FuzzDecodeRequest(f *testing.F) {
 	seed(&Request{ID: 9, Op: OpScanStart, Key: 42, ScanMax: 1 << 20, Max: 512, Credits: 8})
 	seed(&Request{ID: 10, Op: OpScanCredit, Credits: 1})
 	seed(&Request{ID: 11, Op: OpScanCancel})
+	seed(&Request{ID: 12, Op: OpShardInfo})
+	seed(&Request{ID: 13, Op: OpMapGet})
+	seed(&Request{ID: 14, Op: OpMapSet, Lo: 0, Hi: ^uint64(0), MapBlob: []byte{1, 2, 3}})
+	seed(&Request{ID: 15, Op: OpHandoverStart, Lo: 1, Hi: 9, Addr: "127.0.0.1:7071"})
+	seed(&Request{ID: 16, Op: OpHandoverStatus})
+	seed(&Request{ID: 17, Op: OpImportStart, Lo: 1, Hi: 9})
+	seed(&Request{ID: 18, Op: OpImportBatch, Keys: []uint64{1}, Vals: []uint64{2}})
+	seed(&Request{ID: 19, Op: OpImportEnd, Commit: true})
+	seed(&Request{ID: 20, Op: OpMirror, Del: true, Key: 5})
+	seed(&Request{ID: 21, Op: OpGet, Key: 7, Epoch: 3})
+	seed(&Request{ID: 22, Op: OpScan, Key: 7, Max: 10, Epoch: 1, TimeoutMS: 50})
 	f.Add([]byte{})
 	f.Add(make([]byte, 9))
 
@@ -77,6 +88,11 @@ func FuzzDecodeResponse(f *testing.F) {
 	seed(&Response{ID: 9, Op: OpScanChunk, Keys: []uint64{1, 2}, Vals: []uint64{3, 4}})
 	seed(&Response{ID: 10, Op: OpScanEnd, Val: 1 << 20})
 	seed(&Response{ID: 11, Op: OpScanEnd, Status: StatusShuttingDown, Msg: "draining"})
+	seed(&Response{ID: 12, Op: OpShardInfo, Lo: 0, Hi: 99, Epoch: 4, State: 1})
+	seed(&Response{ID: 13, Op: OpMapGet, MapBlob: []byte{9, 9}})
+	seed(&Response{ID: 14, Op: OpHandoverStatus, State: 2, Copied: 100, Mirrored: 3})
+	seed(&Response{ID: 15, Op: OpImportBatch, Applied: 5})
+	seed(&Response{ID: 16, Op: OpGet, Status: StatusWrongShard, Msg: "not mine"})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -114,6 +130,8 @@ func FuzzDecodeResponseV2(f *testing.F) {
 	seed(&Response{ID: 3, Op: OpScanChunk, Keys: []uint64{1, 2}, Vals: []uint64{3, 4}})
 	seed(&Response{ID: 4, Op: OpScanEnd, Val: 7})
 	seed(&Response{ID: 5, Op: OpScanStart, Status: StatusBadRequest, Msg: "no stream"})
+	seed(&Response{ID: 6, Op: OpGet, Status: StatusWrongShard, MapBlob: []byte{1, 2}, Msg: "moved"})
+	seed(&Response{ID: 7, Op: OpShardInfo, Lo: 1, Hi: 2, Epoch: 3, State: 0})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, body []byte) {

@@ -88,6 +88,37 @@
 // Responses also fork on one point at v2: a StatusOverload response carries
 // a typed retryAfterMillis(4) before the message, so clients no longer
 // parse the human-readable hint out of Msg (v1 keeps the Msg-only form).
+//
+// # Cluster opcodes (FeatCluster)
+//
+// FeatCluster enables the sharded-serving opcode family (internal/cluster,
+// client.Cluster). A cluster-routed request may OR FlagEpoch (0x40) into
+// its opcode byte, announcing a uint64 shard-map epoch after the optional
+// deadline field; a server owning a different epoch (or not owning a
+// request's key) answers StatusWrongShard, whose v2 payload carries the
+// server's current encoded shard map before the message, so a routing
+// client refreshes and retries instead of guessing. Request payloads:
+//
+//	ShardInfo       —
+//	MapGet          —
+//	MapSet          selfLo(8) selfHi(8) map-blob(rest)
+//	HandoverStart   lo(8) hi(8) targetAddr(rest)        1 <= len <= MaxAddr
+//	HandoverStatus  —
+//	ImportStart     lo(8) hi(8)
+//	ImportBatch     n(4) [key(8) val(8)]*n              n <= MaxBatch
+//	ImportEnd       commit(1)                           0 or 1
+//	Mirror          del(1) key(8) val(8)                del 0 or 1
+//
+// OK response payloads:
+//
+//	ShardInfo       lo(8) hi(8) epoch(8) state(1)
+//	MapGet          map-blob(rest)
+//	HandoverStatus  state(1) copied(8) mirrored(8)
+//	ImportBatch     applied(8)
+//	MapSet/HandoverStart/ImportStart/ImportEnd/Mirror   —
+//
+// The map blob itself is opaque at this layer (internal/cluster defines
+// and validates its encoding); proto only bounds and transports it.
 package proto
 
 import (
@@ -121,6 +152,17 @@ const (
 	OpScanCancel // abandon a running scan (never answered)
 	OpScanChunk  //dytis:response-only one chunk of scan pairs
 	OpScanEnd    //dytis:response-only end of a scan stream
+
+	// Cluster opcodes (negotiated via FeatCluster; see the package comment).
+	OpShardInfo      // this server's owned range, map epoch, and handover state
+	OpMapGet         // fetch the server's current encoded shard map
+	OpMapSet         // install a shard map (admin/ctl; bumps the epoch)
+	OpHandoverStart  // begin migrating an owned subrange to a peer
+	OpHandoverStatus // poll the running handover's progress
+	OpImportStart    // peer-side: open an import session for a range
+	OpImportBatch    // peer-side: one bulk page of the session's pairs
+	OpImportEnd      // peer-side: close the session (commit or abort+scrub)
+	OpMirror         // peer-side: one double-written op during cutover
 
 	// NumOpcodes bounds the opcode space; valid opcodes are 1..NumOpcodes-1,
 	// so it can size per-opcode metric arrays.
@@ -160,6 +202,24 @@ func (o Opcode) String() string {
 		return "scan-chunk"
 	case OpScanEnd:
 		return "scan-end"
+	case OpShardInfo:
+		return "shard-info"
+	case OpMapGet:
+		return "map-get"
+	case OpMapSet:
+		return "map-set"
+	case OpHandoverStart:
+		return "handover-start"
+	case OpHandoverStatus:
+		return "handover-status"
+	case OpImportStart:
+		return "import-start"
+	case OpImportBatch:
+		return "import-batch"
+	case OpImportEnd:
+		return "import-end"
+	case OpMirror:
+		return "mirror"
 	}
 	return fmt.Sprintf("opcode(%d)", uint8(o))
 }
@@ -178,6 +238,12 @@ func (o Opcode) ValidResponse() bool { return o > OpInvalid && o < NumOpcodes }
 // canonical: the flag appears iff the budget is nonzero, and a decoder
 // rejects a zero budget carried under the flag.
 const FlagDeadline = 0x80
+
+// FlagEpoch, OR-ed into a request's opcode byte, announces a uint64
+// shard-map epoch after the optional deadline field (FeatCluster). Same
+// canonicality rule: the flag appears iff the epoch is nonzero (epochs
+// start at 1), and a decoder rejects a zero epoch under the flag.
+const FlagEpoch = 0x40
 
 // Protocol versions, negotiated via OpHello (see the package comment).
 const (
@@ -199,8 +265,13 @@ const (
 	// FeatScanStream enables OpScanStart/OpScanCredit/OpScanCancel and the
 	// OpScanChunk/OpScanEnd response stream.
 	FeatScanStream uint32 = 1 << 1
+	// FeatCluster enables the sharded-serving opcode family (OpShardInfo
+	// through OpMirror), FlagEpoch on requests, and StatusWrongShard
+	// redirects. A server only grants it when it is running with a cluster
+	// node (dytis-server -shard / -cluster).
+	FeatCluster uint32 = 1 << 2
 	// AllFeatures is every feature bit this package implements.
-	AllFeatures = FeatCRC | FeatScanStream
+	AllFeatures = FeatCRC | FeatScanStream | FeatCluster
 )
 
 // Status is the first payload byte of every response.
@@ -230,6 +301,12 @@ const (
 	// prefix — and the connection closes right after: a stream that has
 	// carried one corrupt frame cannot be trusted to stay aligned.
 	StatusChecksum
+	// StatusWrongShard: the request named a key this server does not own,
+	// or carried a shard-map epoch that is not the server's current one
+	// (FeatCluster). At v2 the response body carries the server's current
+	// encoded shard map (u32 length + blob) before the message, so a
+	// routing client can refresh its map and retry without a side channel.
+	StatusWrongShard
 )
 
 // Wire limits. A decoder rejects anything beyond them before allocating, so
@@ -246,6 +323,14 @@ const (
 	// MaxScanCredits bounds the outstanding chunk credits of one streaming
 	// scan, so a hostile peer cannot bank an unbounded window.
 	MaxScanCredits = 1 << 10
+	// MaxAddr bounds an endpoint address carried in a cluster frame
+	// (OpHandoverStart's target, the per-shard addresses of a map blob).
+	MaxAddr = 255
+	// MaxMapBlob bounds an encoded shard map carried in a cluster frame
+	// (OpMapSet, OpMapGet, StatusWrongShard): the decoder's allocation
+	// bound, far under maxBody. internal/cluster validates that the maps
+	// it encodes fit.
+	MaxMapBlob = 1 << 16
 
 	headerLen = 4     // length prefix
 	prefixLen = 8 + 1 // request id + opcode, present in every body
@@ -284,6 +369,18 @@ type Request struct {
 	Feats   uint32 // Hello: requested feature bits
 	ScanMax uint64 // ScanStart: total pair budget (0 = unbounded)
 	Credits uint32 // ScanStart: initial credit window; ScanCredit: credits granted
+
+	// Cluster fields (FeatCluster).
+
+	// Epoch, when nonzero, is the shard-map epoch the sender routed this
+	// request under (FlagEpoch on the wire). A server owning a different
+	// epoch answers StatusWrongShard instead of executing.
+	Epoch   uint64
+	Lo, Hi  uint64 // MapSet: self range; HandoverStart/ImportStart: moved range
+	Addr    string // HandoverStart: target endpoint
+	MapBlob []byte // MapSet: the encoded shard map to install
+	Commit  bool   // ImportEnd: commit (true) or abort+scrub (false)
+	Del     bool   // Mirror: the mirrored op is a delete
 }
 
 // Response is one decoded server response.
@@ -307,6 +404,17 @@ type Response struct {
 	// response. Protocol v2 carries it on the wire; on v1 it stays zero
 	// and RetryAfter falls back to parsing Msg.
 	RetryAfterMS uint32
+
+	// Cluster fields (FeatCluster).
+	Lo, Hi   uint64 // ShardInfo: owned range
+	Epoch    uint64 // ShardInfo: current shard-map epoch
+	State    uint8  // ShardInfo: serving state; HandoverStatus: handover state
+	Copied   uint64 // HandoverStatus: pairs bulk-copied so far
+	Mirrored uint64 // HandoverStatus: ops mirrored so far
+	Applied  uint64 // ImportBatch: pairs actually applied (duplicates skipped)
+	// MapBlob is the server's current encoded shard map: the MapGet answer,
+	// and on v2 the redirect payload of a StatusWrongShard response.
+	MapBlob []byte
 }
 
 // Err returns the response's error, nil for StatusOK.
@@ -347,11 +455,19 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	lenAt := len(dst)
 	dst = appendU32(dst, 0) // frame length, patched below
 	dst = appendU64(dst, r.ID)
+	opb := byte(r.Op)
 	if r.TimeoutMS != 0 {
-		dst = append(dst, byte(r.Op)|FlagDeadline)
+		opb |= FlagDeadline
+	}
+	if r.Epoch != 0 {
+		opb |= FlagEpoch
+	}
+	dst = append(dst, opb)
+	if r.TimeoutMS != 0 {
 		dst = appendU32(dst, r.TimeoutMS)
-	} else {
-		dst = append(dst, byte(r.Op))
+	}
+	if r.Epoch != 0 {
+		dst = appendU64(dst, r.Epoch)
 	}
 	//dytis:opswitch requests
 	switch r.Op {
@@ -407,6 +523,42 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		}
 		dst = appendU32(dst, r.Credits)
 	case OpScanCancel:
+	case OpShardInfo, OpMapGet, OpHandoverStatus:
+	case OpMapSet:
+		if len(r.MapBlob) == 0 || len(r.MapBlob) > MaxMapBlob {
+			return dst, fmt.Errorf("%w: map blob of %d bytes", ErrLimit, len(r.MapBlob))
+		}
+		dst = appendU64(dst, r.Lo)
+		dst = appendU64(dst, r.Hi)
+		dst = append(dst, r.MapBlob...)
+	case OpHandoverStart:
+		if len(r.Addr) == 0 || len(r.Addr) > MaxAddr {
+			return dst, fmt.Errorf("%w: address of %d bytes", ErrLimit, len(r.Addr))
+		}
+		dst = appendU64(dst, r.Lo)
+		dst = appendU64(dst, r.Hi)
+		dst = append(dst, r.Addr...)
+	case OpImportStart:
+		dst = appendU64(dst, r.Lo)
+		dst = appendU64(dst, r.Hi)
+	case OpImportBatch:
+		if len(r.Keys) > MaxBatch {
+			return dst, fmt.Errorf("%w: batch of %d", ErrLimit, len(r.Keys))
+		}
+		if len(r.Keys) != len(r.Vals) {
+			return dst, fmt.Errorf("proto: import batch keys/vals length mismatch (%d vs %d)", len(r.Keys), len(r.Vals))
+		}
+		dst = appendU32(dst, uint32(len(r.Keys)))
+		for i, k := range r.Keys {
+			dst = appendU64(dst, k)
+			dst = appendU64(dst, r.Vals[i])
+		}
+	case OpImportEnd:
+		dst = append(dst, boolByte(r.Commit))
+	case OpMirror:
+		dst = append(dst, boolByte(r.Del))
+		dst = appendU64(dst, r.Key)
+		dst = appendU64(dst, r.Val)
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
 	}
@@ -431,6 +583,13 @@ func AppendResponseV(dst []byte, r *Response, ver uint8) ([]byte, error) {
 	if r.Status != StatusOK {
 		if r.Status == StatusOverload && ver >= Version2 {
 			dst = appendU32(dst, r.RetryAfterMS)
+		}
+		if r.Status == StatusWrongShard && ver >= Version2 {
+			if len(r.MapBlob) > MaxMapBlob {
+				return dst, fmt.Errorf("%w: map blob of %d bytes", ErrLimit, len(r.MapBlob))
+			}
+			dst = appendU32(dst, uint32(len(r.MapBlob)))
+			dst = append(dst, r.MapBlob...)
 		}
 		dst = append(dst, r.Msg...)
 		return patchLen(dst, lenAt)
@@ -488,6 +647,23 @@ func AppendResponseV(dst []byte, r *Response, ver uint8) ([]byte, error) {
 		}
 	case OpScanEnd:
 		dst = appendU64(dst, r.Val)
+	case OpShardInfo:
+		dst = appendU64(dst, r.Lo)
+		dst = appendU64(dst, r.Hi)
+		dst = appendU64(dst, r.Epoch)
+		dst = append(dst, r.State)
+	case OpMapGet:
+		if len(r.MapBlob) == 0 || len(r.MapBlob) > MaxMapBlob {
+			return dst, fmt.Errorf("%w: map blob of %d bytes", ErrLimit, len(r.MapBlob))
+		}
+		dst = append(dst, r.MapBlob...)
+	case OpHandoverStatus:
+		dst = append(dst, r.State)
+		dst = appendU64(dst, r.Copied)
+		dst = appendU64(dst, r.Mirrored)
+	case OpImportBatch:
+		dst = appendU64(dst, r.Applied)
+	case OpMapSet, OpHandoverStart, OpImportStart, OpImportEnd, OpMirror:
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
 	}
@@ -588,7 +764,7 @@ func DecodeRequest(body []byte, req *Request) error {
 	if err != nil {
 		return err
 	}
-	op := Opcode(opb &^ FlagDeadline)
+	op := Opcode(opb &^ (FlagDeadline | FlagEpoch))
 	if !op.Valid() {
 		return fmt.Errorf("%w: %d", ErrBadOpcode, opb)
 	}
@@ -603,7 +779,21 @@ func DecodeRequest(body []byte, req *Request) error {
 			return fmt.Errorf("proto: deadline flag with zero budget")
 		}
 	}
-	*req = Request{ID: id, Op: op, TimeoutMS: timeoutMS, Keys: req.Keys[:0], Vals: req.Vals[:0]}
+	var epoch uint64
+	if opb&FlagEpoch != 0 {
+		if epoch, err = rd.u64(); err != nil {
+			return err
+		}
+		if epoch == 0 {
+			// Same canonicality rule as the deadline flag: epochs start at 1,
+			// so a zero epoch is only ever the flag misapplied.
+			return fmt.Errorf("proto: epoch flag with zero epoch")
+		}
+	}
+	*req = Request{
+		ID: id, Op: op, TimeoutMS: timeoutMS, Epoch: epoch,
+		Keys: req.Keys[:0], Vals: req.Vals[:0], MapBlob: req.MapBlob[:0],
+	}
 	//dytis:opswitch requests
 	switch op {
 	case OpPing, OpLen:
@@ -682,6 +872,76 @@ func DecodeRequest(body []byte, req *Request) error {
 			return fmt.Errorf("%w: scan credits %d", ErrLimit, req.Credits)
 		}
 	case OpScanCancel:
+	case OpShardInfo, OpMapGet, OpHandoverStatus:
+	case OpMapSet:
+		if req.Lo, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Hi, err = rd.u64(); err != nil {
+			return err
+		}
+		n := rd.remaining()
+		if n == 0 || n > MaxMapBlob {
+			return fmt.Errorf("%w: map blob of %d bytes", ErrLimit, n)
+		}
+		req.MapBlob = append(req.MapBlob, rd.b[rd.off:]...)
+		rd.off = len(rd.b)
+	case OpHandoverStart:
+		if req.Lo, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Hi, err = rd.u64(); err != nil {
+			return err
+		}
+		n := rd.remaining()
+		if n == 0 || n > MaxAddr {
+			return fmt.Errorf("%w: address of %d bytes", ErrLimit, n)
+		}
+		req.Addr = string(rd.b[rd.off:])
+		rd.off = len(rd.b)
+	case OpImportStart:
+		if req.Lo, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Hi, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpImportBatch:
+		n, err := rd.count(MaxBatch, 16)
+		if err != nil {
+			return err
+		}
+		req.Keys = growTo(req.Keys, n)
+		req.Vals = growTo(req.Vals, n)
+		for i := 0; i < n; i++ {
+			req.Keys[i], _ = rd.u64()
+			req.Vals[i], _ = rd.u64()
+		}
+	case OpImportEnd:
+		b, err := rd.u8()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			// Two spellings of one request would break canonicality.
+			return fmt.Errorf("proto: import-end commit byte %d", b)
+		}
+		req.Commit = b != 0
+	case OpMirror:
+		b, err := rd.u8()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("proto: mirror del byte %d", b)
+		}
+		req.Del = b != 0
+		if req.Key, err = rd.u64(); err != nil {
+			return err
+		}
+		if req.Val, err = rd.u64(); err != nil {
+			return err
+		}
 	}
 	return rd.done()
 }
@@ -715,12 +975,24 @@ func DecodeResponseV(body []byte, resp *Response, ver uint8) error {
 	*resp = Response{
 		ID: id, Op: op, Status: Status(st),
 		Keys: resp.Keys[:0], Vals: resp.Vals[:0], Founds: resp.Founds[:0],
+		MapBlob: resp.MapBlob[:0],
 	}
 	if resp.Status != StatusOK {
 		if resp.Status == StatusOverload && ver >= Version2 {
 			if resp.RetryAfterMS, err = rd.u32(); err != nil {
 				return err
 			}
+		}
+		if resp.Status == StatusWrongShard && ver >= Version2 {
+			blobLen, err := rd.u32()
+			if err != nil {
+				return err
+			}
+			if int(blobLen) > MaxMapBlob || int(blobLen) > rd.remaining() {
+				return fmt.Errorf("%w: wrong-shard map blob of %d bytes, %d remain", ErrLimit, blobLen, rd.remaining())
+			}
+			resp.MapBlob = append(resp.MapBlob, rd.b[rd.off:rd.off+int(blobLen)]...)
+			rd.off += int(blobLen)
 		}
 		resp.Msg = string(rd.b[rd.off:])
 		return nil
@@ -803,6 +1075,41 @@ func DecodeResponseV(body []byte, resp *Response, ver uint8) error {
 		if resp.Val, err = rd.u64(); err != nil {
 			return err
 		}
+	case OpShardInfo:
+		if resp.Lo, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Hi, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Epoch, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.State, err = rd.u8(); err != nil {
+			return err
+		}
+	case OpMapGet:
+		n := rd.remaining()
+		if n == 0 || n > MaxMapBlob {
+			return fmt.Errorf("%w: map blob of %d bytes", ErrLimit, n)
+		}
+		resp.MapBlob = append(resp.MapBlob, rd.b[rd.off:]...)
+		rd.off = len(rd.b)
+	case OpHandoverStatus:
+		if resp.State, err = rd.u8(); err != nil {
+			return err
+		}
+		if resp.Copied, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Mirrored, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpImportBatch:
+		if resp.Applied, err = rd.u64(); err != nil {
+			return err
+		}
+	case OpMapSet, OpHandoverStart, OpImportStart, OpImportEnd, OpMirror:
 	}
 	return rd.done()
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dytis/internal/cluster"
 	"dytis/internal/kv"
 	"dytis/internal/proto"
 )
@@ -174,7 +175,10 @@ func (c *conn) dispatch(arrival time.Time) bool {
 	cfg := &c.srv.cfg
 	req := &c.req
 	switch req.Op {
-	case proto.OpHello, proto.OpScanStart, proto.OpScanCredit, proto.OpScanCancel:
+	case proto.OpHello, proto.OpScanStart, proto.OpScanCredit, proto.OpScanCancel,
+		proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
+		proto.OpHandoverStart, proto.OpHandoverStatus,
+		proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd, proto.OpMirror:
 		if cfg.DisableV2 {
 			// Emulate a pre-v2 server byte for byte: before the handshake
 			// existed these opcodes failed request decoding, which answered
@@ -187,9 +191,27 @@ func (c *conn) dispatch(arrival time.Time) bool {
 			if req.TimeoutMS != 0 {
 				opb |= proto.FlagDeadline
 			}
+			if req.Epoch != 0 {
+				opb |= proto.FlagEpoch
+			}
 			c.send(&proto.Response{
 				ID: req.ID, Op: proto.OpPing, Status: proto.StatusBadRequest,
 				Msg: fmt.Sprintf("proto: unknown opcode: %d", opb),
+			})
+			return false
+		}
+	}
+	switch req.Op {
+	case proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
+		proto.OpHandoverStart, proto.OpHandoverStatus,
+		proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd, proto.OpMirror:
+		// Cluster opcodes need the feature negotiated, which a non-cluster
+		// server never grants; a peer using them anyway is broken, so the
+		// connection quarantines like any other feature violation.
+		if cfg.Cluster == nil || c.feats&proto.FeatCluster == 0 {
+			c.send(&proto.Response{
+				ID: req.ID, Op: req.Op, Status: proto.StatusBadRequest,
+				Msg: "cluster: feature not negotiated",
 			})
 			return false
 		}
@@ -226,6 +248,13 @@ func (c *conn) handleHello(arrival time.Time) bool {
 	if req.Ver >= proto.Version2 {
 		ver = proto.Version2
 		feats = req.Feats & proto.AllFeatures
+		if c.srv.cfg.Cluster == nil {
+			// A non-cluster server must not advertise the cluster opcode
+			// family: pre-cluster peers depend on the exact grant
+			// (compat tests pin it), and granting it would invite opcodes
+			// the execute path cannot serve.
+			feats &^= proto.FeatCluster
+		}
 	}
 	resp.Ver, resp.Feats = ver, feats
 	if m := c.srv.cfg.Metrics; m != nil {
@@ -367,37 +396,150 @@ func (c *conn) execute(req *proto.Request, resp *proto.Response) (panicked bool)
 		}
 	}()
 	idx := c.srv.cfg.Index
+	node := c.srv.cfg.Cluster
 	//dytis:opswitch requests group=serve
 	switch req.Op {
 	case proto.OpPing:
 	case proto.OpGet:
-		resp.Val, resp.Found = idx.Get(req.Key)
+		if node != nil {
+			v, found, err := node.Get(req.Key)
+			if err != nil {
+				c.clusterErr(resp, err)
+			} else {
+				resp.Val, resp.Found = v, found
+			}
+		} else {
+			resp.Val, resp.Found = idx.Get(req.Key)
+		}
 	case proto.OpInsert:
-		idx.Insert(req.Key, req.Val)
+		if node != nil {
+			if err := node.Insert(req.Key, req.Val); err != nil {
+				c.clusterErr(resp, err)
+			}
+		} else {
+			idx.Insert(req.Key, req.Val)
+		}
 	case proto.OpDelete:
-		resp.Found = idx.Delete(req.Key)
+		if node != nil {
+			found, err := node.Delete(req.Key)
+			if err != nil {
+				c.clusterErr(resp, err)
+			} else {
+				resp.Found = found
+			}
+		} else {
+			resp.Found = idx.Delete(req.Key)
+		}
 	case proto.OpScan:
-		c.kvBuf = idx.Scan(req.Key, int(req.Max), c.kvBuf[:0])
+		if node != nil {
+			var err error
+			c.kvBuf, _, err = node.Scan(req.Epoch, req.Key, int(req.Max), c.kvBuf[:0])
+			if err != nil {
+				c.clusterErr(resp, err)
+				break
+			}
+		} else {
+			c.kvBuf = idx.Scan(req.Key, int(req.Max), c.kvBuf[:0])
+		}
 		for _, p := range c.kvBuf {
 			resp.Keys = append(resp.Keys, p.Key)
 			resp.Vals = append(resp.Vals, p.Value)
 		}
 	case proto.OpGetBatch:
-		resp.Vals, resp.Founds = idx.GetBatch(req.Keys, resp.Vals, resp.Founds)
+		if node != nil {
+			var err error
+			resp.Vals, resp.Founds, err = node.GetBatch(req.Keys, resp.Vals, resp.Founds)
+			if err != nil {
+				c.clusterErr(resp, err)
+			}
+		} else {
+			resp.Vals, resp.Founds = idx.GetBatch(req.Keys, resp.Vals, resp.Founds)
+		}
 	case proto.OpInsertBatch:
-		if err := idx.InsertBatch(req.Keys, req.Vals); err != nil {
-			resp.Status, resp.Msg = proto.StatusErr, err.Error()
+		var err error
+		if node != nil {
+			err = node.InsertBatch(req.Keys, req.Vals)
+		} else {
+			err = idx.InsertBatch(req.Keys, req.Vals)
+		}
+		if err != nil {
+			c.clusterErr(resp, err)
 		}
 	case proto.OpDeleteBatch:
 		var err error
-		resp.Founds, err = idx.DeleteBatch(req.Keys, resp.Founds)
+		if node != nil {
+			resp.Founds, err = node.DeleteBatch(req.Keys, resp.Founds)
+		} else {
+			resp.Founds, err = idx.DeleteBatch(req.Keys, resp.Founds)
+		}
 		if err != nil {
-			resp.Status, resp.Msg = proto.StatusErr, err.Error()
+			c.clusterErr(resp, err)
 		}
 	case proto.OpLen:
 		resp.Val = uint64(idx.Len())
+
+	// Cluster opcode family; dispatch admits these only on a cluster
+	// server with FeatCluster negotiated, so node is non-nil here.
+	case proto.OpShardInfo:
+		resp.Lo, resp.Hi, resp.Epoch, resp.State = node.Info()
+	case proto.OpMapGet:
+		blob := node.MapBlob()
+		if len(blob) == 0 {
+			resp.Status, resp.Msg = proto.StatusErr, "cluster: no shard map installed"
+		} else {
+			resp.MapBlob = blob
+		}
+	case proto.OpMapSet:
+		if err := node.SetMap(req.Lo, req.Hi, req.MapBlob); err != nil {
+			c.clusterErr(resp, err)
+		}
+	case proto.OpHandoverStart:
+		if err := node.StartHandover(req.Lo, req.Hi, req.Addr); err != nil {
+			c.clusterErr(resp, err)
+		} else if m := c.srv.cfg.Metrics; m != nil {
+			m.handoverStarted()
+		}
+	case proto.OpHandoverStatus:
+		resp.State, resp.Copied, resp.Mirrored = node.HandoverStatus()
+	case proto.OpImportStart:
+		if err := node.ImportStart(req.Lo, req.Hi); err != nil {
+			c.clusterErr(resp, err)
+		}
+	case proto.OpImportBatch:
+		applied, err := node.ImportBatch(req.Keys, req.Vals)
+		if err != nil {
+			c.clusterErr(resp, err)
+		} else {
+			resp.Applied = applied
+		}
+	case proto.OpImportEnd:
+		if err := node.ImportEnd(req.Commit); err != nil {
+			c.clusterErr(resp, err)
+		}
+	case proto.OpMirror:
+		if err := node.MirrorApply(req.Del, req.Key, req.Val); err != nil {
+			c.clusterErr(resp, err)
+		}
 	}
 	return false
+}
+
+// clusterErr books a cluster-layer error into resp: an ownership (or epoch)
+// miss becomes StatusWrongShard with the node's current map attached — the
+// redirect a routing client refreshes from — and anything else is a plain
+// StatusErr.
+func (c *conn) clusterErr(resp *proto.Response, err error) {
+	if errors.Is(err, cluster.ErrWrongShard) {
+		if m := c.srv.cfg.Metrics; m != nil {
+			m.wrongShard()
+		}
+		resp.Status, resp.Msg = proto.StatusWrongShard, err.Error()
+		if node := c.srv.cfg.Cluster; node != nil {
+			resp.MapBlob = node.MapBlob()
+		}
+		return
+	}
+	resp.Status, resp.Msg = proto.StatusErr, err.Error()
 }
 
 // batchSize is the operation count a request represents, for metrics.

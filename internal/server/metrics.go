@@ -63,6 +63,13 @@ type Metrics struct {
 	scanChunks atomic.Int64 // scan chunks produced (empty final pages included)
 	//dytis:series dytis_server_out_queue_peak_bytes
 	outQueuePeak atomic.Int64 // peak bytes queued on any one conn's out channel
+
+	// Cluster counters (FeatCluster).
+
+	//dytis:series dytis_server_wrong_shard_total
+	wrongShards atomic.Int64 // requests redirected with StatusWrongShard
+	//dytis:series dytis_server_handovers_started_total
+	handovers atomic.Int64 // shard handovers this node originated
 }
 
 func (m *Metrics) connAccepted() {
@@ -89,6 +96,10 @@ func (m *Metrics) frameChecksum() { m.frameChecksums.Add(1) }
 func (m *Metrics) scanStream() { m.scanStreams.Add(1) }
 
 func (m *Metrics) scanChunk() { m.scanChunks.Add(1) }
+
+func (m *Metrics) wrongShard() { m.wrongShards.Add(1) }
+
+func (m *Metrics) handoverStarted() { m.handovers.Add(1) }
 
 // noteOutQueue folds one observed out-channel byte depth into the peak.
 func (m *Metrics) noteOutQueue(n int64) {
@@ -169,6 +180,14 @@ func (m *Metrics) ScanStreams() int64 { return m.scanStreams.Load() }
 // ScanChunks returns the number of scan chunks produced.
 func (m *Metrics) ScanChunks() int64 { return m.scanChunks.Load() }
 
+// WrongShards returns the number of requests redirected with
+// StatusWrongShard (key outside the owned range, or a stale scan epoch).
+func (m *Metrics) WrongShards() int64 { return m.wrongShards.Load() }
+
+// HandoversStarted returns the number of shard handovers this node
+// originated.
+func (m *Metrics) HandoversStarted() int64 { return m.handovers.Load() }
+
 // OutQueuePeakBytes returns the peak byte depth observed on any single
 // connection's outbound response queue — the number that proves a streamed
 // scan's server-side buffering stays bounded by the credit window instead of
@@ -223,6 +242,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"dytis_server_scan_streams_total", "Streaming scans started.", m.ScanStreams()},
 		{"dytis_server_scan_chunks_total", "Scan chunks produced.", m.ScanChunks()},
 		{"dytis_server_out_queue_peak_bytes", "Peak bytes queued on any one connection's outbound response queue.", m.OutQueuePeakBytes()},
+		{"dytis_server_wrong_shard_total", "Requests redirected with StatusWrongShard.", m.WrongShards()},
+		{"dytis_server_handovers_started_total", "Shard handovers this node originated.", m.HandoversStarted()},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)

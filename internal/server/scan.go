@@ -39,6 +39,7 @@ type scanStream struct {
 	next  uint64 // next page's start key
 	max   uint64 // total pair budget, 0 = unbounded
 	chunk int    // per-chunk pair bound
+	epoch uint64 // shard-map epoch the stream is pinned to (cluster only)
 
 	mu      sync.Mutex
 	credits uint32        // guarded-by: mu
@@ -83,6 +84,7 @@ func (c *conn) handleScanStart(arrival time.Time) bool {
 	}
 	s := &scanStream{
 		c: c, id: req.ID, next: req.Key, max: req.ScanMax, chunk: int(req.Max),
+		epoch:   req.Epoch,
 		credits: req.Credits,
 		signal:  make(chan struct{}, 1),
 		cancel:  make(chan struct{}),
@@ -233,7 +235,28 @@ func (s *scanStream) run() {
 			}
 		}
 		t0 := time.Now()
-		buf = c.srv.cfg.Index.Scan(s.next, page, buf[:0])
+		// rangeDone is the cluster node's "owned range exhausted" signal; a
+		// single-index scan learns the same thing from a short page only.
+		var rangeDone bool
+		if node := c.srv.cfg.Cluster; node != nil {
+			var err error
+			buf, rangeDone, err = node.Scan(s.epoch, s.next, page, buf[:0])
+			if err != nil {
+				// The map moved under the stream (or it started on the wrong
+				// shard): end it with the redirect rather than truncating
+				// silently, and let the client restart against the new map.
+				if g := c.srv.inflight; g != nil {
+					<-g
+				}
+				if m := c.srv.cfg.Metrics; m != nil {
+					m.wrongShard()
+				}
+				s.end(proto.StatusWrongShard, err.Error(), delivered)
+				return
+			}
+		} else {
+			buf = c.srv.cfg.Index.Scan(s.next, page, buf[:0])
+		}
 		if g := c.srv.inflight; g != nil {
 			<-g
 		}
@@ -252,7 +275,7 @@ func (s *scanStream) run() {
 				return // encode bug; the connection is coming down
 			}
 		}
-		done := len(buf) < page || (s.max > 0 && delivered >= s.max)
+		done := rangeDone || len(buf) < page || (s.max > 0 && delivered >= s.max)
 		if !done {
 			if last := buf[len(buf)-1].Key; last == ^uint64(0) {
 				done = true // key space exhausted; last+1 would wrap to 0
@@ -268,7 +291,14 @@ func (s *scanStream) run() {
 }
 
 // end queues the stream's OpScanEnd frame. total only travels on StatusOK
-// (error responses carry just the message).
+// (error responses carry just the message); a wrong-shard end attaches the
+// node's current map so the client can re-route without an extra round trip.
 func (s *scanStream) end(st proto.Status, msg string, total uint64) {
-	s.c.send(&proto.Response{ID: s.id, Op: proto.OpScanEnd, Status: st, Msg: msg, Val: total})
+	resp := proto.Response{ID: s.id, Op: proto.OpScanEnd, Status: st, Msg: msg, Val: total}
+	if st == proto.StatusWrongShard {
+		if node := s.c.srv.cfg.Cluster; node != nil {
+			resp.MapBlob = node.MapBlob()
+		}
+	}
+	s.c.send(&resp)
 }

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"dytis/internal/cluster"
 	"dytis/internal/kv"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	Metrics *Metrics
 	// Logf, when non-nil, receives one line per abnormal connection end.
 	Logf func(format string, args ...any)
+
+	// Cluster, when non-nil, makes this a shard server: every data
+	// operation routes through the node's ownership check (out-of-range
+	// keys answer StatusWrongShard with the current map attached), and the
+	// cluster opcode family unlocks behind FeatCluster. Nil serves the
+	// whole key space exactly as before, and FeatCluster is never granted.
+	Cluster *cluster.Node
 
 	// IdleTimeout bounds how long a connection may sit between requests
 	// (measured to the arrival of the next frame header). Zero disables it.

@@ -1,0 +1,32 @@
+package workload
+
+// Partition splits an op stream by key range into n substreams, substream i
+// receiving the ops whose keys fall in the i-th of n equal contiguous MSB
+// ranges — the same partitioning a uniform cluster shard map applies
+// (cluster.Uniform), so substream i is exactly the traffic shard i would
+// see. Each op keeps its relative order within its substream. Unlike
+// Stripe, the substreams are as skewed as the key distribution is: that is
+// the point — cluster benchmarking wants per-shard load to mirror the
+// distribution, not be rebalanced by the harness.
+//
+// n < 1 clamps to 1. The returned slices alias freshly allocated arrays,
+// not ops.
+func Partition(ops []Op, n int) [][]Op {
+	if n < 1 {
+		n = 1
+	}
+	width := ^uint64(0)/uint64(n) + 1
+	out := make([][]Op, n)
+	for _, op := range ops {
+		i := n - 1
+		if width != 0 {
+			// width is 0 only when n == 1 (2^64 overflows); any key maps to
+			// the single partition then.
+			if j := int(op.Key / width); j < i {
+				i = j
+			}
+		}
+		out[i] = append(out[i], op)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package workload
+
+import "testing"
+
+func TestPartitionRoutesByRange(t *testing.T) {
+	const n = 4
+	width := ^uint64(0)/n + 1
+	ops := []Op{
+		{Type: OpInsert, Key: 0},
+		{Type: OpInsert, Key: width - 1},
+		{Type: OpInsert, Key: width},
+		{Type: OpRead, Key: 2*width + 5},
+		{Type: OpRead, Key: ^uint64(0)},
+		{Type: OpInsert, Key: 1},
+	}
+	parts := Partition(ops, n)
+	if len(parts) != n {
+		t.Fatalf("got %d partitions, want %d", len(parts), n)
+	}
+	wantKeys := [][]uint64{
+		{0, width - 1, 1},
+		{width},
+		{2*width + 5},
+		{^uint64(0)},
+	}
+	for i, want := range wantKeys {
+		if len(parts[i]) != len(want) {
+			t.Fatalf("partition %d has %d ops, want %d", i, len(parts[i]), len(want))
+		}
+		for j, k := range want {
+			if parts[i][j].Key != k {
+				t.Errorf("partition %d op %d key = %#x, want %#x (order must be preserved)", i, j, parts[i][j].Key, k)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversAllOps(t *testing.T) {
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = mix64(uint64(i)) // spread over the whole key space
+	}
+	p := Build(Config{Kind: A, Keys: keys, Ops: 1000, Seed: 7})
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		parts := Partition(p.Ops, n)
+		total := 0
+		width := ^uint64(0)/uint64(n) + 1
+		for i, p := range parts {
+			total += len(p)
+			for _, op := range p {
+				got := n - 1
+				if width != 0 {
+					if j := int(op.Key / width); j < got {
+						got = j
+					}
+				}
+				if got != i {
+					t.Fatalf("n=%d: key %#x landed in partition %d, want %d", n, op.Key, i, got)
+				}
+			}
+		}
+		if total != len(p.Ops) {
+			t.Fatalf("n=%d: partitions hold %d ops, input had %d", n, total, len(p.Ops))
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	// n < 1 clamps to a single partition holding everything in order.
+	ops := []Op{{Key: 3}, {Key: ^uint64(0)}, {Key: 0}}
+	one := Partition(ops, 0)
+	if len(one) != 1 || len(one[0]) != len(ops) {
+		t.Fatalf("Partition(ops, 0) = %d partitions of %d ops, want 1 of %d", len(one), len(one[0]), len(ops))
+	}
+	for i, op := range one[0] {
+		if op.Key != ops[i].Key {
+			t.Fatalf("single partition reordered ops: %v", one[0])
+		}
+	}
+
+	// Empty input still yields n (empty) partitions.
+	empty := Partition(nil, 4)
+	if len(empty) != 4 {
+		t.Fatalf("Partition(nil, 4) = %d partitions, want 4", len(empty))
+	}
+	for i, p := range empty {
+		if len(p) != 0 {
+			t.Fatalf("partition %d of empty input has %d ops", i, len(p))
+		}
+	}
+
+	// More partitions than ops: everything lands by range, the rest empty.
+	sparse := Partition([]Op{{Key: 0}}, 8)
+	if len(sparse[0]) != 1 {
+		t.Fatalf("key 0 not in partition 0: %v", sparse)
+	}
+	for i := 1; i < 8; i++ {
+		if len(sparse[i]) != 0 {
+			t.Fatalf("partition %d unexpectedly non-empty", i)
+		}
+	}
+
+	// Returned slices must not alias the input.
+	in := []Op{{Key: 1, Val: 10}}
+	p := Partition(in, 1)
+	p[0][0].Val = 99
+	if in[0].Val != 10 {
+		t.Fatal("Partition aliased the input slice")
+	}
+}
