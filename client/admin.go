@@ -32,6 +32,17 @@ type HandoverProgress struct {
 	Copied uint64
 	// Mirrored counts writes double-written to the target so far.
 	Mirrored uint64
+	// Retries counts peer calls (bulk pages and mirrors) that were retried.
+	Retries uint64
+	// Resumes counts how many times a suspended handover was resumed.
+	Resumes uint64
+	// Watermark is the next bulk-copy key: everything in [Lo, Watermark)
+	// has already landed on the target, so a resume restarts there.
+	Watermark uint64
+	// Lo, Hi is the moving range; Target is the receiving server's address.
+	// All three are zero-valued when the server has no handover.
+	Lo, Hi uint64
+	Target string
 }
 
 // ShardInfo asks the server for its owned range, epoch, and handover state.
@@ -78,7 +89,28 @@ func (c *Client) HandoverStatus(ctx context.Context) (HandoverProgress, error) {
 	if err != nil {
 		return HandoverProgress{}, err
 	}
-	return HandoverProgress{State: resp.State, Copied: resp.Copied, Mirrored: resp.Mirrored}, nil
+	return HandoverProgress{
+		State: resp.State, Copied: resp.Copied, Mirrored: resp.Mirrored,
+		Retries: resp.Retries, Resumes: resp.Resumes, Watermark: resp.Watermark,
+		Lo: resp.Lo, Hi: resp.Hi, Target: resp.Addr,
+	}, nil
+}
+
+// HandoverResume tells the server to resume its suspended handover: redial
+// the target, replay writes journaled while suspended, and continue the
+// bulk copy from the watermark (or from scratch if the target restarted
+// empty). Fails if the server has no handover or it is not suspended.
+func (c *Client) HandoverResume(ctx context.Context) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpHandoverResume})
+	return err
+}
+
+// HandoverAbort abandons the server's current handover in any state,
+// scrubbing the partially-imported range from the target (best-effort when
+// the target is unreachable). The server can then start a fresh handover.
+func (c *Client) HandoverAbort(ctx context.Context) error {
+	_, err := c.do(ctx, &proto.Request{Op: proto.OpHandoverAbort})
+	return err
 }
 
 // ImportStart opens an import session for [lo, hi] on the server — the
@@ -104,6 +136,19 @@ func (c *Client) ImportBatch(ctx context.Context, keys, vals []uint64) (applied 
 func (c *Client) ImportEnd(ctx context.Context, commit bool) error {
 	_, err := c.do(ctx, &proto.Request{Op: proto.OpImportEnd, Commit: commit})
 	return err
+}
+
+// ImportResume re-attaches to an import session for [lo, hi] on the server
+// after the source's handover was suspended. If the session survived, fresh
+// is false and applied reports how many pairs it already holds; if the
+// server restarted (session lost), a new empty session is opened and fresh
+// is true, telling the source to recopy from scratch. Server-to-server use.
+func (c *Client) ImportResume(ctx context.Context, lo, hi uint64) (fresh bool, applied uint64, err error) {
+	resp, err := c.do(ctx, &proto.Request{Op: proto.OpImportResume, Lo: lo, Hi: hi})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Fresh, resp.Applied, nil
 }
 
 // Mirror applies one double-written operation on the handover target: a

@@ -33,6 +33,52 @@ const (
 // provide a shard map.
 var ErrNoShardMap = errors.New("client: no seed server has a shard map installed")
 
+// ErrRouting matches (via errors.Is) operations the router gave up on after
+// exhausting its redirect-retry budget: the shard map was churning faster
+// than this client could follow, or the cluster is misconfigured. It is a
+// routing outcome, not a data error — the operation may be retried whole.
+// errors.As with *RoutingError recovers the attempt count and last cause.
+var ErrRouting = errors.New("client: routing exhausted")
+
+// RoutingError is the typed error of an operation that was still being
+// redirected (or re-split) when the router ran out of attempts.
+type RoutingError struct {
+	// Op names the routed operation ("point op", "batch", "scan").
+	Op string
+	// Attempts is how many routing rounds were spent.
+	Attempts int
+	// Pending is how many keys were still unrouted when the budget ran out
+	// (1 for point operations, 0 when the count is not per-key).
+	Pending int
+	// LastErr is the final redirect or refresh failure observed.
+	LastErr error
+}
+
+func (e *RoutingError) Error() string {
+	if e.Pending > 1 {
+		return fmt.Sprintf("client: %s: %d keys still redirected after %d attempts: %v",
+			e.Op, e.Pending, e.Attempts, e.LastErr)
+	}
+	return fmt.Sprintf("client: %s still redirected after %d attempts: %v", e.Op, e.Attempts, e.LastErr)
+}
+
+func (e *RoutingError) Unwrap() error { return e.LastErr }
+
+// Is makes errors.Is(err, ErrRouting) match.
+func (e *RoutingError) Is(target error) bool { return target == ErrRouting }
+
+// EndpointHealth is the router's view of one endpoint, snapshotted by
+// Health. An endpoint is healthy while its operations complete — any
+// response counts, including redirects and overload sheds; only transport
+// failures (dial errors, timeouts, dead connections) count against it.
+type EndpointHealth struct {
+	Addr string
+	// Fails counts consecutive transport failures; 0 means healthy.
+	Fails int
+	// LastErr is the failure that set Fails, nil when healthy.
+	LastErr error
+}
+
 // Cluster routes operations across a sharded dytis deployment. Create with
 // DialCluster; all methods are safe for concurrent use. Close closes every
 // per-shard client.
@@ -40,10 +86,11 @@ type Cluster struct {
 	opts []Option
 
 	mu      sync.RWMutex
-	m       *cluster.Map       // guarded-by: mu — latest adopted map
-	blob    []byte             // guarded-by: mu — its encoded form
-	clients map[string]*Client // guarded-by: mu — per-address pooled clients
-	closed  bool               // guarded-by: mu
+	m       *cluster.Map               // guarded-by: mu — latest adopted map
+	blob    []byte                     // guarded-by: mu — its encoded form
+	clients map[string]*Client         // guarded-by: mu — per-address pooled clients
+	health  map[string]*EndpointHealth // guarded-by: mu — per-address failure streaks
+	closed  bool                       // guarded-by: mu
 }
 
 // DialCluster connects to a sharded deployment: it dials seeds in order
@@ -61,7 +108,11 @@ func DialCluster(seeds []string, opts ...Option) (*Cluster, error) {
 	if o.forceV1 {
 		return nil, errors.New("client: WithV1Protocol conflicts with cluster routing (FeatCluster is v2)")
 	}
-	cl := &Cluster{opts: opts, clients: make(map[string]*Client)}
+	cl := &Cluster{
+		opts:    opts,
+		clients: make(map[string]*Client),
+		health:  make(map[string]*EndpointHealth),
+	}
 	var lastErr error = ErrNoShardMap
 	for _, addr := range seeds {
 		c, err := cl.client(addr)
@@ -153,6 +204,68 @@ func (cl *Cluster) client(addr string) (*Client, error) {
 	return c, nil
 }
 
+// noteResult feeds one operation's outcome into the endpoint's health
+// streak. A server that answered — even with a redirect or an overload
+// shed — is alive; only transport-level failures count against it. A
+// caller-canceled context says nothing about the endpoint and is neutral.
+func (cl *Cluster) noteResult(addr string, err error) {
+	healthy := err == nil || errors.Is(err, ErrWrongShard) || errors.Is(err, ErrOverload)
+	if !healthy && errors.Is(err, context.Canceled) {
+		return
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return
+	}
+	h := cl.health[addr]
+	if h == nil {
+		if healthy {
+			return // nothing to reset
+		}
+		h = &EndpointHealth{Addr: addr}
+		cl.health[addr] = h
+	}
+	if healthy {
+		h.Fails, h.LastErr = 0, nil
+	} else {
+		h.Fails++
+		h.LastErr = err
+	}
+}
+
+// Health snapshots the router's per-endpoint failure streaks, one entry per
+// endpoint the router has talked to, in no particular order. Endpoints with
+// Fails == 0 are considered healthy; the router itself uses the streaks to
+// order endpoints when any of them can serve (Refresh), never to refuse the
+// sole owner of a key.
+func (cl *Cluster) Health() []EndpointHealth {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make([]EndpointHealth, 0, len(cl.health))
+	for _, h := range cl.health {
+		out = append(out, *h)
+	}
+	return out
+}
+
+// healthyFirst orders addrs so endpoints with no active failure streak come
+// before ones mid-streak, preserving relative order within each class.
+func (cl *Cluster) healthyFirst(addrs []string) []string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make([]string, 0, len(addrs))
+	var sick []string
+	for _, a := range addrs {
+		if h := cl.health[a]; h != nil && h.Fails > 0 {
+			sick = append(sick, a)
+			continue
+		}
+		out = append(out, a)
+	}
+	return append(out, sick...)
+}
+
 // snapshot returns the current map, failing when none is installed.
 func (cl *Cluster) snapshot() (*cluster.Map, error) {
 	cl.mu.RLock()
@@ -194,13 +307,15 @@ func (cl *Cluster) Refresh(ctx context.Context) error {
 		return err
 	}
 	var lastErr error
-	for _, s := range m.Shards {
-		c, err := cl.client(s.Addr)
+	for _, addr := range cl.healthyFirst(shardAddrs(m)) {
+		c, err := cl.client(addr)
 		if err != nil {
+			cl.noteResult(addr, err)
 			lastErr = err
 			continue
 		}
 		blob, err := c.ShardMap(ctx)
+		cl.noteResult(addr, err)
 		if err != nil {
 			lastErr = err
 			continue
@@ -220,11 +335,14 @@ func (cl *Cluster) withKey(ctx context.Context, key uint64, op func(c *Client) e
 		if err != nil {
 			return err
 		}
-		c, err := cl.client(m.Owner(key).Addr)
+		addr := m.Owner(key).Addr
+		c, err := cl.client(addr)
 		if err != nil {
+			cl.noteResult(addr, err)
 			return err
 		}
 		err = op(c)
+		cl.noteResult(addr, err)
 		var ws *WrongShardError
 		if !errors.As(err, &ws) {
 			return err
@@ -241,7 +359,7 @@ func (cl *Cluster) withKey(ctx context.Context, key uint64, op func(c *Client) e
 			backoff = clusterBackoffMax
 		}
 	}
-	return fmt.Errorf("client: still redirected after %d attempts: %w", clusterAttempts, lastErr)
+	return &RoutingError{Op: "point op", Attempts: clusterAttempts, Pending: 1, LastErr: lastErr}
 }
 
 // Ping round-trips on every shard's owner, failing on the first dead one.
@@ -366,16 +484,18 @@ func (cl *Cluster) doSharded(ctx context.Context, keys []uint64, op func(c *Clie
 		for addr, idxs := range groups {
 			c, err := cl.client(addr)
 			if err != nil {
+				cl.noteResult(addr, err)
 				return err
 			}
 			wg.Add(1)
-			go func(c *Client, idxs []int) {
+			go func(c *Client, addr string, idxs []int) {
 				defer wg.Done()
 				gk := make([]uint64, len(idxs))
 				for j, i := range idxs {
 					gk[j] = keys[i]
 				}
 				err := op(c, idxs, gk)
+				cl.noteResult(addr, err)
 				var ws *WrongShardError
 				switch {
 				case err == nil:
@@ -392,7 +512,7 @@ func (cl *Cluster) doSharded(ctx context.Context, keys []uint64, op func(c *Clie
 					}
 					mu.Unlock()
 				}
-			}(c, idxs)
+			}(c, addr, idxs)
 		}
 		wg.Wait() //dytis:blocking-ok each group's op runs under the caller's ctx, so the join is bounded by it
 		if failErr != nil {
@@ -401,7 +521,7 @@ func (cl *Cluster) doSharded(ctx context.Context, keys []uint64, op func(c *Clie
 		pend = redirected
 	}
 	if len(pend) > 0 {
-		return fmt.Errorf("client: %d keys still redirected after %d attempts: %w", len(pend), clusterAttempts, lastErr)
+		return &RoutingError{Op: "batch", Attempts: clusterAttempts, Pending: len(pend), LastErr: lastErr}
 	}
 	return nil
 }
@@ -543,7 +663,7 @@ func (cl *Cluster) Scan(ctx context.Context, start uint64, max int) (keys, vals 
 		}
 		lastErr = err
 	}
-	return nil, nil, fmt.Errorf("client: scan still redirected after %d attempts: %w", clusterAttempts, lastErr)
+	return nil, nil, &RoutingError{Op: "scan", Attempts: clusterAttempts, LastErr: lastErr}
 }
 
 // Rebalance live-moves [lo, hi] (which must lie within one current shard)
@@ -568,7 +688,6 @@ func (cl *Cluster) Rebalance(ctx context.Context, lo, hi uint64, target string) 
 	if err != nil {
 		return err
 	}
-	blob := next.Encode()
 
 	srcClient, err := cl.client(src.Addr)
 	if err != nil {
@@ -577,58 +696,158 @@ func (cl *Cluster) Rebalance(ctx context.Context, lo, hi uint64, target string) 
 	if err := srcClient.HandoverStart(ctx, lo, hi, target); err != nil {
 		return fmt.Errorf("client: starting handover on %s: %w", src.Addr, err)
 	}
-	for {
-		p, err := srcClient.HandoverStatus(ctx)
-		if err != nil {
-			return fmt.Errorf("client: polling handover on %s: %w", src.Addr, err)
-		}
-		if p.State == cluster.HandoverCopied {
-			break
-		}
-		if p.State != cluster.HandoverCopying {
-			return fmt.Errorf("client: handover on %s entered state %d before cutover", src.Addr, p.State)
-		}
-		if err := sleepCtx(ctx, 5*time.Millisecond); err != nil {
-			return err
-		}
-	}
+	return cl.finishHandover(ctx, srcClient, src.Addr, target, next)
+}
 
-	// Cutover. Order is the lossless-by-construction one: the source
-	// de-owns first (its SetMap also commits the target's import session
-	// and scrubs locally), so there is never a moment with two owners —
-	// only a brief fail-closed window the routing retry rides out.
-	install := func(addr string) error {
-		selfLo, selfHi := uint64(1), uint64(0) // owns nothing unless the map says otherwise
-		for _, s := range next.Shards {
-			if s.Addr == addr {
-				selfLo, selfHi = s.Lo, s.Hi
-				break
-			}
-		}
-		c, err := cl.client(addr)
-		if err != nil {
-			return err
-		}
-		if err := c.SetShardMap(ctx, selfLo, selfHi, blob); err != nil {
-			return fmt.Errorf("client: installing map epoch %d on %s: %w", next.Epoch, addr, err)
-		}
-		return nil
-	}
-	if err := install(src.Addr); err != nil {
+// ResumeRebalance picks up a rebalance whose handover suspended (or whose
+// orchestrating client died before cutover): it reads the handover's range
+// and target back from the source at src, resumes it if suspended, and
+// carries it through cutover exactly as Rebalance would have. Safe to call
+// while the handover is still live — it then just polls to cutover.
+func (cl *Cluster) ResumeRebalance(ctx context.Context, src string) error {
+	c, err := cl.client(src)
+	if err != nil {
 		return err
 	}
-	if err := install(target); err != nil {
+	p, err := c.HandoverStatus(ctx)
+	if err != nil {
+		return fmt.Errorf("client: reading handover state on %s: %w", src, err)
+	}
+	if p.Target == "" || p.State == cluster.HandoverNone || p.State == cluster.HandoverDone {
+		return fmt.Errorf("client: no resumable handover on %s (state %d)", src, p.State)
+	}
+	m, err := cl.snapshot()
+	if err != nil {
+		return err
+	}
+	next, err := m.Reassign(p.Lo, p.Hi, p.Target)
+	if err != nil {
+		return fmt.Errorf("client: rebuilding successor map for handover on %s: %w", src, err)
+	}
+	return cl.finishHandover(ctx, c, src, p.Target, next)
+}
+
+// AbortRebalance abandons the handover on src in whatever state it is,
+// scrubbing the partial copy from its target. The shard map is untouched —
+// src still owns the range.
+func (cl *Cluster) AbortRebalance(ctx context.Context, src string) error {
+	c, err := cl.client(src)
+	if err != nil {
+		return err
+	}
+	if err := c.HandoverAbort(ctx); err != nil {
+		return fmt.Errorf("client: aborting handover on %s: %w", src, err)
+	}
+	return nil
+}
+
+// rebalanceResumes bounds how many times finishHandover will resume a
+// suspending handover before giving up: transient faults heal in one or
+// two, and a target that keeps killing the copy needs an operator, not an
+// infinite loop. The resume backoff is its own, slower scale (up to
+// resumeBackoffMax) — the fault being ridden out is a peer-link or target
+// outage, not a cutover's millisecond fail-closed window.
+const (
+	rebalanceResumes = 8
+	resumeBackoffMax = 500 * time.Millisecond
+)
+
+// finishHandover drives a started handover on srcAddr to completion:
+// poll until the bulk copy lands, resuming (bounded) whenever the handover
+// suspends, then install next in cutover order.
+func (cl *Cluster) finishHandover(ctx context.Context, srcClient *Client, srcAddr, target string, next *cluster.Map) error {
+	blob := next.Encode()
+	resumes := 0
+	backoff := clusterBackoffMin
+cutover:
+	for {
+	poll:
+		for {
+			p, err := srcClient.HandoverStatus(ctx)
+			if err != nil {
+				return fmt.Errorf("client: polling handover on %s: %w", srcAddr, err)
+			}
+			switch p.State {
+			case cluster.HandoverCopied:
+				break poll
+			case cluster.HandoverCopying:
+				if err := sleepCtx(ctx, 5*time.Millisecond); err != nil {
+					return err
+				}
+			case cluster.HandoverFailed:
+				// Suspended: the source keeps its watermark and journals the
+				// moving range's writes, so a resume continues rather than
+				// recopies. Backoff gives the fault time to clear.
+				if resumes >= rebalanceResumes {
+					return fmt.Errorf("client: handover on %s still suspended after %d resumes (%d pairs copied)",
+						srcAddr, resumes, p.Copied)
+				}
+				resumes++
+				if err := sleepCtx(ctx, backoff); err != nil {
+					return err
+				}
+				if backoff *= 2; backoff > resumeBackoffMax {
+					backoff = resumeBackoffMax
+				}
+				if err := srcClient.HandoverResume(ctx); err != nil {
+					// The target may still be down; the next round retries.
+					continue
+				}
+			default:
+				return fmt.Errorf("client: handover on %s entered state %d before cutover", srcAddr, p.State)
+			}
+		}
+
+		// De-own the source. Its cutover probe re-verifies the target holds
+		// the copy; a target lost since the copy finished suspends the
+		// handover instead of de-owning, and the poll loop resumes it.
+		err := cl.installMap(ctx, srcAddr, next, blob)
+		if err == nil {
+			break cutover
+		}
+		if p, serr := srcClient.HandoverStatus(ctx); serr == nil && p.State == cluster.HandoverFailed && resumes < rebalanceResumes {
+			continue cutover
+		}
+		return err
+	}
+
+	// Rest of the cutover, in the lossless-by-construction order: the
+	// source de-owned first above (its SetMap also commits the target's
+	// import session and scrubs locally), so there is never a moment with
+	// two owners — only a brief fail-closed window the routing retry rides
+	// out. Then the target is granted, then the rest are informed.
+	if err := cl.installMap(ctx, target, next, blob); err != nil {
 		return err
 	}
 	for _, addr := range shardAddrs(next) {
-		if addr == src.Addr || addr == target {
+		if addr == srcAddr || addr == target {
 			continue
 		}
-		if err := install(addr); err != nil {
+		if err := cl.installMap(ctx, addr, next, blob); err != nil {
 			return err
 		}
 	}
 	cl.adopt(blob)
+	return nil
+}
+
+// installMap pushes next onto the server at addr, declaring the range the
+// map assigns that address (owns-nothing when the map leaves it out).
+func (cl *Cluster) installMap(ctx context.Context, addr string, next *cluster.Map, blob []byte) error {
+	selfLo, selfHi := uint64(1), uint64(0) // owns nothing unless the map says otherwise
+	for _, s := range next.Shards {
+		if s.Addr == addr {
+			selfLo, selfHi = s.Lo, s.Hi
+			break
+		}
+	}
+	c, err := cl.client(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.SetShardMap(ctx, selfLo, selfHi, blob); err != nil {
+		return fmt.Errorf("client: installing map epoch %d on %s: %w", next.Epoch, addr, err)
+	}
 	return nil
 }
 

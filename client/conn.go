@@ -272,8 +272,9 @@ func (cc *clientConn) readLoop() {
 			proto.OpScanCredit, proto.OpScanCancel,
 			proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
 			proto.OpHandoverStart, proto.OpHandoverStatus,
+			proto.OpHandoverResume, proto.OpHandoverAbort,
 			proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd,
-			proto.OpMirror:
+			proto.OpImportResume, proto.OpMirror:
 			cc.mu.Lock()
 			ch := cc.waiters[resp.ID]
 			delete(cc.waiters, resp.ID)

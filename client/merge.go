@@ -1,6 +1,36 @@
 package client
 
-import "container/heap"
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrScanInterrupted matches (via errors.Is) a scatter-gather scan that one
+// of its per-shard streams killed mid-merge — a shard died, its connection
+// broke, or a cutover moved its range. The pairs delivered before the stop
+// are valid; the result as a whole is incomplete and the scan must be
+// re-issued. errors.As with *ScanInterruptedError recovers which source
+// failed and why.
+var ErrScanInterrupted = errors.New("client: scan interrupted")
+
+// ScanInterruptedError is the typed error of a merge stopped by one of its
+// sources failing partway.
+type ScanInterruptedError struct {
+	// Source is the index of the failed stream in the merge's source order.
+	Source int
+	// Err is the underlying stream failure.
+	Err error
+}
+
+func (e *ScanInterruptedError) Error() string {
+	return fmt.Sprintf("client: scan interrupted by source %d: %v", e.Source, e.Err)
+}
+
+func (e *ScanInterruptedError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrScanInterrupted) match.
+func (e *ScanInterruptedError) Is(target error) bool { return target == ErrScanInterrupted }
 
 // kvStream is the pull-iterator shape the k-way merge consumes; *Scanner is
 // the production implementation (one per shard in a scatter-gather scan),
@@ -83,7 +113,7 @@ func (m *MergeScanner) advance(idx int) bool {
 		return true
 	}
 	if err := s.Err(); err != nil {
-		m.err = err
+		m.err = &ScanInterruptedError{Source: idx, Err: err}
 		return false
 	}
 	return true // source cleanly exhausted

@@ -1,0 +1,117 @@
+package client
+
+// Unit tests for the router's typed failure surface: RoutingError /
+// ErrRouting, ScanInterruptedError / ErrScanInterrupted, and the
+// per-endpoint health streaks behind Cluster.Health.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestRoutingErrorTyped(t *testing.T) {
+	cause := errors.New("map churning")
+	err := error(&RoutingError{Op: "point op", Attempts: 8, Pending: 1, LastErr: cause})
+	if !errors.Is(err, ErrRouting) {
+		t.Fatal("RoutingError does not match ErrRouting")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("RoutingError does not unwrap to its cause")
+	}
+	var re *RoutingError
+	if !errors.As(err, &re) || re.Attempts != 8 || re.Pending != 1 {
+		t.Fatalf("errors.As recovered %+v", re)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "8 attempts") {
+		t.Fatalf("message %q does not name the attempt count", msg)
+	}
+	batch := error(&RoutingError{Op: "batch", Attempts: 8, Pending: 42, LastErr: cause})
+	if msg := batch.Error(); !strings.Contains(msg, "42 keys") {
+		t.Fatalf("batch message %q does not name the pending count", msg)
+	}
+	// A routing failure is not a data error and must not match other
+	// sentinels.
+	if errors.Is(err, ErrWrongShard) || errors.Is(err, ErrOverload) {
+		t.Fatal("RoutingError matches an unrelated sentinel")
+	}
+}
+
+func TestScanInterruptedErrorTyped(t *testing.T) {
+	cause := errors.New("conn reset")
+	err := error(&ScanInterruptedError{Source: 2, Err: cause})
+	if !errors.Is(err, ErrScanInterrupted) {
+		t.Fatal("ScanInterruptedError does not match ErrScanInterrupted")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("ScanInterruptedError does not unwrap to its cause")
+	}
+	var se *ScanInterruptedError
+	if !errors.As(err, &se) || se.Source != 2 {
+		t.Fatalf("errors.As recovered %+v", se)
+	}
+}
+
+func TestEndpointHealthStreaks(t *testing.T) {
+	cl := &Cluster{
+		clients: make(map[string]*Client),
+		health:  make(map[string]*EndpointHealth),
+	}
+	boom := errors.New("dial tcp: connection refused")
+
+	// Transport failures accumulate; a success resets the streak.
+	cl.noteResult("a", boom)
+	cl.noteResult("a", boom)
+	cl.noteResult("b", nil)
+	h := healthByAddr(cl.Health())
+	if h["a"].Fails != 2 || !errors.Is(h["a"].LastErr, boom) {
+		t.Fatalf("a after two failures: %+v", h["a"])
+	}
+	if _, ok := h["b"]; ok {
+		t.Fatal("an endpoint that only ever succeeded grew a health entry")
+	}
+	cl.noteResult("a", nil)
+	if h = healthByAddr(cl.Health()); h["a"].Fails != 0 || h["a"].LastErr != nil {
+		t.Fatalf("a after success: %+v", h["a"])
+	}
+
+	// Answered errors — redirects and overload sheds — prove the endpoint
+	// is alive and reset the streak too.
+	cl.noteResult("a", boom)
+	cl.noteResult("a", &WrongShardError{Msg: "moved"})
+	if h = healthByAddr(cl.Health()); h["a"].Fails != 0 {
+		t.Fatalf("a after redirect: %+v", h["a"])
+	}
+	cl.noteResult("a", boom)
+	cl.noteResult("a", &OverloadError{})
+	if h = healthByAddr(cl.Health()); h["a"].Fails != 0 {
+		t.Fatalf("a after overload shed: %+v", h["a"])
+	}
+
+	// A caller-canceled context says nothing about the endpoint.
+	cl.noteResult("a", boom)
+	cl.noteResult("a", context.Canceled)
+	if h = healthByAddr(cl.Health()); h["a"].Fails != 1 {
+		t.Fatalf("a after caller cancel: %+v", h["a"])
+	}
+
+	// healthyFirst keeps relative order within each class.
+	cl.noteResult("c", net.ErrClosed)
+	got := cl.healthyFirst([]string{"a", "b", "c", "d"})
+	want := []string{"b", "d", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("healthyFirst = %v, want %v", got, want)
+		}
+	}
+}
+
+func healthByAddr(hs []EndpointHealth) map[string]EndpointHealth {
+	m := make(map[string]EndpointHealth, len(hs))
+	for _, h := range hs {
+		m[h.Addr] = h
+	}
+	return m
+}

@@ -19,7 +19,17 @@
 //	    mirror, then cut over (source de-owns first, target granted, rest
 //	    informed). The moved range must lie within one current shard; the
 //	    target must be a fresh server (-shard none) or the owner of an
-//	    adjacent range.
+//	    adjacent range. A handover interrupted by transient faults is
+//	    resumed automatically (bounded) before the command gives up.
+//
+//	dytis-ctl rebalance -seed :7071 -resume :7072
+//	    Pick up the suspended (or orphaned) handover on the source server
+//	    at -resume: replay journaled writes, continue the bulk copy from
+//	    its watermark, and cut over.
+//
+//	dytis-ctl rebalance -seed :7071 -abort :7072
+//	    Abandon the handover on the source server at -abort, scrubbing the
+//	    partial copy from its target. The shard map is untouched.
 //
 // Every command exits 0 on success, 1 on failure, with errors on stderr.
 package main
@@ -74,7 +84,9 @@ commands:
   create     -addrs a,b,c [-timeout d]        install the initial uniform shard map
   map        -seed addr   [-timeout d]        print the current shard map
   status     -addrs a,b,c [-timeout d]        print each server's shard state
-  rebalance  -seed addr -lo k -hi k -to addr  live-move [lo, hi] to another server`)
+  rebalance  -seed addr -lo k -hi k -to addr  live-move [lo, hi] to another server
+  rebalance  -seed addr -resume addr          resume a suspended handover through cutover
+  rebalance  -seed addr -abort addr           abandon a handover, scrubbing its target`)
 }
 
 // withTimeout attaches the -timeout flag's budget to a fresh context.
@@ -198,6 +210,12 @@ func cmdStatus(args []string) error {
 		if err == nil {
 			n, err = c.Len(ctx)
 		}
+		var ho client.HandoverProgress
+		if err == nil && info.State != cluster.HandoverNone {
+			// Best-effort detail: a node that just reported its state can
+			// still race a concurrent abort clearing the handover.
+			ho, _ = c.HandoverStatus(ctx)
+		}
 		c.Close()
 		if err != nil {
 			fmt.Printf("%-20s error: %v\n", addr, err)
@@ -209,6 +227,10 @@ func cmdStatus(args []string) error {
 		}
 		fmt.Printf("%-20s epoch %-4d %-42s keys %-10d handover %s\n",
 			addr, info.Epoch, owned, n, handoverName(info.State))
+		if ho.Target != "" {
+			fmt.Printf("%-20s   moving [%#016x, %#016x] to %s: copied %d, mirrored %d, retries %d, resumes %d, watermark %#x\n",
+				"", ho.Lo, ho.Hi, ho.Target, ho.Copied, ho.Mirrored, ho.Retries, ho.Resumes, ho.Watermark)
+		}
 	}
 	return nil
 }
@@ -235,18 +257,25 @@ func cmdRebalance(args []string) error {
 	loFlag := fs.String("lo", "", "first key of the range to move (decimal or 0x hex)")
 	hiFlag := fs.String("hi", "", "last key of the range to move (inclusive)")
 	to := fs.String("to", "", "address of the server receiving the range")
+	resume := fs.String("resume", "", "resume the suspended handover on this source server")
+	abort := fs.String("abort", "", "abandon the handover on this source server")
 	timeout := fs.Duration("timeout", 5*time.Minute, "total command budget (bulk copy included)")
 	fs.Parse(args)
-	if *seed == "" || *to == "" {
-		return fmt.Errorf("-seed and -to are required")
+	if *seed == "" {
+		return fmt.Errorf("-seed is required")
 	}
-	lo, err := parseKey("-lo", *loFlag)
-	if err != nil {
-		return err
+	mode := 0
+	if *to != "" || *loFlag != "" || *hiFlag != "" {
+		mode++
 	}
-	hi, err := parseKey("-hi", *hiFlag)
-	if err != nil {
-		return err
+	if *resume != "" {
+		mode++
+	}
+	if *abort != "" {
+		mode++
+	}
+	if mode != 1 {
+		return fmt.Errorf("exactly one of -lo/-hi/-to, -resume, or -abort must be given")
 	}
 	cl, err := client.DialCluster([]string{*seed})
 	if err != nil {
@@ -255,9 +284,35 @@ func cmdRebalance(args []string) error {
 	defer cl.Close()
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
-	fmt.Printf("moving [%#x, %#x] to %s...\n", lo, hi, *to)
-	if err := cl.Rebalance(ctx, lo, hi, *to); err != nil {
-		return err
+	switch {
+	case *resume != "":
+		fmt.Printf("resuming handover on %s...\n", *resume)
+		if err := cl.ResumeRebalance(ctx, *resume); err != nil {
+			return err
+		}
+	case *abort != "":
+		fmt.Printf("aborting handover on %s...\n", *abort)
+		if err := cl.AbortRebalance(ctx, *abort); err != nil {
+			return err
+		}
+		fmt.Println("handover aborted; shard map unchanged")
+		return nil
+	default:
+		lo, err := parseKey("-lo", *loFlag)
+		if err != nil {
+			return err
+		}
+		hi, err := parseKey("-hi", *hiFlag)
+		if err != nil {
+			return err
+		}
+		if *to == "" {
+			return fmt.Errorf("-to is required")
+		}
+		fmt.Printf("moving [%#x, %#x] to %s...\n", lo, hi, *to)
+		if err := cl.Rebalance(ctx, lo, hi, *to); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("rebalance complete; new map:\n")
 	printMap(cl.Map())

@@ -150,6 +150,7 @@ func main() {
 	// every data op in ownership checks (StatusWrongShard redirects carry
 	// the current map) and the cluster opcode family unlocks behind the
 	// negotiated FeatCluster.
+	sm := &server.Metrics{}
 	var node *cluster.Node
 	if *shardFlag != "" {
 		lo, hi, err := parseShard(*shardFlag)
@@ -158,10 +159,11 @@ func main() {
 			os.Exit(2)
 		}
 		node, err = cluster.NewNode(cluster.NodeConfig{
-			Index: idx,
-			Lo:    lo,
-			Hi:    hi,
-			Dial:  dialPeer,
+			Index:  idx,
+			Lo:     lo,
+			Hi:     hi,
+			Dial:   dialPeer,
+			Events: sm.HandoverEvents(),
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "cluster: "+format+"\n", args...)
 			},
@@ -177,7 +179,6 @@ func main() {
 		}
 	}
 
-	sm := &server.Metrics{}
 	srv := server.New(server.Config{
 		Index:        idx,
 		Cluster:      node,
@@ -337,6 +338,12 @@ func (p clientPeer) ImportEnd(commit bool) error {
 	ctx, cancel := p.ctx()
 	defer cancel()
 	return p.c.ImportEnd(ctx, commit)
+}
+
+func (p clientPeer) ImportResume(lo, hi uint64) (bool, uint64, error) {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.ImportResume(ctx, lo, hi)
 }
 
 func (p clientPeer) Mirror(del bool, key, val uint64) error {

@@ -3,8 +3,10 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dytis/internal/kv"
 )
@@ -30,6 +32,10 @@ type Index interface {
 // bulk-copy goroutine and mirroring writers overlap.
 type Peer interface {
 	ImportStart(lo, hi uint64) error
+	// ImportResume reattaches to an existing import session for exactly
+	// [lo, hi] (fresh=false, applied echoes its progress) or, when the
+	// target lost it (restart), opens a new one (fresh=true).
+	ImportResume(lo, hi uint64) (fresh bool, applied uint64, err error)
 	ImportBatch(keys, vals []uint64) (applied uint64, err error)
 	ImportEnd(commit bool) error
 	Mirror(del bool, key, val uint64) error
@@ -44,12 +50,18 @@ type PeerDialer func(addr string) (Peer, error)
 // attached. Match with errors.Is.
 var ErrWrongShard = errors.New("cluster: wrong shard")
 
+// ErrHandoverSuspended marks an operation refused because the node's
+// handover sits in HandoverFailed: it must be resumed (HandoverResume) or
+// abandoned (HandoverAbort) before a new one can start. Match with
+// errors.Is.
+var ErrHandoverSuspended = errors.New("cluster: handover suspended")
+
 // Handover states, as carried in HandoverStatus/ShardInfo responses.
 const (
 	HandoverNone    uint8 = iota // no handover has run
 	HandoverCopying              // bulk copy in progress, mirroring on
 	HandoverCopied               // bulk copy complete, mirroring on, safe to cut over
-	HandoverFailed               // copy or mirror failed; cutover is refused
+	HandoverFailed               // copy or mirror exhausted retries; suspended, resumable
 	HandoverDone                 // cutover complete, range de-owned
 )
 
@@ -73,6 +85,41 @@ func handoverStateName(s uint8) string {
 // framing, small enough that one page never approaches frame limits.
 const copyPage = 4096
 
+// RetryPolicy bounds how hard a handover fights transient peer failures
+// before suspending: each peer call (mirror, bulk page) is attempted up
+// to Attempts times with jittered exponential backoff between tries.
+type RetryPolicy struct {
+	Attempts   int           // total tries per peer call; <=0 means the default (4)
+	BackoffMin time.Duration // first backoff; <=0 means the default (2ms)
+	BackoffMax time.Duration // backoff cap; <=0 means the default (250ms)
+}
+
+func (r RetryPolicy) normalized() RetryPolicy {
+	if r.Attempts <= 0 {
+		r.Attempts = 4
+	}
+	if r.BackoffMin <= 0 {
+		r.BackoffMin = 2 * time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 250 * time.Millisecond
+	}
+	if r.BackoffMax < r.BackoffMin {
+		r.BackoffMax = r.BackoffMin
+	}
+	return r
+}
+
+// HandoverEvents are optional hooks fired on handover robustness events;
+// the server wires them to its metrics. Nil fields are skipped. Hooks may
+// be called under node locks and must not block or call back into the
+// Node.
+type HandoverEvents struct {
+	MirrorRetry func() // one mirror send is being retried
+	Failed      func() // handover entered HandoverFailed (suspended)
+	Resumed     func() // a suspended handover was resumed
+}
+
 // NodeConfig configures a Node.
 type NodeConfig struct {
 	Index Index
@@ -84,6 +131,11 @@ type NodeConfig struct {
 	Dial PeerDialer
 	// Logf, when non-nil, receives one line per abnormal handover event.
 	Logf func(format string, args ...any)
+	// Retry bounds per-peer-call retries during a handover; zero fields
+	// take defaults.
+	Retry RetryPolicy
+	// Events, when set, observes handover robustness transitions.
+	Events HandoverEvents
 }
 
 // Node is the per-server cluster brain: it wraps the local index with
@@ -98,11 +150,15 @@ type NodeConfig struct {
 // a network call, hmu is (that synchronous mirror under hmu is exactly
 // what makes double-writes ordered and cutover lossless).
 type Node struct {
-	idx  Index
-	dial PeerDialer
-	logf func(format string, args ...any)
+	idx    Index
+	dial   PeerDialer
+	logf   func(format string, args ...any)
+	retry  RetryPolicy
+	events HandoverEvents
 
 	hmu sync.Mutex // see above; acquired before mu
+
+	scrubs sync.WaitGroup // background de-own scrubs spawned by SetMap
 
 	mu     sync.RWMutex
 	lo, hi uint64 // owned range; lo > hi = owns nothing
@@ -112,18 +168,52 @@ type Node struct {
 	imp    *importSession
 }
 
+// handover is the source-side state machine of one range migration. It
+// survives suspension: a failed run keeps the struct (watermark, counters,
+// pending journal) so HandoverResume can continue instead of recopying.
 type handover struct {
-	lo, hi     uint64
-	addr       string
-	peer       Peer
-	state      uint8 // guarded by the node's mu
-	copied     atomic.Uint64
-	mirrored   atomic.Uint64
-	cancelOnce sync.Once
-	cancel     chan struct{}
+	lo, hi uint64
+	addr   string
+
+	// peer and stop are per-run: replaced together on resume. Both are
+	// guarded by the node's mu; a copy goroutine holds the pair it was
+	// started with and checks identity (ho.stop == stop) before recording
+	// progress, so a superseded run can never corrupt the live one.
+	peer Peer
+	stop chan struct{} // closed on suspend/abort to end the run
+
+	state     uint8 // guarded by the node's mu
+	failCause error // guarded by the node's mu; last suspension cause
+
+	copied    atomic.Uint64 // pairs accepted by the target's bulk import
+	mirrored  atomic.Uint64 // double-writes acked by the target
+	retries   atomic.Uint64 // peer-call retries (mirror + bulk) across runs
+	resumes   atomic.Uint64 // successful HandoverResume calls
+	watermark atomic.Uint64 // next bulk-copy key; resume restarts here
+	copyDone  atomic.Bool   // bulk copy finished (mirroring may continue)
+
+	// pending journals moving-range writes applied locally while the
+	// handover is suspended (plus the write whose mirror exhausted
+	// retries). Last-write-wins per key; replayed as mirrors — which
+	// overwrite and maintain tombstones — before a resume goes live.
+	// Guarded by the node's hmu.
+	pending map[uint64]mirrorOp
+}
+
+type mirrorOp struct {
+	del bool
+	val uint64
 }
 
 func (h *handover) covers(key uint64) bool { return key >= h.lo && key <= h.hi }
+
+// addPending journals one suspended-window write. Callers hold hmu.
+func (h *handover) addPending(del bool, key, val uint64) {
+	if h.pending == nil {
+		h.pending = make(map[uint64]mirrorOp)
+	}
+	h.pending[key] = mirrorOp{del: del, val: val}
+}
 
 // importSession is the target side of a handover: bulk pages apply
 // insert-if-absent, and tombstones remember mirrored deletes so a late
@@ -139,8 +229,41 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Index == nil {
 		return nil, errors.New("cluster: NodeConfig.Index is required")
 	}
-	n := &Node{idx: cfg.Index, dial: cfg.Dial, logf: cfg.Logf, lo: cfg.Lo, hi: cfg.Hi}
+	n := &Node{
+		idx: cfg.Index, dial: cfg.Dial, logf: cfg.Logf,
+		retry: cfg.Retry.normalized(), events: cfg.Events,
+		lo: cfg.Lo, hi: cfg.Hi,
+	}
 	return n, nil
+}
+
+// retryPeer runs op up to the retry budget with jittered exponential
+// backoff, aborting early (with the last error) once stop closes. mirror
+// marks the retries that feed the mirror-retry event hook.
+func (n *Node) retryPeer(ho *handover, stop chan struct{}, mirror bool, op func() error) error {
+	backoff := n.retry.BackoffMin
+	var err error
+	for attempt := 0; attempt < n.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			ho.retries.Add(1)
+			if mirror && n.events.MirrorRetry != nil {
+				n.events.MirrorRetry()
+			}
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			select {
+			case <-stop:
+				return err
+			case <-time.After(d):
+			}
+			if backoff *= 2; backoff > n.retry.BackoffMax {
+				backoff = n.retry.BackoffMax
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 func (n *Node) logErr(format string, args ...any) {
@@ -181,7 +304,7 @@ func (n *Node) Insert(key, val uint64) error {
 		n.mu.RUnlock()
 		return err
 	}
-	if ho := n.ho; ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+	if ho := n.ho; ho != nil && ho.covers(key) && ho.state != HandoverDone {
 		n.mu.RUnlock()
 		_, err := n.mirroredWrite(false, key, val)
 		return err
@@ -202,7 +325,7 @@ func (n *Node) Delete(key uint64) (bool, error) {
 		n.mu.RUnlock()
 		return false, err
 	}
-	if ho := n.ho; ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+	if ho := n.ho; ho != nil && ho.covers(key) && ho.state != HandoverDone {
 		n.mu.RUnlock()
 		return n.mirroredWrite(true, key, 0)
 	}
@@ -214,7 +337,11 @@ func (n *Node) Delete(key uint64) (bool, error) {
 // mirroredWrite is the moving-range slow path: one write applied locally
 // and mirrored to the handover target before it is acknowledged. hmu
 // serializes these end to end, so mirrors arrive at the target in apply
-// order — concurrent same-key writes cannot invert on the wire.
+// order — concurrent same-key writes cannot invert on the wire. While the
+// handover is suspended the write is journaled instead of mirrored; the
+// journal replays (as mirrors, which overwrite and maintain tombstones)
+// before a resume goes live, so acked suspended-window writes still reach
+// the target before any cutover.
 func (n *Node) mirroredWrite(del bool, key, val uint64) (bool, error) {
 	n.hmu.Lock()
 	defer n.hmu.Unlock()
@@ -225,7 +352,14 @@ func (n *Node) mirroredWrite(del bool, key, val uint64) (bool, error) {
 		return false, err
 	}
 	ho := n.ho
-	mirror := ho != nil && ho.covers(key) && (ho.state == HandoverCopying || ho.state == HandoverCopied)
+	var (
+		peer  Peer
+		stop  chan struct{}
+		state = HandoverDone // anything inactive
+	)
+	if ho != nil && ho.covers(key) {
+		state, peer, stop = ho.state, ho.peer, ho.stop
+	}
 	n.mu.RUnlock()
 	var found bool
 	if del {
@@ -233,18 +367,23 @@ func (n *Node) mirroredWrite(del bool, key, val uint64) (bool, error) {
 	} else {
 		n.idx.Insert(key, val)
 	}
-	if !mirror {
-		return found, nil
+	switch state {
+	case HandoverCopying, HandoverCopied:
+		err := n.retryPeer(ho, stop, true, func() error { return peer.Mirror(del, key, val) })
+		if err != nil {
+			// The local apply stands and the write is still acknowledged:
+			// suspending the handover here guarantees this map can never cut
+			// the range over (SetMap refuses to de-own anything not covered by
+			// a Copied handover), and the journal entry carries the write into
+			// the eventual resume — either way it cannot be lost.
+			n.suspendHandoverLocked(ho, fmt.Errorf("mirror to %s: %w", ho.addr, err))
+			ho.addPending(del, key, val)
+			return found, nil
+		}
+		ho.mirrored.Add(1)
+	case HandoverFailed:
+		ho.addPending(del, key, val)
 	}
-	if err := ho.peer.Mirror(del, key, val); err != nil {
-		// The local apply stands and the write is still acknowledged: failing
-		// the handover here guarantees this map can never cut the range over
-		// (SetMap refuses to de-own anything not covered by a Copied
-		// handover), so the unmirrored write cannot be lost.
-		n.failHandoverLocked(ho, fmt.Errorf("mirror to %s: %w", ho.addr, err))
-		return found, nil
-	}
-	ho.mirrored.Add(1)
 	return found, nil
 }
 
@@ -301,7 +440,7 @@ func (n *Node) InsertBatch(keys, vals []uint64) error {
 			n.mu.RUnlock()
 			return err
 		}
-		if ho := n.ho; ho != nil && ho.covers(k) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+		if ho := n.ho; ho != nil && ho.covers(k) && ho.state != HandoverDone {
 			slow = true
 		}
 	}
@@ -330,7 +469,7 @@ func (n *Node) DeleteBatch(keys []uint64, found []bool) ([]bool, error) {
 			n.mu.RUnlock()
 			return found, err
 		}
-		if ho := n.ho; ho != nil && ho.covers(k) && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+		if ho := n.ho; ho != nil && ho.covers(k) && ho.state != HandoverDone {
 			slow = true
 		}
 	}
@@ -427,6 +566,40 @@ func (n *Node) SetMap(selfLo, selfHi uint64, blob []byte) error {
 					r.lo, r.hi, handoverStateName(hoState(ho)))
 			}
 		}
+		n.mu.Unlock()
+		// Probe the target before surrendering ownership: a target that
+		// crashed after the copy finished holds none of the moved data, and
+		// de-owning against it would scrub the only live copy. ImportResume
+		// is read-only when the session is intact; a fresh answer (or no
+		// answer) suspends the handover instead — resumable, never lossy.
+		// hmu is held throughout, so the handover cannot change underneath
+		// the probe.
+		fresh, _, perr := ho.peer.ImportResume(ho.lo, ho.hi)
+		if perr != nil {
+			n.suspendHandoverLocked(ho, fmt.Errorf("cutover probe to %s: %w", ho.addr, perr))
+			return fmt.Errorf("cluster: refusing de-own of [%#x, %#x]: target %s unreachable at cutover (handover suspended): %w",
+				ho.lo, ho.hi, ho.addr, perr)
+		}
+		if fresh {
+			// The target restarted between copy and cutover: its data and
+			// session are gone (the probe opened an empty one). Reset the
+			// copy progress so the resume recopies everything.
+			ho.watermark.Store(ho.lo)
+			ho.copied.Store(0)
+			ho.copyDone.Store(false)
+			n.mu.Lock()
+			ho.pending = nil
+			n.mu.Unlock()
+			n.suspendHandoverLocked(ho, fmt.Errorf("target %s restarted before cutover; import session lost", ho.addr))
+			return fmt.Errorf("cluster: refusing de-own of [%#x, %#x]: target %s restarted before cutover (handover suspended for recopy)",
+				ho.lo, ho.hi, ho.addr)
+		}
+		n.mu.Lock()
+		if n.ho != ho || ho.state != HandoverCopied {
+			st := hoState(n.ho)
+			n.mu.Unlock()
+			return fmt.Errorf("cluster: handover changed during cutover probe (state %s)", handoverStateName(st))
+		}
 		ho.state = HandoverDone
 		finalize = ho
 	}
@@ -447,10 +620,34 @@ func (n *Node) SetMap(selfLo, selfHi uint64, blob []byte) error {
 			n.logErr("cluster: closing peer %s: %v", finalize.addr, err)
 		}
 	}
-	// Scrub de-owned keys (still under hmu, after mu released: reads and
-	// writes of the region already answer WrongShard, so order is free).
-	for _, r := range deowned {
-		n.scrub(r.lo, r.hi)
+	// Scrub de-owned keys off the response path: the region already answers
+	// WrongShard, and the caller is mid-cutover — it cannot install the map
+	// on the new owner until we respond, so the fail-closed routing window
+	// must not scale with the number of moved keys. The goroutine re-takes
+	// hmu (serializing against handover machinery) and skips anything this
+	// node has re-owned or started re-importing in the meantime.
+	if len(deowned) > 0 {
+		n.scrubs.Add(1)
+		go func() {
+			defer n.scrubs.Done()
+			n.hmu.Lock()
+			defer n.hmu.Unlock()
+			for _, r := range deowned {
+				n.mu.RLock()
+				stale := subtractRange(r.lo, r.hi, n.lo, n.hi)
+				if imp := n.imp; imp != nil {
+					var kept []keyRange
+					for _, s := range stale {
+						kept = append(kept, subtractRange(s.lo, s.hi, imp.lo, imp.hi)...)
+					}
+					stale = kept
+				}
+				n.mu.RUnlock()
+				for _, s := range stale {
+					n.scrub(s.lo, s.hi)
+				}
+			}
+		}()
 	}
 	return nil
 }
@@ -543,7 +740,8 @@ func (n *Node) StartHandover(lo, hi uint64, addr string) error {
 		peer.Close()
 		return fmt.Errorf("cluster: opening import session on %s: %w", addr, err)
 	}
-	ho := &handover{lo: lo, hi: hi, addr: addr, peer: peer, state: HandoverCopying, cancel: make(chan struct{})}
+	ho := &handover{lo: lo, hi: hi, addr: addr, peer: peer, state: HandoverCopying, stop: make(chan struct{})}
+	ho.watermark.Store(lo)
 	n.hmu.Lock()
 	n.mu.Lock()
 	// Re-check under the lock: a map install may have raced the dial.
@@ -557,45 +755,82 @@ func (n *Node) StartHandover(lo, hi uint64, addr string) error {
 	n.ho = ho
 	n.mu.Unlock()
 	n.hmu.Unlock()
-	go n.runCopy(ho)
+	go n.runCopy(ho, peer, ho.stop)
 	return nil
 }
 
 // checkHandoverLocked validates that [lo, hi] is fully owned and no
-// handover is live. Callers hold mu.
+// handover is live or suspended. Callers hold mu.
 func (n *Node) checkHandoverLocked(lo, hi uint64) error {
 	if !n.ownsLocked(lo) || !n.ownsLocked(hi) {
 		return fmt.Errorf("cluster: handover range [%#x, %#x] not fully owned ([%#x, %#x])", lo, hi, n.lo, n.hi)
 	}
-	if ho := n.ho; ho != nil && (ho.state == HandoverCopying || ho.state == HandoverCopied) {
+	switch ho := n.ho; {
+	case ho == nil:
+	case ho.state == HandoverCopying || ho.state == HandoverCopied:
 		return fmt.Errorf("cluster: handover of [%#x, %#x] already %s", ho.lo, ho.hi, handoverStateName(ho.state))
+	case ho.state == HandoverFailed:
+		return fmt.Errorf("%w: [%#x, %#x] to %s — resume or abort it first", ErrHandoverSuspended, ho.lo, ho.hi, ho.addr)
 	}
 	return nil
 }
 
-// HandoverStatus reports the live (or last) handover's progress.
-func (n *Node) HandoverStatus() (state uint8, copied, mirrored uint64) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if n.ho == nil {
-		return HandoverNone, 0, 0
-	}
-	return n.ho.state, n.ho.copied.Load(), n.ho.mirrored.Load()
+// HandoverInfo is a snapshot of the live (or last) handover's progress.
+type HandoverInfo struct {
+	State     uint8
+	Lo, Hi    uint64 // moving range; zero unless a handover exists
+	Target    string // target server address
+	Copied    uint64 // pairs accepted by the target's bulk import
+	Mirrored  uint64 // double-writes acked by the target
+	Retries   uint64 // peer-call retries across all runs
+	Resumes   uint64 // successful resumes
+	Watermark uint64 // next bulk-copy key (resume restarts here)
+	Cause     error  // last suspension cause; nil unless State is HandoverFailed
 }
 
+// HandoverStatus reports the live (or last) handover's progress.
+func (n *Node) HandoverStatus() HandoverInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ho := n.ho
+	if ho == nil {
+		return HandoverInfo{State: HandoverNone}
+	}
+	return HandoverInfo{
+		State:     ho.state,
+		Lo:        ho.lo,
+		Hi:        ho.hi,
+		Target:    ho.addr,
+		Copied:    ho.copied.Load(),
+		Mirrored:  ho.mirrored.Load(),
+		Retries:   ho.retries.Load(),
+		Resumes:   ho.resumes.Load(),
+		Watermark: ho.watermark.Load(),
+		Cause:     ho.failCause,
+	}
+}
+
+// currentRun reports whether stop is still ho's live run. Callers hold mu
+// (any mode); resume swaps ho.stop under mu exclusively, so a positive
+// answer pins the run for the duration of the lock.
+func (h *handover) currentRun(stop chan struct{}) bool { return h.stop == stop }
+
 // runCopy is the bulk-copy goroutine: it pages the moving range out of the
-// local index and streams it to the target's import session. Writes that
-// land mid-copy are covered by the mirror, and the target's
-// insert-if-absent + tombstones make copy/mirror interleavings converge
-// (see importSession).
-func (n *Node) runCopy(ho *handover) {
+// local index and streams it to the target's import session, advancing the
+// watermark after every accepted page so a later resume can continue
+// instead of recopying. Writes that land mid-copy are covered by the
+// mirror, and the target's insert-if-absent + tombstones make copy/mirror
+// interleavings converge (see importSession). peer and stop are the run's
+// own pair: after a resume supersedes this run, progress recording is
+// skipped (currentRun) and the next stop check exits.
+func (n *Node) runCopy(ho *handover, peer Peer, stop chan struct{}) {
 	buf := make([]kv.KV, 0, copyPage)
 	keys := make([]uint64, 0, copyPage)
 	vals := make([]uint64, 0, copyPage)
-	next := ho.lo
+	next := ho.watermark.Load()
 	for {
 		select {
-		case <-ho.cancel:
+		case <-stop:
 			return
 		default:
 		}
@@ -609,68 +844,241 @@ func (n *Node) runCopy(ho *handover) {
 			vals = append(vals, p.Value)
 		}
 		if len(keys) > 0 {
-			if _, err := ho.peer.ImportBatch(keys, vals); err != nil {
-				n.failHandover(ho, fmt.Errorf("bulk copy to %s: %w", ho.addr, err))
+			err := n.retryPeer(ho, stop, false, func() error {
+				_, e := peer.ImportBatch(keys, vals)
+				return e
+			})
+			if err != nil {
+				n.suspendHandover(ho, fmt.Errorf("bulk copy to %s: %w", ho.addr, err))
 				return
 			}
-			ho.copied.Add(uint64(len(keys)))
 		}
 		done := len(buf) < copyPage
-		if !done {
-			last := buf[len(buf)-1].Key
-			if last >= ho.hi || last == ^uint64(0) {
-				done = true
+		last := next
+		if len(buf) > 0 {
+			last = buf[len(buf)-1].Key
+		}
+		if !done && (last >= ho.hi || last == ^uint64(0)) {
+			done = true
+		}
+		// Record progress only while this run is current: a stale run's page
+		// may still land (idempotently) on the target, but it must not move
+		// the watermark of a fresh-restarted copy.
+		n.mu.RLock()
+		if ho.currentRun(stop) {
+			ho.copied.Add(uint64(len(keys)))
+			if !done {
+				ho.watermark.Store(last + 1)
 			} else {
-				next = last + 1
+				ho.watermark.Store(last)
+				ho.copyDone.Store(true)
 			}
 		}
+		n.mu.RUnlock()
 		if done {
 			break
 		}
+		next = last + 1
 	}
 	n.hmu.Lock()
 	n.mu.Lock()
-	if ho.state == HandoverCopying {
+	if n.ho == ho && ho.currentRun(stop) && ho.state == HandoverCopying {
 		ho.state = HandoverCopied
 	}
 	n.mu.Unlock()
 	n.hmu.Unlock()
 }
 
-// failHandover marks ho failed and tears down its target session.
-func (n *Node) failHandover(ho *handover, cause error) {
+// suspendHandover marks ho failed-but-resumable: the run stops and the
+// peer connection closes, but — unlike an abort — the target's import
+// session is left alive so HandoverResume can reattach and continue from
+// the watermark.
+func (n *Node) suspendHandover(ho *handover, cause error) {
 	n.hmu.Lock()
 	defer n.hmu.Unlock()
-	n.failHandoverLocked(ho, cause)
+	n.suspendHandoverLocked(ho, cause)
 }
 
-// failHandoverLocked is failHandover for callers already holding hmu.
-func (n *Node) failHandoverLocked(ho *handover, cause error) {
+// suspendHandoverLocked is suspendHandover for callers already holding hmu.
+func (n *Node) suspendHandoverLocked(ho *handover, cause error) {
 	n.mu.Lock()
 	if ho.state != HandoverCopying && ho.state != HandoverCopied {
 		n.mu.Unlock()
 		return
 	}
 	ho.state = HandoverFailed
+	ho.failCause = cause
+	close(ho.stop)
+	peer := ho.peer
 	n.mu.Unlock()
-	n.logErr("cluster: handover of [%#x, %#x] failed: %v", ho.lo, ho.hi, cause)
-	// Best effort: tell the target to scrub the partial import.
-	if err := ho.peer.ImportEnd(false); err != nil {
-		n.logErr("cluster: import-end abort to %s: %v", ho.addr, err)
+	n.logErr("cluster: handover of [%#x, %#x] suspended: %v", ho.lo, ho.hi, cause)
+	if n.events.Failed != nil {
+		n.events.Failed()
 	}
-	if err := ho.peer.Close(); err != nil {
+	if err := peer.Close(); err != nil {
 		n.logErr("cluster: closing peer %s: %v", ho.addr, err)
 	}
 }
 
-// Close cancels any running copy and tears down the handover peer.
-func (n *Node) Close() error {
+// HandoverResume restarts a suspended handover: it redials the target,
+// reattaches to (or, after a target restart, recreates) the import
+// session, replays the journal of suspended-window writes, and continues
+// the bulk copy from the watermark — or goes straight back to
+// HandoverCopied when the copy had already finished.
+func (n *Node) HandoverResume() error {
+	if n.dial == nil {
+		return errors.New("cluster: node has no peer dialer")
+	}
+	n.mu.RLock()
+	ho := n.ho
+	var state uint8
+	if ho != nil {
+		state = ho.state
+	}
+	n.mu.RUnlock()
+	if ho == nil {
+		return errors.New("cluster: no handover to resume")
+	}
+	if state != HandoverFailed {
+		return fmt.Errorf("cluster: handover is %s; only a suspended handover resumes", handoverStateName(state))
+	}
+	peer, err := n.dial(ho.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: redialing handover target %s: %w", ho.addr, err)
+	}
+	fresh, _, err := peer.ImportResume(ho.lo, ho.hi)
+	if err != nil {
+		peer.Close()
+		return fmt.Errorf("cluster: reattaching import session on %s: %w", ho.addr, err)
+	}
+	stop := make(chan struct{})
+	n.hmu.Lock()
+	n.mu.Lock()
+	if n.ho != ho || ho.state != HandoverFailed {
+		n.mu.Unlock()
+		n.hmu.Unlock()
+		peer.Close()
+		return errors.New("cluster: handover changed during resume")
+	}
+	ho.peer, ho.stop, ho.failCause = peer, stop, nil
+	if fresh {
+		// The target lost the session (restart): it starts empty, so the
+		// journal is subsumed by a full recopy of current local state.
+		ho.watermark.Store(ho.lo)
+		ho.copied.Store(0)
+		ho.copyDone.Store(false)
+		ho.pending = nil
+	}
+	n.mu.Unlock()
+	// Replay the suspended-window journal under hmu (writers queue behind
+	// it): mirrors overwrite and maintain tombstones, so replay before the
+	// bulk copy resumes makes the target converge to every acked write.
+	for k, op := range ho.pending {
+		err := n.retryPeer(ho, stop, true, func() error { return peer.Mirror(op.del, k, op.val) })
+		if err != nil {
+			n.mu.Lock()
+			ho.state = HandoverCopying // let suspend see a live run
+			n.mu.Unlock()
+			n.suspendHandoverLocked(ho, fmt.Errorf("replaying journal to %s: %w", ho.addr, err))
+			n.hmu.Unlock()
+			return fmt.Errorf("cluster: resume of [%#x, %#x] failed replaying journal: %w", ho.lo, ho.hi, err)
+		}
+		delete(ho.pending, k)
+		ho.mirrored.Add(1)
+	}
+	copyDone := ho.copyDone.Load()
+	n.mu.Lock()
+	if copyDone {
+		ho.state = HandoverCopied
+	} else {
+		ho.state = HandoverCopying
+	}
+	ho.resumes.Add(1)
+	n.mu.Unlock()
+	n.hmu.Unlock()
+	if n.events.Resumed != nil {
+		n.events.Resumed()
+	}
+	if !copyDone {
+		go n.runCopy(ho, peer, stop)
+	}
+	n.logErr("cluster: handover of [%#x, %#x] resumed (fresh=%v, watermark %#x)", ho.lo, ho.hi, fresh, ho.watermark.Load())
+	return nil
+}
+
+// HandoverAbort abandons the node's handover entirely: the run stops, the
+// target is told (best effort) to scrub its partial import, and the
+// node's handover slot clears so a new StartHandover can begin.
+func (n *Node) HandoverAbort() error {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
 	n.mu.Lock()
 	ho := n.ho
+	if ho == nil {
+		n.mu.Unlock()
+		return errors.New("cluster: no handover to abort")
+	}
+	if ho.state == HandoverDone {
+		n.mu.Unlock()
+		return errors.New("cluster: handover already completed; nothing to abort")
+	}
+	live := ho.state == HandoverCopying || ho.state == HandoverCopied
+	if live {
+		close(ho.stop)
+	}
+	ho.state = HandoverFailed
+	peer := ho.peer
+	n.ho = nil
 	n.mu.Unlock()
-	if ho != nil {
-		ho.cancelOnce.Do(func() { close(ho.cancel) })
-		n.failHandover(ho, errors.New("node closing"))
+	n.logErr("cluster: handover of [%#x, %#x] aborted", ho.lo, ho.hi)
+	if live {
+		if err := peer.ImportEnd(false); err != nil {
+			n.logErr("cluster: import-end abort to %s: %v", ho.addr, err)
+		}
+		peer.Close()
+		return nil
+	}
+	// Suspended: the old peer is already closed. Redial (best effort) so
+	// the target scrubs the orphaned session instead of blocking future
+	// imports.
+	if n.dial != nil {
+		if p, err := n.dial(ho.addr); err == nil {
+			if err := p.ImportEnd(false); err != nil {
+				n.logErr("cluster: import-end abort to %s: %v", ho.addr, err)
+			}
+			p.Close()
+		} else {
+			n.logErr("cluster: abort could not reach %s to scrub its import: %v", ho.addr, err)
+		}
+	}
+	return nil
+}
+
+// Close stops any running copy and tears down the handover peer,
+// aborting the target's import session — a closing node cannot resume.
+func (n *Node) Close() error {
+	// Drain background de-own scrubs first (they take hmu themselves), so
+	// nothing touches the index after Close returns.
+	n.scrubs.Wait()
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.Lock()
+	ho := n.ho
+	live := ho != nil && (ho.state == HandoverCopying || ho.state == HandoverCopied)
+	if live {
+		ho.state = HandoverFailed
+		ho.failCause = errors.New("node closing")
+		close(ho.stop)
+	}
+	n.mu.Unlock()
+	if live {
+		n.logErr("cluster: handover of [%#x, %#x] failed: node closing", ho.lo, ho.hi)
+		if err := ho.peer.ImportEnd(false); err != nil {
+			n.logErr("cluster: import-end abort to %s: %v", ho.addr, err)
+		}
+		if err := ho.peer.Close(); err != nil {
+			n.logErr("cluster: closing peer %s: %v", ho.addr, err)
+		}
 	}
 	return nil
 }
@@ -695,6 +1103,33 @@ func (n *Node) ImportStart(lo, hi uint64) error {
 	}
 	n.imp = &importSession{lo: lo, hi: hi, tombs: make(map[uint64]struct{})}
 	return nil
+}
+
+// ImportResume reattaches a handover source to this node's import
+// session after the peer link dropped. A session for exactly [lo, hi]
+// answers fresh=false with its progress; no session at all (this node
+// restarted and lost it) opens a new one and answers fresh=true, telling
+// the source to recopy from the start. A session for a different range is
+// an error.
+func (n *Node) ImportResume(lo, hi uint64) (fresh bool, applied uint64, err error) {
+	if lo > hi {
+		return false, 0, fmt.Errorf("cluster: import range inverted [%#x, %#x]", lo, hi)
+	}
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if imp := n.imp; imp != nil {
+		if imp.lo == lo && imp.hi == hi {
+			return false, imp.applied, nil
+		}
+		return false, 0, fmt.Errorf("cluster: import of [%#x, %#x] already in progress", imp.lo, imp.hi)
+	}
+	if n.lo <= n.hi && lo <= n.hi && hi >= n.lo {
+		return false, 0, fmt.Errorf("cluster: import range [%#x, %#x] overlaps owned [%#x, %#x]", lo, hi, n.lo, n.hi)
+	}
+	n.imp = &importSession{lo: lo, hi: hi, tombs: make(map[uint64]struct{})}
+	return true, 0, nil
 }
 
 // ImportBatch applies one bulk page: insert-if-absent, skipping

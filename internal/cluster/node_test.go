@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -100,33 +101,104 @@ func (f *fakeIndex) snapshot() map[uint64]uint64 {
 }
 
 // loopPeer adapts a target *Node into a Peer — the in-process equivalent
-// of the client adapter cmd/dytis-server wires up.
+// of the client adapter cmd/dytis-server wires up. Failure injection:
+// failMirrors fails that many upcoming Mirror calls; failResumes fails
+// that many upcoming ImportResume calls; failBatchesAfter >= 0 fails
+// every ImportBatch once that many batches have been accepted (set it
+// back to -1 to heal the link). setNode swaps the target node underneath
+// the same peer — a crash-restart as seen from an open connection.
 type loopPeer struct {
-	n         *Node
-	mirrorErr error // when non-nil, Mirror fails with it
-	mu        sync.Mutex
-	mirrors   int
+	n  *Node
+	mu sync.Mutex
+
+	mirrors          int
+	failMirrors      int
+	failResumes      int
+	batches          [][]uint64 // keys of each accepted batch
+	failBatchesAfter int        // -1 = never fail
 }
 
-func (p *loopPeer) ImportStart(lo, hi uint64) error { return p.n.ImportStart(lo, hi) }
-func (p *loopPeer) ImportBatch(keys, vals []uint64) (uint64, error) {
-	return p.n.ImportBatch(keys, vals)
-}
-func (p *loopPeer) ImportEnd(commit bool) error { return p.n.ImportEnd(commit) }
-func (p *loopPeer) Mirror(del bool, key, val uint64) error {
-	if p.mirrorErr != nil {
-		return p.mirrorErr
-	}
+func newLoopPeer(n *Node) *loopPeer { return &loopPeer{n: n, failBatchesAfter: -1} }
+
+func (p *loopPeer) node() *Node {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *loopPeer) ImportStart(lo, hi uint64) error { return p.node().ImportStart(lo, hi) }
+func (p *loopPeer) ImportResume(lo, hi uint64) (bool, uint64, error) {
+	p.mu.Lock()
+	if p.failResumes > 0 {
+		p.failResumes--
+		p.mu.Unlock()
+		return false, 0, fmt.Errorf("injected resume failure")
+	}
+	p.mu.Unlock()
+	return p.node().ImportResume(lo, hi)
+}
+func (p *loopPeer) ImportBatch(keys, vals []uint64) (uint64, error) {
+	p.mu.Lock()
+	if p.failBatchesAfter >= 0 && len(p.batches) >= p.failBatchesAfter {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("injected bulk-copy failure")
+	}
+	p.batches = append(p.batches, append([]uint64(nil), keys...))
+	p.mu.Unlock()
+	return p.node().ImportBatch(keys, vals)
+}
+func (p *loopPeer) ImportEnd(commit bool) error { return p.node().ImportEnd(commit) }
+func (p *loopPeer) Mirror(del bool, key, val uint64) error {
+	p.mu.Lock()
+	if p.failMirrors > 0 {
+		p.failMirrors--
+		p.mu.Unlock()
+		return fmt.Errorf("injected mirror failure")
+	}
 	p.mirrors++
 	p.mu.Unlock()
-	return p.n.MirrorApply(del, key, val)
+	return p.node().MirrorApply(del, key, val)
 }
 func (p *loopPeer) Close() error { return nil }
 
+func (p *loopPeer) setNode(n *Node) {
+	p.mu.Lock()
+	p.n = n
+	p.mu.Unlock()
+}
+
+func (p *loopPeer) setFailMirrors(k int) {
+	p.mu.Lock()
+	p.failMirrors = k
+	p.mu.Unlock()
+}
+
+func (p *loopPeer) setFailResumes(k int) {
+	p.mu.Lock()
+	p.failResumes = k
+	p.mu.Unlock()
+}
+
+func (p *loopPeer) setFailBatchesAfter(k int) {
+	p.mu.Lock()
+	p.failBatchesAfter = k
+	p.mu.Unlock()
+}
+
+func (p *loopPeer) batchKeys() [][]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([][]uint64, len(p.batches))
+	copy(out, p.batches)
+	return out
+}
+
+// testRetry keeps handover retry backoff negligible in tests.
+var testRetry = RetryPolicy{Attempts: 3, BackoffMin: time.Millisecond, BackoffMax: 2 * time.Millisecond}
+
 func mustNode(t *testing.T, idx Index, lo, hi uint64, dial PeerDialer) *Node {
 	t.Helper()
-	n, err := NewNode(NodeConfig{Index: idx, Lo: lo, Hi: hi, Dial: dial, Logf: t.Logf})
+	n, err := NewNode(NodeConfig{Index: idx, Lo: lo, Hi: hi, Dial: dial, Logf: t.Logf, Retry: testRetry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +209,7 @@ func waitState(t *testing.T, n *Node, want uint8) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		st, _, _ := n.HandoverStatus()
+		st := n.HandoverStatus().State
 		if st == want {
 			return
 		}
@@ -283,7 +355,7 @@ func TestHandoverFullCutover(t *testing.T) {
 	const mid = uint64(1) << 63
 	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
 	dst := mustNode(t, dstIdx, 1, 0, nil) // owns nothing yet
-	peer := &loopPeer{n: dst}
+	peer := newLoopPeer(dst)
 	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
 
 	m1, _ := Uniform(1, []string{"src"})
@@ -352,7 +424,9 @@ func TestHandoverFullCutover(t *testing.T) {
 			t.Fatalf("target key %#x = %d,%v want %d", k, gv, ok, v)
 		}
 	}
-	// Source scrubbed the moved range and redirects for it.
+	// Source scrubbed the moved range and redirects for it (the scrub runs
+	// off the SetMap response path; wait for it).
+	src.scrubs.Wait()
 	for k := range srcIdx.snapshot() {
 		if k >= mid {
 			t.Fatalf("source still holds moved key %#x", k)
@@ -364,7 +438,7 @@ func TestHandoverFullCutover(t *testing.T) {
 	if v, ok, err := dst.Get(mid + 7); err != nil || !ok || v != 777 {
 		t.Errorf("target Get(mid+7) = %d,%v,%v", v, ok, err)
 	}
-	if st, _, _ := src.HandoverStatus(); st != HandoverDone {
+	if st := src.HandoverStatus().State; st != HandoverDone {
 		t.Errorf("source handover state %s, want done", handoverStateName(st))
 	}
 }
@@ -376,7 +450,7 @@ func TestHandoverConcurrentTraffic(t *testing.T) {
 	const mid = uint64(1) << 63
 	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
 	dst := mustNode(t, dstIdx, 1, 0, nil)
-	peer := &loopPeer{n: dst}
+	peer := newLoopPeer(dst)
 	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
 	m1, _ := Uniform(1, []string{"src"})
 	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
@@ -517,14 +591,16 @@ func TestImportValidation(t *testing.T) {
 	}
 }
 
-// TestMirrorFailureFailsClosed: a mirror error mid-handover acks the local
-// write but fails the handover, and the failed handover refuses cutover —
-// the un-mirrored write can never be silently lost.
+// TestMirrorFailureFailsClosed: a persistent mirror error mid-handover
+// acks the local write but suspends the handover after exhausting its
+// retries, and the suspended handover refuses both cutover and a new
+// StartHandover — the un-mirrored write can never be silently lost.
 func TestMirrorFailureFailsClosed(t *testing.T) {
 	const mid = uint64(1) << 63
 	srcIdx := newFakeIndex()
 	dst := mustNode(t, newFakeIndex(), 1, 0, nil)
-	peer := &loopPeer{n: dst, mirrorErr: fmt.Errorf("target unreachable")}
+	peer := newLoopPeer(dst)
+	peer.setFailMirrors(1 << 30) // persistent: outlasts every retry
 	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
 	m1, _ := Uniform(1, []string{"src"})
 	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
@@ -540,15 +616,391 @@ func TestMirrorFailureFailsClosed(t *testing.T) {
 	if v, ok, err := src.Get(mid + 1); err != nil || !ok || v != 7 {
 		t.Fatalf("acked write not readable: %d,%v,%v", v, ok, err)
 	}
-	// ...the handover is failed...
-	if st, _, _ := src.HandoverStatus(); st != HandoverFailed {
-		t.Fatalf("handover state %s, want failed", handoverStateName(st))
+	// ...the handover is suspended, with the retries it burned visible...
+	info := src.HandoverStatus()
+	if info.State != HandoverFailed {
+		t.Fatalf("handover state %s, want failed", handoverStateName(info.State))
 	}
-	// ...and cutover is refused, so the map cannot orphan the write.
+	if info.Retries < 2 {
+		t.Errorf("retries = %d, want >= 2 (attempts exhausted)", info.Retries)
+	}
+	if info.Cause == nil {
+		t.Error("suspended handover reports no cause")
+	}
+	// ...cutover is refused, so the map cannot orphan the write...
 	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
 	if err := src.SetMap(0, mid-1, m2.Encode()); err == nil {
 		t.Fatal("cutover accepted after failed handover")
 	}
+	// ...and a fresh handover is refused with the typed suspension error.
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); !errors.Is(err, ErrHandoverSuspended) {
+		t.Fatalf("StartHandover over a suspended handover: %v, want ErrHandoverSuspended", err)
+	}
+}
+
+// TestMirrorRetryRidesOutBlip: a transient mirror failure is absorbed by
+// the retry budget — the handover completes without ever suspending.
+func TestMirrorRetryRidesOutBlip(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil)
+	peer := newLoopPeer(dst)
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	peer.setFailMirrors(2) // fails attempts 1 and 2; attempt 3 succeeds
+	if err := src.Insert(mid+1, 7); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	info := src.HandoverStatus()
+	if info.Retries < 2 {
+		t.Errorf("retries = %d, want >= 2", info.Retries)
+	}
+	if info.Mirrored != 1 {
+		t.Errorf("mirrored = %d, want 1", info.Mirrored)
+	}
+	if v, ok := dstIdx.Get(mid + 1); !ok || v != 7 {
+		t.Errorf("retried mirror did not land: %d,%v", v, ok)
+	}
+}
+
+// TestHandoverWatermarkResume: a bulk-copy failure suspends the handover
+// at a page boundary; resume reattaches to the same import session and
+// continues from the watermark — already-copied pages are not re-sent.
+func TestHandoverWatermarkResume(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil)
+	peer := newLoopPeer(dst)
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Three full pages plus change in the moving range.
+	const total = 3*copyPage + 100
+	for i := uint64(0); i < total; i++ {
+		if err := src.Insert(mid+i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peer.setFailBatchesAfter(2) // accept two pages, then fail persistently
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverFailed)
+	info := src.HandoverStatus()
+	if info.Copied != 2*copyPage {
+		t.Fatalf("copied = %d at suspension, want %d", info.Copied, 2*copyPage)
+	}
+	wantMark := mid + (2*copyPage-1)*3 + 1 // one past the last accepted key
+	if info.Watermark != wantMark {
+		t.Fatalf("watermark = %#x, want %#x", info.Watermark, wantMark)
+	}
+	// A write during suspension is acked and journaled for the resume.
+	if err := src.Insert(mid+1, 42); err != nil {
+		t.Fatalf("suspended-window write not acked: %v", err)
+	}
+	preResume := len(peer.batchKeys())
+	peer.setFailBatchesAfter(-1) // heal the link
+	if err := src.HandoverResume(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	info = src.HandoverStatus()
+	if info.Resumes != 1 {
+		t.Errorf("resumes = %d, want 1", info.Resumes)
+	}
+	if info.Copied != total {
+		t.Errorf("copied = %d after resume, want %d", info.Copied, total)
+	}
+	// The resumed copy started at the watermark: no page re-sent a key
+	// below it.
+	for _, page := range peer.batchKeys()[preResume:] {
+		if len(page) > 0 && page[0] < wantMark {
+			t.Fatalf("resumed copy re-sent key %#x below watermark %#x", page[0], wantMark)
+		}
+	}
+	// Cutover: everything — including the suspended-window write — lands.
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	got := dstIdx.snapshot()
+	if len(got) != total+1 { // the preload plus the suspended-window write
+		t.Fatalf("target has %d keys, want %d", len(got), total+1)
+	}
+	if v := got[mid+1]; v != 42 {
+		t.Fatalf("suspended-window write = %d on target, want 42", v)
+	}
+}
+
+// TestHandoverResumeAfterTargetRestart: the target loses the import
+// session (restart); resume detects the fresh session and recopies from
+// the start — with suspended-window deletes still honored.
+func TestHandoverResumeAfterTargetRestart(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx := newFakeIndex()
+	dst := mustNode(t, newFakeIndex(), 1, 0, nil)
+	peer := newLoopPeer(dst)
+	var pmu sync.Mutex
+	cur := peer
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return cur, nil
+	})
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	const total = copyPage + 100
+	for i := uint64(0); i < total; i++ {
+		if err := src.Insert(mid+i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peer.setFailBatchesAfter(1) // one page lands, then the target "dies"
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverFailed)
+	// Suspended-window churn: a delete and an overwrite, both acked.
+	if _, err := src.Delete(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Insert(mid+3, 999); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart" the target: fresh node, fresh index, no session.
+	dst2Idx := newFakeIndex()
+	dst2 := mustNode(t, dst2Idx, 1, 0, nil)
+	pmu.Lock()
+	cur = newLoopPeer(dst2)
+	pmu.Unlock()
+	if err := src.HandoverResume(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	info := src.HandoverStatus()
+	if info.Copied != total-1 { // one key deleted during suspension
+		t.Errorf("copied = %d after fresh resume, want %d", info.Copied, total-1)
+	}
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst2.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	got := dst2Idx.snapshot()
+	if _, ok := got[mid]; ok {
+		t.Error("suspended-window delete resurrected on restarted target")
+	}
+	if v := got[mid+3]; v != 999 {
+		t.Errorf("suspended-window overwrite = %d on target, want 999", v)
+	}
+	if len(got) != total-1 {
+		t.Errorf("target has %d keys, want %d", len(got), total-1)
+	}
+}
+
+// TestCutoverProbeTargetRestart: the target crashes after the copy
+// finishes but before the admin pushes the cutover map. The de-own probe
+// sees a fresh import session, refuses to surrender the range (de-owning
+// would scrub the only live copy), and suspends for a full recopy; a
+// resume then completes the handover against the restarted target.
+func TestCutoverProbeTargetRestart(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx := newFakeIndex()
+	dst := mustNode(t, newFakeIndex(), 1, 0, nil)
+	peer := newLoopPeer(dst)
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	const total = copyPage + 75
+	for i := uint64(0); i < total; i++ {
+		if err := src.Insert(mid+i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	// Crash-restart the target behind the source's open connection:
+	// fresh node, fresh index, no import session.
+	dst2Idx := newFakeIndex()
+	dst2 := mustNode(t, dst2Idx, 1, 0, nil)
+	peer.setNode(dst2)
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := src.SetMap(0, mid-1, m2.Encode())
+	if err == nil {
+		t.Fatal("SetMap de-owned the moving range against a restarted, empty target")
+	}
+	if !strings.Contains(err.Error(), "restarted before cutover") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+	info := src.HandoverStatus()
+	if info.State != HandoverFailed {
+		t.Fatalf("state = %s after refused cutover, want %s",
+			handoverStateName(info.State), handoverStateName(HandoverFailed))
+	}
+	if info.Watermark != mid || info.Copied != 0 {
+		t.Errorf("progress not reset for recopy: watermark %#x copied %d", info.Watermark, info.Copied)
+	}
+	// The refused install must leave the source owning and serving the range.
+	if _, ok, err := src.Get(mid); err != nil || !ok {
+		t.Fatalf("source lost the moving range after refused cutover: ok=%v err=%v", ok, err)
+	}
+	// Suspended-window churn lands in the journal (and is acked locally).
+	if _, err := src.Delete(mid + 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Insert(mid+3, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.HandoverResume(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	info = src.HandoverStatus()
+	if info.Copied != total-1 { // one key deleted during suspension
+		t.Errorf("copied = %d after recopy, want %d", info.Copied, total-1)
+	}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst2.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	got := dst2Idx.snapshot()
+	if len(got) != total-1 {
+		t.Errorf("restarted target has %d keys, want %d", len(got), total-1)
+	}
+	if v := got[mid+3]; v != 4242 {
+		t.Errorf("suspended-window overwrite = %d on target, want 4242", v)
+	}
+	if _, ok := got[mid+6]; ok {
+		t.Error("suspended-window delete resurrected on restarted target")
+	}
+}
+
+// TestCutoverProbeUnreachable: the target stops answering between copy
+// completion and the map push. The probe failure suspends the handover
+// with all progress intact — no de-own, no scrub, no recopy — and a
+// resume reattaches to the live session and cuts straight over.
+func TestCutoverProbeUnreachable(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil)
+	peer := newLoopPeer(dst)
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	const total = copyPage + 50
+	for i := uint64(0); i < total; i++ {
+		if err := src.Insert(mid+i*3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	preBatches := len(peer.batchKeys())
+	peer.setFailResumes(1)
+	m2 := &Map{Epoch: 2, Shards: []Shard{{0, mid - 1, "src"}, {mid, ^uint64(0), "dst"}}}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := src.SetMap(0, mid-1, m2.Encode())
+	if err == nil {
+		t.Fatal("SetMap de-owned the moving range with the target unreachable")
+	}
+	if !strings.Contains(err.Error(), "unreachable at cutover") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+	info := src.HandoverStatus()
+	if info.State != HandoverFailed {
+		t.Fatalf("state = %s after refused cutover, want %s",
+			handoverStateName(info.State), handoverStateName(HandoverFailed))
+	}
+	if info.Copied != total {
+		t.Errorf("copy progress lost on unreachable probe: copied %d, want %d", info.Copied, total)
+	}
+	// The session survived on the target, so resume must not recopy.
+	if err := src.HandoverResume(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
+	if got := len(peer.batchKeys()); got != preBatches {
+		t.Errorf("resume recopied an intact target: %d batches, was %d", got, preBatches)
+	}
+	if err := src.SetMap(0, mid-1, m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetMap(mid, ^uint64(0), m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dstIdx.snapshot(); len(got) != total {
+		t.Errorf("target has %d keys after cutover, want %d", len(got), total)
+	}
+}
+
+// TestHandoverAbortClears: aborting a suspended handover frees the slot
+// (and the target's session) so a fresh StartHandover can begin.
+func TestHandoverAbortClears(t *testing.T) {
+	const mid = uint64(1) << 63
+	srcIdx, dstIdx := newFakeIndex(), newFakeIndex()
+	dst := mustNode(t, dstIdx, 1, 0, nil)
+	peer := newLoopPeer(dst)
+	src := mustNode(t, srcIdx, 0, ^uint64(0), func(addr string) (Peer, error) { return peer, nil })
+	m1, _ := Uniform(1, []string{"src"})
+	if err := src.SetMap(0, ^uint64(0), m1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := src.Insert(mid+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peer.setFailBatchesAfter(0) // first page already fails
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverFailed)
+	if err := src.HandoverAbort(); err != nil {
+		t.Fatal(err)
+	}
+	if st := src.HandoverStatus().State; st != HandoverNone {
+		t.Fatalf("post-abort state %s, want none", handoverStateName(st))
+	}
+	if dstIdx.Len() != 0 {
+		t.Fatalf("abort left %d keys on the target", dstIdx.Len())
+	}
+	// The slot is free again.
+	peer.setFailBatchesAfter(-1)
+	if err := src.StartHandover(mid, ^uint64(0), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, src, HandoverCopied)
 }
 
 func TestStartHandoverValidation(t *testing.T) {

@@ -104,7 +104,10 @@
 //	MapSet          selfLo(8) selfHi(8) map-blob(rest)
 //	HandoverStart   lo(8) hi(8) targetAddr(rest)        1 <= len <= MaxAddr
 //	HandoverStatus  —
+//	HandoverResume  —
+//	HandoverAbort   —
 //	ImportStart     lo(8) hi(8)
+//	ImportResume    lo(8) hi(8)
 //	ImportBatch     n(4) [key(8) val(8)]*n              n <= MaxBatch
 //	ImportEnd       commit(1)                           0 or 1
 //	Mirror          del(1) key(8) val(8)                del 0 or 1
@@ -113,12 +116,19 @@
 //
 //	ShardInfo       lo(8) hi(8) epoch(8) state(1)
 //	MapGet          map-blob(rest)
-//	HandoverStatus  state(1) copied(8) mirrored(8)
+//	HandoverStatus  state(1) copied(8) mirrored(8) retries(8) resumes(8)
+//	                watermark(8) lo(8) hi(8) targetAddr(rest)
+//	                len <= MaxAddr; empty when no handover exists
+//	ImportResume    fresh(1) applied(8)                 fresh 0 or 1
 //	ImportBatch     applied(8)
-//	MapSet/HandoverStart/ImportStart/ImportEnd/Mirror   —
+//	MapSet/HandoverStart/HandoverResume/HandoverAbort/ImportStart/ImportEnd/Mirror   —
 //
 // The map blob itself is opaque at this layer (internal/cluster defines
 // and validates its encoding); proto only bounds and transports it.
+// Handover resume semantics live in internal/cluster: HandoverResume
+// restarts a suspended handover from its watermark, HandoverAbort
+// abandons it, and ImportResume reattaches (fresh=0) or recreates
+// (fresh=1) the target-side import session.
 package proto
 
 import (
@@ -163,6 +173,11 @@ const (
 	OpImportBatch    // peer-side: one bulk page of the session's pairs
 	OpImportEnd      // peer-side: close the session (commit or abort+scrub)
 	OpMirror         // peer-side: one double-written op during cutover
+
+	// Handover robustness opcodes (still FeatCluster; see internal/cluster).
+	OpHandoverResume // restart a suspended handover from its watermark
+	OpHandoverAbort  // abandon the handover and scrub the target session
+	OpImportResume   // peer-side: reattach to (or recreate) an import session
 
 	// NumOpcodes bounds the opcode space; valid opcodes are 1..NumOpcodes-1,
 	// so it can size per-opcode metric arrays.
@@ -220,6 +235,12 @@ func (o Opcode) String() string {
 		return "import-end"
 	case OpMirror:
 		return "mirror"
+	case OpHandoverResume:
+		return "handover-resume"
+	case OpHandoverAbort:
+		return "handover-abort"
+	case OpImportResume:
+		return "import-resume"
 	}
 	return fmt.Sprintf("opcode(%d)", uint8(o))
 }
@@ -376,7 +397,7 @@ type Request struct {
 	// request under (FlagEpoch on the wire). A server owning a different
 	// epoch answers StatusWrongShard instead of executing.
 	Epoch   uint64
-	Lo, Hi  uint64 // MapSet: self range; HandoverStart/ImportStart: moved range
+	Lo, Hi  uint64 // MapSet: self range; HandoverStart/ImportStart/ImportResume: moved range
 	Addr    string // HandoverStart: target endpoint
 	MapBlob []byte // MapSet: the encoded shard map to install
 	Commit  bool   // ImportEnd: commit (true) or abort+scrub (false)
@@ -406,12 +427,17 @@ type Response struct {
 	RetryAfterMS uint32
 
 	// Cluster fields (FeatCluster).
-	Lo, Hi   uint64 // ShardInfo: owned range
-	Epoch    uint64 // ShardInfo: current shard-map epoch
-	State    uint8  // ShardInfo: serving state; HandoverStatus: handover state
-	Copied   uint64 // HandoverStatus: pairs bulk-copied so far
-	Mirrored uint64 // HandoverStatus: ops mirrored so far
-	Applied  uint64 // ImportBatch: pairs actually applied (duplicates skipped)
+	Lo, Hi    uint64 // ShardInfo: owned range; HandoverStatus: moving range
+	Epoch     uint64 // ShardInfo: current shard-map epoch
+	State     uint8  // ShardInfo: serving state; HandoverStatus: handover state
+	Copied    uint64 // HandoverStatus: pairs bulk-copied so far
+	Mirrored  uint64 // HandoverStatus: ops mirrored so far
+	Retries   uint64 // HandoverStatus: peer-call retries across all runs
+	Resumes   uint64 // HandoverStatus: successful resumes so far
+	Watermark uint64 // HandoverStatus: next bulk-copy key (resume restarts here)
+	Addr      string // HandoverStatus: handover target endpoint ("" = none)
+	Applied   uint64 // ImportBatch/ImportResume: pairs actually applied (duplicates skipped)
+	Fresh     bool   // ImportResume: the session was recreated, not reattached
 	// MapBlob is the server's current encoded shard map: the MapGet answer,
 	// and on v2 the redirect payload of a StatusWrongShard response.
 	MapBlob []byte
@@ -523,7 +549,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		}
 		dst = appendU32(dst, r.Credits)
 	case OpScanCancel:
-	case OpShardInfo, OpMapGet, OpHandoverStatus:
+	case OpShardInfo, OpMapGet, OpHandoverStatus, OpHandoverResume, OpHandoverAbort:
 	case OpMapSet:
 		if len(r.MapBlob) == 0 || len(r.MapBlob) > MaxMapBlob {
 			return dst, fmt.Errorf("%w: map blob of %d bytes", ErrLimit, len(r.MapBlob))
@@ -538,7 +564,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = appendU64(dst, r.Lo)
 		dst = appendU64(dst, r.Hi)
 		dst = append(dst, r.Addr...)
-	case OpImportStart:
+	case OpImportStart, OpImportResume:
 		dst = appendU64(dst, r.Lo)
 		dst = appendU64(dst, r.Hi)
 	case OpImportBatch:
@@ -658,12 +684,24 @@ func AppendResponseV(dst []byte, r *Response, ver uint8) ([]byte, error) {
 		}
 		dst = append(dst, r.MapBlob...)
 	case OpHandoverStatus:
+		if len(r.Addr) > MaxAddr {
+			return dst, fmt.Errorf("%w: address of %d bytes", ErrLimit, len(r.Addr))
+		}
 		dst = append(dst, r.State)
 		dst = appendU64(dst, r.Copied)
 		dst = appendU64(dst, r.Mirrored)
+		dst = appendU64(dst, r.Retries)
+		dst = appendU64(dst, r.Resumes)
+		dst = appendU64(dst, r.Watermark)
+		dst = appendU64(dst, r.Lo)
+		dst = appendU64(dst, r.Hi)
+		dst = append(dst, r.Addr...)
+	case OpImportResume:
+		dst = append(dst, boolByte(r.Fresh))
+		dst = appendU64(dst, r.Applied)
 	case OpImportBatch:
 		dst = appendU64(dst, r.Applied)
-	case OpMapSet, OpHandoverStart, OpImportStart, OpImportEnd, OpMirror:
+	case OpMapSet, OpHandoverStart, OpHandoverResume, OpHandoverAbort, OpImportStart, OpImportEnd, OpMirror:
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, uint8(r.Op))
 	}
@@ -872,7 +910,7 @@ func DecodeRequest(body []byte, req *Request) error {
 			return fmt.Errorf("%w: scan credits %d", ErrLimit, req.Credits)
 		}
 	case OpScanCancel:
-	case OpShardInfo, OpMapGet, OpHandoverStatus:
+	case OpShardInfo, OpMapGet, OpHandoverStatus, OpHandoverResume, OpHandoverAbort:
 	case OpMapSet:
 		if req.Lo, err = rd.u64(); err != nil {
 			return err
@@ -899,7 +937,7 @@ func DecodeRequest(body []byte, req *Request) error {
 		}
 		req.Addr = string(rd.b[rd.off:])
 		rd.off = len(rd.b)
-	case OpImportStart:
+	case OpImportStart, OpImportResume:
 		if req.Lo, err = rd.u64(); err != nil {
 			return err
 		}
@@ -1105,11 +1143,43 @@ func DecodeResponseV(body []byte, resp *Response, ver uint8) error {
 		if resp.Mirrored, err = rd.u64(); err != nil {
 			return err
 		}
+		if resp.Retries, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Resumes, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Watermark, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Lo, err = rd.u64(); err != nil {
+			return err
+		}
+		if resp.Hi, err = rd.u64(); err != nil {
+			return err
+		}
+		if n := rd.remaining(); n > MaxAddr {
+			return fmt.Errorf("%w: address of %d bytes", ErrLimit, n)
+		}
+		resp.Addr = string(rd.b[rd.off:])
+		rd.off = len(rd.b)
+	case OpImportResume:
+		f, err := rd.u8()
+		if err != nil {
+			return err
+		}
+		if f > 1 {
+			return fmt.Errorf("proto: import-resume fresh byte %d", f)
+		}
+		resp.Fresh = f != 0
+		if resp.Applied, err = rd.u64(); err != nil {
+			return err
+		}
 	case OpImportBatch:
 		if resp.Applied, err = rd.u64(); err != nil {
 			return err
 		}
-	case OpMapSet, OpHandoverStart, OpImportStart, OpImportEnd, OpMirror:
+	case OpMapSet, OpHandoverStart, OpHandoverResume, OpHandoverAbort, OpImportStart, OpImportEnd, OpMirror:
 	}
 	return rd.done()
 }

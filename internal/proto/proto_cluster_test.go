@@ -22,6 +22,9 @@ func TestClusterRequestRoundTrip(t *testing.T) {
 		{ID: 10, Op: OpImportEnd, Commit: false},
 		{ID: 11, Op: OpMirror, Del: false, Key: 7, Val: 9},
 		{ID: 12, Op: OpMirror, Del: true, Key: 7},
+		{ID: 16, Op: OpHandoverResume},
+		{ID: 17, Op: OpHandoverAbort},
+		{ID: 18, Op: OpImportResume, Lo: 100, Hi: 200},
 		// Epoch flag composes with any opcode and with the deadline flag.
 		{ID: 13, Op: OpGet, Key: 42, Epoch: 3},
 		{ID: 14, Op: OpInsert, Key: 1, Val: 2, Epoch: 1, TimeoutMS: 250},
@@ -49,11 +52,17 @@ func TestClusterResponseRoundTrip(t *testing.T) {
 		{ID: 2, Op: OpMapGet, MapBlob: []byte{5, 6, 7}},
 		{ID: 3, Op: OpMapSet},
 		{ID: 4, Op: OpHandoverStart},
-		{ID: 5, Op: OpHandoverStatus, State: 2, Copied: 1 << 30, Mirrored: 17},
+		{ID: 5, Op: OpHandoverStatus, State: 2, Copied: 1 << 30, Mirrored: 17,
+			Retries: 4, Resumes: 1, Watermark: 1 << 40, Lo: 100, Hi: 200, Addr: "127.0.0.1:7071"},
+		{ID: 5, Op: OpHandoverStatus}, // no handover: empty addr, all-zero counters
 		{ID: 6, Op: OpImportStart},
 		{ID: 7, Op: OpImportBatch, Applied: 12345},
 		{ID: 8, Op: OpImportEnd},
 		{ID: 9, Op: OpMirror},
+		{ID: 10, Op: OpHandoverResume},
+		{ID: 11, Op: OpHandoverAbort},
+		{ID: 12, Op: OpImportResume, Fresh: true, Applied: 777},
+		{ID: 13, Op: OpImportResume, Fresh: false},
 	}
 	for _, ver := range []uint8{Version1, Version2} {
 		for _, want := range cases {

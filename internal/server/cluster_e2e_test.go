@@ -47,6 +47,12 @@ func (p testPeer) ImportEnd(commit bool) error {
 	return p.c.ImportEnd(ctx, commit)
 }
 
+func (p testPeer) ImportResume(lo, hi uint64) (bool, uint64, error) {
+	ctx, cancel := p.ctx()
+	defer cancel()
+	return p.c.ImportResume(ctx, lo, hi)
+}
+
 func (p testPeer) Mirror(del bool, key, val uint64) error {
 	ctx, cancel := p.ctx()
 	defer cancel()
@@ -89,10 +95,16 @@ func (p *shardProc) stop() {
 // startShard runs one shard server owning [lo, hi] (lo > hi = owns
 // nothing) on a loopback listener.
 func startShard(t *testing.T, lo, hi uint64) *shardProc {
+	return startShardDial(t, lo, hi, testDialPeer)
+}
+
+// startShardDial is startShard with a custom peer dialer — the chaos suite
+// routes the handover link through a fault proxy this way.
+func startShardDial(t *testing.T, lo, hi uint64, dial func(string) (cluster.Peer, error)) *shardProc {
 	t.Helper()
 	idx := core.New(smallOpts())
 	node, err := cluster.NewNode(cluster.NodeConfig{
-		Index: idx, Lo: lo, Hi: hi, Dial: testDialPeer, Logf: t.Logf,
+		Index: idx, Lo: lo, Hi: hi, Dial: dial, Logf: t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -178,6 +178,7 @@ func (c *conn) dispatch(arrival time.Time) bool {
 	case proto.OpHello, proto.OpScanStart, proto.OpScanCredit, proto.OpScanCancel,
 		proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
 		proto.OpHandoverStart, proto.OpHandoverStatus,
+		proto.OpHandoverResume, proto.OpHandoverAbort, proto.OpImportResume,
 		proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd, proto.OpMirror:
 		if cfg.DisableV2 {
 			// Emulate a pre-v2 server byte for byte: before the handshake
@@ -204,6 +205,7 @@ func (c *conn) dispatch(arrival time.Time) bool {
 	switch req.Op {
 	case proto.OpShardInfo, proto.OpMapGet, proto.OpMapSet,
 		proto.OpHandoverStart, proto.OpHandoverStatus,
+		proto.OpHandoverResume, proto.OpHandoverAbort, proto.OpImportResume,
 		proto.OpImportStart, proto.OpImportBatch, proto.OpImportEnd, proto.OpMirror:
 		// Cluster opcodes need the feature negotiated, which a non-cluster
 		// server never grants; a peer using them anyway is broken, so the
@@ -500,10 +502,28 @@ func (c *conn) execute(req *proto.Request, resp *proto.Response) (panicked bool)
 			m.handoverStarted()
 		}
 	case proto.OpHandoverStatus:
-		resp.State, resp.Copied, resp.Mirrored = node.HandoverStatus()
+		info := node.HandoverStatus()
+		resp.State, resp.Copied, resp.Mirrored = info.State, info.Copied, info.Mirrored
+		resp.Retries, resp.Resumes, resp.Watermark = info.Retries, info.Resumes, info.Watermark
+		resp.Lo, resp.Hi, resp.Addr = info.Lo, info.Hi, info.Target
+	case proto.OpHandoverResume:
+		if err := node.HandoverResume(); err != nil {
+			c.clusterErr(resp, err)
+		}
+	case proto.OpHandoverAbort:
+		if err := node.HandoverAbort(); err != nil {
+			c.clusterErr(resp, err)
+		}
 	case proto.OpImportStart:
 		if err := node.ImportStart(req.Lo, req.Hi); err != nil {
 			c.clusterErr(resp, err)
+		}
+	case proto.OpImportResume:
+		fresh, applied, err := node.ImportResume(req.Lo, req.Hi)
+		if err != nil {
+			c.clusterErr(resp, err)
+		} else {
+			resp.Fresh, resp.Applied = fresh, applied
 		}
 	case proto.OpImportBatch:
 		applied, err := node.ImportBatch(req.Keys, req.Vals)

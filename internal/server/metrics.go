@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dytis/internal/cluster"
 	"dytis/internal/lathist"
 	"dytis/internal/proto"
 )
@@ -70,6 +71,15 @@ type Metrics struct {
 	wrongShards atomic.Int64 // requests redirected with StatusWrongShard
 	//dytis:series dytis_server_handovers_started_total
 	handovers atomic.Int64 // shard handovers this node originated
+
+	// Handover robustness counters (self-healing rebalance).
+
+	//dytis:series dytis_server_handover_failed_total
+	handoverFails atomic.Int64 // handovers suspended (entered the failed state)
+	//dytis:series dytis_server_handover_mirror_retries_total
+	handoverMirrorRetries atomic.Int64 // double-write mirror sends retried
+	//dytis:series dytis_server_handover_resumes_total
+	handoverResumes atomic.Int64 // suspended handovers successfully resumed
 }
 
 func (m *Metrics) connAccepted() {
@@ -100,6 +110,22 @@ func (m *Metrics) scanChunk() { m.scanChunks.Add(1) }
 func (m *Metrics) wrongShard() { m.wrongShards.Add(1) }
 
 func (m *Metrics) handoverStarted() { m.handovers.Add(1) }
+
+func (m *Metrics) handoverFailed() { m.handoverFails.Add(1) }
+
+func (m *Metrics) handoverMirrorRetry() { m.handoverMirrorRetries.Add(1) }
+
+func (m *Metrics) handoverResumed() { m.handoverResumes.Add(1) }
+
+// HandoverEvents returns cluster event hooks that feed these metrics;
+// cmd/dytis-server wires the result into cluster.NodeConfig.Events.
+func (m *Metrics) HandoverEvents() cluster.HandoverEvents {
+	return cluster.HandoverEvents{
+		MirrorRetry: m.handoverMirrorRetry,
+		Failed:      m.handoverFailed,
+		Resumed:     m.handoverResumed,
+	}
+}
 
 // noteOutQueue folds one observed out-channel byte depth into the peak.
 func (m *Metrics) noteOutQueue(n int64) {
@@ -188,6 +214,18 @@ func (m *Metrics) WrongShards() int64 { return m.wrongShards.Load() }
 // originated.
 func (m *Metrics) HandoversStarted() int64 { return m.handovers.Load() }
 
+// HandoverFails returns the number of times a handover was suspended
+// (entered the failed state) after exhausting its peer-call retries.
+func (m *Metrics) HandoverFails() int64 { return m.handoverFails.Load() }
+
+// HandoverMirrorRetries returns the number of double-write mirror sends
+// that were retried against the handover target.
+func (m *Metrics) HandoverMirrorRetries() int64 { return m.handoverMirrorRetries.Load() }
+
+// HandoverResumes returns the number of suspended handovers successfully
+// resumed.
+func (m *Metrics) HandoverResumes() int64 { return m.handoverResumes.Load() }
+
 // OutQueuePeakBytes returns the peak byte depth observed on any single
 // connection's outbound response queue — the number that proves a streamed
 // scan's server-side buffering stays bounded by the credit window instead of
@@ -244,6 +282,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"dytis_server_out_queue_peak_bytes", "Peak bytes queued on any one connection's outbound response queue.", m.OutQueuePeakBytes()},
 		{"dytis_server_wrong_shard_total", "Requests redirected with StatusWrongShard.", m.WrongShards()},
 		{"dytis_server_handovers_started_total", "Shard handovers this node originated.", m.HandoversStarted()},
+		{"dytis_server_handover_failed_total", "Handovers suspended after exhausting peer-call retries.", m.HandoverFails()},
+		{"dytis_server_handover_mirror_retries_total", "Double-write mirror sends retried against the handover target.", m.HandoverMirrorRetries()},
+		{"dytis_server_handover_resumes_total", "Suspended handovers successfully resumed.", m.HandoverResumes()},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
